@@ -1,0 +1,62 @@
+#ifndef CINDERELLA_BENCH_BENCH_COMMON_H_
+#define CINDERELLA_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/partitioner.h"
+#include "query/executor.h"
+#include "storage/row.h"
+#include "workload/query_workload.h"
+
+namespace cinderella {
+namespace bench {
+
+/// Deep copy of a row set (each scenario loads its own copy).
+std::vector<Row> CopyRows(const std::vector<Row>& rows);
+
+/// Result of loading a data set into a partitioner.
+struct LoadResult {
+  double total_seconds = 0.0;
+  /// Per-insert wall latencies in milliseconds (only when requested).
+  std::vector<double> insert_ms;
+};
+
+/// Inserts every row, optionally recording per-insert latencies
+/// (Figure 8's measurement).
+LoadResult LoadRows(Partitioner& partitioner, std::vector<Row> rows,
+                    bool record_latencies = false);
+
+/// Timing of one workload query against one catalog.
+struct QueryTiming {
+  double selectivity = 0.0;
+  double avg_ms = 0.0;       // Measured wall time of the scan.
+  double modeled_cost = 0.0; // Bytes + union overhead (CostModel).
+  uint64_t partitions_scanned = 0;
+  uint64_t partitions_total = 0;
+};
+
+/// Executes each query `repetitions` times and averages the wall time.
+std::vector<QueryTiming> TimeQueries(const PartitionCatalog& catalog,
+                                     const std::vector<GeneratedQuery>& queries,
+                                     int repetitions, const CostModel& model);
+
+/// One series of a selectivity plot: per-bin average of a metric.
+struct SelectivitySeries {
+  std::string label;
+  std::vector<QueryTiming> timings;
+};
+
+/// Prints a table with one row per selectivity bin (width 1/bins) and one
+/// column pair (measured ms, modeled cost) per series — the shape of the
+/// paper's Figures 5 and 6.
+void PrintSelectivityTable(const std::vector<SelectivitySeries>& series,
+                           size_t bins);
+
+/// Prints a one-line header for a bench section.
+void PrintHeader(const std::string& title);
+
+}  // namespace bench
+}  // namespace cinderella
+
+#endif  // CINDERELLA_BENCH_BENCH_COMMON_H_

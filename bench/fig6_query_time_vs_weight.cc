@@ -1,0 +1,79 @@
+// Reproduces Figure 6: average query execution time over query selectivity
+// for weights w = 0.2 / 0.5 / 0.8 (B = 5000), compared to the universal
+// table.
+//
+// Paper shape: lower weights benefit very selective queries (more, purer
+// partitions); very unselective queries slightly profit from higher
+// weights (fewer partitions to unite); for the DBpedia set 0.2 is "a good
+// balance".
+//
+// Env knobs: CINDERELLA_ENTITIES (default 100000), CINDERELLA_SEED,
+// CINDERELLA_QUERY_REPS.
+
+#include <cstdio>
+#include <memory>
+
+#include "baseline/single_partitioner.h"
+#include "bench/bench_common.h"
+#include "common/env.h"
+#include "core/cinderella.h"
+#include "workload/dbpedia_generator.h"
+#include "workload/query_workload.h"
+
+namespace cinderella {
+namespace {
+
+int Main() {
+  DbpediaConfig config;
+  config.num_entities =
+      static_cast<size_t>(Int64FromEnv("CINDERELLA_ENTITIES", 100000));
+  config.seed = static_cast<uint64_t>(Int64FromEnv("CINDERELLA_SEED", 42));
+  const int reps = static_cast<int>(Int64FromEnv("CINDERELLA_QUERY_REPS", 3));
+
+  AttributeDictionary dictionary;
+  DbpediaGenerator generator(config, &dictionary);
+  const auto rows = generator.Generate();
+  const auto workload =
+      GenerateQueryWorkload(rows, config.num_attributes, QueryWorkloadConfig{});
+  std::printf("data set: %zu entities; workload: %zu representative queries\n",
+              rows.size(), workload.size());
+
+  const CostModel model;
+  std::vector<bench::SelectivitySeries> series;
+
+  for (double weight : {0.2, 0.5, 0.8}) {
+    CinderellaConfig cc;
+    cc.weight = weight;
+    cc.max_size = 5000;
+    cc.use_synopsis_index = true;
+    auto partitioner = std::move(Cinderella::Create(cc)).value();
+    bench::LoadRows(*partitioner, bench::CopyRows(rows));
+    std::printf("w=%.1f: %4zu partitions, %llu splits\n", weight,
+                partitioner->catalog().partition_count(),
+                static_cast<unsigned long long>(partitioner->stats().splits));
+    bench::SelectivitySeries s;
+    char label[16];
+    std::snprintf(label, sizeof(label), "w=%.1f", weight);
+    s.label = label;
+    s.timings =
+        bench::TimeQueries(partitioner->catalog(), workload, reps, model);
+    series.push_back(std::move(s));
+  }
+
+  auto universal = std::make_unique<SinglePartitioner>();
+  bench::LoadRows(*universal, bench::CopyRows(rows));
+  bench::SelectivitySeries u;
+  u.label = "universal";
+  u.timings = bench::TimeQueries(universal->catalog(), workload, reps, model);
+  series.push_back(std::move(u));
+
+  bench::PrintHeader(
+      "Figure 6: avg query execution time vs selectivity (B=5000)");
+  bench::PrintSelectivityTable(series, 20);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cinderella
+
+int main() { return cinderella::Main(); }

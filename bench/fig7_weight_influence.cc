@@ -1,0 +1,93 @@
+// Reproduces Figure 7: influence of the weight w on the partitioning of
+// the DBpedia data set, B = 5000: (a) number of partitions, (b) entities
+// per partition, (c) attributes per partition, (d) sparseness per
+// partition. Also reports Definition 1 efficiency for the Section V.B
+// workload (our addition).
+//
+// Paper shape: below w = 0.2 the partition count explodes; w = 0 yields
+// perfectly homogeneous partitions (sparseness 0); higher weights give
+// fewer, fuller, more heterogeneous partitions; with medium weights most
+// partitions are far sparser than the raw table (0.94); attributes per
+// partition stay well below the table's 100 at every setting.
+//
+// Env knobs: CINDERELLA_ENTITIES (default 20000 — the w<0.2 explosion
+// makes the catalog scan quadratic, see Figure 8 discussion; set 100000
+// for the paper-scale run), CINDERELLA_SEED.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/env.h"
+#include "common/table_printer.h"
+#include "core/cinderella.h"
+#include "core/efficiency.h"
+#include "core/partitioning_stats.h"
+#include "workload/dataset_stats.h"
+#include "workload/dbpedia_generator.h"
+#include "workload/query_workload.h"
+
+namespace cinderella {
+namespace {
+
+int Main() {
+  DbpediaConfig config;
+  config.num_entities =
+      static_cast<size_t>(Int64FromEnv("CINDERELLA_ENTITIES", 20000));
+  config.seed = static_cast<uint64_t>(Int64FromEnv("CINDERELLA_SEED", 42));
+
+  AttributeDictionary dictionary;
+  DbpediaGenerator generator(config, &dictionary);
+  const auto rows = generator.Generate();
+  const auto workload =
+      GenerateQueryWorkload(rows, config.num_attributes, QueryWorkloadConfig{});
+  std::vector<Synopsis> workload_synopses;
+  for (const auto& q : workload) workload_synopses.push_back(q.query.attributes());
+  std::printf("data set: %zu entities, B=5000\n", rows.size());
+
+  TablePrinter table({"w", "partitions", "entities/part (p25/med/p75/max)",
+                      "attrs/part (med/max)", "sparseness (med/max)",
+                      "efficiency"});
+  for (int wi = 0; wi <= 10; ++wi) {
+    const double weight = wi / 10.0;
+    CinderellaConfig cc;
+    cc.weight = weight;
+    cc.max_size = 5000;
+    cc.use_synopsis_index = true;
+    auto partitioner = std::move(Cinderella::Create(cc)).value();
+    bench::LoadRows(*partitioner, bench::CopyRows(rows));
+    const PartitioningReport report =
+        AnalyzePartitioning(partitioner->catalog());
+    const EfficiencyBreakdown eff =
+        ComputeEfficiency(partitioner->catalog(), workload_synopses,
+                          SizeMeasure::kEntityCount);
+    char entities[64];
+    std::snprintf(entities, sizeof(entities), "%.0f/%.0f/%.0f/%.0f",
+                  report.entities_per_partition.p25,
+                  report.entities_per_partition.median,
+                  report.entities_per_partition.p75,
+                  report.entities_per_partition.max);
+    char attrs[32];
+    std::snprintf(attrs, sizeof(attrs), "%.0f/%.0f",
+                  report.attributes_per_partition.median,
+                  report.attributes_per_partition.max);
+    char sparse[32];
+    std::snprintf(sparse, sizeof(sparse), "%.3f/%.3f",
+                  report.sparseness_per_partition.median,
+                  report.sparseness_per_partition.max);
+    table.AddRow({TablePrinter::FormatDouble(weight, 1),
+                  std::to_string(report.partition_count), entities, attrs,
+                  sparse, TablePrinter::FormatDouble(eff.efficiency, 4)});
+  }
+  bench::PrintHeader("Figure 7: influence of the weight w (B=5000)");
+  std::fputs(table.ToString().c_str(), stdout);
+  const DatasetDistribution d =
+      ComputeDatasetDistribution(rows, config.num_attributes);
+  std::printf("\nraw table sparseness for reference: %.3f (paper: 0.94)\n",
+              d.sparseness);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cinderella
+
+int main() { return cinderella::Main(); }

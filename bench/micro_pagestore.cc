@@ -1,0 +1,134 @@
+// Google-benchmark microbenchmarks for the persistence substrates: the
+// slotted-page codec, the file-backed pager, the buffer-pool hit path,
+// journal append throughput, and snapshot save/load.
+
+#include <cstdio>
+#include <sstream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/cinderella.h"
+#include "core/snapshot.h"
+#include "io/journal.h"
+#include "pagestore/buffer_pool.h"
+#include "pagestore/page_codec.h"
+#include "pagestore/pager.h"
+
+namespace cinderella {
+namespace {
+
+Row SampleRow(EntityId id, Rng& rng) {
+  Row row(id);
+  for (int a = 0; a < 6; ++a) {
+    row.Set(static_cast<AttributeId>(rng.Uniform(40)),
+            Value(static_cast<int64_t>(rng.Uniform(100000))));
+  }
+  return row;
+}
+
+void BM_PageCodecAppend(benchmark::State& state) {
+  PageCodec codec(8192);
+  std::vector<uint8_t> page(8192);
+  Rng rng(1);
+  const Row row = SampleRow(1, rng);
+  codec.InitPage(page.data());
+  for (auto _ : state) {
+    auto slot = codec.AppendRow(page.data(), row);
+    if (!slot.has_value()) codec.InitPage(page.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageCodecAppend);
+
+void BM_PageCodecReadRow(benchmark::State& state) {
+  PageCodec codec(8192);
+  std::vector<uint8_t> page(8192);
+  codec.InitPage(page.data());
+  Rng rng(2);
+  uint16_t slots = 0;
+  while (codec.AppendRow(page.data(), SampleRow(slots, rng)).has_value()) {
+    ++slots;
+  }
+  uint16_t next = 0;
+  for (auto _ : state) {
+    auto row = codec.ReadRow(page.data(), next);
+    benchmark::DoNotOptimize(row);
+    next = static_cast<uint16_t>((next + 1) % slots);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageCodecReadRow);
+
+void BM_PagerWriteRead(benchmark::State& state) {
+  auto pager = Pager::Open("/tmp/bench_pager.db", 8192, true);
+  if (!pager.ok()) {
+    state.SkipWithError("cannot open pager file");
+    return;
+  }
+  auto page = (*pager)->AllocatePage();
+  std::vector<uint8_t> buffer(8192, 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*pager)->WritePage(*page, buffer.data()));
+    benchmark::DoNotOptimize((*pager)->ReadPage(*page, buffer.data()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 16384);
+}
+BENCHMARK(BM_PagerWriteRead);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  auto pager = Pager::Open("/tmp/bench_pool.db", 8192, true);
+  if (!pager.ok()) {
+    state.SkipWithError("cannot open pager file");
+    return;
+  }
+  auto page = (*pager)->AllocatePage();
+  BufferPool pool(pager->get(), 4);
+  for (auto _ : state) {
+    auto handle = pool.Fetch(*page);
+    benchmark::DoNotOptimize(handle->data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_JournalAppend(benchmark::State& state) {
+  auto writer = JournalWriter::Open("/tmp/bench_journal.log", true);
+  if (!writer.ok()) {
+    state.SkipWithError("cannot open journal");
+    return;
+  }
+  Rng rng(3);
+  const Row row = SampleRow(1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*writer)->LogInsert(row));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JournalAppend);
+
+void BM_SnapshotSaveLoad(benchmark::State& state) {
+  CinderellaConfig config;
+  config.weight = 0.3;
+  config.max_size = 500;
+  auto c = std::move(Cinderella::Create(config)).value();
+  AttributeDictionary dictionary;
+  Rng rng(4);
+  for (EntityId id = 0; id < static_cast<EntityId>(state.range(0)); ++id) {
+    benchmark::DoNotOptimize(c->Insert(SampleRow(id, rng)));
+  }
+  for (auto _ : state) {
+    std::stringstream buffer;
+    benchmark::DoNotOptimize(SaveSnapshot(*c, dictionary, buffer));
+    auto restored = LoadSnapshot(buffer);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SnapshotSaveLoad)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace cinderella
+
+BENCHMARK_MAIN();

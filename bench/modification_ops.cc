@@ -1,0 +1,131 @@
+// Latency of the three modification operations of Section III (the paper
+// measures inserts in Figure 8; deletes and updates reuse the insert
+// routine, so their costs follow from it):
+//   - inserts: catalog scan + occasional split,
+//   - deletes: partition lookup + synopsis decrement (+ partition drop),
+//   - updates in place: re-rating + refcount swap,
+//   - updates that move: delete-side + full insert routine.
+// Also quantifies the dissolve extension's overhead on deletes.
+//
+// Env knobs: CINDERELLA_ENTITIES (default 50000), CINDERELLA_SEED.
+
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_common.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/cinderella.h"
+#include "workload/dbpedia_generator.h"
+
+namespace cinderella {
+namespace {
+
+SampleSummary TimeOps(const std::function<void(size_t)>& op, size_t count) {
+  std::vector<double> latencies;
+  latencies.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    WallTimer timer;
+    op(i);
+    latencies.push_back(timer.ElapsedMillis() * 1000.0);  // µs.
+  }
+  return Summarize(std::move(latencies));
+}
+
+int Main() {
+  DbpediaConfig config;
+  config.num_entities =
+      static_cast<size_t>(Int64FromEnv("CINDERELLA_ENTITIES", 50000));
+  config.seed = static_cast<uint64_t>(Int64FromEnv("CINDERELLA_SEED", 42));
+
+  AttributeDictionary dictionary;
+  DbpediaGenerator generator(config, &dictionary);
+  auto rows = generator.Generate();
+  std::printf("data set: %zu entities, w=0.5, B=5000\n", rows.size());
+
+  TablePrinter table(
+      {"operation", "count", "median us", "p95 us", "max us"});
+  auto add = [&](const char* label, size_t count, const SampleSummary& s) {
+    table.AddRow({label, std::to_string(count),
+                  TablePrinter::FormatDouble(s.median, 2),
+                  TablePrinter::FormatDouble(s.p95, 2),
+                  TablePrinter::FormatDouble(s.max, 1)});
+  };
+
+  for (double dissolve : {0.0, 0.25}) {
+    CinderellaConfig cc;
+    cc.weight = 0.5;
+    cc.max_size = 5000;
+    cc.dissolve_threshold = dissolve;
+    auto c = std::move(Cinderella::Create(cc)).value();
+
+    // Inserts (bulk of the data).
+    const size_t keep = rows.size() / 5;
+    std::vector<Row> pending(rows.begin(), rows.end() - keep);
+    std::vector<Row> tail(rows.end() - keep, rows.end());
+    {
+      std::vector<Row> batch = pending;
+      for (Row& row : batch) {
+        CINDERELLA_CHECK(c->Insert(std::move(row)).ok());
+      }
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "insert (dissolve=%.2f)", dissolve);
+    add(label, tail.size(), TimeOps(
+        [&](size_t i) { CINDERELLA_CHECK(c->Insert(tail[i]).ok()); },
+        tail.size()));
+
+    // Updates in place (same synopsis, new values).
+    Rng rng(9);
+    std::snprintf(label, sizeof(label), "update in place");
+    if (dissolve == 0.0) {
+      add(label, 5000, TimeOps(
+          [&](size_t i) {
+            Row copy = rows[i];
+            CINDERELLA_CHECK(c->Update(std::move(copy)).ok());
+          },
+          5000));
+
+      // Updates that change the schema (candidate moves).
+      std::snprintf(label, sizeof(label), "update with schema change");
+      add(label, 5000, TimeOps(
+          [&](size_t i) {
+            Row moved(rows[i + 5000].id());
+            moved.Set(static_cast<AttributeId>(90 + (i % 10)),
+                      Value(int64_t{1}));
+            moved.Set(static_cast<AttributeId>(80 + (i % 10)),
+                      Value(int64_t{1}));
+            CINDERELLA_CHECK(c->Update(std::move(moved)).ok());
+          },
+          5000));
+    }
+
+    // Deletes.
+    std::snprintf(label, sizeof(label), "delete (dissolve=%.2f)", dissolve);
+    add(label, 20000, TimeOps(
+        [&](size_t i) {
+          CINDERELLA_CHECK(c->Delete(rows[i + 12000].id()).ok());
+        },
+        20000));
+    std::printf(
+        "dissolve=%.2f: splits %llu, dissolved %llu, reinserted %llu, final "
+        "partitions %zu\n",
+        dissolve, static_cast<unsigned long long>(c->stats().splits),
+        static_cast<unsigned long long>(c->stats().partitions_dissolved),
+        static_cast<unsigned long long>(c->stats().entities_reinserted),
+        c->catalog().partition_count());
+  }
+
+  bench::PrintHeader("Modification-operation latencies");
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cinderella
+
+int main() { return cinderella::Main(); }

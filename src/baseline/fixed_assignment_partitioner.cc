@@ -1,0 +1,55 @@
+#include "baseline/fixed_assignment_partitioner.h"
+
+#include "common/logging.h"
+
+namespace cinderella {
+
+Status FixedAssignmentPartitioner::Insert(Row row) {
+  if (catalog_.FindEntity(row.id()).has_value()) {
+    return Status::AlreadyExists("entity " + std::to_string(row.id()) +
+                                 " already in table");
+  }
+  Partition& partition = ChoosePartition(row);
+  const EntityId entity = row.id();
+  const Synopsis synopsis = row.AttributeSynopsis();
+  CINDERELLA_RETURN_IF_ERROR(partition.AddRow(std::move(row), synopsis));
+  catalog_.BindEntity(entity, partition.id());
+  return Status::OK();
+}
+
+Status FixedAssignmentPartitioner::Delete(EntityId entity) {
+  const auto home = catalog_.FindEntity(entity);
+  if (!home.has_value()) {
+    return Status::NotFound("entity " + std::to_string(entity) +
+                            " not in table");
+  }
+  Partition* partition = catalog_.GetPartition(*home);
+  CINDERELLA_CHECK(partition != nullptr);
+  const Row* row = partition->segment().Find(entity);
+  CINDERELLA_CHECK(row != nullptr);
+  const Synopsis synopsis = row->AttributeSynopsis();
+  CINDERELLA_RETURN_IF_ERROR(
+      partition->RemoveRow(entity, synopsis).status());
+  catalog_.UnbindEntity(entity);
+  if (partition->entity_count() == 0) {
+    CINDERELLA_RETURN_IF_ERROR(catalog_.DropPartition(partition->id()));
+  }
+  return Status::OK();
+}
+
+Status FixedAssignmentPartitioner::Update(Row row) {
+  const auto home = catalog_.FindEntity(row.id());
+  if (!home.has_value()) {
+    return Status::NotFound("entity " + std::to_string(row.id()) +
+                            " not in table");
+  }
+  Partition* partition = catalog_.GetPartition(*home);
+  CINDERELLA_CHECK(partition != nullptr);
+  const Row* old_row = partition->segment().Find(row.id());
+  CINDERELLA_CHECK(old_row != nullptr);
+  const Synopsis old_synopsis = old_row->AttributeSynopsis();
+  const Synopsis new_synopsis = row.AttributeSynopsis();
+  return partition->ReplaceRow(std::move(row), old_synopsis, new_synopsis);
+}
+
+}  // namespace cinderella

@@ -1,0 +1,38 @@
+#ifndef CINDERELLA_BASELINE_FIXED_ASSIGNMENT_PARTITIONER_H_
+#define CINDERELLA_BASELINE_FIXED_ASSIGNMENT_PARTITIONER_H_
+
+#include <string>
+
+#include "core/partitioner.h"
+
+namespace cinderella {
+
+/// Base for non-adaptive baseline partitioners whose placement decision is
+/// a pure function of the row (hash, arrival order, user-provided label).
+///
+/// Inserts call ChoosePartition(); deletes remove the row and drop emptied
+/// partitions; updates replace the row in place — a fixed scheme has no
+/// schema-aware reason to move entities, which is exactly the contrast to
+/// Cinderella the benches measure.
+class FixedAssignmentPartitioner : public Partitioner {
+ public:
+  Status Insert(Row row) final;
+  Status Delete(EntityId entity) final;
+  Status Update(Row row) final;
+
+  PartitionCatalog& catalog() final { return catalog_; }
+  const PartitionCatalog& catalog() const final { return catalog_; }
+
+ protected:
+  FixedAssignmentPartitioner() = default;
+
+  /// Returns the partition that must host `row`, creating it if needed.
+  virtual Partition& ChoosePartition(const Row& row) = 0;
+
+ private:
+  PartitionCatalog catalog_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_BASELINE_FIXED_ASSIGNMENT_PARTITIONER_H_

@@ -1,0 +1,40 @@
+#include "baseline/hash_partitioner.h"
+
+#include "common/logging.h"
+
+namespace cinderella {
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+HashPartitioner::HashPartitioner(size_t num_buckets)
+    : num_buckets_(num_buckets), bucket_partitions_(num_buckets, 0) {
+  CINDERELLA_CHECK(num_buckets >= 1);
+}
+
+std::string HashPartitioner::name() const {
+  return "hash(" + std::to_string(num_buckets_) + ")";
+}
+
+Partition& HashPartitioner::ChoosePartition(const Row& row) {
+  const size_t bucket = static_cast<size_t>(Mix(row.id()) % num_buckets_);
+  const PartitionId stored = bucket_partitions_[bucket];
+  if (stored != 0) {
+    Partition* partition = catalog().GetPartition(stored - 1);
+    if (partition != nullptr) return *partition;  // Not dropped meanwhile.
+  }
+  Partition& fresh = catalog().CreatePartition();
+  bucket_partitions_[bucket] = fresh.id() + 1;
+  return fresh;
+}
+
+}  // namespace cinderella

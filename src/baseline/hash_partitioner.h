@@ -1,0 +1,32 @@
+#ifndef CINDERELLA_BASELINE_HASH_PARTITIONER_H_
+#define CINDERELLA_BASELINE_HASH_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/fixed_assignment_partitioner.h"
+
+namespace cinderella {
+
+/// Hash partitioning on the entity id over a fixed number of buckets — the
+/// web-scale load-balancing scheme of the paper's related work (Bigtable /
+/// Dynamo / Cassandra). Schema-oblivious: partition synopses converge to
+/// the full attribute set, so queries can prune (almost) nothing.
+class HashPartitioner : public FixedAssignmentPartitioner {
+ public:
+  explicit HashPartitioner(size_t num_buckets);
+
+  std::string name() const override;
+
+ protected:
+  Partition& ChoosePartition(const Row& row) override;
+
+ private:
+  size_t num_buckets_;
+  // bucket -> live partition id (+1; 0 = none yet / dropped).
+  std::vector<PartitionId> bucket_partitions_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_BASELINE_HASH_PARTITIONER_H_

@@ -1,0 +1,24 @@
+#include "baseline/labeled_partitioner.h"
+
+#include <utility>
+
+namespace cinderella {
+
+LabeledPartitioner::LabeledPartitioner(LabelFn label_of,
+                                       std::string display_name)
+    : label_of_(std::move(label_of)),
+      display_name_(std::move(display_name)) {}
+
+Partition& LabeledPartitioner::ChoosePartition(const Row& row) {
+  const size_t label = label_of_(row);
+  auto it = label_partitions_.find(label);
+  if (it != label_partitions_.end()) {
+    Partition* partition = catalog().GetPartition(it->second);
+    if (partition != nullptr) return *partition;
+  }
+  Partition& fresh = catalog().CreatePartition();
+  label_partitions_[label] = fresh.id();
+  return fresh;
+}
+
+}  // namespace cinderella

@@ -1,0 +1,36 @@
+#ifndef CINDERELLA_BASELINE_LABELED_PARTITIONER_H_
+#define CINDERELLA_BASELINE_LABELED_PARTITIONER_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "baseline/fixed_assignment_partitioner.h"
+
+namespace cinderella {
+
+/// Partitions by a caller-provided labeling function (e.g. "the TPC-H
+/// table an entity belongs to"). Used to materialize the ground-truth
+/// schema partitioning for the Table I "Standard TPC-H" scenario and as a
+/// quality oracle in tests.
+class LabeledPartitioner : public FixedAssignmentPartitioner {
+ public:
+  using LabelFn = std::function<size_t(const Row&)>;
+
+  /// `label_of` maps a row to its group; one partition per group.
+  explicit LabeledPartitioner(LabelFn label_of, std::string display_name);
+
+  std::string name() const override { return display_name_; }
+
+ protected:
+  Partition& ChoosePartition(const Row& row) override;
+
+ private:
+  LabelFn label_of_;
+  std::string display_name_;
+  std::unordered_map<size_t, PartitionId> label_partitions_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_BASELINE_LABELED_PARTITIONER_H_

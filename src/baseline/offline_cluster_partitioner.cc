@@ -1,0 +1,116 @@
+#include "baseline/offline_cluster_partitioner.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cinderella {
+
+double JaccardSimilarity(const Synopsis& a, const Synopsis& b) {
+  const size_t union_count = a.UnionCount(b);
+  if (union_count == 0) return 1.0;
+  return static_cast<double>(a.IntersectCount(b)) /
+         static_cast<double>(union_count);
+}
+
+Status OfflineClusterConfig::Validate() const {
+  if (jaccard_threshold < 0.0 || jaccard_threshold > 1.0) {
+    return Status::InvalidArgument("jaccard_threshold must be in [0, 1]");
+  }
+  if (max_entities_per_partition == 0) {
+    return Status::InvalidArgument(
+        "max_entities_per_partition must be positive");
+  }
+  return Status::OK();
+}
+
+OfflineClusterPartitioner::OfflineClusterPartitioner(
+    OfflineClusterConfig config)
+    : config_(config) {
+  CINDERELLA_CHECK(config.Validate().ok());
+}
+
+std::string OfflineClusterPartitioner::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "offline-jaccard(t=%.2f,B=%llu)",
+                config_.jaccard_threshold,
+                static_cast<unsigned long long>(
+                    config_.max_entities_per_partition));
+  return buf;
+}
+
+std::pair<size_t, double> OfflineClusterPartitioner::BestLeader(
+    const Synopsis& synopsis) const {
+  size_t best = 0;
+  double best_score = -1.0;
+  for (size_t i = 0; i < leaders_.size(); ++i) {
+    const double score = JaccardSimilarity(synopsis, leaders_[i]);
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return {best, best_score};
+}
+
+Status OfflineClusterPartitioner::Build(std::vector<Row> rows) {
+  if (built_) {
+    return Status::FailedPrecondition("Build() may only be called once");
+  }
+  built_ = true;
+
+  // Pass 1: leader discovery over all synopses.
+  std::vector<Synopsis> synopses;
+  synopses.reserve(rows.size());
+  for (const Row& row : rows) synopses.push_back(row.AttributeSynopsis());
+  for (const Synopsis& synopsis : synopses) {
+    if (leaders_.empty()) {
+      leaders_.push_back(synopsis);
+      continue;
+    }
+    const auto [leader, score] = BestLeader(synopsis);
+    (void)leader;
+    if (score < config_.jaccard_threshold) leaders_.push_back(synopsis);
+  }
+  open_chunks_.assign(leaders_.size(), 0);
+
+  // Pass 2: globally best assignment, chunked by capacity; routed through
+  // Insert() so the catalog and bindings stay consistent.
+  for (Row& row : rows) {
+    CINDERELLA_RETURN_IF_ERROR(Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+Partition& OfflineClusterPartitioner::OpenChunk(size_t cluster) {
+  const PartitionId stored = open_chunks_[cluster];
+  if (stored != 0) {
+    Partition* partition = catalog().GetPartition(stored - 1);
+    if (partition != nullptr &&
+        partition->entity_count() < config_.max_entities_per_partition) {
+      return *partition;
+    }
+  }
+  Partition& fresh = catalog().CreatePartition();
+  open_chunks_[cluster] = fresh.id() + 1;
+  return fresh;
+}
+
+Partition& OfflineClusterPartitioner::ChoosePartition(const Row& row) {
+  const Synopsis synopsis = row.AttributeSynopsis();
+  if (leaders_.empty()) {
+    leaders_.push_back(synopsis);
+    open_chunks_.push_back(0);
+    return OpenChunk(0);
+  }
+  const auto [leader, score] = BestLeader(synopsis);
+  if (score < config_.jaccard_threshold) {
+    leaders_.push_back(synopsis);
+    open_chunks_.push_back(0);
+    return OpenChunk(leaders_.size() - 1);
+  }
+  return OpenChunk(leader);
+}
+
+}  // namespace cinderella

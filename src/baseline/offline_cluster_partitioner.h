@@ -1,0 +1,73 @@
+#ifndef CINDERELLA_BASELINE_OFFLINE_CLUSTER_PARTITIONER_H_
+#define CINDERELLA_BASELINE_OFFLINE_CLUSTER_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/fixed_assignment_partitioner.h"
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+
+/// Parameters of the offline clustering comparator.
+struct OfflineClusterConfig {
+  /// Minimum Jaccard similarity between an entity and a cluster leader to
+  /// join the cluster during leader discovery.
+  double jaccard_threshold = 0.4;
+  /// Capacity of the physical partitions each cluster is chunked into,
+  /// comparable to Cinderella's B.
+  uint64_t max_entities_per_partition = 5000;
+
+  Status Validate() const;
+};
+
+/// Offline schema-clustering comparator, in the spirit of the "hidden
+/// schema" related work the paper cites ([18], Chu et al.): attribute-set
+/// similarity is measured with the Jaccard coefficient and entities are
+/// clustered with full knowledge of the data set, then packed into
+/// capacity-bounded partitions.
+///
+/// Two passes: (1) leader discovery over all entity synopses (an entity
+/// whose best-leader Jaccard falls below the threshold opens a new
+/// leader); (2) every entity is assigned to its globally best leader.
+/// Unlike Cinderella this is not online: Build() must see the whole data
+/// set, and later modifications do not reorganize the partitioning — which
+/// is exactly the trade-off the paper argues against for evolving data.
+class OfflineClusterPartitioner : public FixedAssignmentPartitioner {
+ public:
+  explicit OfflineClusterPartitioner(OfflineClusterConfig config);
+
+  /// Clusters and loads `rows`. Must be called once, before any online
+  /// operation; fails on a second call.
+  Status Build(std::vector<Row> rows);
+
+  std::string name() const override;
+
+  size_t cluster_count() const { return leaders_.size(); }
+
+ protected:
+  /// Online path (post-Build inserts): assigns to the best leader's open
+  /// chunk, creating a new leader when the threshold is missed.
+  Partition& ChoosePartition(const Row& row) override;
+
+ private:
+  /// Index of the best leader for `synopsis` and its Jaccard score.
+  std::pair<size_t, double> BestLeader(const Synopsis& synopsis) const;
+
+  /// Returns the open (non-full) chunk partition of cluster `cluster`,
+  /// creating one if necessary.
+  Partition& OpenChunk(size_t cluster);
+
+  OfflineClusterConfig config_;
+  bool built_ = false;
+  std::vector<Synopsis> leaders_;
+  // cluster -> open chunk partition id (+1; 0 = none).
+  std::vector<PartitionId> open_chunks_;
+};
+
+/// Jaccard coefficient |a∧b| / |a∨b|; 1.0 when both sets are empty.
+double JaccardSimilarity(const Synopsis& a, const Synopsis& b);
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_BASELINE_OFFLINE_CLUSTER_PARTITIONER_H_

@@ -1,0 +1,29 @@
+#include "baseline/range_partitioner.h"
+
+#include "common/logging.h"
+
+namespace cinderella {
+
+RangePartitioner::RangePartitioner(uint64_t max_entities)
+    : max_entities_(max_entities) {
+  CINDERELLA_CHECK(max_entities >= 1);
+}
+
+std::string RangePartitioner::name() const {
+  return "range(B=" + std::to_string(max_entities_) + ")";
+}
+
+Partition& RangePartitioner::ChoosePartition(const Row& row) {
+  (void)row;
+  if (current_plus_one_ != 0) {
+    Partition* current = catalog().GetPartition(current_plus_one_ - 1);
+    if (current != nullptr && current->entity_count() < max_entities_) {
+      return *current;
+    }
+  }
+  Partition& fresh = catalog().CreatePartition();
+  current_plus_one_ = fresh.id() + 1;
+  return fresh;
+}
+
+}  // namespace cinderella

@@ -1,0 +1,31 @@
+#ifndef CINDERELLA_BASELINE_RANGE_PARTITIONER_H_
+#define CINDERELLA_BASELINE_RANGE_PARTITIONER_H_
+
+#include <string>
+
+#include "baseline/fixed_assignment_partitioner.h"
+
+namespace cinderella {
+
+/// Arrival-order range partitioning: entities fill the current partition
+/// up to a capacity of `max_entities`, then a new partition opens — the
+/// behaviour of classic range partitioning on a monotonically growing key.
+/// Schema-oblivious like HashPartitioner, but with Cinderella-compatible
+/// partition sizes, isolating the value of schema-aware placement.
+class RangePartitioner : public FixedAssignmentPartitioner {
+ public:
+  explicit RangePartitioner(uint64_t max_entities);
+
+  std::string name() const override;
+
+ protected:
+  Partition& ChoosePartition(const Row& row) override;
+
+ private:
+  uint64_t max_entities_;
+  PartitionId current_plus_one_ = 0;  // 0 = none open yet.
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_BASELINE_RANGE_PARTITIONER_H_

@@ -1,0 +1,15 @@
+#include "baseline/single_partitioner.h"
+
+namespace cinderella {
+
+Partition& SinglePartitioner::ChoosePartition(const Row& row) {
+  (void)row;
+  Partition* first = nullptr;
+  catalog().ForEachPartition([&](Partition& p) {
+    if (first == nullptr) first = &p;
+  });
+  if (first != nullptr) return *first;
+  return catalog().CreatePartition();
+}
+
+}  // namespace cinderella

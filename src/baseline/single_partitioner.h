@@ -1,0 +1,25 @@
+#ifndef CINDERELLA_BASELINE_SINGLE_PARTITIONER_H_
+#define CINDERELLA_BASELINE_SINGLE_PARTITIONER_H_
+
+#include <string>
+
+#include "baseline/fixed_assignment_partitioner.h"
+
+namespace cinderella {
+
+/// The unpartitioned universal table: every entity lives in one partition.
+/// This is the paper's comparison baseline in Figures 5 and 6 ("the
+/// original universal table"): every query reads everything.
+class SinglePartitioner : public FixedAssignmentPartitioner {
+ public:
+  SinglePartitioner() = default;
+
+  std::string name() const override { return "universal-table"; }
+
+ protected:
+  Partition& ChoosePartition(const Row& row) override;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_BASELINE_SINGLE_PARTITIONER_H_

@@ -1,0 +1,132 @@
+#include "baseline/vertical_partitioner.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/logging.h"
+
+namespace cinderella {
+
+VerticalPartitioner::VerticalPartitioner(const VerticalConfig& config)
+    : config_(config) {
+  CINDERELLA_CHECK(config.k >= 1);
+}
+
+Status VerticalPartitioner::Build(const std::vector<Row>& rows,
+                                  size_t num_attributes) {
+  if (built_) {
+    return Status::FailedPrecondition("Build() may only be called once");
+  }
+  built_ = true;
+  num_attributes_ = num_attributes;
+  carrier_count_.assign(num_attributes, 0);
+
+  // Carrier sets and pairwise co-occurrence counts.
+  std::vector<std::vector<uint64_t>> both(
+      num_attributes, std::vector<uint64_t>(num_attributes, 0));
+  for (const Row& row : rows) {
+    const auto& cells = row.cells();
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const AttributeId a = cells[i].attribute;
+      if (a >= num_attributes) continue;
+      ++carrier_count_[a];
+      for (size_t j = i + 1; j < cells.size(); ++j) {
+        const AttributeId b = cells[j].attribute;
+        if (b >= num_attributes) continue;
+        ++both[a][b];
+        ++both[b][a];
+      }
+    }
+  }
+
+  // Jaccard adjacency matrix over carrier sets:
+  //   J(a,b) = |carriers(a) ∩ carriers(b)| / |carriers(a) ∪ carriers(b)|.
+  jaccard_.assign(num_attributes, std::vector<double>(num_attributes, 0.0));
+  for (size_t a = 0; a < num_attributes; ++a) {
+    jaccard_[a][a] = 1.0;
+    for (size_t b = a + 1; b < num_attributes; ++b) {
+      const uint64_t intersection = both[a][b];
+      const uint64_t union_count =
+          carrier_count_[a] + carrier_count_[b] - intersection;
+      const double j =
+          union_count > 0
+              ? static_cast<double>(intersection) /
+                    static_cast<double>(union_count)
+              : 0.0;
+      jaccard_[a][b] = j;
+      jaccard_[b][a] = j;
+    }
+  }
+
+  // Agglomerative clustering with average linkage down to k clusters.
+  std::vector<std::vector<AttributeId>> clusters;
+  for (size_t a = 0; a < num_attributes; ++a) {
+    clusters.push_back({static_cast<AttributeId>(a)});
+  }
+  auto average_linkage = [&](const std::vector<AttributeId>& x,
+                             const std::vector<AttributeId>& y) {
+    double total = 0.0;
+    for (AttributeId a : x) {
+      for (AttributeId b : y) total += jaccard_[a][b];
+    }
+    return total / (static_cast<double>(x.size()) *
+                    static_cast<double>(y.size()));
+  };
+  while (clusters.size() > config_.k) {
+    size_t best_i = 0;
+    size_t best_j = 1;
+    double best = -1.0;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        const double link = average_linkage(clusters[i], clusters[j]);
+        if (link > best) {
+          best = link;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    clusters[best_i].insert(clusters[best_i].end(),
+                            clusters[best_j].begin(),
+                            clusters[best_j].end());
+    clusters.erase(clusters.begin() + static_cast<ptrdiff_t>(best_j));
+  }
+
+  groups_ = std::move(clusters);
+  for (auto& group : groups_) std::sort(group.begin(), group.end());
+  group_of_.assign(num_attributes, 0);
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    for (AttributeId a : groups_[g]) group_of_[a] = g;
+  }
+  return Status::OK();
+}
+
+std::optional<size_t> VerticalPartitioner::GroupOf(
+    AttributeId attribute) const {
+  if (!built_ || attribute >= num_attributes_) return std::nullopt;
+  return group_of_[attribute];
+}
+
+VerticalPartitioner::QueryCost VerticalPartitioner::CostOf(
+    const Synopsis& query) const {
+  QueryCost cost;
+  std::vector<uint8_t> touched(groups_.size(), 0);
+  for (AttributeId attribute : query.ToIds()) {
+    const auto group = GroupOf(attribute);
+    if (group.has_value()) touched[*group] = 1;
+  }
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    if (!touched[g]) continue;
+    ++cost.groups_read;
+    for (AttributeId a : groups_[g]) cost.cells_read += carrier_count_[a];
+  }
+  if (cost.groups_read > 1) cost.joins_needed = cost.groups_read - 1;
+  return cost;
+}
+
+double VerticalPartitioner::CoOccurrence(AttributeId a, AttributeId b) const {
+  CINDERELLA_CHECK(built_ && a < num_attributes_ && b < num_attributes_);
+  return jaccard_[a][b];
+}
+
+}  // namespace cinderella

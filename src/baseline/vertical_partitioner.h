@@ -1,0 +1,80 @@
+#ifndef CINDERELLA_BASELINE_VERTICAL_PARTITIONER_H_
+#define CINDERELLA_BASELINE_VERTICAL_PARTITIONER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/row.h"
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+
+/// Parameters of the hidden-schema vertical partitioner.
+struct VerticalConfig {
+  /// Number of attribute clusters (the "k" the paper's related-work
+  /// discussion criticizes as requiring "additional knowledge about the
+  /// data to provide a reasonably good k").
+  size_t k = 10;
+};
+
+/// The "hidden schema" comparator of the paper's related work ([18],
+/// Chu/Beckmann/Naughton, SIGMOD'07): an *offline, vertical* partitioning
+/// of the universal table. Attribute co-occurrence is measured with the
+/// Jaccard coefficient over carrier sets, and attributes are merged by
+/// agglomerative clustering (the spirit of their k-NN clustering over the
+/// adjacency matrix) into k column groups.
+///
+/// A column group physically stores, for each attribute, its non-null
+/// cells (narrow tables). An attribute-set query reads every group that
+/// contains one of its attributes; reconstructing entities across groups
+/// costs one join per extra group.
+///
+/// This is *not* a Partitioner: it partitions columns, not entities, and
+/// it is offline by construction — exactly the two reasons the paper
+/// gives for why the technique "is not directly applicable to our
+/// problem". The bench compares its query cost profile against
+/// Cinderella's horizontal pruning on the same data.
+class VerticalPartitioner {
+ public:
+  explicit VerticalPartitioner(const VerticalConfig& config);
+
+  /// Clusters the attributes of `rows` (ids < num_attributes). May only
+  /// be called once.
+  Status Build(const std::vector<Row>& rows, size_t num_attributes);
+
+  /// The column groups, each a sorted list of attribute ids.
+  const std::vector<std::vector<AttributeId>>& groups() const {
+    return groups_;
+  }
+
+  /// Group containing `attribute` (ids are group indexes), or nullopt for
+  /// attributes unseen at Build time.
+  std::optional<size_t> GroupOf(AttributeId attribute) const;
+
+  /// Cost profile of an attribute-set query:
+  struct QueryCost {
+    uint64_t groups_read = 0;   // Column groups intersecting the query.
+    uint64_t cells_read = 0;    // Non-null cells stored in those groups.
+    uint64_t joins_needed = 0;  // groups_read - 1 (entity reconstruction).
+  };
+  QueryCost CostOf(const Synopsis& query) const;
+
+  /// Jaccard co-occurrence of two attributes as computed at Build time.
+  double CoOccurrence(AttributeId a, AttributeId b) const;
+
+ private:
+  VerticalConfig config_;
+  bool built_ = false;
+  size_t num_attributes_ = 0;
+  std::vector<uint64_t> carrier_count_;      // Non-null cells per attribute.
+  std::vector<std::vector<double>> jaccard_;  // Co-occurrence matrix.
+  std::vector<std::vector<AttributeId>> groups_;
+  std::vector<size_t> group_of_;  // attribute -> group index.
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_BASELINE_VERTICAL_PARTITIONER_H_

@@ -1,0 +1,31 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace cinderella {
+
+int64_t Int64FromEnv(const char* name, int64_t default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return default_value;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return default_value;
+  return parsed;
+}
+
+double DoubleFromEnv(const char* name, double default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return default_value;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') return default_value;
+  return parsed;
+}
+
+std::string StringFromEnv(const char* name, const std::string& default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return default_value;
+  return raw;
+}
+
+}  // namespace cinderella

@@ -1,0 +1,22 @@
+#ifndef CINDERELLA_COMMON_ENV_H_
+#define CINDERELLA_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cinderella {
+
+/// Reads an integer from the environment variable `name`, falling back to
+/// `default_value` when unset or unparsable. Bench drivers use this for
+/// scale knobs (e.g. CINDERELLA_ENTITIES).
+int64_t Int64FromEnv(const char* name, int64_t default_value);
+
+/// Reads a double from the environment variable `name`.
+double DoubleFromEnv(const char* name, double default_value);
+
+/// Reads a string from the environment variable `name`.
+std::string StringFromEnv(const char* name, const std::string& default_value);
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_COMMON_ENV_H_

@@ -1,0 +1,87 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace cinderella {
+
+LogHistogram::LogHistogram(double min_value, double base, size_t num_buckets)
+    : min_value_(min_value), log_base_(std::log(base)) {
+  CINDERELLA_CHECK(min_value > 0.0);
+  CINDERELLA_CHECK(base > 1.0);
+  CINDERELLA_CHECK(num_buckets >= 1);
+  buckets_.assign(num_buckets, 0);
+}
+
+void LogHistogram::Add(double value) {
+  if (count_ == 0) {
+    min_seen_ = max_seen_ = value;
+  } else {
+    min_seen_ = std::min(min_seen_, value);
+    max_seen_ = std::max(max_seen_, value);
+  }
+  ++count_;
+  if (value < min_value_) {
+    ++underflow_;
+    return;
+  }
+  const double idx = std::log(value / min_value_) / log_base_;
+  if (idx >= static_cast<double>(buckets_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++buckets_[static_cast<size_t>(idx)];
+}
+
+double LogHistogram::bucket_lower(size_t i) const {
+  return min_value_ * std::exp(log_base_ * static_cast<double>(i));
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target) return min_value_;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += static_cast<double>(buckets_[i]);
+    if (cumulative >= target) return bucket_lower(i);
+  }
+  return max_seen_;
+}
+
+std::string LogHistogram::ToString(size_t max_bar_width) const {
+  uint64_t peak = 1;
+  for (uint64_t c : buckets_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  if (underflow_ > 0) {
+    std::snprintf(line, sizeof(line), "%12s < %-10.4g %8llu\n", "", min_value_,
+                  static_cast<unsigned long long>(underflow_));
+    out += line;
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const size_t bar =
+        static_cast<size_t>(static_cast<double>(buckets_[i]) /
+                            static_cast<double>(peak) *
+                            static_cast<double>(max_bar_width));
+    std::snprintf(line, sizeof(line), "[%10.4g, %10.4g) %8llu ",
+                  bucket_lower(i), bucket_lower(i + 1),
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof(line), "%12s >= %-10.4g %8llu\n", "",
+                  bucket_lower(buckets_.size()),
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace cinderella

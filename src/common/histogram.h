@@ -1,0 +1,56 @@
+#ifndef CINDERELLA_COMMON_HISTOGRAM_H_
+#define CINDERELLA_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cinderella {
+
+/// Histogram with logarithmically spaced buckets.
+///
+/// Used to report insert-latency distributions (paper Figure 8, whose x-axis
+/// spans 0.1 ms to >100 ms on a log scale). Bucket i covers
+/// [min_value * base^i, min_value * base^(i+1)).
+class LogHistogram {
+ public:
+  /// `min_value` is the lower edge of the first bucket; values below it are
+  /// counted in an underflow bucket. `base` > 1 controls bucket growth;
+  /// `num_buckets` >= 1.
+  LogHistogram(double min_value, double base, size_t num_buckets);
+
+  void Add(double value);
+
+  /// Number of recorded values (including under/overflow).
+  uint64_t count() const { return count_; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t bucket_count(size_t i) const { return buckets_[i]; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// Lower edge of bucket i.
+  double bucket_lower(size_t i) const;
+
+  /// Approximate p-quantile (q in [0,1]) using bucket lower edges.
+  double Quantile(double q) const;
+
+  double min_seen() const { return min_seen_; }
+  double max_seen() const { return max_seen_; }
+
+  /// Renders an ASCII bar chart, one line per non-empty bucket.
+  std::string ToString(size_t max_bar_width = 50) const;
+
+ private:
+  double min_value_;
+  double log_base_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_COMMON_HISTOGRAM_H_

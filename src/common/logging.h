@@ -1,0 +1,38 @@
+#ifndef CINDERELLA_COMMON_LOGGING_H_
+#define CINDERELLA_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cinderella {
+namespace internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, condition);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace cinderella
+
+/// Aborts the process if `condition` is false. Enabled in all build modes;
+/// use for invariants whose violation would corrupt the partitioning state.
+#define CINDERELLA_CHECK(condition)                                       \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::cinderella::internal_logging::CheckFailed(__FILE__, __LINE__,     \
+                                                  #condition);            \
+    }                                                                     \
+  } while (false)
+
+/// Debug-only invariant check; compiled out when NDEBUG is defined.
+#ifdef NDEBUG
+#define CINDERELLA_DCHECK(condition) \
+  do {                               \
+  } while (false)
+#else
+#define CINDERELLA_DCHECK(condition) CINDERELLA_CHECK(condition)
+#endif
+
+#endif  // CINDERELLA_COMMON_LOGGING_H_

@@ -1,0 +1,39 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cinderella {
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+SampleSummary Summarize(std::vector<double> values) {
+  SampleSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  s.p25 = QuantileSorted(values, 0.25);
+  s.median = QuantileSorted(values, 0.50);
+  s.p75 = QuantileSorted(values, 0.75);
+  s.p95 = QuantileSorted(values, 0.95);
+  return s;
+}
+
+}  // namespace cinderella

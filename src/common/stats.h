@@ -1,0 +1,34 @@
+#ifndef CINDERELLA_COMMON_STATS_H_
+#define CINDERELLA_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cinderella {
+
+/// Descriptive statistics over a sample of doubles.
+///
+/// The figure benches report mean/median/quartiles of per-partition metrics
+/// (entities per partition, attributes per partition, sparseness) exactly as
+/// the paper's box plots in Figure 7 do.
+struct SampleSummary {
+  size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;   // Population standard deviation.
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes the summary of `values`. An empty sample yields all zeros.
+SampleSummary Summarize(std::vector<double> values);
+
+/// Linear-interpolation quantile of a *sorted* sample; q in [0, 1].
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_COMMON_STATS_H_

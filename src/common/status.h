@@ -1,0 +1,128 @@
+#ifndef CINDERELLA_COMMON_STATUS_H_
+#define CINDERELLA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace cinderella {
+
+/// Canonical error codes for operations that can fail.
+///
+/// The library does not use exceptions (see DESIGN.md); fallible operations
+/// return a Status or a StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable, human-readable name for a status code (e.g. "NotFound").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail.
+///
+/// A Status is either OK (carries no message) or an error code plus a
+/// human-readable message. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders the status as "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+///
+/// Accessing value() on an error StatusOr aborts in debug builds and is
+/// undefined in release builds; check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from an error status (implicit so `return status;` works).
+  /// The status must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define CINDERELLA_RETURN_IF_ERROR(expr)             \
+  do {                                               \
+    ::cinderella::Status _status = (expr);           \
+    if (!_status.ok()) return _status;               \
+  } while (false)
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef CINDERELLA_COMMON_TABLE_PRINTER_H_
+#define CINDERELLA_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace cinderella {
+
+/// Accumulates rows and renders an aligned ASCII table.
+///
+/// The bench drivers use this to print the series/rows of each paper figure
+/// and table in a form that diffs cleanly between runs.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with fixed precision.
+  void AddRow(const std::vector<double>& cells, int precision = 4);
+
+  /// Renders the table with a header separator line.
+  std::string ToString() const;
+
+  /// Formats a double with the given precision, trimming trailing zeros.
+  static std::string FormatDouble(double value, int precision = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_COMMON_TABLE_PRINTER_H_

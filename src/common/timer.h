@@ -1,0 +1,30 @@
+#ifndef CINDERELLA_COMMON_TIMER_H_
+#define CINDERELLA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace cinderella {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_COMMON_TIMER_H_

@@ -1,0 +1,60 @@
+#include "core/catalog.h"
+
+namespace cinderella {
+
+Partition& PartitionCatalog::CreatePartition() {
+  const PartitionId id = static_cast<PartitionId>(slots_.size());
+  slots_.push_back(std::make_unique<Partition>(id, separate_rating_));
+  ++live_count_;
+  return *slots_.back();
+}
+
+Status PartitionCatalog::DropPartition(PartitionId id) {
+  if (id >= slots_.size() || slots_[id] == nullptr) {
+    return Status::NotFound("partition " + std::to_string(id) +
+                            " does not exist");
+  }
+  if (slots_[id]->entity_count() != 0) {
+    return Status::FailedPrecondition("partition " + std::to_string(id) +
+                                      " is not empty");
+  }
+  slots_[id].reset();
+  --live_count_;
+  return Status::OK();
+}
+
+Partition* PartitionCatalog::GetPartition(PartitionId id) {
+  if (id >= slots_.size()) return nullptr;
+  return slots_[id].get();
+}
+
+const Partition* PartitionCatalog::GetPartition(PartitionId id) const {
+  if (id >= slots_.size()) return nullptr;
+  return slots_[id].get();
+}
+
+std::vector<PartitionId> PartitionCatalog::LivePartitionIds() const {
+  std::vector<PartitionId> ids;
+  ids.reserve(live_count_);
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i] != nullptr) ids.push_back(static_cast<PartitionId>(i));
+  }
+  return ids;
+}
+
+void PartitionCatalog::BindEntity(EntityId entity, PartitionId partition) {
+  bindings_[entity] = partition;
+}
+
+void PartitionCatalog::UnbindEntity(EntityId entity) {
+  bindings_.erase(entity);
+}
+
+std::optional<PartitionId> PartitionCatalog::FindEntity(
+    EntityId entity) const {
+  auto it = bindings_.find(entity);
+  if (it == bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace cinderella

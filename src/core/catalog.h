@@ -1,0 +1,92 @@
+#ifndef CINDERELLA_CORE_CATALOG_H_
+#define CINDERELLA_CORE_CATALOG_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/partition.h"
+
+namespace cinderella {
+
+/// The system catalog: owns all partitions of one universal table and the
+/// entity -> partition binding used by deletes and updates.
+///
+/// The paper's prototype keeps "a single catalog table for the meta data of
+/// all partitions"; scanning this catalog is the inner loop of Algorithm 1
+/// (lines 3-7), so live-partition iteration is kept allocation-free.
+/// Partition ids are slot indexes; dropped slots become tombstones and ids
+/// are never reused.
+class PartitionCatalog {
+ public:
+  /// `separate_rating_synopsis` is forwarded to every created Partition
+  /// (true in workload-based mode).
+  explicit PartitionCatalog(bool separate_rating_synopsis = false)
+      : separate_rating_(separate_rating_synopsis) {}
+
+  PartitionCatalog(const PartitionCatalog&) = delete;
+  PartitionCatalog& operator=(const PartitionCatalog&) = delete;
+  PartitionCatalog(PartitionCatalog&&) = default;
+  PartitionCatalog& operator=(PartitionCatalog&&) = default;
+
+  /// Creates an empty partition and returns it.
+  Partition& CreatePartition();
+
+  /// Drops a partition. Fails unless the partition exists and is empty of
+  /// bound entities (callers unbind/move rows first).
+  Status DropPartition(PartitionId id);
+
+  /// Returns the partition or nullptr for unknown/dropped ids.
+  Partition* GetPartition(PartitionId id);
+  const Partition* GetPartition(PartitionId id) const;
+
+  /// Number of live partitions.
+  size_t partition_count() const { return live_count_; }
+
+  /// Invokes `fn(Partition&)` for every live partition in id order.
+  template <typename Fn>
+  void ForEachPartition(Fn&& fn) {
+    for (auto& slot : slots_) {
+      if (slot != nullptr) fn(*slot);
+    }
+  }
+
+  template <typename Fn>
+  void ForEachPartition(Fn&& fn) const {
+    for (const auto& slot : slots_) {
+      if (slot != nullptr) fn(static_cast<const Partition&>(*slot));
+    }
+  }
+
+  /// Ids of live partitions in ascending order.
+  std::vector<PartitionId> LivePartitionIds() const;
+
+  // -- Entity binding ------------------------------------------------------
+
+  /// Records that `entity` lives in `partition` (overwrites a previous
+  /// binding; moves rebind).
+  void BindEntity(EntityId entity, PartitionId partition);
+
+  /// Removes the binding; no-op if absent.
+  void UnbindEntity(EntityId entity);
+
+  /// Partition currently hosting `entity`.
+  std::optional<PartitionId> FindEntity(EntityId entity) const;
+
+  /// Number of bound entities (== entities in the table).
+  size_t entity_count() const { return bindings_.size(); }
+
+  bool separate_rating_synopsis() const { return separate_rating_; }
+
+ private:
+  bool separate_rating_;
+  std::vector<std::unique_ptr<Partition>> slots_;
+  size_t live_count_ = 0;
+  std::unordered_map<EntityId, PartitionId> bindings_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_CORE_CATALOG_H_

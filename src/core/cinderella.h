@@ -1,0 +1,187 @@
+#ifndef CINDERELLA_CORE_CINDERELLA_H_
+#define CINDERELLA_CORE_CINDERELLA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/catalog.h"
+#include "core/config.h"
+#include "core/partitioner.h"
+#include "core/synopsis_extractor.h"
+#include "core/synopsis_index.h"
+#include "storage/row.h"
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+
+/// Operation counters exposed for the benches (e.g. the split counts the
+/// paper reports for Figure 8: 448 splits at B=500, 100 at B=5000, 0 at
+/// B=50000 on the DBpedia load).
+struct CinderellaStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t updates = 0;
+  uint64_t updates_moved = 0;          // Updates that changed partition.
+  uint64_t partitions_created = 0;
+  uint64_t partitions_dropped = 0;
+  uint64_t splits = 0;
+  uint64_t split_cascades = 0;         // Splits triggered inside a split.
+  uint64_t entities_redistributed = 0; // Rows moved during splits.
+  uint64_t partitions_rated = 0;       // Rating evaluations performed.
+  uint64_t partitions_dissolved = 0;   // Under-filled partitions dissolved.
+  uint64_t entities_reinserted = 0;    // Rows re-homed by dissolution.
+};
+
+/// The Cinderella online horizontal partitioner (Sections III-IV).
+///
+/// Implements Algorithm 1 with the deviations documented in DESIGN.md:
+/// the entity triggering a split is inserted restricted to the two new
+/// partitions after redistribution; restricted inserts never create new
+/// partitions; deleted split starters are re-seeded lazily.
+///
+/// Thread-compatible, not thread-safe: one instance per table, external
+/// synchronization required for concurrent use (the paper's setting is a
+/// per-statement trigger, i.e. serial).
+class Cinderella : public Partitioner {
+ public:
+  /// Creates an entity-based partitioner. Returns InvalidArgument for a
+  /// bad config or a workload-based mode without a workload.
+  static StatusOr<std::unique_ptr<Cinderella>> Create(CinderellaConfig config);
+
+  /// Creates a workload-based partitioner: `workload[i]` is the attribute
+  /// synopsis of query i, and entity synopses are bitsets over query ids.
+  static StatusOr<std::unique_ptr<Cinderella>> Create(
+      CinderellaConfig config, std::vector<Synopsis> workload);
+
+  // -- Partitioner interface ------------------------------------------------
+
+  Status Insert(Row row) override;
+  Status Delete(EntityId entity) override;
+  Status Update(Row row) override;
+  PartitionCatalog& catalog() override { return catalog_; }
+  const PartitionCatalog& catalog() const override { return catalog_; }
+  std::string name() const override;
+
+  const CinderellaConfig& config() const { return config_; }
+  const CinderellaStats& stats() const { return stats_; }
+
+  /// Rating synopsis of a row under the active mode (attribute set, or
+  /// relevant-query set in workload-based mode).
+  Synopsis ExtractSynopsis(const Row& row) const { return extractor_(row); }
+
+  /// Deep self-check of every structural invariant: entity bindings are
+  /// bijective with resident rows, partition synopses equal the union of
+  /// their residents' synopses (attribute and rating side), per-measure
+  /// sizes match, capacity holds for the entity measure, no partition is
+  /// empty, and split starters are resident with accurate synopses.
+  /// O(total cells); intended for tests, tools (`stats --verify`) and
+  /// after restoring persisted state. Returns Internal with a diagnostic
+  /// on the first violation.
+  Status VerifyIntegrity() const;
+
+  /// Full reorganization pass (extension): extracts every entity and
+  /// re-inserts it through the normal routine, in descending synopsis
+  /// cardinality so the most descriptive entities seed the partitions.
+  /// Use to repair a partitioning degraded by adversarial arrival order
+  /// or heavy churn; cost is one full reload. Counted in stats() as
+  /// ordinary inserts plus one dissolution per prior partition.
+  Status Reorganize();
+
+  /// Snapshot support: materializes one partition with exactly `rows`,
+  /// bypassing the rating (the placement was already decided when the
+  /// snapshot was taken). Fails on duplicate entity ids. Split starters
+  /// are re-seeded lazily on the next structural operation.
+  Status RestorePartition(std::vector<Row> rows);
+
+  /// The query set W of workload-based mode (empty in entity-based mode);
+  /// snapshots persist it so a restored instance rates identically.
+  const std::vector<Synopsis>& workload() const;
+
+ private:
+  Cinderella(CinderellaConfig config,
+             std::unique_ptr<WorkloadSynopsisBuilder> workload);
+
+  struct BestPartition {
+    Partition* partition = nullptr;
+    double rating = 0.0;
+  };
+
+  /// Scans the catalog (or `restricted` targets, or the synopsis index)
+  /// for the best-rated partition. Ties keep the lowest partition id,
+  /// matching Algorithm 1's first-best scan order.
+  BestPartition FindBestPartition(const Synopsis& synopsis,
+                                  double entity_size,
+                                  const std::vector<PartitionId>* restricted);
+
+  /// The insert routine (Algorithm 1). With `restricted == nullptr` the
+  /// whole catalog is scanned and a negative best rating creates a new
+  /// partition; with a restricted target list (split redistribution) the
+  /// best target is used even when negative. `depth > 0` inside a split.
+  Status InsertIntoCatalog(Row row, const Synopsis& synopsis,
+                           std::vector<PartitionId>* restricted, int depth);
+
+  /// Splits `source` (which is full w.r.t. the pending row): the split
+  /// starters seed two new partitions, remaining entities are re-inserted
+  /// restricted to the new partitions, and the pending row follows. When
+  /// `outer_targets` is non-null (cascade), `source` is replaced in it by
+  /// the surviving new partitions.
+  Status SplitPartition(PartitionId source, Row pending_row,
+                        const Synopsis& pending_synopsis,
+                        std::vector<PartitionId>* outer_targets, int depth);
+
+  /// Lines 14-24 of Algorithm 1: fills empty starter slots with the
+  /// incoming entity, else replaces a starter when the incoming entity
+  /// forms a more differential pair (DIFF = |e1 ⊕ e2|).
+  void UpdateStarters(Partition& partition, EntityId entity,
+                      const Synopsis& synopsis);
+
+  /// Re-seeds missing starters (after a starter entity was deleted) by
+  /// scanning the partition: a surviving starter is kept, the partner is
+  /// the resident with maximal DIFF to it.
+  void EnsureStarters(Partition& partition);
+
+  /// For StarterPolicy::kRandom: re-picks both starters uniformly among
+  /// residents just before a split.
+  void PickRandomStarters(Partition& partition);
+
+  /// Extension: when `dissolve_threshold` is enabled and `partition`
+  /// dropped below it, re-homes its remaining entities via the insert
+  /// routine and drops it. Called after deletes and update moves.
+  Status MaybeDissolve(Partition& partition);
+
+  // Row movement helpers keeping catalog bindings, the synopsis index and
+  // the empty-synopsis partition set in sync.
+  Status AddRowToPartition(Partition& partition, Row row,
+                           const Synopsis& synopsis);
+  StatusOr<Row> RemoveRowFromPartition(Partition& partition, EntityId entity,
+                                       const Synopsis& synopsis);
+  void DropEmptyPartition(Partition& partition);
+
+  bool index_enabled() const {
+    // At w == 1 every partition rates >= 0, so the overlap-only candidate
+    // set of the index would diverge from the full scan; fall back to
+    // scanning (see synopsis_index.h).
+    return config_.use_synopsis_index && config_.weight < 1.0;
+  }
+
+  CinderellaConfig config_;
+  PartitionCatalog catalog_;
+  std::unique_ptr<WorkloadSynopsisBuilder> workload_;
+  SynopsisExtractor extractor_;
+  SynopsisIndex index_;
+  // Live partitions whose rating synopsis is empty (entities without
+  // attributes); they have no postings but must stay rateable when the
+  // index is on.
+  std::unordered_set<PartitionId> empty_synopsis_partitions_;
+  CinderellaStats stats_;
+  Rng rng_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_CORE_CINDERELLA_H_

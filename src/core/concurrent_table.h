@@ -1,0 +1,95 @@
+#ifndef CINDERELLA_CORE_CONCURRENT_TABLE_H_
+#define CINDERELLA_CORE_CONCURRENT_TABLE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <utility>
+
+#include "common/status.h"
+#include "core/partitioner.h"
+#include "storage/row.h"
+
+namespace cinderella {
+
+/// Thread-safe facade over a partitioner: single writer, multiple
+/// readers (std::shared_mutex).
+///
+/// The core library is deliberately thread-compatible-but-not-thread-safe
+/// (the paper's setting is a serial per-statement trigger); this wrapper
+/// serves services that query from many threads while one ingestion
+/// thread applies modifications. Writer throughput is bounded by the
+/// exclusive lock — shard into multiple tables for parallel ingestion.
+class ConcurrentTable {
+ public:
+  explicit ConcurrentTable(std::unique_ptr<Partitioner> partitioner)
+      : partitioner_(std::move(partitioner)) {}
+
+  ConcurrentTable(const ConcurrentTable&) = delete;
+  ConcurrentTable& operator=(const ConcurrentTable&) = delete;
+
+  Status Insert(Row row) {
+    std::unique_lock lock(mutex_);
+    return partitioner_->Insert(std::move(row));
+  }
+
+  Status Update(Row row) {
+    std::unique_lock lock(mutex_);
+    return partitioner_->Update(std::move(row));
+  }
+
+  Status Delete(EntityId entity) {
+    std::unique_lock lock(mutex_);
+    return partitioner_->Delete(entity);
+  }
+
+  /// Copy of the entity's row (never a pointer into shared state).
+  StatusOr<Row> Get(EntityId entity) const {
+    std::shared_lock lock(mutex_);
+    const auto home = partitioner_->catalog().FindEntity(entity);
+    if (!home.has_value()) {
+      return Status::NotFound("entity " + std::to_string(entity) +
+                              " not in table");
+    }
+    const Partition* partition = partitioner_->catalog().GetPartition(*home);
+    const Row* row = partition->segment().Find(entity);
+    return *row;
+  }
+
+  size_t entity_count() const {
+    std::shared_lock lock(mutex_);
+    return partitioner_->catalog().entity_count();
+  }
+
+  size_t partition_count() const {
+    std::shared_lock lock(mutex_);
+    return partitioner_->catalog().partition_count();
+  }
+
+  /// Runs `fn(const PartitionCatalog&)` under the shared lock — the hook
+  /// for query execution:
+  ///
+  ///   table.WithReadLock([&](const PartitionCatalog& catalog) {
+  ///     QueryExecutor executor(catalog);
+  ///     return executor.Execute(query);
+  ///   });
+  template <typename Fn>
+  auto WithReadLock(Fn&& fn) const {
+    std::shared_lock lock(mutex_);
+    return fn(static_cast<const PartitionCatalog&>(partitioner_->catalog()));
+  }
+
+  /// Runs `fn(Partitioner&)` under the exclusive lock (bulk maintenance).
+  template <typename Fn>
+  auto WithWriteLock(Fn&& fn) {
+    std::unique_lock lock(mutex_);
+    return fn(*partitioner_);
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unique_ptr<Partitioner> partitioner_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_CORE_CONCURRENT_TABLE_H_

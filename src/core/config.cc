@@ -1,0 +1,20 @@
+#include "core/config.h"
+
+namespace cinderella {
+
+Status CinderellaConfig::Validate() const {
+  if (weight < 0.0 || weight > 1.0) {
+    return Status::InvalidArgument("weight must be in [0, 1]");
+  }
+  if (max_size == 0) {
+    return Status::InvalidArgument("max_size must be positive");
+  }
+  if (dissolve_threshold < 0.0 || dissolve_threshold > 0.5) {
+    return Status::InvalidArgument(
+        "dissolve_threshold must be in [0, 0.5] (larger values can "
+        "oscillate with the split trigger)");
+  }
+  return Status::OK();
+}
+
+}  // namespace cinderella

@@ -1,0 +1,80 @@
+#ifndef CINDERELLA_CORE_CONFIG_H_
+#define CINDERELLA_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/size_measure.h"
+
+namespace cinderella {
+
+/// How a partition's pair of split starters is chosen and maintained.
+///
+/// kMaxDiffHeuristic is the paper's scheme (Section III): the first two
+/// entities seed the pair; every further insert replaces a starter when the
+/// new entity forms a more differential pair. The other policies exist for
+/// the ablation bench only.
+enum class StarterPolicy {
+  kMaxDiffHeuristic,  // Paper's incremental max-difference maintenance.
+  kFirstTwo,          // Keep the first two entities, never update.
+  kRandom,            // Pick two random resident entities at split time.
+};
+
+/// Whether the entity synopsis lists attributes or relevant workload
+/// queries (Section III: "For a workload-based partitioning, an entity
+/// synopsis lists the queries an entity is relevant to, while for an
+/// entity-based partitioning, an entity synopsis lists the attributes an
+/// entity instantiates.").
+enum class SynopsisMode { kEntityBased, kWorkloadBased };
+
+/// Tuning parameters of the Cinderella partitioner.
+struct CinderellaConfig {
+  /// Rating weight w in [0, 1] balancing positive vs negative evidence
+  /// (Section IV). Higher: fewer, more heterogeneous partitions. The paper
+  /// suggests 0.2-0.5.
+  double weight = 0.5;
+
+  /// MAXSIZE: partition capacity in units of `measure`. The paper's B.
+  uint64_t max_size = 5000;
+
+  /// Unit of SIZE() for both the rating and the capacity check.
+  SizeMeasure measure = SizeMeasure::kEntityCount;
+
+  /// Entity-based (default) or workload-based synopses.
+  SynopsisMode mode = SynopsisMode::kEntityBased;
+
+  /// Applies the global-rating normalization of Section IV
+  /// (r = r' / ((SIZE(p)+SIZE(e))·|e∨p|)). Disable only for the ablation
+  /// bench; unnormalized local ratings are not comparable across
+  /// partitions.
+  bool normalize_rating = true;
+
+  /// Split-starter maintenance policy (ablation knob; the paper's scheme
+  /// is the default).
+  StarterPolicy starter_policy = StarterPolicy::kMaxDiffHeuristic;
+
+  /// Maintains an inverted attribute->partitions index so the insert only
+  /// rates partitions overlapping the entity (exact: non-overlapping
+  /// partitions never rate positive). Addresses the paper's future-work
+  /// item "improve the management of a large number of partition synopses
+  /// with specialized data structures".
+  bool use_synopsis_index = false;
+
+  /// Seed for StarterPolicy::kRandom.
+  uint64_t starter_seed = 42;
+
+  /// Extension (not in the paper): dissolve a partition whose size drops
+  /// below this fraction of max_size after a delete, re-inserting its
+  /// remaining entities through the normal insert routine. The paper only
+  /// drops *empty* partitions; under delete-heavy churn that leaves many
+  /// under-filled partitions whose per-partition union overhead hurts
+  /// unselective queries. 0 disables (paper behaviour, the default).
+  double dissolve_threshold = 0.0;
+
+  /// Returns InvalidArgument for out-of-range parameters.
+  Status Validate() const;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_CORE_CONFIG_H_

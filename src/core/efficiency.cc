@@ -1,0 +1,24 @@
+#include "core/efficiency.h"
+
+namespace cinderella {
+
+EfficiencyBreakdown ComputeEfficiency(const PartitionCatalog& catalog,
+                                      const std::vector<Synopsis>& workload,
+                                      SizeMeasure measure) {
+  EfficiencyBreakdown result;
+  for (const Synopsis& query : workload) {
+    catalog.ForEachPartition([&](const Partition& partition) {
+      if (!partition.attribute_synopsis().Intersects(query)) return;
+      result.read += static_cast<double>(partition.Size(measure));
+      for (const Row& row : partition.segment().rows()) {
+        if (row.AttributeSynopsis().Intersects(query)) {
+          result.relevant += static_cast<double>(RowSize(row, measure));
+        }
+      }
+    });
+  }
+  result.efficiency = result.read > 0.0 ? result.relevant / result.read : 1.0;
+  return result;
+}
+
+}  // namespace cinderella

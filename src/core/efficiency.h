@@ -1,0 +1,35 @@
+#ifndef CINDERELLA_CORE_EFFICIENCY_H_
+#define CINDERELLA_CORE_EFFICIENCY_H_
+
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/size_measure.h"
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+
+/// Numerator/denominator of Definition 1, exposed for inspection.
+struct EfficiencyBreakdown {
+  /// Σ_{q∈W, e∈T} sgn(|e∧q|)·SIZE(e): data relevant to the workload.
+  double relevant = 0.0;
+  /// Σ_{q∈W, p∈P} sgn(|p∧q|)·SIZE(p): data read after synopsis pruning.
+  double read = 0.0;
+  /// relevant / read; 1.0 when nothing is read (empty workload/table).
+  double efficiency = 1.0;
+};
+
+/// Computes EFFICIENCY(P) (Definition 1) of the partitioning in `catalog`
+/// for the query set `workload` (attribute synopses) under `measure`.
+///
+/// A partition is read by query q iff its attribute synopsis intersects q;
+/// an entity is relevant to q iff its attribute set intersects q. The
+/// result is in [0, 1]: the fraction of the data read that is actually
+/// relevant.
+EfficiencyBreakdown ComputeEfficiency(const PartitionCatalog& catalog,
+                                      const std::vector<Synopsis>& workload,
+                                      SizeMeasure measure);
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_CORE_EFFICIENCY_H_

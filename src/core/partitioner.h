@@ -1,0 +1,43 @@
+#ifndef CINDERELLA_CORE_PARTITIONER_H_
+#define CINDERELLA_CORE_PARTITIONER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/catalog.h"
+#include "storage/row.h"
+
+namespace cinderella {
+
+/// Strategy interface for maintaining a horizontal partitioning of a
+/// universal table under modifications (the paper's "modification
+/// operations": inserts, updates, deletes).
+///
+/// Implementations: Cinderella (src/core), and the baselines in
+/// src/baseline (single/unpartitioned, hash, range/arrival-order, offline
+/// clustering). All share the PartitionCatalog representation, so the query
+/// executor and the efficiency metric apply uniformly.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Inserts a new entity; fails with AlreadyExists for duplicate ids.
+  virtual Status Insert(Row row) = 0;
+
+  /// Deletes an entity; fails with NotFound for unknown ids.
+  virtual Status Delete(EntityId entity) = 0;
+
+  /// Replaces the row of an existing entity (attribute set may change);
+  /// fails with NotFound for unknown ids.
+  virtual Status Update(Row row) = 0;
+
+  virtual PartitionCatalog& catalog() = 0;
+  virtual const PartitionCatalog& catalog() const = 0;
+
+  /// Display name for bench output (e.g. "cinderella(w=0.5,B=5000)").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_CORE_PARTITIONER_H_

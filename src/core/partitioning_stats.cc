@@ -1,0 +1,59 @@
+#include "core/partitioning_stats.h"
+
+#include <cstdio>
+
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+
+PartitioningReport AnalyzePartitioning(const PartitionCatalog& catalog) {
+  PartitioningReport report;
+  Synopsis all_attributes;
+  uint64_t total_cells = 0;
+  catalog.ForEachPartition([&](const Partition& partition) {
+    ++report.partition_count;
+    report.entity_count += partition.entity_count();
+    total_cells += partition.segment().cell_count();
+    all_attributes.UnionWith(partition.attribute_synopsis());
+    report.entities_samples.push_back(
+        static_cast<double>(partition.entity_count()));
+    report.attributes_samples.push_back(
+        static_cast<double>(partition.attribute_synopsis().Count()));
+    report.sparseness_samples.push_back(partition.Sparseness());
+  });
+  report.table_attribute_count = all_attributes.Count();
+  if (report.entity_count > 0 && report.table_attribute_count > 0) {
+    report.table_sparseness =
+        1.0 - static_cast<double>(total_cells) /
+                  (static_cast<double>(report.entity_count) *
+                   static_cast<double>(report.table_attribute_count));
+  }
+  report.entities_per_partition = Summarize(report.entities_samples);
+  report.attributes_per_partition = Summarize(report.attributes_samples);
+  report.sparseness_per_partition = Summarize(report.sparseness_samples);
+  return report;
+}
+
+std::string PartitioningReport::ToString() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "partitions: %zu, entities: %zu, attributes: %zu, "
+                "table sparseness: %.4f\n",
+                partition_count, entity_count, table_attribute_count,
+                table_sparseness);
+  out += buf;
+  auto line = [&](const char* label, const SampleSummary& s) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-26s min %.2f  p25 %.2f  med %.2f  p75 %.2f  max %.2f  "
+                  "mean %.2f\n",
+                  label, s.min, s.p25, s.median, s.p75, s.max, s.mean);
+    out += buf;
+  };
+  line("entities/partition:", entities_per_partition);
+  line("attributes/partition:", attributes_per_partition);
+  line("sparseness/partition:", sparseness_per_partition);
+  return out;
+}
+
+}  // namespace cinderella

@@ -1,0 +1,40 @@
+#ifndef CINDERELLA_CORE_PARTITIONING_STATS_H_
+#define CINDERELLA_CORE_PARTITIONING_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/catalog.h"
+
+namespace cinderella {
+
+/// Snapshot of the partitioning metrics the paper records in Figure 7:
+/// (1) number of partitions, (2) entities per partition, (3) attributes per
+/// partition, and (4) sparseness per partition, plus the whole-table
+/// sparseness the paper quotes for the raw DBpedia set (0.94).
+struct PartitioningReport {
+  size_t partition_count = 0;
+  size_t entity_count = 0;
+  size_t table_attribute_count = 0;  // Distinct attributes in the table.
+  SampleSummary entities_per_partition;
+  SampleSummary attributes_per_partition;
+  SampleSummary sparseness_per_partition;
+  double table_sparseness = 0.0;  // 1 − cells / (entities · attributes).
+
+  /// Raw per-partition samples for histogram-style reporting.
+  std::vector<double> entities_samples;
+  std::vector<double> attributes_samples;
+  std::vector<double> sparseness_samples;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Analyzes the live partitions of `catalog`.
+PartitioningReport AnalyzePartitioning(const PartitionCatalog& catalog);
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_CORE_PARTITIONING_STATS_H_

@@ -1,0 +1,40 @@
+#include "core/rating.h"
+
+namespace cinderella {
+
+RatingBreakdown RateDetailed(const Synopsis& entity, double entity_size,
+                             const Synopsis& partition, double partition_size,
+                             double w) {
+  // |e∧p|: attributes shared by entity and partition.
+  const double overlap =
+      static_cast<double>(entity.IntersectCount(partition));
+  // |¬e∧p|: attributes the partition has but the entity lacks.
+  const double missing_on_entity =
+      static_cast<double>(partition.AndNotCount(entity));
+  // |e∧¬p|: attributes the entity has but the partition lacks.
+  const double missing_on_partition =
+      static_cast<double>(entity.AndNotCount(partition));
+
+  RatingBreakdown b;
+  const double combined_size = partition_size + entity_size;
+  b.homogeneity = combined_size * overlap;
+  b.entity_heterogeneity = entity_size * missing_on_entity;
+  b.partition_heterogeneity = partition_size * missing_on_partition;
+  b.local = w * b.homogeneity -
+            (1.0 - w) * (b.entity_heterogeneity + b.partition_heterogeneity);
+
+  const double union_count = overlap + missing_on_entity + missing_on_partition;
+  const double normalizer = combined_size * union_count;
+  b.global = normalizer > 0.0 ? b.local / normalizer : 0.0;
+  return b;
+}
+
+double Rate(const Synopsis& entity, double entity_size,
+            const Synopsis& partition, double partition_size, double w,
+            bool normalize) {
+  const RatingBreakdown b =
+      RateDetailed(entity, entity_size, partition, partition_size, w);
+  return normalize ? b.global : b.local;
+}
+
+}  // namespace cinderella

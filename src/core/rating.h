@@ -1,0 +1,35 @@
+#ifndef CINDERELLA_CORE_RATING_H_
+#define CINDERELLA_CORE_RATING_H_
+
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+
+/// The Section IV rating, decomposed for inspection by tests and benches.
+struct RatingBreakdown {
+  double homogeneity = 0.0;              // h⁺ = (SIZE(p)+SIZE(e))·|e∧p|
+  double entity_heterogeneity = 0.0;     // h⁻ₑ = SIZE(e)·|¬e∧p|
+  double partition_heterogeneity = 0.0;  // h⁻ₚ = SIZE(p)·|e∧¬p|
+  double local = 0.0;                    // r' = w·h⁺ − (1−w)(h⁻ₑ+h⁻ₚ)
+  double global = 0.0;                   // r = r' / ((SIZE(p)+SIZE(e))·|e∨p|)
+};
+
+/// Computes the full rating breakdown of entity (synopsis, size) against
+/// partition (synopsis, size) for weight `w`.
+///
+/// When the normalizer (SIZE(p)+SIZE(e))·|e∨p| is zero — both synopses
+/// empty or both sizes zero — the global rating is defined as 0.
+RatingBreakdown RateDetailed(const Synopsis& entity, double entity_size,
+                             const Synopsis& partition, double partition_size,
+                             double w);
+
+/// Returns the rating used to pick the best partition: the global rating
+/// when `normalize` is set (the paper's r), else the local rating r'
+/// (ablation mode; not comparable across partitions).
+double Rate(const Synopsis& entity, double entity_size,
+            const Synopsis& partition, double partition_size, double w,
+            bool normalize = true);
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_CORE_RATING_H_

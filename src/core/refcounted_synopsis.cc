@@ -1,0 +1,39 @@
+#include "core/refcounted_synopsis.h"
+
+#include "common/logging.h"
+
+namespace cinderella {
+
+void RefcountedSynopsis::Add(const Synopsis& ids,
+                             std::vector<AttributeId>* newly_present) {
+  for (AttributeId id : ids.ToIds()) {
+    if (id >= counts_.size()) counts_.resize(id + 1, 0);
+    if (counts_[id]++ == 0) {
+      synopsis_.Add(id);
+      if (newly_present != nullptr) newly_present->push_back(id);
+    }
+  }
+}
+
+void RefcountedSynopsis::Remove(const Synopsis& ids,
+                                std::vector<AttributeId>* newly_absent) {
+  for (AttributeId id : ids.ToIds()) {
+    CINDERELLA_CHECK(id < counts_.size() && counts_[id] > 0);
+    if (--counts_[id] == 0) {
+      synopsis_.Remove(id);
+      if (newly_absent != nullptr) newly_absent->push_back(id);
+    }
+  }
+}
+
+uint32_t RefcountedSynopsis::RefCount(AttributeId id) const {
+  if (id >= counts_.size()) return 0;
+  return counts_[id];
+}
+
+void RefcountedSynopsis::Clear() {
+  synopsis_.Clear();
+  counts_.clear();
+}
+
+}  // namespace cinderella

@@ -1,0 +1,45 @@
+#ifndef CINDERELLA_CORE_REFCOUNTED_SYNOPSIS_H_
+#define CINDERELLA_CORE_REFCOUNTED_SYNOPSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+
+/// A partition synopsis with per-id reference counts.
+///
+/// A partition "has" an attribute as long as at least one resident entity
+/// instantiates it; under deletes the attribute must leave the synopsis
+/// only when its last carrier leaves. The counts make synopsis maintenance
+/// O(|entity synopsis|) per modification instead of a partition rescan.
+class RefcountedSynopsis {
+ public:
+  RefcountedSynopsis() = default;
+
+  /// Increments counts for every id in `ids`. Appends ids that became
+  /// newly present (count 0 -> 1) to `*newly_present` when non-null.
+  void Add(const Synopsis& ids, std::vector<AttributeId>* newly_present = nullptr);
+
+  /// Decrements counts for every id in `ids`; each id must currently have
+  /// a positive count. Appends ids that vanished (count 1 -> 0) to
+  /// `*newly_absent` when non-null.
+  void Remove(const Synopsis& ids, std::vector<AttributeId>* newly_absent = nullptr);
+
+  /// The set of ids with positive count.
+  const Synopsis& synopsis() const { return synopsis_; }
+
+  /// Reference count of one id (0 if never seen).
+  uint32_t RefCount(AttributeId id) const;
+
+  void Clear();
+
+ private:
+  Synopsis synopsis_;
+  std::vector<uint32_t> counts_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_CORE_REFCOUNTED_SYNOPSIS_H_

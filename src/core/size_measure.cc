@@ -1,0 +1,17 @@
+#include "core/size_measure.h"
+
+namespace cinderella {
+
+const char* SizeMeasureToString(SizeMeasure measure) {
+  switch (measure) {
+    case SizeMeasure::kEntityCount:
+      return "entities";
+    case SizeMeasure::kAttributeCount:
+      return "cells";
+    case SizeMeasure::kByteSize:
+      return "bytes";
+  }
+  return "unknown";
+}
+
+}  // namespace cinderella

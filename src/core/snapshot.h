@@ -1,0 +1,47 @@
+#ifndef CINDERELLA_CORE_SNAPSHOT_H_
+#define CINDERELLA_CORE_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/cinderella.h"
+#include "synopsis/attribute_dictionary.h"
+
+namespace cinderella {
+
+/// A restored table: the partitioner with its partitioning intact plus
+/// the attribute dictionary it was saved with.
+struct RestoredSnapshot {
+  std::unique_ptr<Cinderella> partitioner;
+  std::unique_ptr<AttributeDictionary> dictionary;
+};
+
+/// Serializes a Cinderella-partitioned table — configuration, workload
+/// (if workload-based), attribute dictionary, and every partition's rows —
+/// into a binary snapshot.
+///
+/// The format is versioned and self-describing but not cross-endian
+/// (little-endian hosts only, like most embedded-store formats). Split
+/// starters are intentionally not persisted: they are a heuristic cache
+/// and are re-seeded lazily after a restore.
+Status SaveSnapshot(const Cinderella& partitioner,
+                    const AttributeDictionary& dictionary, std::ostream& out);
+
+/// File-path convenience overload.
+Status SaveSnapshotToFile(const Cinderella& partitioner,
+                          const AttributeDictionary& dictionary,
+                          const std::string& path);
+
+/// Restores a snapshot written by SaveSnapshot. The partitioning (which
+/// entity lives in which partition) is reproduced exactly; partition ids
+/// are re-densified in save order.
+StatusOr<RestoredSnapshot> LoadSnapshot(std::istream& in);
+
+/// File-path convenience overload.
+StatusOr<RestoredSnapshot> LoadSnapshotFromFile(const std::string& path);
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_CORE_SNAPSHOT_H_

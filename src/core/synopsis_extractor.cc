@@ -1,0 +1,24 @@
+#include "core/synopsis_extractor.h"
+
+namespace cinderella {
+
+SynopsisExtractor MakeEntityBasedExtractor() {
+  return [](const Row& row) { return row.AttributeSynopsis(); };
+}
+
+Synopsis WorkloadSynopsisBuilder::Extract(const Row& row) const {
+  const Synopsis attributes = row.AttributeSynopsis();
+  Synopsis relevant;
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    if (attributes.Intersects(workload_[i])) {
+      relevant.Add(static_cast<AttributeId>(i));
+    }
+  }
+  return relevant;
+}
+
+SynopsisExtractor WorkloadSynopsisBuilder::AsExtractor() const {
+  return [this](const Row& row) { return Extract(row); };
+}
+
+}  // namespace cinderella

@@ -1,0 +1,51 @@
+#ifndef CINDERELLA_CORE_SYNOPSIS_EXTRACTOR_H_
+#define CINDERELLA_CORE_SYNOPSIS_EXTRACTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "storage/row.h"
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+
+/// Maps a row to the entity synopsis used by the rating.
+///
+/// Entity-based mode: the set of attributes the entity instantiates.
+/// Workload-based mode: the set of workload queries the entity is relevant
+/// to (Section III).
+using SynopsisExtractor = std::function<Synopsis(const Row&)>;
+
+/// Extractor for the entity-based setup.
+SynopsisExtractor MakeEntityBasedExtractor();
+
+/// Builds workload-based entity synopses from a fixed query set W.
+///
+/// Query i's attribute synopsis is `workload[i]`; an entity is relevant to
+/// query i iff its attribute set intersects it (the paper's
+/// sgn(|e ∧ q|) = 1). The resulting entity synopsis is a bitset over query
+/// indices.
+class WorkloadSynopsisBuilder {
+ public:
+  explicit WorkloadSynopsisBuilder(std::vector<Synopsis> workload)
+      : workload_(std::move(workload)) {}
+
+  /// Synopsis over query ids for one row.
+  Synopsis Extract(const Row& row) const;
+
+  /// Adapter usable as a SynopsisExtractor. The builder must outlive the
+  /// returned function.
+  SynopsisExtractor AsExtractor() const;
+
+  size_t query_count() const { return workload_.size(); }
+
+  /// The query set W (attribute synopses, indexed by query id).
+  const std::vector<Synopsis>& workload() const { return workload_; }
+
+ private:
+  std::vector<Synopsis> workload_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_CORE_SYNOPSIS_EXTRACTOR_H_

@@ -1,0 +1,63 @@
+#include "core/universal_table.h"
+
+#include "common/logging.h"
+
+namespace cinderella {
+
+UniversalTable::UniversalTable(std::unique_ptr<Partitioner> partitioner)
+    : partitioner_(std::move(partitioner)) {
+  CINDERELLA_CHECK(partitioner_ != nullptr);
+}
+
+UniversalTable::UniversalTable(std::unique_ptr<Partitioner> partitioner,
+                               AttributeDictionary dictionary)
+    : dictionary_(std::move(dictionary)),
+      partitioner_(std::move(partitioner)) {
+  CINDERELLA_CHECK(partitioner_ != nullptr);
+}
+
+Row UniversalTable::BuildRow(EntityId entity,
+                             const std::vector<NamedValue>& attributes) {
+  Row row(entity);
+  for (const auto& [name, value] : attributes) {
+    row.Set(dictionary_.GetOrCreate(name), value);
+  }
+  return row;
+}
+
+Status UniversalTable::Insert(EntityId entity,
+                              const std::vector<NamedValue>& attributes) {
+  return partitioner_->Insert(BuildRow(entity, attributes));
+}
+
+Status UniversalTable::InsertRow(Row row) {
+  return partitioner_->Insert(std::move(row));
+}
+
+Status UniversalTable::Delete(EntityId entity) {
+  return partitioner_->Delete(entity);
+}
+
+Status UniversalTable::Update(EntityId entity,
+                              const std::vector<NamedValue>& attributes) {
+  return partitioner_->Update(BuildRow(entity, attributes));
+}
+
+Status UniversalTable::UpdateRow(Row row) {
+  return partitioner_->Update(std::move(row));
+}
+
+StatusOr<Row> UniversalTable::Get(EntityId entity) const {
+  const auto home = partitioner_->catalog().FindEntity(entity);
+  if (!home.has_value()) {
+    return Status::NotFound("entity " + std::to_string(entity) +
+                            " not in table");
+  }
+  const Partition* partition = partitioner_->catalog().GetPartition(*home);
+  CINDERELLA_CHECK(partition != nullptr);
+  const Row* row = partition->segment().Find(entity);
+  CINDERELLA_CHECK(row != nullptr);
+  return *row;
+}
+
+}  // namespace cinderella

@@ -1,0 +1,80 @@
+#ifndef CINDERELLA_CORE_UNIVERSAL_TABLE_H_
+#define CINDERELLA_CORE_UNIVERSAL_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/partitioner.h"
+#include "storage/row.h"
+#include "storage/value.h"
+#include "synopsis/attribute_dictionary.h"
+
+namespace cinderella {
+
+/// The user-facing universal table: a single logical table over a quickly
+/// evolving variety of entities, physically maintained as a horizontal
+/// partitioning by a pluggable Partitioner.
+///
+/// Mirrors the paper's prototype, where "the user inserts data to the
+/// universal table using regular SQL statements" and a trigger routes every
+/// modification through Cinderella. Attribute names are interned in the
+/// table's dictionary; rows address attributes by id.
+class UniversalTable {
+ public:
+  /// One attribute of an entity, by name.
+  using NamedValue = std::pair<std::string, Value>;
+
+  /// Takes ownership of the partitioner (Cinderella or a baseline).
+  explicit UniversalTable(std::unique_ptr<Partitioner> partitioner);
+
+  /// Adopts an existing dictionary (e.g. from a restored snapshot) whose
+  /// ids the partitioner's rows already use.
+  UniversalTable(std::unique_ptr<Partitioner> partitioner,
+                 AttributeDictionary dictionary);
+
+  UniversalTable(const UniversalTable&) = delete;
+  UniversalTable& operator=(const UniversalTable&) = delete;
+
+  /// Inserts an entity given by attribute names.
+  Status Insert(EntityId entity, const std::vector<NamedValue>& attributes);
+
+  /// Inserts a pre-built row (attribute ids must come from dictionary()).
+  Status InsertRow(Row row);
+
+  /// Deletes an entity.
+  Status Delete(EntityId entity);
+
+  /// Replaces an entity's attributes.
+  Status Update(EntityId entity, const std::vector<NamedValue>& attributes);
+
+  /// Replaces an entity's row.
+  Status UpdateRow(Row row);
+
+  /// Returns a copy of the entity's row, or NotFound.
+  StatusOr<Row> Get(EntityId entity) const;
+
+  /// Number of stored entities.
+  size_t entity_count() const { return partitioner_->catalog().entity_count(); }
+
+  AttributeDictionary& dictionary() { return dictionary_; }
+  const AttributeDictionary& dictionary() const { return dictionary_; }
+
+  Partitioner& partitioner() { return *partitioner_; }
+  const Partitioner& partitioner() const { return *partitioner_; }
+
+  PartitionCatalog& catalog() { return partitioner_->catalog(); }
+  const PartitionCatalog& catalog() const { return partitioner_->catalog(); }
+
+ private:
+  Row BuildRow(EntityId entity, const std::vector<NamedValue>& attributes);
+
+  AttributeDictionary dictionary_;
+  std::unique_ptr<Partitioner> partitioner_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_CORE_UNIVERSAL_TABLE_H_

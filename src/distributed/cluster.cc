@@ -1,0 +1,170 @@
+#include "distributed/cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cinderella {
+
+Cluster::Cluster(size_t num_nodes, PlacementPolicy policy)
+    : num_nodes_(num_nodes), policy_(policy) {
+  CINDERELLA_CHECK(num_nodes >= 1);
+}
+
+void Cluster::Place(const PartitionCatalog& catalog) {
+  assignment_.clear();
+  std::vector<uint64_t> load(num_nodes_, 0);
+
+  if (policy_ == PlacementPolicy::kSchemaAware) {
+    // Largest-first greedy with per-node synopsis affinity.
+    std::vector<const Partition*> partitions;
+    uint64_t total_entities = 0;
+    catalog.ForEachPartition([&](const Partition& partition) {
+      partitions.push_back(&partition);
+      total_entities += partition.entity_count();
+    });
+    std::sort(partitions.begin(), partitions.end(),
+              [](const Partition* a, const Partition* b) {
+                if (a->entity_count() != b->entity_count()) {
+                  return a->entity_count() > b->entity_count();
+                }
+                return a->id() < b->id();
+              });
+    const double cap =
+        1.25 * static_cast<double>(total_entities) /
+        static_cast<double>(num_nodes_);
+    std::vector<Synopsis> node_synopsis(num_nodes_);
+    for (const Partition* partition : partitions) {
+      NodeId best = 0;
+      double best_score = -1.0;
+      for (size_t n = 0; n < num_nodes_; ++n) {
+        if (static_cast<double>(load[n] + partition->entity_count()) > cap &&
+            load[n] > 0) {
+          continue;  // Soft cap (always allow an empty node).
+        }
+        const Synopsis& mine = partition->attribute_synopsis();
+        const size_t union_count = mine.UnionCount(node_synopsis[n]);
+        const double jaccard =
+            union_count == 0
+                ? 1.0
+                : static_cast<double>(
+                      mine.IntersectCount(node_synopsis[n])) /
+                      static_cast<double>(union_count);
+        // Prefer affinity; break ties toward the lighter node.
+        const double score =
+            jaccard - 1e-9 * static_cast<double>(load[n]);
+        if (score > best_score) {
+          best_score = score;
+          best = static_cast<NodeId>(n);
+        }
+      }
+      if (best_score < 0.0) {
+        // Every node over cap: fall back to least loaded.
+        best = static_cast<NodeId>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+      }
+      assignment_[partition->id()] = best;
+      load[best] += partition->entity_count();
+      node_synopsis[best].UnionWith(partition->attribute_synopsis());
+    }
+    return;
+  }
+
+  size_t next = 0;
+  catalog.ForEachPartition([&](const Partition& partition) {
+    NodeId node = 0;
+    switch (policy_) {
+      case PlacementPolicy::kRoundRobin:
+        node = static_cast<NodeId>(next++ % num_nodes_);
+        break;
+      case PlacementPolicy::kLeastLoaded:
+        node = static_cast<NodeId>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        break;
+      case PlacementPolicy::kSchemaAware:
+        break;  // Handled above.
+    }
+    assignment_[partition.id()] = node;
+    load[node] += partition.entity_count();
+  });
+}
+
+StatusOr<NodeId> Cluster::NodeOf(PartitionId partition) const {
+  auto it = assignment_.find(partition);
+  if (it == assignment_.end()) {
+    return Status::NotFound("partition " + std::to_string(partition) +
+                            " is not placed");
+  }
+  return it->second;
+}
+
+DistributedQueryResult Cluster::Execute(
+    const Query& query, const PartitionCatalog& catalog) const {
+  DistributedQueryResult result;
+  result.nodes_total = num_nodes_;
+  std::vector<uint64_t> node_rows(num_nodes_, 0);
+  std::vector<uint8_t> contacted(num_nodes_, 0);
+
+  catalog.ForEachPartition([&](const Partition& partition) {
+    if (!partition.attribute_synopsis().Intersects(query.attributes())) {
+      ++result.partitions_pruned;
+      return;
+    }
+    ++result.partitions_scanned;
+    auto node = NodeOf(partition.id());
+    CINDERELLA_CHECK(node.ok());
+    contacted[*node] = 1;
+    node_rows[*node] += partition.entity_count();
+    result.rows_scanned += partition.entity_count();
+    for (const Row& row : partition.segment().rows()) {
+      bool matched = false;
+      size_t cells = 0;
+      for (AttributeId attribute : query.projection()) {
+        if (row.Has(attribute)) {
+          matched = true;
+          ++cells;
+        }
+      }
+      if (matched) {
+        ++result.rows_matched;
+        result.result_cells_shipped += cells;
+      }
+    }
+  });
+
+  for (size_t n = 0; n < num_nodes_; ++n) {
+    result.nodes_contacted += contacted[n];
+    result.max_node_rows = std::max(result.max_node_rows, node_rows[n]);
+  }
+  return result;
+}
+
+std::vector<NodeLoad> Cluster::node_loads(
+    const PartitionCatalog& catalog) const {
+  std::vector<NodeLoad> loads(num_nodes_);
+  catalog.ForEachPartition([&](const Partition& partition) {
+    auto node = NodeOf(partition.id());
+    if (!node.ok()) return;
+    NodeLoad& load = loads[*node];
+    ++load.partitions;
+    load.entities += partition.entity_count();
+    load.bytes += partition.segment().byte_size();
+  });
+  return loads;
+}
+
+double Cluster::LoadImbalance(const PartitionCatalog& catalog) const {
+  const std::vector<NodeLoad> loads = node_loads(catalog);
+  uint64_t total = 0;
+  uint64_t peak = 0;
+  for (const NodeLoad& load : loads) {
+    total += load.entities;
+    peak = std::max(peak, load.entities);
+  }
+  if (total == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(num_nodes_);
+  return static_cast<double>(peak) / mean;
+}
+
+}  // namespace cinderella

@@ -1,0 +1,205 @@
+#include "io/csv.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace cinderella {
+namespace {
+
+// Splits one RFC-4180 record (already stripped of the trailing newline is
+// NOT assumed: reads from the stream and handles quoted newlines).
+// Returns false on clean EOF before any character.
+bool ReadRecord(std::istream& in, std::vector<std::string>* fields,
+                bool* malformed) {
+  fields->clear();
+  *malformed = false;
+  std::string field;
+  bool in_quotes = false;
+  bool any = false;
+  int c;
+  while ((c = in.get()) != EOF) {
+    any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get();
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(static_cast<char>(c));
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field.empty()) {
+          in_quotes = true;
+        } else {
+          field.push_back('"');  // Lenient: stray quote mid-field.
+        }
+        break;
+      case ',':
+        fields->push_back(std::move(field));
+        field.clear();
+        break;
+      case '\r':
+        if (in.peek() == '\n') in.get();
+        [[fallthrough]];
+      case '\n':
+        fields->push_back(std::move(field));
+        return true;
+      default:
+        field.push_back(static_cast<char>(c));
+    }
+  }
+  if (in_quotes) *malformed = true;
+  if (!any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void WriteField(std::ostream& out, const std::string& s) {
+  if (!NeedsQuoting(s)) {
+    out << s;
+    return;
+  }
+  out << '"';
+  for (char c : s) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+Value ParseValue(const std::string& text, bool infer_types) {
+  if (infer_types && !text.empty()) {
+    char* end = nullptr;
+    const long long i = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() && *end == '\0') return Value(int64_t{i});
+    const double d = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() && *end == '\0') return Value(d);
+  }
+  return Value(text);
+}
+
+}  // namespace
+
+Status ImportCsv(std::istream& in, UniversalTable* table,
+                 const CsvOptions& options) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  std::vector<std::string> header;
+  bool malformed = false;
+  if (!ReadRecord(in, &header, &malformed) || malformed) {
+    return Status::InvalidArgument("missing or malformed CSV header");
+  }
+  size_t id_column = header.size();
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == options.id_column) {
+      id_column = i;
+      break;
+    }
+  }
+
+  std::vector<std::string> fields;
+  EntityId next_auto_id = 0;
+  size_t line = 1;
+  while (ReadRecord(in, &fields, &malformed)) {
+    ++line;
+    if (malformed) {
+      return Status::InvalidArgument("unterminated quote at record " +
+                                     std::to_string(line));
+    }
+    if (fields.size() == 1 && fields[0].empty()) continue;  // Blank line.
+    if (fields.size() > header.size()) {
+      return Status::InvalidArgument("record " + std::to_string(line) +
+                                     " has more fields than the header");
+    }
+    EntityId entity = next_auto_id;
+    if (id_column < fields.size() && !fields[id_column].empty()) {
+      char* end = nullptr;
+      const unsigned long long parsed =
+          std::strtoull(fields[id_column].c_str(), &end, 10);
+      if (end == fields[id_column].c_str() || *end != '\0') {
+        return Status::InvalidArgument("record " + std::to_string(line) +
+                                       ": id is not an integer");
+      }
+      entity = parsed;
+    }
+    next_auto_id = std::max(next_auto_id, entity + 1);
+
+    std::vector<UniversalTable::NamedValue> values;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i == id_column || fields[i].empty()) continue;
+      values.emplace_back(header[i],
+                          ParseValue(fields[i], options.infer_types));
+    }
+    CINDERELLA_RETURN_IF_ERROR(table->Insert(entity, values));
+  }
+  return Status::OK();
+}
+
+Status ExportCsv(const UniversalTable& table, std::ostream& out,
+                 const CsvOptions& options) {
+  const AttributeDictionary& dictionary = table.dictionary();
+  WriteField(out, options.id_column);
+  for (AttributeId id = 0; id < dictionary.size(); ++id) {
+    out << ',';
+    auto name = dictionary.Name(id);
+    CINDERELLA_RETURN_IF_ERROR(name.status());
+    WriteField(out, name.value());
+  }
+  out << '\n';
+
+  // Deterministic order: collect and sort entity ids.
+  std::vector<EntityId> entities;
+  table.catalog().ForEachPartition([&](const Partition& partition) {
+    for (const Row& row : partition.segment().rows()) {
+      entities.push_back(row.id());
+    }
+  });
+  std::sort(entities.begin(), entities.end());
+
+  for (EntityId entity : entities) {
+    StatusOr<Row> row = table.Get(entity);
+    CINDERELLA_RETURN_IF_ERROR(row.status());
+    out << entity;
+    for (AttributeId id = 0; id < dictionary.size(); ++id) {
+      out << ',';
+      const Value* value = row->Get(id);
+      if (value != nullptr) WriteField(out, value->ToString());
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::Internal("write failure");
+  return Status::OK();
+}
+
+Status ImportCsvFromFile(const std::string& path, UniversalTable* table,
+                         const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  return ImportCsv(in, table, options);
+}
+
+Status ExportCsvToFile(const UniversalTable& table, const std::string& path,
+                       const CsvOptions& options) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  return ExportCsv(table, out, options);
+}
+
+}  // namespace cinderella

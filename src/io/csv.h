@@ -1,0 +1,50 @@
+#ifndef CINDERELLA_IO_CSV_H_
+#define CINDERELLA_IO_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "core/universal_table.h"
+
+namespace cinderella {
+
+/// Options for CSV import/export of a universal table.
+struct CsvOptions {
+  /// Name of the entity-id column. When importing, a missing id column
+  /// auto-assigns sequential ids; when exporting, the id column is always
+  /// written first under this name.
+  std::string id_column = "id";
+
+  /// Import: infer int64/double cell types from the text (strings
+  /// otherwise). Export always renders values with Value::ToString().
+  bool infer_types = true;
+};
+
+/// Imports a *wide* CSV: the header names the attributes, an empty cell
+/// means "attribute not instantiated" — the natural file form of a sparse
+/// universal table. Rows are routed through the table's partitioner one
+/// by one, exactly like the paper's trigger-based loading.
+///
+/// Quoting follows RFC 4180 (double quotes, doubled to escape); CRLF and
+/// LF line endings are accepted.
+Status ImportCsv(std::istream& in, UniversalTable* table,
+                 const CsvOptions& options = {});
+
+/// File-path convenience overload.
+Status ImportCsvFromFile(const std::string& path, UniversalTable* table,
+                         const CsvOptions& options = {});
+
+/// Exports the table as a wide CSV with one column per dictionary
+/// attribute (in id order) and rows sorted by entity id. Empty cells
+/// encode missing attributes.
+Status ExportCsv(const UniversalTable& table, std::ostream& out,
+                 const CsvOptions& options = {});
+
+/// File-path convenience overload.
+Status ExportCsvToFile(const UniversalTable& table, const std::string& path,
+                       const CsvOptions& options = {});
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_IO_CSV_H_

@@ -1,0 +1,88 @@
+#ifndef CINDERELLA_IO_DURABLE_TABLE_H_
+#define CINDERELLA_IO_DURABLE_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cinderella.h"
+#include "core/universal_table.h"
+#include "io/journal.h"
+
+namespace cinderella {
+
+/// Crash-recoverable universal table: an in-memory Cinderella-partitioned
+/// table made durable by a snapshot + journal pair in one directory
+/// (`snapshot.bin`, `journal.log`).
+///
+/// Open() loads the latest snapshot (if any), replays the journal tail —
+/// tolerating a torn final entry from a crash mid-append — and resumes.
+/// Every successful modification is appended to the journal; Checkpoint()
+/// writes a fresh snapshot and truncates the journal. Because Cinderella
+/// is deterministic, recovery reproduces the exact partitioning, not just
+/// the data.
+class DurableTable {
+ public:
+  struct Options {
+    std::string directory;
+    /// Used when no snapshot exists yet. Ignored on recovery (the
+    /// snapshot carries its own config).
+    CinderellaConfig config;
+    /// fsync-like flush after every logged operation (slower, safer).
+    bool sync_every_op = false;
+  };
+
+  /// Opens or creates the table in `options.directory` (the directory
+  /// must exist).
+  static StatusOr<std::unique_ptr<DurableTable>> Open(Options options);
+
+  Status Insert(EntityId entity,
+                const std::vector<UniversalTable::NamedValue>& attributes);
+  Status InsertRow(Row row);
+  Status Update(EntityId entity,
+                const std::vector<UniversalTable::NamedValue>& attributes);
+  Status UpdateRow(Row row);
+  Status Delete(EntityId entity);
+
+  /// Writes a snapshot and truncates the journal.
+  Status Checkpoint();
+
+  UniversalTable& table() { return *table_; }
+  const UniversalTable& table() const { return *table_; }
+  const Cinderella& cinderella() const { return *cinderella_; }
+
+  /// Journal entries replayed by Open() (0 after a clean checkpoint).
+  uint64_t replayed_on_open() const { return replayed_; }
+
+  /// True if Open() found a torn trailing journal entry (crash evidence).
+  bool recovered_from_torn_tail() const { return torn_tail_; }
+
+ private:
+  DurableTable(Options options, std::unique_ptr<UniversalTable> table,
+               Cinderella* cinderella,
+               std::unique_ptr<JournalWriter> journal, uint64_t replayed,
+               bool torn_tail);
+
+  Status AfterApply(Status status,
+                    const std::function<Status(JournalWriter&)>& log);
+
+  std::string snapshot_path() const;
+  std::string journal_path() const;
+
+  Options options_;
+  std::unique_ptr<UniversalTable> table_;
+  Cinderella* cinderella_;  // Owned by table_'s partitioner slot.
+  std::unique_ptr<JournalWriter> journal_;
+  uint64_t replayed_ = 0;
+  bool torn_tail_ = false;
+  /// Dictionary entries already persisted (snapshot or journaled); any
+  /// attribute interned beyond this watermark is journaled before the
+  /// first row that uses it.
+  size_t logged_attributes_ = 0;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_IO_DURABLE_TABLE_H_

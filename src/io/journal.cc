@@ -1,0 +1,254 @@
+#include "io/journal.h"
+
+#include <cstring>
+
+namespace cinderella {
+namespace {
+
+// Entry wire format: u8 kind, then either u64 entity (delete) or the row:
+// u64 id, u32 cell count, per cell u32 attribute, u8 type, payload.
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+void WriteRowPayload(std::ofstream& out, const Row& row) {
+  WritePod<uint64_t>(out, row.id());
+  WritePod<uint32_t>(out, static_cast<uint32_t>(row.attribute_count()));
+  for (const Row::Cell& cell : row.cells()) {
+    WritePod<uint32_t>(out, cell.attribute);
+    WritePod<uint8_t>(out, static_cast<uint8_t>(cell.value.type()));
+    switch (cell.value.type()) {
+      case ValueType::kInt64:
+        WritePod<int64_t>(out, cell.value.as_int64());
+        break;
+      case ValueType::kDouble:
+        WritePod<double>(out, cell.value.as_double());
+        break;
+      case ValueType::kString: {
+        const std::string& s = cell.value.as_string();
+        WritePod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+        out.write(s.data(), static_cast<std::streamsize>(s.size()));
+        break;
+      }
+    }
+  }
+}
+
+// Returns false on a torn/truncated payload.
+bool ReadRowPayload(std::ifstream& in, Row* row) {
+  uint64_t id = 0;
+  uint32_t cells = 0;
+  if (!ReadPod(in, &id) || !ReadPod(in, &cells)) return false;
+  if (cells > (1u << 24)) return false;  // Corrupt.
+  row->set_id(id);
+  for (uint32_t c = 0; c < cells; ++c) {
+    uint32_t attribute = 0;
+    uint8_t type = 0;
+    if (!ReadPod(in, &attribute) || !ReadPod(in, &type)) return false;
+    switch (static_cast<ValueType>(type)) {
+      case ValueType::kInt64: {
+        int64_t v = 0;
+        if (!ReadPod(in, &v)) return false;
+        row->Set(attribute, Value(v));
+        break;
+      }
+      case ValueType::kDouble: {
+        double v = 0;
+        if (!ReadPod(in, &v)) return false;
+        row->Set(attribute, Value(v));
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t size = 0;
+        if (!ReadPod(in, &size) || size > (1u << 28)) return false;
+        std::string s(size, '\0');
+        in.read(s.data(), size);
+        if (!in.good() && size > 0) return false;
+        row->Set(attribute, Value(std::move(s)));
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// -- JournalWriter --------------------------------------------------------------
+
+JournalWriter::JournalWriter(std::ofstream out) : out_(std::move(out)) {}
+
+StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Open(
+    const std::string& path, bool truncate) {
+  std::ios::openmode mode = std::ios::binary | std::ios::out;
+  mode |= truncate ? std::ios::trunc : std::ios::app;
+  std::ofstream out(path, mode);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open " + path + " for append");
+  }
+  return std::unique_ptr<JournalWriter>(new JournalWriter(std::move(out)));
+}
+
+Status JournalWriter::LogRow(JournalEntry::Kind kind, const Row& row) {
+  WritePod<uint8_t>(out_, static_cast<uint8_t>(kind));
+  WriteRowPayload(out_, row);
+  if (!out_.good()) return Status::Internal("journal write failure");
+  ++entries_;
+  return Status::OK();
+}
+
+Status JournalWriter::LogInsert(const Row& row) {
+  return LogRow(JournalEntry::Kind::kInsert, row);
+}
+
+Status JournalWriter::LogUpdate(const Row& row) {
+  return LogRow(JournalEntry::Kind::kUpdate, row);
+}
+
+Status JournalWriter::LogDelete(EntityId entity) {
+  WritePod<uint8_t>(out_, static_cast<uint8_t>(JournalEntry::Kind::kDelete));
+  WritePod<uint64_t>(out_, entity);
+  if (!out_.good()) return Status::Internal("journal write failure");
+  ++entries_;
+  return Status::OK();
+}
+
+Status JournalWriter::LogAttribute(AttributeId attribute,
+                                   const std::string& name) {
+  WritePod<uint8_t>(out_,
+                    static_cast<uint8_t>(JournalEntry::Kind::kAttribute));
+  WritePod<uint32_t>(out_, attribute);
+  WritePod<uint32_t>(out_, static_cast<uint32_t>(name.size()));
+  out_.write(name.data(), static_cast<std::streamsize>(name.size()));
+  if (!out_.good()) return Status::Internal("journal write failure");
+  ++entries_;
+  return Status::OK();
+}
+
+Status JournalWriter::Sync() {
+  out_.flush();
+  if (!out_.good()) return Status::Internal("journal flush failure");
+  return Status::OK();
+}
+
+// -- JournalReader --------------------------------------------------------------
+
+JournalReader::JournalReader(std::ifstream in) : in_(std::move(in)) {}
+
+StatusOr<std::unique_ptr<JournalReader>> JournalReader::Open(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return std::unique_ptr<JournalReader>(new JournalReader(std::move(in)));
+}
+
+StatusOr<bool> JournalReader::Next(JournalEntry* entry) {
+  uint8_t kind = 0;
+  if (!ReadPod(in_, &kind)) return false;  // Clean EOF.
+  switch (static_cast<JournalEntry::Kind>(kind)) {
+    case JournalEntry::Kind::kInsert:
+    case JournalEntry::Kind::kUpdate: {
+      entry->kind = static_cast<JournalEntry::Kind>(kind);
+      entry->row = Row();
+      if (!ReadRowPayload(in_, &entry->row)) {
+        torn_tail_ = true;
+        return false;
+      }
+      entry->entity = entry->row.id();
+      return true;
+    }
+    case JournalEntry::Kind::kDelete: {
+      entry->kind = JournalEntry::Kind::kDelete;
+      uint64_t entity = 0;
+      if (!ReadPod(in_, &entity)) {
+        torn_tail_ = true;
+        return false;
+      }
+      entry->entity = entity;
+      entry->row = Row();
+      return true;
+    }
+    case JournalEntry::Kind::kAttribute: {
+      entry->kind = JournalEntry::Kind::kAttribute;
+      uint32_t attribute = 0;
+      uint32_t size = 0;
+      if (!ReadPod(in_, &attribute) || !ReadPod(in_, &size) ||
+          size > (1u << 20)) {
+        torn_tail_ = true;
+        return false;
+      }
+      entry->attribute = attribute;
+      entry->name.resize(size);
+      in_.read(entry->name.data(), size);
+      if (!in_.good() && size > 0) {
+        torn_tail_ = true;
+        return false;
+      }
+      entry->row = Row();
+      return true;
+    }
+    default:
+      return Status::OutOfRange("corrupt journal entry kind " +
+                                std::to_string(kind));
+  }
+}
+
+// -- Replay ----------------------------------------------------------------------
+
+StatusOr<uint64_t> ReplayJournal(const std::string& path,
+                                 Partitioner* partitioner,
+                                 AttributeDictionary* dictionary) {
+  if (partitioner == nullptr) {
+    return Status::InvalidArgument("partitioner must not be null");
+  }
+  auto reader = JournalReader::Open(path);
+  if (!reader.ok()) {
+    if (reader.status().code() == StatusCode::kNotFound) return uint64_t{0};
+    return reader.status();
+  }
+  uint64_t applied = 0;
+  JournalEntry entry;
+  while (true) {
+    StatusOr<bool> more = (*reader)->Next(&entry);
+    CINDERELLA_RETURN_IF_ERROR(more.status());
+    if (!*more) break;
+    switch (entry.kind) {
+      case JournalEntry::Kind::kInsert:
+        CINDERELLA_RETURN_IF_ERROR(partitioner->Insert(std::move(entry.row)));
+        break;
+      case JournalEntry::Kind::kUpdate:
+        CINDERELLA_RETURN_IF_ERROR(partitioner->Update(std::move(entry.row)));
+        break;
+      case JournalEntry::Kind::kDelete:
+        CINDERELLA_RETURN_IF_ERROR(partitioner->Delete(entry.entity));
+        break;
+      case JournalEntry::Kind::kAttribute:
+        if (dictionary != nullptr) {
+          const AttributeId assigned = dictionary->GetOrCreate(entry.name);
+          if (assigned != entry.attribute) {
+            return Status::Internal(
+                "dictionary replay mismatch for '" + entry.name + "': got " +
+                std::to_string(assigned) + ", journal says " +
+                std::to_string(entry.attribute));
+          }
+        }
+        break;
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace cinderella

@@ -1,0 +1,97 @@
+#ifndef CINDERELLA_IO_JOURNAL_H_
+#define CINDERELLA_IO_JOURNAL_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/partitioner.h"
+#include "storage/row.h"
+#include "synopsis/attribute_dictionary.h"
+
+namespace cinderella {
+
+/// One logged modification operation.
+struct JournalEntry {
+  enum class Kind : uint8_t {
+    kInsert = 1,
+    kUpdate = 2,
+    kDelete = 3,
+    /// Dictionary interning event: attribute `attribute` was assigned
+    /// `name`. Logged before the first row that uses the attribute, so a
+    /// replay into an empty dictionary reproduces the same ids.
+    kAttribute = 4,
+  };
+  Kind kind = Kind::kInsert;
+  Row row;              // Payload of inserts and updates.
+  EntityId entity = 0;  // Target of deletes.
+  AttributeId attribute = 0;  // Payload of kAttribute...
+  std::string name;           // ...with its interned name.
+};
+
+/// Append-only journal of modification operations.
+///
+/// Together with core/snapshot.h this gives the durability story: log
+/// every DML before applying it, checkpoint by writing a snapshot and
+/// truncating the journal, recover by loading the snapshot and replaying
+/// the tail. Because Cinderella is deterministic, replay reproduces not
+/// only the table contents but the exact same partitioning.
+class JournalWriter {
+ public:
+  /// Opens for append (`truncate` = false) or creates afresh.
+  static StatusOr<std::unique_ptr<JournalWriter>> Open(
+      const std::string& path, bool truncate);
+
+  Status LogInsert(const Row& row);
+  Status LogUpdate(const Row& row);
+  Status LogDelete(EntityId entity);
+  Status LogAttribute(AttributeId attribute, const std::string& name);
+
+  /// Flushes buffered entries to the OS.
+  Status Sync();
+
+  uint64_t entries_written() const { return entries_; }
+
+ private:
+  explicit JournalWriter(std::ofstream out);
+
+  Status LogRow(JournalEntry::Kind kind, const Row& row);
+
+  std::ofstream out_;
+  uint64_t entries_ = 0;
+};
+
+/// Sequential reader over a journal file.
+class JournalReader {
+ public:
+  static StatusOr<std::unique_ptr<JournalReader>> Open(
+      const std::string& path);
+
+  /// Reads the next entry. Returns false on clean end-of-journal; a
+  /// truncated trailing entry (torn write) also ends the stream cleanly,
+  /// reported via torn_tail().
+  StatusOr<bool> Next(JournalEntry* entry);
+
+  /// True if the journal ended mid-entry (crash during append); recovery
+  /// treats everything before the tear as valid.
+  bool torn_tail() const { return torn_tail_; }
+
+ private:
+  explicit JournalReader(std::ifstream in);
+
+  std::ifstream in_;
+  bool torn_tail_ = false;
+};
+
+/// Replays every entry of the journal at `path` into `partitioner`.
+/// Returns the number of entries applied. A missing file counts as an
+/// empty journal. kAttribute entries are interned into `*dictionary` when
+/// non-null (they must reproduce the recorded ids) and skipped otherwise.
+StatusOr<uint64_t> ReplayJournal(const std::string& path,
+                                 Partitioner* partitioner,
+                                 AttributeDictionary* dictionary = nullptr);
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_IO_JOURNAL_H_

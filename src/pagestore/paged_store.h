@@ -1,0 +1,103 @@
+#ifndef CINDERELLA_PAGESTORE_PAGED_STORE_H_
+#define CINDERELLA_PAGESTORE_PAGED_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/catalog.h"
+#include "pagestore/buffer_pool.h"
+#include "pagestore/page_codec.h"
+#include "query/query.h"
+
+namespace cinderella {
+
+/// Physical I/O counters of one paged query.
+struct PagedScanResult {
+  uint64_t partitions_total = 0;
+  uint64_t partitions_scanned = 0;
+  uint64_t partitions_pruned = 0;
+  uint64_t pages_fetched = 0;    // Buffer pool fetches issued by the scan.
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
+};
+
+/// Disk-resident image of a horizontal partitioning: each partition is a
+/// chain of slotted pages, with the partition synopses kept in memory for
+/// pruning — the paper's "pages may represent a partition granularity"
+/// deployment (Section II).
+///
+/// A query fetches only the page chains of partitions whose synopsis
+/// intersects the query, so the number of pages read (the physical cost
+/// on a disk-based system) shrinks exactly with the pruning rate.
+class PagedStore {
+ public:
+  /// `pool` must be constructed over `pager`; the store allocates and
+  /// frees pages through the pager and reads/writes them through the
+  /// pool.
+  PagedStore(Pager* pager, BufferPool* pool);
+
+  PagedStore(const PagedStore&) = delete;
+  PagedStore& operator=(const PagedStore&) = delete;
+
+  /// Materializes one partition from an in-memory catalog partition:
+  /// writes its rows into a fresh page chain and registers its synopsis.
+  /// Returns the store-local partition index.
+  StatusOr<size_t> AddPartition(const Partition& partition);
+
+  /// Creates an empty partition with an explicit synopsis (for direct
+  /// use without an in-memory catalog).
+  size_t AddEmptyPartition();
+
+  /// Appends a row to partition `index`, growing its chain as needed and
+  /// updating its synopsis.
+  Status Insert(size_t index, const Row& row);
+
+  /// Tombstones an entity's row. The synopsis is *not* shrunk (a
+  /// conservative over-approximation, like real systems' stale catalog
+  /// stats); call Vacuum() to compact pages and rebuild synopses.
+  Status Delete(EntityId entity);
+
+  /// Point lookup via the in-memory entity index.
+  StatusOr<Row> Lookup(EntityId entity);
+
+  /// Executes an attribute-set query with synopsis pruning; rows of
+  /// non-pruned partitions are decoded and matched.
+  StatusOr<PagedScanResult> ExecuteQuery(const Query& query);
+
+  /// Compacts every page (dropping tombstones) and recomputes synopses.
+  Status Vacuum();
+
+  size_t partition_count() const { return partitions_.size(); }
+  uint64_t entity_count() const { return entity_index_.size(); }
+
+  /// Pages used by partition `index`.
+  size_t PartitionPageCount(size_t index) const;
+
+  const Synopsis& PartitionSynopsis(size_t index) const;
+
+ private:
+  struct PartitionChain {
+    std::vector<PageId> pages;
+    Synopsis synopsis;
+  };
+  struct RowLocation {
+    size_t partition;
+    PageId page;
+    uint16_t slot;
+  };
+
+  Status AppendToChain(PartitionChain& chain, size_t partition_index,
+                       const Row& row);
+
+  Pager* pager_;
+  BufferPool* pool_;
+  PageCodec codec_;
+  std::vector<PartitionChain> partitions_;
+  std::unordered_map<EntityId, RowLocation> entity_index_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_PAGESTORE_PAGED_STORE_H_

@@ -1,0 +1,47 @@
+#ifndef CINDERELLA_QUERY_ESTIMATOR_H_
+#define CINDERELLA_QUERY_ESTIMATOR_H_
+
+#include <string>
+
+#include "core/catalog.h"
+#include "query/query.h"
+
+namespace cinderella {
+
+/// Selectivity estimate for an attribute-set query, derived purely from
+/// catalog metadata (partition synopses and per-partition attribute
+/// carrier counts) — no data access.
+///
+/// For an OR-of-IS-NOT-NULL query over attributes Q and a partition with
+/// n entities and carrier counts c_a:
+///   lower bound: max_a c_a           (every carrier of one attr matches)
+///   upper bound: min(n, Σ_a c_a)     (union bound)
+///   estimate:    n · (1 − Π_a (1 − c_a/n))   (attribute independence)
+/// Summed over non-pruned partitions. Bounds are exact bounds; the
+/// estimate is exact when the query has one attribute.
+struct SelectivityEstimate {
+  uint64_t table_entities = 0;
+  uint64_t partitions_scanned = 0;  // Non-pruned partitions.
+  uint64_t partitions_pruned = 0;
+  uint64_t rows_lower_bound = 0;
+  uint64_t rows_upper_bound = 0;
+  double rows_estimate = 0.0;
+
+  double selectivity_estimate() const {
+    return table_entities > 0 ? rows_estimate / table_entities : 0.0;
+  }
+};
+
+/// Estimates how many entities match `query` without reading any row.
+SelectivityEstimate EstimateSelectivity(const PartitionCatalog& catalog,
+                                        const Query& query);
+
+/// Renders a human-readable access plan for `query`: which partitions
+/// would be scanned/pruned with their sizes and estimated yields — the
+/// CLI's EXPLAIN. `max_partitions` caps the listing.
+std::string ExplainQuery(const PartitionCatalog& catalog, const Query& query,
+                         size_t max_partitions = 20);
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_QUERY_ESTIMATOR_H_

@@ -1,0 +1,76 @@
+#include "query/executor.h"
+
+namespace cinderella {
+
+QueryResult QueryExecutor::ExecutePredicate(const Predicate& predicate) {
+  return ScanMatches(predicate, [](const Row&) {});
+}
+
+QueryResult QueryExecutor::ExecuteSelect(const SelectStatement& statement) {
+  result_buffer_.clear();
+  auto materialize = [&](const Row& row) {
+    if (statement.select_all) {
+      for (const Row::Cell& cell : row.cells()) {
+        result_buffer_.push_back(cell.value);
+      }
+      return;
+    }
+    for (AttributeId attribute : statement.projection) {
+      const Value* value = row.Get(attribute);
+      if (value != nullptr) result_buffer_.push_back(*value);
+    }
+  };
+  QueryResult result;
+  if (statement.where != nullptr) {
+    result = ScanMatches(*statement.where, materialize);
+  } else {
+    // No WHERE: every entity matches; scan everything.
+    const PredicatePtr match_all = And(std::vector<PredicatePtr>{});
+    result = ScanMatches(*match_all, materialize);
+  }
+  result.cells_materialized = result_buffer_.size();
+  return result;
+}
+
+QueryResult QueryExecutor::Execute(const Query& query) {
+  QueryResult result;
+  result_buffer_.clear();
+  size_t table_entities = 0;
+
+  catalog_->ForEachPartition([&](const Partition& partition) {
+    ++result.metrics.partitions_total;
+    table_entities += partition.entity_count();
+    // Definition 1 pruning: skip partitions with sgn(|p ∧ q|) = 0.
+    if (!partition.attribute_synopsis().Intersects(query.attributes())) {
+      ++result.metrics.partitions_pruned;
+      return;
+    }
+    ++result.metrics.partitions_scanned;
+    result.metrics.rows_scanned += partition.entity_count();
+    result.metrics.cells_read += partition.segment().cell_count();
+    result.metrics.bytes_read += partition.segment().byte_size();
+    for (const Row& row : partition.segment().rows()) {
+      // OR-of-IS-NOT-NULL match; projection materializes the queried
+      // attributes that are present.
+      bool matched = false;
+      for (AttributeId attribute : query.projection()) {
+        const Value* value = row.Get(attribute);
+        if (value != nullptr) {
+          matched = true;
+          result_buffer_.push_back(*value);
+        }
+      }
+      if (matched) ++result.metrics.rows_matched;
+    }
+  });
+
+  result.cells_materialized = result_buffer_.size();
+  result.selectivity =
+      table_entities > 0
+          ? static_cast<double>(result.metrics.rows_matched) /
+                static_cast<double>(table_entities)
+          : 0.0;
+  return result;
+}
+
+}  // namespace cinderella

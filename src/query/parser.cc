@@ -1,0 +1,355 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+namespace cinderella {
+namespace {
+
+enum class TokenKind {
+  kIdentifier,  // Bare or double-quoted name; keywords resolved later.
+  kString,      // Single-quoted literal.
+  kInteger,
+  kDecimal,
+  kSymbol,  // ( ) , = != <> < <= > >= *
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // Identifier/symbol spelling or string payload.
+  int64_t integer = 0;
+  double decimal = 0.0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size()) break;
+      const char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexIdentifier());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' &&
+                  pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        CINDERELLA_RETURN_IF_ERROR(LexNumber(&tokens));
+      } else if (c == '\'') {
+        CINDERELLA_RETURN_IF_ERROR(LexQuoted('\'', TokenKind::kString,
+                                             &tokens));
+      } else if (c == '"') {
+        CINDERELLA_RETURN_IF_ERROR(LexQuoted('"', TokenKind::kIdentifier,
+                                             &tokens));
+      } else {
+        CINDERELLA_RETURN_IF_ERROR(LexSymbol(&tokens));
+      }
+    }
+    tokens.push_back(Token{});  // kEnd.
+    return tokens;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Token LexIdentifier() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    Token token;
+    token.kind = TokenKind::kIdentifier;
+    token.text = text_.substr(start, pos_ - start);
+    return token;
+  }
+
+  Status LexNumber(std::vector<Token>* tokens) {
+    const size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    bool decimal = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.')) {
+      decimal |= text_[pos_] == '.';
+      ++pos_;
+    }
+    const std::string spelling = text_.substr(start, pos_ - start);
+    Token token;
+    char* end = nullptr;
+    if (decimal) {
+      token.kind = TokenKind::kDecimal;
+      token.decimal = std::strtod(spelling.c_str(), &end);
+    } else {
+      token.kind = TokenKind::kInteger;
+      token.integer = std::strtoll(spelling.c_str(), &end, 10);
+    }
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad number '" + spelling + "'");
+    }
+    tokens->push_back(std::move(token));
+    return Status::OK();
+  }
+
+  Status LexQuoted(char quote, TokenKind kind, std::vector<Token>* tokens) {
+    ++pos_;  // Opening quote.
+    std::string payload;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      payload.push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unterminated quote");
+    }
+    ++pos_;  // Closing quote.
+    Token token;
+    token.kind = kind;
+    token.text = std::move(payload);
+    tokens->push_back(std::move(token));
+    return Status::OK();
+  }
+
+  Status LexSymbol(std::vector<Token>* tokens) {
+    static constexpr const char* kTwoChar[] = {"!=", "<>", "<=", ">="};
+    Token token;
+    token.kind = TokenKind::kSymbol;
+    for (const char* two : kTwoChar) {
+      if (text_.compare(pos_, 2, two) == 0) {
+        token.text = two;
+        pos_ += 2;
+        tokens->push_back(std::move(token));
+        return Status::OK();
+      }
+    }
+    const char c = text_[pos_];
+    if (c == '(' || c == ')' || c == ',' || c == '=' || c == '<' ||
+        c == '>' || c == '*') {
+      token.text = std::string(1, c);
+      ++pos_;
+      tokens->push_back(std::move(token));
+      return Status::OK();
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") +
+                                   c + "'");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const AttributeDictionary& dictionary)
+      : tokens_(std::move(tokens)), dictionary_(dictionary) {}
+
+  StatusOr<SelectStatement> Parse() {
+    CINDERELLA_RETURN_IF_ERROR(ExpectKeyword("select"));
+    SelectStatement statement;
+    CINDERELLA_RETURN_IF_ERROR(ParseProjection(&statement));
+    if (IsKeyword("where")) {
+      ++pos_;
+      StatusOr<PredicatePtr> where = ParseOr();
+      CINDERELLA_RETURN_IF_ERROR(where.status());
+      statement.where = std::move(where).value();
+    }
+    if (Current().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("trailing input after statement: '" +
+                                     Current().text + "'");
+    }
+    return statement;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+
+  bool IsSymbol(const char* symbol) const {
+    return Current().kind == TokenKind::kSymbol && Current().text == symbol;
+  }
+
+  bool IsKeyword(const char* keyword) const {
+    return Current().kind == TokenKind::kIdentifier &&
+           Lower(Current().text) == keyword;
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!IsKeyword(keyword)) {
+      return Status::InvalidArgument(std::string("expected ") + keyword);
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  StatusOr<AttributeId> BindName(const std::string& name) {
+    const auto id = dictionary_.Find(name);
+    if (!id.has_value()) {
+      return Status::InvalidArgument("unknown attribute '" + name + "'");
+    }
+    return *id;
+  }
+
+  Status ParseProjection(SelectStatement* statement) {
+    if (IsSymbol("*")) {
+      ++pos_;
+      statement->select_all = true;
+      return Status::OK();
+    }
+    while (true) {
+      if (Current().kind != TokenKind::kIdentifier) {
+        return Status::InvalidArgument("expected attribute name in SELECT");
+      }
+      StatusOr<AttributeId> id = BindName(Current().text);
+      CINDERELLA_RETURN_IF_ERROR(id.status());
+      statement->projection.push_back(*id);
+      ++pos_;
+      if (!IsSymbol(",")) break;
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  StatusOr<PredicatePtr> ParseOr() {
+    StatusOr<PredicatePtr> first = ParseAnd();
+    CINDERELLA_RETURN_IF_ERROR(first.status());
+    std::vector<PredicatePtr> children;
+    children.push_back(std::move(first).value());
+    while (IsKeyword("or")) {
+      ++pos_;
+      StatusOr<PredicatePtr> next = ParseAnd();
+      CINDERELLA_RETURN_IF_ERROR(next.status());
+      children.push_back(std::move(next).value());
+    }
+    if (children.size() == 1) return std::move(children.front());
+    return Or(std::move(children));
+  }
+
+  StatusOr<PredicatePtr> ParseAnd() {
+    StatusOr<PredicatePtr> first = ParseUnary();
+    CINDERELLA_RETURN_IF_ERROR(first.status());
+    std::vector<PredicatePtr> children;
+    children.push_back(std::move(first).value());
+    while (IsKeyword("and")) {
+      ++pos_;
+      StatusOr<PredicatePtr> next = ParseUnary();
+      CINDERELLA_RETURN_IF_ERROR(next.status());
+      children.push_back(std::move(next).value());
+    }
+    if (children.size() == 1) return std::move(children.front());
+    return And(std::move(children));
+  }
+
+  StatusOr<PredicatePtr> ParseUnary() {
+    if (IsKeyword("not")) {
+      ++pos_;
+      StatusOr<PredicatePtr> child = ParseUnary();
+      CINDERELLA_RETURN_IF_ERROR(child.status());
+      return Not(std::move(child).value());
+    }
+    if (IsSymbol("(")) {
+      ++pos_;
+      StatusOr<PredicatePtr> inner = ParseOr();
+      CINDERELLA_RETURN_IF_ERROR(inner.status());
+      if (!IsSymbol(")")) {
+        return Status::InvalidArgument("expected ')'");
+      }
+      ++pos_;
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<PredicatePtr> ParseComparison() {
+    if (Current().kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument("expected attribute name, got '" +
+                                     Current().text + "'");
+    }
+    StatusOr<AttributeId> id = BindName(Current().text);
+    CINDERELLA_RETURN_IF_ERROR(id.status());
+    ++pos_;
+
+    if (IsKeyword("is")) {
+      ++pos_;
+      bool negated = false;
+      if (IsKeyword("not")) {
+        negated = true;
+        ++pos_;
+      }
+      CINDERELLA_RETURN_IF_ERROR(ExpectKeyword("null"));
+      // `a IS NOT NULL` is the positive form.
+      return negated ? IsNotNull(*id) : Not(IsNotNull(*id));
+    }
+
+    if (Current().kind != TokenKind::kSymbol) {
+      return Status::InvalidArgument("expected comparison operator");
+    }
+    CompareOp op;
+    const std::string& symbol = Current().text;
+    if (symbol == "=") {
+      op = CompareOp::kEq;
+    } else if (symbol == "!=" || symbol == "<>") {
+      op = CompareOp::kNe;
+    } else if (symbol == "<") {
+      op = CompareOp::kLt;
+    } else if (symbol == "<=") {
+      op = CompareOp::kLe;
+    } else if (symbol == ">") {
+      op = CompareOp::kGt;
+    } else if (symbol == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument("unknown operator '" + symbol + "'");
+    }
+    ++pos_;
+
+    switch (Current().kind) {
+      case TokenKind::kInteger: {
+        const int64_t v = Current().integer;
+        ++pos_;
+        return Compare(*id, op, Value(v));
+      }
+      case TokenKind::kDecimal: {
+        const double v = Current().decimal;
+        ++pos_;
+        return Compare(*id, op, Value(v));
+      }
+      case TokenKind::kString: {
+        std::string v = Current().text;
+        ++pos_;
+        return Compare(*id, op, Value(std::move(v)));
+      }
+      default:
+        return Status::InvalidArgument("expected literal after operator");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  const AttributeDictionary& dictionary_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<SelectStatement> ParseSelect(const std::string& text,
+                                      const AttributeDictionary& dictionary) {
+  Lexer lexer(text);
+  StatusOr<std::vector<Token>> tokens = lexer.Tokenize();
+  CINDERELLA_RETURN_IF_ERROR(tokens.status());
+  Parser parser(std::move(tokens).value(), dictionary);
+  return parser.Parse();
+}
+
+}  // namespace cinderella

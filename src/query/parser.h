@@ -1,0 +1,47 @@
+#ifndef CINDERELLA_QUERY_PARSER_H_
+#define CINDERELLA_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/predicate.h"
+#include "synopsis/attribute_dictionary.h"
+
+namespace cinderella {
+
+/// A parsed and bound SELECT statement.
+struct SelectStatement {
+  /// Projected attribute ids (empty when select_all).
+  std::vector<AttributeId> projection;
+  bool select_all = false;
+  /// Bound WHERE predicate; null = no WHERE clause (match every entity).
+  PredicatePtr where;
+};
+
+/// Parses the mini query language used by the CLI and examples against
+/// the universal table:
+///
+///   SELECT a, b WHERE a IS NOT NULL OR b IS NOT NULL     (the paper's shape)
+///   SELECT * WHERE weight > 100 AND (tuner IS NULL OR screen >= 40)
+///   SELECT name
+///
+/// Grammar (case-insensitive keywords):
+///   statement  := SELECT projection [WHERE or_expr]
+///   projection := '*' | name (',' name)*
+///   or_expr    := and_expr (OR and_expr)*
+///   and_expr   := unary (AND unary)*
+///   unary      := NOT unary | '(' or_expr ')' | comparison
+///   comparison := name IS [NOT] NULL
+///               | name ('='|'!='|'<>'|'<'|'<='|'>'|'>=') literal
+///   literal    := integer | decimal | 'single-quoted string'
+///   name       := [A-Za-z_][A-Za-z0-9_]* | "double-quoted name"
+///
+/// Attribute names are bound against `dictionary`; unknown names are an
+/// InvalidArgument error (the table has never seen such an attribute).
+StatusOr<SelectStatement> ParseSelect(const std::string& text,
+                                      const AttributeDictionary& dictionary);
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_QUERY_PARSER_H_

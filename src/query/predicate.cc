@@ -1,0 +1,233 @@
+#include "query/predicate.h"
+
+#include <utility>
+
+namespace cinderella {
+namespace {
+
+const char* OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+// Three-way comparison of values; returns false in *comparable when the
+// types cannot be compared (number vs string).
+int CompareValues(const Value& a, const Value& b, bool* comparable) {
+  *comparable = true;
+  if (a.is_string() != b.is_string()) {
+    *comparable = false;
+    return 0;
+  }
+  if (a.is_string()) {
+    return a.as_string().compare(b.as_string());
+  }
+  const double lhs = a.is_int64() ? static_cast<double>(a.as_int64())
+                                  : a.as_double();
+  const double rhs = b.is_int64() ? static_cast<double>(b.as_int64())
+                                  : b.as_double();
+  if (lhs < rhs) return -1;
+  if (lhs > rhs) return 1;
+  return 0;
+}
+
+class IsNotNullPredicate : public Predicate {
+ public:
+  explicit IsNotNullPredicate(AttributeId attribute)
+      : attribute_(attribute) {}
+
+  bool Matches(const Row& row) const override { return row.Has(attribute_); }
+
+  bool PruningSynopsis(Synopsis* out) const override {
+    out->Add(attribute_);
+    return true;
+  }
+
+  std::string ToString() const override {
+    return "attr" + std::to_string(attribute_) + " IS NOT NULL";
+  }
+
+ private:
+  AttributeId attribute_;
+};
+
+class ComparePredicate : public Predicate {
+ public:
+  ComparePredicate(AttributeId attribute, CompareOp op, Value literal)
+      : attribute_(attribute), op_(op), literal_(std::move(literal)) {}
+
+  bool Matches(const Row& row) const override {
+    const Value* value = row.Get(attribute_);
+    if (value == nullptr) return false;
+    bool comparable = false;
+    const int cmp = CompareValues(*value, literal_, &comparable);
+    if (!comparable) return false;
+    switch (op_) {
+      case CompareOp::kEq:
+        return cmp == 0;
+      case CompareOp::kNe:
+        return cmp != 0;
+      case CompareOp::kLt:
+        return cmp < 0;
+      case CompareOp::kLe:
+        return cmp <= 0;
+      case CompareOp::kGt:
+        return cmp > 0;
+      case CompareOp::kGe:
+        return cmp >= 0;
+    }
+    return false;
+  }
+
+  bool PruningSynopsis(Synopsis* out) const override {
+    out->Add(attribute_);
+    return true;
+  }
+
+  std::string ToString() const override {
+    return "attr" + std::to_string(attribute_) + " " + OpName(op_) + " " +
+           literal_.ToString();
+  }
+
+ private:
+  AttributeId attribute_;
+  CompareOp op_;
+  Value literal_;
+};
+
+class AndPredicate : public Predicate {
+ public:
+  explicit AndPredicate(std::vector<PredicatePtr> children)
+      : children_(std::move(children)) {}
+
+  bool Matches(const Row& row) const override {
+    for (const PredicatePtr& child : children_) {
+      if (!child->Matches(row)) return false;
+    }
+    return true;
+  }
+
+  bool PruningSynopsis(Synopsis* out) const override {
+    // A match requires every child to match, so any single child's
+    // prunable set works; intersecting would be even tighter, but the
+    // synopsis test is per-attribute membership, so we use the first
+    // prunable child (rows matching the AND carry at least one of its
+    // attributes).
+    for (const PredicatePtr& child : children_) {
+      Synopsis child_set;
+      if (child->PruningSynopsis(&child_set)) {
+        out->UnionWith(child_set);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string ToString() const override {
+    if (children_.empty()) return "TRUE";
+    std::string s = "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) s += " AND ";
+      s += children_[i]->ToString();
+    }
+    return s + ")";
+  }
+
+ private:
+  std::vector<PredicatePtr> children_;
+};
+
+class OrPredicate : public Predicate {
+ public:
+  explicit OrPredicate(std::vector<PredicatePtr> children)
+      : children_(std::move(children)) {}
+
+  bool Matches(const Row& row) const override {
+    for (const PredicatePtr& child : children_) {
+      if (child->Matches(row)) return true;
+    }
+    return false;
+  }
+
+  bool PruningSynopsis(Synopsis* out) const override {
+    // Every child must be prunable; the union covers all ways to match.
+    Synopsis united;
+    for (const PredicatePtr& child : children_) {
+      if (!child->PruningSynopsis(&united)) return false;
+    }
+    out->UnionWith(united);
+    return true;
+  }
+
+  std::string ToString() const override {
+    if (children_.empty()) return "FALSE";
+    std::string s = "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) s += " OR ";
+      s += children_[i]->ToString();
+    }
+    return s + ")";
+  }
+
+ private:
+  std::vector<PredicatePtr> children_;
+};
+
+class NotPredicate : public Predicate {
+ public:
+  explicit NotPredicate(PredicatePtr child) : child_(std::move(child)) {}
+
+  bool Matches(const Row& row) const override {
+    return !child_->Matches(row);
+  }
+
+  bool PruningSynopsis(Synopsis* out) const override {
+    // NOT(p) can match rows with none of p's attributes; no safe set.
+    (void)out;
+    return false;
+  }
+
+  std::string ToString() const override {
+    return "NOT " + child_->ToString();
+  }
+
+ private:
+  PredicatePtr child_;
+};
+
+}  // namespace
+
+PredicatePtr IsNotNull(AttributeId attribute) {
+  return std::make_unique<IsNotNullPredicate>(attribute);
+}
+
+PredicatePtr Compare(AttributeId attribute, CompareOp op, Value literal) {
+  return std::make_unique<ComparePredicate>(attribute, op,
+                                            std::move(literal));
+}
+
+PredicatePtr And(std::vector<PredicatePtr> children) {
+  return std::make_unique<AndPredicate>(std::move(children));
+}
+
+PredicatePtr Or(std::vector<PredicatePtr> children) {
+  return std::make_unique<OrPredicate>(std::move(children));
+}
+
+PredicatePtr Not(PredicatePtr child) {
+  return std::make_unique<NotPredicate>(std::move(child));
+}
+
+}  // namespace cinderella

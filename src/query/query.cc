@@ -1,0 +1,19 @@
+#include "query/query.h"
+
+namespace cinderella {
+
+Query::Query(Synopsis attributes) : attributes_(std::move(attributes)) {
+  projection_ = attributes_.ToIds();
+}
+
+Query Query::FromNames(const AttributeDictionary& dictionary,
+                       const std::vector<std::string>& names) {
+  Synopsis attributes;
+  for (const std::string& name : names) {
+    const auto id = dictionary.Find(name);
+    if (id.has_value()) attributes.Add(*id);
+  }
+  return Query(std::move(attributes));
+}
+
+}  // namespace cinderella

@@ -1,0 +1,53 @@
+#ifndef CINDERELLA_QUERY_QUERY_H_
+#define CINDERELLA_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "synopsis/attribute_dictionary.h"
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+
+/// An attribute-set query over the universal table, the paper's workload
+/// shape (Section V.B):
+///
+///   SELECT a1, a2, ... FROM universalTable
+///   WHERE a1 IS NOT NULL OR a2 IS NOT NULL ...
+///
+/// An entity matches iff it instantiates at least one of the queried
+/// attributes; the projection returns exactly the queried attributes. The
+/// query synopsis used for partition pruning is the queried attribute set
+/// (Definition 1: prune p when sgn(|p ∧ q|) = 0).
+class Query {
+ public:
+  Query() = default;
+
+  /// Builds a query over attribute ids.
+  explicit Query(Synopsis attributes);
+
+  /// Builds a query over attribute names; names unknown to the dictionary
+  /// are dropped (they can match nothing).
+  static Query FromNames(const AttributeDictionary& dictionary,
+                         const std::vector<std::string>& names);
+
+  const Synopsis& attributes() const { return attributes_; }
+
+  /// Queried attribute ids in ascending order (projection list).
+  const std::vector<AttributeId>& projection() const { return projection_; }
+
+  /// True if the entity with this attribute synopsis matches.
+  bool Matches(const Synopsis& entity_attributes) const {
+    return attributes_.Intersects(entity_attributes);
+  }
+
+  std::string ToString() const { return attributes_.ToString(); }
+
+ private:
+  Synopsis attributes_;
+  std::vector<AttributeId> projection_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_QUERY_QUERY_H_

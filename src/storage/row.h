@@ -1,0 +1,68 @@
+#ifndef CINDERELLA_STORAGE_ROW_H_
+#define CINDERELLA_STORAGE_ROW_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "storage/value.h"
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+
+/// Stable identifier of an entity in the universal table.
+using EntityId = uint64_t;
+
+/// A sparse universal-table row: only instantiated attributes are stored,
+/// as (attribute id, value) cells kept sorted by attribute id.
+///
+/// This is the "interpreted attribute storage format" family of sparse
+/// representations the paper cites ([3]): per-row attribute lists instead
+/// of a wide null-padded tuple.
+class Row {
+ public:
+  /// One instantiated attribute.
+  struct Cell {
+    AttributeId attribute;
+    Value value;
+  };
+
+  Row() = default;
+  explicit Row(EntityId id) : id_(id) {}
+
+  EntityId id() const { return id_; }
+  void set_id(EntityId id) { id_ = id; }
+
+  /// Sets `attribute` to `value`, overwriting an existing cell.
+  void Set(AttributeId attribute, Value value);
+
+  /// Removes the cell for `attribute` if present; returns whether it existed.
+  bool Erase(AttributeId attribute);
+
+  /// Returns the value for `attribute`, or nullptr if not instantiated.
+  const Value* Get(AttributeId attribute) const;
+
+  bool Has(AttributeId attribute) const { return Get(attribute) != nullptr; }
+
+  /// Number of instantiated attributes.
+  size_t attribute_count() const { return cells_.size(); }
+
+  /// Byte footprint: 8 bytes of entity id plus, per cell, 4 bytes of
+  /// attribute id and the value payload.
+  uint64_t byte_size() const;
+
+  /// The entity synopsis of the entity-based setup (Section III): the set
+  /// of attributes the entity instantiates.
+  Synopsis AttributeSynopsis() const;
+
+  /// Cells sorted by attribute id.
+  const std::vector<Cell>& cells() const { return cells_; }
+
+ private:
+  EntityId id_ = 0;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_STORAGE_ROW_H_

@@ -1,0 +1,58 @@
+#include "storage/segment.h"
+
+#include <utility>
+
+namespace cinderella {
+
+Status Segment::Insert(Row row) {
+  const EntityId id = row.id();
+  if (index_.count(id) > 0) {
+    return Status::AlreadyExists("entity " + std::to_string(id) +
+                                 " already in segment");
+  }
+  cell_count_ += row.attribute_count();
+  byte_size_ += row.byte_size();
+  index_.emplace(id, rows_.size());
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+StatusOr<Row> Segment::Remove(EntityId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound("entity " + std::to_string(id) +
+                            " not in segment");
+  }
+  const size_t pos = it->second;
+  Row removed = std::move(rows_[pos]);
+  index_.erase(it);
+  if (pos != rows_.size() - 1) {
+    rows_[pos] = std::move(rows_.back());
+    index_[rows_[pos].id()] = pos;
+  }
+  rows_.pop_back();
+  cell_count_ -= removed.attribute_count();
+  byte_size_ -= removed.byte_size();
+  return removed;
+}
+
+const Row* Segment::Find(EntityId id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  return &rows_[it->second];
+}
+
+Status Segment::Replace(Row row) {
+  auto it = index_.find(row.id());
+  if (it == index_.end()) {
+    return Status::NotFound("entity " + std::to_string(row.id()) +
+                            " not in segment");
+  }
+  Row& slot = rows_[it->second];
+  cell_count_ += row.attribute_count() - slot.attribute_count();
+  byte_size_ += row.byte_size() - slot.byte_size();
+  slot = std::move(row);
+  return Status::OK();
+}
+
+}  // namespace cinderella

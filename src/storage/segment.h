@@ -1,0 +1,62 @@
+#ifndef CINDERELLA_STORAGE_SEGMENT_H_
+#define CINDERELLA_STORAGE_SEGMENT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/row.h"
+
+namespace cinderella {
+
+/// The physical store backing one horizontal partition.
+///
+/// The paper's PostgreSQL prototype "creates a regular table for each
+/// partition"; a Segment is our equivalent: a row store with O(1)
+/// point lookup by entity id (hash index) and contiguous scan order.
+/// Removal is swap-with-last, so scan order is not insertion order.
+///
+/// The segment maintains the three size totals used by the pluggable
+/// SIZE() measure of the algorithm (entities, attribute cells, bytes).
+class Segment {
+ public:
+  Segment() = default;
+
+  // Segments are identity objects owned by their partition.
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+  Segment(Segment&&) = default;
+  Segment& operator=(Segment&&) = default;
+
+  /// Adds a row; fails with AlreadyExists if the entity id is present.
+  Status Insert(Row row);
+
+  /// Removes and returns the row for `id`; NotFound if absent.
+  StatusOr<Row> Remove(EntityId id);
+
+  /// Returns the row for `id`, or nullptr.
+  const Row* Find(EntityId id) const;
+
+  /// Replaces the row with the same entity id; NotFound if absent.
+  Status Replace(Row row);
+
+  bool Contains(EntityId id) const { return index_.count(id) > 0; }
+
+  size_t entity_count() const { return rows_.size(); }
+  uint64_t cell_count() const { return cell_count_; }
+  uint64_t byte_size() const { return byte_size_; }
+
+  /// Live rows in scan order.
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+  std::unordered_map<EntityId, size_t> index_;
+  uint64_t cell_count_ = 0;
+  uint64_t byte_size_ = 0;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_STORAGE_SEGMENT_H_

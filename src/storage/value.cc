@@ -1,0 +1,22 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+namespace cinderella {
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(as_int64());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", as_double());
+      return buf;
+    }
+    case ValueType::kString:
+      return as_string();
+  }
+  return "";
+}
+
+}  // namespace cinderella

@@ -1,0 +1,60 @@
+#ifndef CINDERELLA_STORAGE_VALUE_H_
+#define CINDERELLA_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace cinderella {
+
+/// Runtime type tag of a Value.
+enum class ValueType { kInt64, kDouble, kString };
+
+/// A single attribute value in a universal-table row.
+///
+/// The universal table is schemaless, so the same attribute may hold
+/// different types on different entities (e.g. `resolution` in the paper's
+/// Figure 1 is "12.1" on a camera and "Full HD" on a TV).
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  int64_t as_int64() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// Size contribution of this value when SIZE() is measured in bytes
+  /// (paper Definition 1: "how much has to be read to scan the entity").
+  uint64_t byte_size() const {
+    if (is_string()) return as_string().size();
+    return 8;
+  }
+
+  /// Human-readable rendering for the examples.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::variant<int64_t, double, std::string> data_;
+};
+
+inline bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_STORAGE_VALUE_H_

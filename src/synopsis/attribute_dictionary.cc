@@ -1,0 +1,36 @@
+#include "synopsis/attribute_dictionary.h"
+
+namespace cinderella {
+
+AttributeId AttributeDictionary::GetOrCreate(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const AttributeId id = static_cast<AttributeId>(names_.size());
+  ids_.emplace(name, id);
+  names_.push_back(name);
+  return id;
+}
+
+std::optional<AttributeId> AttributeDictionary::Find(
+    const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+StatusOr<std::string> AttributeDictionary::Name(AttributeId id) const {
+  if (id >= names_.size()) {
+    return Status::NotFound("attribute id " + std::to_string(id) +
+                            " not in dictionary");
+  }
+  return names_[id];
+}
+
+Synopsis AttributeDictionary::MakeSynopsis(
+    const std::vector<std::string>& names) {
+  Synopsis s;
+  for (const auto& name : names) s.Add(GetOrCreate(name));
+  return s;
+}
+
+}  // namespace cinderella

@@ -1,0 +1,52 @@
+#ifndef CINDERELLA_SYNOPSIS_ATTRIBUTE_DICTIONARY_H_
+#define CINDERELLA_SYNOPSIS_ATTRIBUTE_DICTIONARY_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+
+/// Bidirectional mapping between attribute names and dense AttributeIds.
+///
+/// The universal table's attribute space evolves online (new attributes
+/// appear with new entities); the dictionary hands out ids in arrival order
+/// so synopses stay dense.
+class AttributeDictionary {
+ public:
+  AttributeDictionary() = default;
+
+  // Movable but not copyable: the dictionary is shared by reference between
+  // the table, the partitioner, and the query layer.
+  AttributeDictionary(const AttributeDictionary&) = delete;
+  AttributeDictionary& operator=(const AttributeDictionary&) = delete;
+  AttributeDictionary(AttributeDictionary&&) = default;
+  AttributeDictionary& operator=(AttributeDictionary&&) = default;
+
+  /// Returns the id for `name`, interning it if unseen.
+  AttributeId GetOrCreate(const std::string& name);
+
+  /// Returns the id for `name` if it has been interned.
+  std::optional<AttributeId> Find(const std::string& name) const;
+
+  /// Returns the name for `id`.
+  StatusOr<std::string> Name(AttributeId id) const;
+
+  /// Number of interned attributes.
+  size_t size() const { return names_.size(); }
+
+  /// Builds a synopsis from attribute names, interning unseen ones.
+  Synopsis MakeSynopsis(const std::vector<std::string>& names);
+
+ private:
+  std::unordered_map<std::string, AttributeId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_SYNOPSIS_ATTRIBUTE_DICTIONARY_H_

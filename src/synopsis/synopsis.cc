@@ -1,0 +1,153 @@
+#include "synopsis/synopsis.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace cinderella {
+
+Synopsis::Synopsis(std::initializer_list<AttributeId> ids) {
+  for (AttributeId id : ids) Add(id);
+}
+
+Synopsis Synopsis::FromIds(const std::vector<AttributeId>& ids) {
+  Synopsis s;
+  for (AttributeId id : ids) s.Add(id);
+  return s;
+}
+
+void Synopsis::EnsureCapacity(AttributeId id) {
+  const size_t word = id / kBitsPerWord;
+  if (word >= words_.size()) words_.resize(word + 1, 0);
+}
+
+void Synopsis::ShrinkTrailingZeroWords() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+void Synopsis::Add(AttributeId id) {
+  EnsureCapacity(id);
+  words_[id / kBitsPerWord] |= uint64_t{1} << (id % kBitsPerWord);
+}
+
+void Synopsis::Remove(AttributeId id) {
+  const size_t word = id / kBitsPerWord;
+  if (word >= words_.size()) return;
+  words_[word] &= ~(uint64_t{1} << (id % kBitsPerWord));
+  ShrinkTrailingZeroWords();
+}
+
+bool Synopsis::Contains(AttributeId id) const {
+  const size_t word = id / kBitsPerWord;
+  if (word >= words_.size()) return false;
+  return (words_[word] >> (id % kBitsPerWord)) & 1;
+}
+
+size_t Synopsis::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+void Synopsis::Clear() { words_.clear(); }
+
+void Synopsis::UnionWith(const Synopsis& other) {
+  if (other.words_.size() > words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+size_t Synopsis::IntersectCount(const Synopsis& other) const {
+  const size_t n = std::min(words_.size(), other.words_.size());
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+size_t Synopsis::UnionCount(const Synopsis& other) const {
+  const size_t n = std::max(words_.size(), other.words_.size());
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t a = i < words_.size() ? words_[i] : 0;
+    const uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    total += static_cast<size_t>(std::popcount(a | b));
+  }
+  return total;
+}
+
+size_t Synopsis::XorCount(const Synopsis& other) const {
+  const size_t n = std::max(words_.size(), other.words_.size());
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t a = i < words_.size() ? words_[i] : 0;
+    const uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    total += static_cast<size_t>(std::popcount(a ^ b));
+  }
+  return total;
+}
+
+size_t Synopsis::AndNotCount(const Synopsis& other) const {
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    const uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    total += static_cast<size_t>(std::popcount(words_[i] & ~b));
+  }
+  return total;
+}
+
+bool Synopsis::Intersects(const Synopsis& other) const {
+  const size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool Synopsis::IsSubsetOf(const Synopsis& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    const uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    if ((words_[i] & ~b) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<AttributeId> Synopsis::ToIds() const {
+  std::vector<AttributeId> ids;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t w = words_[i];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      ids.push_back(static_cast<AttributeId>(i * kBitsPerWord + bit));
+      w &= w - 1;
+    }
+  }
+  return ids;
+}
+
+std::string Synopsis::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (AttributeId id : ToIds()) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(id);
+  }
+  out += "}";
+  return out;
+}
+
+bool operator==(const Synopsis& a, const Synopsis& b) {
+  const size_t n = std::max(a.words_.size(), b.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t wa = i < a.words_.size() ? a.words_[i] : 0;
+    const uint64_t wb = i < b.words_.size() ? b.words_[i] : 0;
+    if (wa != wb) return false;
+  }
+  return true;
+}
+
+}  // namespace cinderella

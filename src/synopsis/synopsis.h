@@ -1,0 +1,104 @@
+#ifndef CINDERELLA_SYNOPSIS_SYNOPSIS_H_
+#define CINDERELLA_SYNOPSIS_SYNOPSIS_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cinderella {
+
+/// Dense identifier of an attribute (entity-based mode) or of a workload
+/// query (workload-based mode). Assigned by AttributeDictionary.
+using AttributeId = uint32_t;
+
+/// A synopsis is a set over dictionary-encoded ids, stored as a dynamic
+/// bitset (Section II of the paper: "Each partition is described in the
+/// system catalog using a partition synopsis p, which lists the attributes
+/// of the entities in the partition").
+///
+/// The Cinderella rating (Section IV) and the split-starter DIFF need four
+/// set cardinalities; all are computed word-wise with popcount:
+///   |a ∧ b|   IntersectCount
+///   |a ∨ b|   UnionCount
+///   |a ⊕ b|   XorCount        (DIFF between split starters)
+///   |¬a ∧ b|  AndNotCount(b, a)  -- ids in b missing from a
+///
+/// Synopses grow automatically when an id beyond the current capacity is
+/// added; all binary operations accept operands of different lengths.
+class Synopsis {
+ public:
+  /// Constructs an empty synopsis.
+  Synopsis() = default;
+
+  /// Constructs a synopsis containing the given ids.
+  Synopsis(std::initializer_list<AttributeId> ids);
+
+  /// Constructs a synopsis from a vector of ids.
+  static Synopsis FromIds(const std::vector<AttributeId>& ids);
+
+  /// Adds `id` to the set. Idempotent.
+  void Add(AttributeId id);
+
+  /// Removes `id` from the set if present.
+  void Remove(AttributeId id);
+
+  /// True if `id` is in the set.
+  bool Contains(AttributeId id) const;
+
+  /// Number of ids in the set.
+  size_t Count() const;
+
+  /// True if the set is empty.
+  bool Empty() const { return Count() == 0; }
+
+  /// Removes all ids.
+  void Clear();
+
+  /// Adds every id of `other` to this synopsis (set union in place).
+  void UnionWith(const Synopsis& other);
+
+  /// |this ∧ other|
+  size_t IntersectCount(const Synopsis& other) const;
+
+  /// |this ∨ other|
+  size_t UnionCount(const Synopsis& other) const;
+
+  /// |this ⊕ other| — the paper's DIFF between entity synopses.
+  size_t XorCount(const Synopsis& other) const;
+
+  /// |this ∧ ¬other| — ids present here but missing from `other`.
+  size_t AndNotCount(const Synopsis& other) const;
+
+  /// True if the two sets intersect; the pruning test of Definition 1
+  /// (sgn(|p ∧ q|) != 0) without computing the full count.
+  bool Intersects(const Synopsis& other) const;
+
+  /// True if every id of this set is also in `other`.
+  bool IsSubsetOf(const Synopsis& other) const;
+
+  /// Enumerates the ids in ascending order.
+  std::vector<AttributeId> ToIds() const;
+
+  /// Renders as "{1, 5, 9}" for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Synopsis& a, const Synopsis& b);
+
+ private:
+  static constexpr size_t kBitsPerWord = 64;
+
+  void EnsureCapacity(AttributeId id);
+  void ShrinkTrailingZeroWords();
+
+  std::vector<uint64_t> words_;
+};
+
+bool operator==(const Synopsis& a, const Synopsis& b);
+inline bool operator!=(const Synopsis& a, const Synopsis& b) {
+  return !(a == b);
+}
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_SYNOPSIS_SYNOPSIS_H_

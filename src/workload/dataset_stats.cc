@@ -1,0 +1,56 @@
+#include "workload/dataset_stats.h"
+
+#include <algorithm>
+
+namespace cinderella {
+
+size_t DatasetDistribution::CountAttributesAbove(double threshold) const {
+  size_t count = 0;
+  for (double f : frequency) count += (f > threshold);
+  return count;
+}
+
+size_t DatasetDistribution::CountAttributesBelow(double threshold) const {
+  size_t count = 0;
+  for (double f : frequency) count += (f < threshold);
+  return count;
+}
+
+DatasetDistribution ComputeDatasetDistribution(const std::vector<Row>& rows,
+                                               size_t num_attributes) {
+  DatasetDistribution d;
+  d.entity_count = rows.size();
+  std::vector<size_t> carriers(num_attributes, 0);
+  uint64_t total_cells = 0;
+  for (const Row& row : rows) {
+    const size_t k = row.attribute_count();
+    total_cells += k;
+    d.max_attributes_per_entity = std::max(d.max_attributes_per_entity, k);
+    if (k >= d.attrs_per_entity_histogram.size()) {
+      d.attrs_per_entity_histogram.resize(k + 1, 0);
+    }
+    ++d.attrs_per_entity_histogram[k];
+    for (const Row::Cell& cell : row.cells()) {
+      if (cell.attribute < num_attributes) ++carriers[cell.attribute];
+    }
+  }
+  d.frequency.resize(num_attributes);
+  if (!rows.empty()) {
+    for (size_t a = 0; a < num_attributes; ++a) {
+      d.frequency[a] =
+          static_cast<double>(carriers[a]) / static_cast<double>(rows.size());
+    }
+    d.mean_attributes_per_entity =
+        static_cast<double>(total_cells) / static_cast<double>(rows.size());
+    if (num_attributes > 0) {
+      d.sparseness = 1.0 - static_cast<double>(total_cells) /
+                               (static_cast<double>(rows.size()) *
+                                static_cast<double>(num_attributes));
+    }
+  }
+  d.frequency_sorted = d.frequency;
+  std::sort(d.frequency_sorted.rbegin(), d.frequency_sorted.rend());
+  return d;
+}
+
+}  // namespace cinderella

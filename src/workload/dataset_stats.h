@@ -1,0 +1,42 @@
+#ifndef CINDERELLA_WORKLOAD_DATASET_STATS_H_
+#define CINDERELLA_WORKLOAD_DATASET_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/row.h"
+
+namespace cinderella {
+
+/// Empirical distributions of a data set, matching the two panels of the
+/// paper's Figure 4.
+struct DatasetDistribution {
+  /// frequency[a]: fraction of entities instantiating attribute a
+  /// (Figure 4a, before sorting).
+  std::vector<double> frequency;
+  /// Same values sorted descending (the shape plotted in Figure 4a).
+  std::vector<double> frequency_sorted;
+  /// attrs_per_entity_histogram[k]: number of entities with exactly k
+  /// attributes (Figure 4b).
+  std::vector<size_t> attrs_per_entity_histogram;
+  size_t entity_count = 0;
+  size_t max_attributes_per_entity = 0;
+  double mean_attributes_per_entity = 0.0;
+  /// Sparseness of the whole universal table (the paper quotes 0.94 for
+  /// its DBpedia extract).
+  double sparseness = 0.0;
+
+  /// Number of attributes with frequency strictly above `threshold`.
+  size_t CountAttributesAbove(double threshold) const;
+  /// Number of attributes with frequency strictly below `threshold`.
+  size_t CountAttributesBelow(double threshold) const;
+};
+
+/// Scans `rows` (attribute ids < num_attributes) and computes both
+/// Figure 4 distributions plus the table sparseness.
+DatasetDistribution ComputeDatasetDistribution(const std::vector<Row>& rows,
+                                               size_t num_attributes);
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_WORKLOAD_DATASET_STATS_H_

@@ -1,0 +1,92 @@
+#include "workload/query_workload.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+#include "workload/dataset_stats.h"
+
+namespace cinderella {
+namespace {
+
+double Selectivity(const std::vector<Row>& rows, const Synopsis& attributes) {
+  if (rows.empty()) return 0.0;
+  size_t matched = 0;
+  for (const Row& row : rows) {
+    for (const Row::Cell& cell : row.cells()) {
+      if (attributes.Contains(cell.attribute)) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(matched) / static_cast<double>(rows.size());
+}
+
+}  // namespace
+
+std::vector<GeneratedQuery> GenerateQueryWorkload(
+    const std::vector<Row>& rows, size_t num_attributes,
+    const QueryWorkloadConfig& config) {
+  // Rank attributes by frequency for the pair/triple combinations.
+  const DatasetDistribution d = ComputeDatasetDistribution(rows, num_attributes);
+  std::vector<size_t> by_frequency(num_attributes);
+  std::iota(by_frequency.begin(), by_frequency.end(), 0);
+  std::sort(by_frequency.begin(), by_frequency.end(), [&](size_t a, size_t b) {
+    return d.frequency[a] > d.frequency[b];
+  });
+  const size_t top = std::min(config.top_attributes, num_attributes);
+
+  // Candidates: singles, top-k pairs, sampled top-k triples.
+  std::vector<Synopsis> candidates;
+  for (size_t a = 0; a < num_attributes; ++a) {
+    candidates.push_back(Synopsis{static_cast<AttributeId>(a)});
+  }
+  for (size_t i = 0; i < top; ++i) {
+    for (size_t j = i + 1; j < top; ++j) {
+      candidates.push_back(Synopsis{
+          static_cast<AttributeId>(by_frequency[i]),
+          static_cast<AttributeId>(by_frequency[j])});
+    }
+  }
+  Rng rng(config.seed);
+  for (size_t count = 0; count < config.max_triples && top >= 3; ++count) {
+    const size_t i = static_cast<size_t>(rng.Uniform(top));
+    size_t j = static_cast<size_t>(rng.Uniform(top));
+    size_t k = static_cast<size_t>(rng.Uniform(top));
+    if (i == j || j == k || i == k) continue;
+    candidates.push_back(Synopsis{
+        static_cast<AttributeId>(by_frequency[i]),
+        static_cast<AttributeId>(by_frequency[j]),
+        static_cast<AttributeId>(by_frequency[k])});
+  }
+
+  // Evaluate selectivities and bin.
+  std::vector<GeneratedQuery> all;
+  all.reserve(candidates.size());
+  for (Synopsis& synopsis : candidates) {
+    GeneratedQuery q;
+    q.selectivity = Selectivity(rows, synopsis);
+    q.query = Query(std::move(synopsis));
+    all.push_back(std::move(q));
+  }
+
+  std::vector<size_t> bin_counts(config.selectivity_bins, 0);
+  std::vector<GeneratedQuery> picked;
+  for (GeneratedQuery& q : all) {
+    size_t bin = static_cast<size_t>(q.selectivity *
+                                     static_cast<double>(config.selectivity_bins));
+    bin = std::min(bin, config.selectivity_bins - 1);
+    if (bin_counts[bin] < config.queries_per_bin) {
+      ++bin_counts[bin];
+      picked.push_back(std::move(q));
+    }
+  }
+  std::sort(picked.begin(), picked.end(),
+            [](const GeneratedQuery& a, const GeneratedQuery& b) {
+              return a.selectivity < b.selectivity;
+            });
+  return picked;
+}
+
+}  // namespace cinderella

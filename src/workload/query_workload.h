@@ -1,0 +1,45 @@
+#ifndef CINDERELLA_WORKLOAD_QUERY_WORKLOAD_H_
+#define CINDERELLA_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "storage/row.h"
+
+namespace cinderella {
+
+/// Parameters of the synthetic selective-query workload of Section V.B.
+struct QueryWorkloadConfig {
+  /// "we combined the 20 most frequent attributes to pairs and triples".
+  size_t top_attributes = 20;
+  /// Cap on sampled triples (all C(20,3)=1140 would dominate candidate
+  /// evaluation time; a deterministic sample covers the same selectivity
+  /// range).
+  size_t max_triples = 300;
+  /// Selectivity bins used to pick representatives covering the range;
+  /// bin i covers [i/bins, (i+1)/bins).
+  size_t selectivity_bins = 20;
+  /// "three representative queries for each selectivity".
+  size_t queries_per_bin = 3;
+  uint64_t seed = 7;
+};
+
+/// A query with the selectivity it achieves on the generating data set.
+struct GeneratedQuery {
+  Query query;
+  double selectivity = 0.0;
+};
+
+/// Builds the Section V.B workload: one candidate query per single
+/// attribute, plus pairs and (sampled) triples of the top-k most frequent
+/// attributes; computes each candidate's selectivity on `rows`; returns up
+/// to `queries_per_bin` representatives per selectivity bin, sorted by
+/// selectivity.
+std::vector<GeneratedQuery> GenerateQueryWorkload(
+    const std::vector<Row>& rows, size_t num_attributes,
+    const QueryWorkloadConfig& config);
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_WORKLOAD_QUERY_WORKLOAD_H_

@@ -1,0 +1,46 @@
+#include "workload/tpch/tpch_generator.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace cinderella {
+
+TpchGenerator::TpchGenerator(const TpchGeneratorConfig& config,
+                             AttributeDictionary* dictionary)
+    : config_(config), dictionary_(dictionary) {
+  CINDERELLA_CHECK(dictionary != nullptr);
+  CINDERELLA_CHECK(config.scale_factor > 0.0);
+}
+
+uint64_t TpchGenerator::TotalRows() const {
+  uint64_t total = 0;
+  for (TpchTable table : AllTpchTables()) {
+    total += TpchRowCount(table, config_.scale_factor);
+  }
+  return total;
+}
+
+std::vector<Row> TpchGenerator::Generate() {
+  Rng rng(config_.seed);
+  std::vector<Row> rows;
+  rows.reserve(TotalRows());
+  for (TpchTable table : AllTpchTables()) {
+    // Intern the column ids once per table.
+    std::vector<AttributeId> columns;
+    for (const std::string& column : TpchColumns(table)) {
+      columns.push_back(dictionary_->GetOrCreate(column));
+    }
+    const uint64_t count = TpchRowCount(table, config_.scale_factor);
+    for (uint64_t ordinal = 0; ordinal < count; ++ordinal) {
+      Row row(TpchEntityId(table, ordinal));
+      for (AttributeId column : columns) {
+        row.Set(column, Value(static_cast<int64_t>(rng.Next() % 1000000)));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  if (config_.shuffle) rng.Shuffle(rows);
+  return rows;
+}
+
+}  // namespace cinderella

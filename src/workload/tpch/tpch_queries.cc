@@ -1,0 +1,177 @@
+#include "workload/tpch/tpch_queries.h"
+
+namespace cinderella {
+namespace {
+
+using Refs = std::vector<std::pair<TpchTable, std::vector<std::string>>>;
+
+std::vector<TpchQueryFootprint> BuildFootprints() {
+  constexpr TpchTable R = TpchTable::kRegion;
+  constexpr TpchTable N = TpchTable::kNation;
+  constexpr TpchTable S = TpchTable::kSupplier;
+  constexpr TpchTable C = TpchTable::kCustomer;
+  constexpr TpchTable P = TpchTable::kPart;
+  constexpr TpchTable PS = TpchTable::kPartsupp;
+  constexpr TpchTable O = TpchTable::kOrders;
+  constexpr TpchTable L = TpchTable::kLineitem;
+
+  std::vector<TpchQueryFootprint> q;
+  // Q1: pricing summary report.
+  q.push_back({1, Refs{{L,
+                        {"l_returnflag", "l_linestatus", "l_quantity",
+                         "l_extendedprice", "l_discount", "l_tax",
+                         "l_shipdate"}}}});
+  // Q2: minimum cost supplier.
+  q.push_back({2, Refs{{P, {"p_partkey", "p_mfgr", "p_size", "p_type"}},
+                       {S,
+                        {"s_suppkey", "s_nationkey", "s_acctbal", "s_name",
+                         "s_address", "s_phone", "s_comment"}},
+                       {PS, {"ps_partkey", "ps_suppkey", "ps_supplycost"}},
+                       {N, {"n_nationkey", "n_name", "n_regionkey"}},
+                       {R, {"r_regionkey", "r_name"}}}});
+  // Q3: shipping priority.
+  q.push_back({3, Refs{{C, {"c_custkey", "c_mktsegment"}},
+                       {O,
+                        {"o_orderkey", "o_custkey", "o_orderdate",
+                         "o_shippriority"}},
+                       {L,
+                        {"l_orderkey", "l_extendedprice", "l_discount",
+                         "l_shipdate"}}}});
+  // Q4: order priority checking.
+  q.push_back({4, Refs{{O, {"o_orderkey", "o_orderdate", "o_orderpriority"}},
+                       {L, {"l_orderkey", "l_commitdate", "l_receiptdate"}}}});
+  // Q5: local supplier volume.
+  q.push_back({5, Refs{{C, {"c_custkey", "c_nationkey"}},
+                       {O, {"o_orderkey", "o_custkey", "o_orderdate"}},
+                       {L,
+                        {"l_orderkey", "l_suppkey", "l_extendedprice",
+                         "l_discount"}},
+                       {S, {"s_suppkey", "s_nationkey"}},
+                       {N, {"n_nationkey", "n_regionkey", "n_name"}},
+                       {R, {"r_regionkey", "r_name"}}}});
+  // Q6: forecasting revenue change.
+  q.push_back({6, Refs{{L,
+                        {"l_shipdate", "l_discount", "l_quantity",
+                         "l_extendedprice"}}}});
+  // Q7: volume shipping.
+  q.push_back({7, Refs{{S, {"s_suppkey", "s_nationkey"}},
+                       {L,
+                        {"l_suppkey", "l_orderkey", "l_shipdate",
+                         "l_extendedprice", "l_discount"}},
+                       {O, {"o_orderkey", "o_custkey"}},
+                       {C, {"c_custkey", "c_nationkey"}},
+                       {N, {"n_nationkey", "n_name"}}}});
+  // Q8: national market share.
+  q.push_back({8, Refs{{P, {"p_partkey", "p_type"}},
+                       {S, {"s_suppkey", "s_nationkey"}},
+                       {L,
+                        {"l_partkey", "l_suppkey", "l_orderkey",
+                         "l_extendedprice", "l_discount"}},
+                       {O, {"o_orderkey", "o_custkey", "o_orderdate"}},
+                       {C, {"c_custkey", "c_nationkey"}},
+                       {N, {"n_nationkey", "n_regionkey", "n_name"}},
+                       {R, {"r_regionkey", "r_name"}}}});
+  // Q9: product type profit measure.
+  q.push_back({9, Refs{{P, {"p_partkey", "p_name"}},
+                       {S, {"s_suppkey", "s_nationkey"}},
+                       {L,
+                        {"l_partkey", "l_suppkey", "l_orderkey",
+                         "l_quantity", "l_extendedprice", "l_discount"}},
+                       {PS, {"ps_partkey", "ps_suppkey", "ps_supplycost"}},
+                       {O, {"o_orderkey", "o_orderdate"}},
+                       {N, {"n_nationkey", "n_name"}}}});
+  // Q10: returned item reporting.
+  q.push_back({10, Refs{{C,
+                         {"c_custkey", "c_name", "c_acctbal", "c_address",
+                          "c_phone", "c_comment", "c_nationkey"}},
+                        {O, {"o_orderkey", "o_custkey", "o_orderdate"}},
+                        {L,
+                         {"l_orderkey", "l_returnflag", "l_extendedprice",
+                          "l_discount"}},
+                        {N, {"n_nationkey", "n_name"}}}});
+  // Q11: important stock identification.
+  q.push_back({11, Refs{{PS,
+                         {"ps_partkey", "ps_suppkey", "ps_availqty",
+                          "ps_supplycost"}},
+                        {S, {"s_suppkey", "s_nationkey"}},
+                        {N, {"n_nationkey", "n_name"}}}});
+  // Q12: shipping modes and order priority.
+  q.push_back({12, Refs{{O, {"o_orderkey", "o_orderpriority"}},
+                        {L,
+                         {"l_orderkey", "l_shipmode", "l_commitdate",
+                          "l_shipdate", "l_receiptdate"}}}});
+  // Q13: customer distribution.
+  q.push_back({13, Refs{{C, {"c_custkey"}},
+                        {O, {"o_orderkey", "o_custkey", "o_comment"}}}});
+  // Q14: promotion effect.
+  q.push_back({14, Refs{{L,
+                         {"l_partkey", "l_shipdate", "l_extendedprice",
+                          "l_discount"}},
+                        {P, {"p_partkey", "p_type"}}}});
+  // Q15: top supplier.
+  q.push_back({15, Refs{{L,
+                         {"l_suppkey", "l_shipdate", "l_extendedprice",
+                          "l_discount"}},
+                        {S, {"s_suppkey", "s_name", "s_address", "s_phone"}}}});
+  // Q16: parts/supplier relationship.
+  q.push_back({16, Refs{{PS, {"ps_partkey", "ps_suppkey"}},
+                        {P, {"p_partkey", "p_brand", "p_type", "p_size"}},
+                        {S, {"s_suppkey", "s_comment"}}}});
+  // Q17: small-quantity-order revenue.
+  q.push_back({17, Refs{{L, {"l_partkey", "l_quantity", "l_extendedprice"}},
+                        {P, {"p_partkey", "p_brand", "p_container"}}}});
+  // Q18: large volume customer.
+  q.push_back({18, Refs{{C, {"c_custkey", "c_name"}},
+                        {O,
+                         {"o_orderkey", "o_custkey", "o_orderdate",
+                          "o_totalprice"}},
+                        {L, {"l_orderkey", "l_quantity"}}}});
+  // Q19: discounted revenue.
+  q.push_back({19, Refs{{L,
+                         {"l_partkey", "l_quantity", "l_extendedprice",
+                          "l_discount", "l_shipinstruct", "l_shipmode"}},
+                        {P,
+                         {"p_partkey", "p_brand", "p_container", "p_size"}}}});
+  // Q20: potential part promotion.
+  q.push_back({20, Refs{{S, {"s_suppkey", "s_name", "s_address", "s_nationkey"}},
+                        {N, {"n_nationkey", "n_name"}},
+                        {PS, {"ps_partkey", "ps_suppkey", "ps_availqty"}},
+                        {P, {"p_partkey", "p_name"}},
+                        {L,
+                         {"l_partkey", "l_suppkey", "l_quantity",
+                          "l_shipdate"}}}});
+  // Q21: suppliers who kept orders waiting.
+  q.push_back({21, Refs{{S, {"s_suppkey", "s_name", "s_nationkey"}},
+                        {L,
+                         {"l_orderkey", "l_suppkey", "l_receiptdate",
+                          "l_commitdate"}},
+                        {O, {"o_orderkey", "o_orderstatus"}},
+                        {N, {"n_nationkey", "n_name"}}}});
+  // Q22: global sales opportunity.
+  q.push_back({22, Refs{{C, {"c_custkey", "c_phone", "c_acctbal"}},
+                        {O, {"o_custkey"}}}});
+  return q;
+}
+
+}  // namespace
+
+const std::vector<TpchQueryFootprint>& TpchQueryFootprints() {
+  static const std::vector<TpchQueryFootprint>* footprints =
+      new std::vector<TpchQueryFootprint>(BuildFootprints());
+  return *footprints;
+}
+
+Query MakeTpchQuery(const TpchQueryFootprint& footprint,
+                    const AttributeDictionary& dictionary) {
+  Synopsis attributes;
+  for (const auto& [table, columns] : footprint.references) {
+    (void)table;
+    for (const std::string& column : columns) {
+      const auto id = dictionary.Find(column);
+      if (id.has_value()) attributes.Add(*id);
+    }
+  }
+  return Query(std::move(attributes));
+}
+
+}  // namespace cinderella

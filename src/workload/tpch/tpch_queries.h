@@ -1,0 +1,40 @@
+#ifndef CINDERELLA_WORKLOAD_TPCH_TPCH_QUERIES_H_
+#define CINDERELLA_WORKLOAD_TPCH_TPCH_QUERIES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "query/query.h"
+#include "synopsis/attribute_dictionary.h"
+#include "workload/tpch/tpch_schema.h"
+
+namespace cinderella {
+
+/// The column footprint of one TPC-H query: every (table, column) the
+/// query text references in its SELECT / WHERE / GROUP BY / ORDER BY
+/// clauses (including subqueries).
+///
+/// The paper measures "the total execution time of the 22 TPC-H queries"
+/// through views emulating the TPC-H tables on top of the Cinderella
+/// partitioning; what the partitioning affects is *which partitions each
+/// query's scans touch*, which is fully determined by the footprint. Join
+/// and aggregate semantics are deliberately out of scope (DESIGN.md,
+/// substitution table).
+struct TpchQueryFootprint {
+  int number;  // 1-22.
+  std::vector<std::pair<TpchTable, std::vector<std::string>>> references;
+};
+
+/// Footprints of all 22 queries, ordered by query number.
+const std::vector<TpchQueryFootprint>& TpchQueryFootprints();
+
+/// Builds the executor query for one footprint: the union of the
+/// referenced columns' attribute ids. Columns unknown to `dictionary` are
+/// skipped (they match nothing).
+Query MakeTpchQuery(const TpchQueryFootprint& footprint,
+                    const AttributeDictionary& dictionary);
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_WORKLOAD_TPCH_TPCH_QUERIES_H_

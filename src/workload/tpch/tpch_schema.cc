@@ -1,0 +1,124 @@
+#include "workload/tpch/tpch_schema.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cinderella {
+
+const std::vector<TpchTable>& AllTpchTables() {
+  static const std::vector<TpchTable>* tables = new std::vector<TpchTable>{
+      TpchTable::kRegion,   TpchTable::kNation, TpchTable::kSupplier,
+      TpchTable::kCustomer, TpchTable::kPart,   TpchTable::kPartsupp,
+      TpchTable::kOrders,   TpchTable::kLineitem};
+  return *tables;
+}
+
+const char* TpchTableName(TpchTable table) {
+  switch (table) {
+    case TpchTable::kRegion:
+      return "region";
+    case TpchTable::kNation:
+      return "nation";
+    case TpchTable::kSupplier:
+      return "supplier";
+    case TpchTable::kCustomer:
+      return "customer";
+    case TpchTable::kPart:
+      return "part";
+    case TpchTable::kPartsupp:
+      return "partsupp";
+    case TpchTable::kOrders:
+      return "orders";
+    case TpchTable::kLineitem:
+      return "lineitem";
+  }
+  return "unknown";
+}
+
+const std::vector<std::string>& TpchColumns(TpchTable table) {
+  static const std::vector<std::string>* region = new std::vector<std::string>{
+      "r_regionkey", "r_name", "r_comment"};
+  static const std::vector<std::string>* nation = new std::vector<std::string>{
+      "n_nationkey", "n_name", "n_regionkey", "n_comment"};
+  static const std::vector<std::string>* supplier =
+      new std::vector<std::string>{"s_suppkey", "s_name",    "s_address",
+                                   "s_nationkey", "s_phone", "s_acctbal",
+                                   "s_comment"};
+  static const std::vector<std::string>* customer =
+      new std::vector<std::string>{"c_custkey", "c_name",       "c_address",
+                                   "c_nationkey", "c_phone",    "c_acctbal",
+                                   "c_mktsegment", "c_comment"};
+  static const std::vector<std::string>* part = new std::vector<std::string>{
+      "p_partkey", "p_name",      "p_mfgr",        "p_brand",  "p_type",
+      "p_size",    "p_container", "p_retailprice", "p_comment"};
+  static const std::vector<std::string>* partsupp =
+      new std::vector<std::string>{"ps_partkey", "ps_suppkey", "ps_availqty",
+                                   "ps_supplycost", "ps_comment"};
+  static const std::vector<std::string>* orders = new std::vector<std::string>{
+      "o_orderkey",      "o_custkey", "o_orderstatus",  "o_totalprice",
+      "o_orderdate",     "o_orderpriority", "o_clerk", "o_shippriority",
+      "o_comment"};
+  static const std::vector<std::string>* lineitem =
+      new std::vector<std::string>{
+          "l_orderkey",    "l_partkey",      "l_suppkey",     "l_linenumber",
+          "l_quantity",    "l_extendedprice", "l_discount",   "l_tax",
+          "l_returnflag",  "l_linestatus",   "l_shipdate",    "l_commitdate",
+          "l_receiptdate", "l_shipinstruct", "l_shipmode",    "l_comment"};
+  switch (table) {
+    case TpchTable::kRegion:
+      return *region;
+    case TpchTable::kNation:
+      return *nation;
+    case TpchTable::kSupplier:
+      return *supplier;
+    case TpchTable::kCustomer:
+      return *customer;
+    case TpchTable::kPart:
+      return *part;
+    case TpchTable::kPartsupp:
+      return *partsupp;
+    case TpchTable::kOrders:
+      return *orders;
+    case TpchTable::kLineitem:
+      return *lineitem;
+  }
+  return *region;
+}
+
+uint64_t TpchRowCount(TpchTable table, double scale_factor) {
+  CINDERELLA_CHECK(scale_factor > 0.0);
+  auto scaled = [scale_factor](double base) {
+    return static_cast<uint64_t>(
+        std::max(1.0, std::llround(base * scale_factor) * 1.0));
+  };
+  switch (table) {
+    case TpchTable::kRegion:
+      return 5;
+    case TpchTable::kNation:
+      return 25;
+    case TpchTable::kSupplier:
+      return scaled(10000);
+    case TpchTable::kCustomer:
+      return scaled(150000);
+    case TpchTable::kPart:
+      return scaled(200000);
+    case TpchTable::kPartsupp:
+      return scaled(800000);
+    case TpchTable::kOrders:
+      return scaled(1500000);
+    case TpchTable::kLineitem:
+      return scaled(6000000);
+  }
+  return 0;
+}
+
+EntityId TpchEntityId(TpchTable table, uint64_t ordinal) {
+  return (static_cast<EntityId>(table) << 40) | ordinal;
+}
+
+TpchTable TpchTableOfEntity(EntityId entity) {
+  return static_cast<TpchTable>(entity >> 40);
+}
+
+}  // namespace cinderella

@@ -1,0 +1,50 @@
+#ifndef CINDERELLA_WORKLOAD_TPCH_TPCH_SCHEMA_H_
+#define CINDERELLA_WORKLOAD_TPCH_TPCH_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/row.h"
+
+namespace cinderella {
+
+/// The eight TPC-H base tables (TPC Benchmark H, revision 2.16.0 — the
+/// version the paper uses for its regularly-structured experiment,
+/// Section V.C).
+enum class TpchTable {
+  kRegion = 0,
+  kNation,
+  kSupplier,
+  kCustomer,
+  kPart,
+  kPartsupp,
+  kOrders,
+  kLineitem,
+};
+
+inline constexpr size_t kTpchTableCount = 8;
+
+/// All eight tables, in enum order.
+const std::vector<TpchTable>& AllTpchTables();
+
+/// Display name ("lineitem", ...).
+const char* TpchTableName(TpchTable table);
+
+/// Column names of one table (with the standard r_/n_/s_/c_/p_/ps_/o_/l_
+/// prefixes, so the universal table's attribute sets are disjoint per
+/// table — TPC-H data is perfectly regular).
+const std::vector<std::string>& TpchColumns(TpchTable table);
+
+/// Cardinality of one table at the given scale factor (lineitem uses the
+/// nominal 6,000,000 x SF approximation).
+uint64_t TpchRowCount(TpchTable table, double scale_factor);
+
+/// Entity ids encode the owning table so baselines and checks can recover
+/// it without consulting the schema: id = (table << 40) | ordinal.
+EntityId TpchEntityId(TpchTable table, uint64_t ordinal);
+TpchTable TpchTableOfEntity(EntityId entity);
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_WORKLOAD_TPCH_TPCH_SCHEMA_H_

@@ -1,0 +1,229 @@
+// Tests for the baseline partitioners (single, hash, range, labeled,
+// offline clustering) behind the shared Partitioner interface.
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/hash_partitioner.h"
+#include "baseline/labeled_partitioner.h"
+#include "baseline/offline_cluster_partitioner.h"
+#include "baseline/range_partitioner.h"
+#include "baseline/single_partitioner.h"
+
+namespace cinderella {
+namespace {
+
+Row MakeRow(EntityId id, std::initializer_list<AttributeId> attrs) {
+  Row row(id);
+  for (AttributeId a : attrs) row.Set(a, Value(int64_t{1}));
+  return row;
+}
+
+// -- shared FixedAssignment behaviour -----------------------------------------
+
+TEST(FixedAssignmentTest, DuplicateInsertRejected) {
+  SinglePartitioner p;
+  ASSERT_TRUE(p.Insert(MakeRow(1, {0})).ok());
+  EXPECT_EQ(p.Insert(MakeRow(1, {1})).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(FixedAssignmentTest, DeleteMissingFails) {
+  SinglePartitioner p;
+  EXPECT_EQ(p.Delete(3).code(), StatusCode::kNotFound);
+}
+
+TEST(FixedAssignmentTest, UpdateMissingFails) {
+  SinglePartitioner p;
+  EXPECT_EQ(p.Update(MakeRow(3, {0})).code(), StatusCode::kNotFound);
+}
+
+TEST(FixedAssignmentTest, UpdateStaysInPlaceAndRefreshesSynopsis) {
+  SinglePartitioner p;
+  ASSERT_TRUE(p.Insert(MakeRow(1, {0, 1})).ok());
+  ASSERT_TRUE(p.Insert(MakeRow(2, {0})).ok());
+  ASSERT_TRUE(p.Update(MakeRow(1, {5})).ok());
+  const Partition* partition =
+      p.catalog().GetPartition(*p.catalog().FindEntity(1));
+  EXPECT_TRUE(partition->attribute_synopsis().Contains(5));
+  EXPECT_FALSE(partition->attribute_synopsis().Contains(1));
+  EXPECT_TRUE(partition->attribute_synopsis().Contains(0));  // Entity 2.
+}
+
+TEST(FixedAssignmentTest, DeleteDropsEmptiedPartition) {
+  RangePartitioner p(1);  // One entity per partition.
+  ASSERT_TRUE(p.Insert(MakeRow(1, {0})).ok());
+  ASSERT_TRUE(p.Insert(MakeRow(2, {0})).ok());
+  EXPECT_EQ(p.catalog().partition_count(), 2u);
+  ASSERT_TRUE(p.Delete(1).ok());
+  EXPECT_EQ(p.catalog().partition_count(), 1u);
+}
+
+// -- SinglePartitioner ----------------------------------------------------------
+
+TEST(SinglePartitionerTest, EverythingInOnePartition) {
+  SinglePartitioner p;
+  for (EntityId id = 0; id < 50; ++id) {
+    ASSERT_TRUE(p.Insert(MakeRow(id, {static_cast<AttributeId>(id % 7)})).ok());
+  }
+  EXPECT_EQ(p.catalog().partition_count(), 1u);
+  EXPECT_EQ(p.catalog().entity_count(), 50u);
+  EXPECT_EQ(p.name(), "universal-table");
+}
+
+TEST(SinglePartitionerTest, RecreatesPartitionAfterFullDelete) {
+  SinglePartitioner p;
+  ASSERT_TRUE(p.Insert(MakeRow(1, {0})).ok());
+  ASSERT_TRUE(p.Delete(1).ok());
+  EXPECT_EQ(p.catalog().partition_count(), 0u);
+  ASSERT_TRUE(p.Insert(MakeRow(2, {0})).ok());
+  EXPECT_EQ(p.catalog().partition_count(), 1u);
+}
+
+// -- HashPartitioner --------------------------------------------------------------
+
+TEST(HashPartitionerTest, UsesAtMostNumBuckets) {
+  HashPartitioner p(4);
+  for (EntityId id = 0; id < 200; ++id) {
+    ASSERT_TRUE(p.Insert(MakeRow(id, {0})).ok());
+  }
+  EXPECT_LE(p.catalog().partition_count(), 4u);
+  EXPECT_GE(p.catalog().partition_count(), 2u);  // Mixing spreads ids.
+  EXPECT_EQ(p.catalog().entity_count(), 200u);
+  EXPECT_EQ(p.name(), "hash(4)");
+}
+
+TEST(HashPartitionerTest, PlacementIsDeterministicById) {
+  HashPartitioner a(8);
+  HashPartitioner b(8);
+  for (EntityId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(a.Insert(MakeRow(id, {0})).ok());
+    ASSERT_TRUE(b.Insert(MakeRow(id, {0})).ok());
+  }
+  for (EntityId id = 0; id < 100; ++id) {
+    EXPECT_EQ(a.catalog().FindEntity(id), b.catalog().FindEntity(id));
+  }
+}
+
+TEST(HashPartitionerTest, SchemaOblivious) {
+  // Identical ids modulo schema: two very different schemas end up mixed.
+  HashPartitioner p(2);
+  for (EntityId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(
+        p.Insert(MakeRow(id, {id % 2 == 0 ? AttributeId{0} : AttributeId{50}}))
+            .ok());
+  }
+  size_t mixed = 0;
+  p.catalog().ForEachPartition([&](const Partition& partition) {
+    if (partition.attribute_synopsis().Count() == 2) ++mixed;
+  });
+  EXPECT_GT(mixed, 0u);
+}
+
+// -- RangePartitioner --------------------------------------------------------------
+
+TEST(RangePartitionerTest, ChunksByArrivalOrder) {
+  RangePartitioner p(10);
+  for (EntityId id = 0; id < 35; ++id) {
+    ASSERT_TRUE(p.Insert(MakeRow(id, {0})).ok());
+  }
+  EXPECT_EQ(p.catalog().partition_count(), 4u);  // 10+10+10+5.
+  size_t full = 0;
+  p.catalog().ForEachPartition([&](const Partition& partition) {
+    EXPECT_LE(partition.entity_count(), 10u);
+    full += partition.entity_count() == 10;
+  });
+  EXPECT_EQ(full, 3u);
+  EXPECT_EQ(p.name(), "range(B=10)");
+}
+
+// -- LabeledPartitioner -------------------------------------------------------------
+
+TEST(LabeledPartitionerTest, OnePartitionPerLabel) {
+  LabeledPartitioner p([](const Row& row) { return row.id() % 3; },
+                       "by-mod3");
+  for (EntityId id = 0; id < 30; ++id) {
+    ASSERT_TRUE(p.Insert(MakeRow(id, {0})).ok());
+  }
+  EXPECT_EQ(p.catalog().partition_count(), 3u);
+  // All entities with the same label co-located.
+  EXPECT_EQ(p.catalog().FindEntity(0), p.catalog().FindEntity(3));
+  EXPECT_NE(p.catalog().FindEntity(0), p.catalog().FindEntity(1));
+  EXPECT_EQ(p.name(), "by-mod3");
+}
+
+// -- OfflineClusterPartitioner -------------------------------------------------------
+
+TEST(OfflineClusterTest, JaccardSimilarity) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(Synopsis{0, 1}, Synopsis{1, 2}),
+                   1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(Synopsis{0}, Synopsis{0}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(Synopsis{0}, Synopsis{1}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(Synopsis{}, Synopsis{}), 1.0);
+}
+
+TEST(OfflineClusterTest, ConfigValidation) {
+  OfflineClusterConfig bad;
+  bad.jaccard_threshold = 1.5;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad.jaccard_threshold = 0.5;
+  bad.max_entities_per_partition = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(OfflineClusterTest, SeparatesSchemaFamilies) {
+  OfflineClusterConfig config;
+  config.jaccard_threshold = 0.4;
+  config.max_entities_per_partition = 100;
+  OfflineClusterPartitioner p(config);
+  std::vector<Row> rows;
+  for (EntityId id = 0; id < 40; ++id) {
+    rows.push_back(id % 2 == 0 ? MakeRow(id, {0, 1, 2})
+                               : MakeRow(id, {10, 11, 12}));
+  }
+  ASSERT_TRUE(p.Build(std::move(rows)).ok());
+  EXPECT_EQ(p.cluster_count(), 2u);
+  EXPECT_EQ(p.catalog().partition_count(), 2u);
+  EXPECT_EQ(p.catalog().FindEntity(0), p.catalog().FindEntity(2));
+  EXPECT_NE(p.catalog().FindEntity(0), p.catalog().FindEntity(1));
+}
+
+TEST(OfflineClusterTest, RespectsCapacityChunks) {
+  OfflineClusterConfig config;
+  config.max_entities_per_partition = 8;
+  OfflineClusterPartitioner p(config);
+  std::vector<Row> rows;
+  for (EntityId id = 0; id < 30; ++id) rows.push_back(MakeRow(id, {0, 1}));
+  ASSERT_TRUE(p.Build(std::move(rows)).ok());
+  EXPECT_EQ(p.cluster_count(), 1u);
+  EXPECT_EQ(p.catalog().partition_count(), 4u);  // 8+8+8+6.
+  p.catalog().ForEachPartition([](const Partition& partition) {
+    EXPECT_LE(partition.entity_count(), 8u);
+  });
+}
+
+TEST(OfflineClusterTest, BuildTwiceFails) {
+  OfflineClusterPartitioner p(OfflineClusterConfig{});
+  ASSERT_TRUE(p.Build({}).ok());
+  EXPECT_EQ(p.Build({}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(OfflineClusterTest, OnlineInsertAfterBuild) {
+  OfflineClusterConfig config;
+  config.max_entities_per_partition = 100;
+  OfflineClusterPartitioner p(config);
+  std::vector<Row> rows;
+  for (EntityId id = 0; id < 10; ++id) rows.push_back(MakeRow(id, {0, 1, 2}));
+  ASSERT_TRUE(p.Build(std::move(rows)).ok());
+  // Similar entity joins the existing cluster.
+  ASSERT_TRUE(p.Insert(MakeRow(100, {0, 1, 2})).ok());
+  EXPECT_EQ(p.catalog().FindEntity(100), p.catalog().FindEntity(0));
+  // Alien entity opens a new cluster.
+  ASSERT_TRUE(p.Insert(MakeRow(101, {40, 41})).ok());
+  EXPECT_NE(p.catalog().FindEntity(101), p.catalog().FindEntity(0));
+  EXPECT_EQ(p.cluster_count(), 2u);
+}
+
+}  // namespace
+}  // namespace cinderella

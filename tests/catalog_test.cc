@@ -1,0 +1,152 @@
+// Tests for PartitionCatalog and SynopsisIndex.
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "core/synopsis_index.h"
+
+namespace cinderella {
+namespace {
+
+Row MakeRow(EntityId id, std::initializer_list<AttributeId> attrs) {
+  Row row(id);
+  for (AttributeId a : attrs) row.Set(a, Value(int64_t{1}));
+  return row;
+}
+
+TEST(CatalogTest, CreateAssignsSequentialIds) {
+  PartitionCatalog catalog;
+  EXPECT_EQ(catalog.CreatePartition().id(), 0u);
+  EXPECT_EQ(catalog.CreatePartition().id(), 1u);
+  EXPECT_EQ(catalog.partition_count(), 2u);
+}
+
+TEST(CatalogTest, DropRemovesAndNeverReusesIds) {
+  PartitionCatalog catalog;
+  catalog.CreatePartition();
+  catalog.CreatePartition();
+  ASSERT_TRUE(catalog.DropPartition(0).ok());
+  EXPECT_EQ(catalog.partition_count(), 1u);
+  EXPECT_EQ(catalog.GetPartition(0), nullptr);
+  EXPECT_EQ(catalog.CreatePartition().id(), 2u);  // Id 0 not reused.
+}
+
+TEST(CatalogTest, DropFailsForMissingOrNonEmpty) {
+  PartitionCatalog catalog;
+  Partition& p = catalog.CreatePartition();
+  const PartitionId id = p.id();
+  EXPECT_EQ(catalog.DropPartition(7).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(p.AddRow(MakeRow(1, {0}), Synopsis{0}).ok());
+  EXPECT_EQ(catalog.DropPartition(id).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(p.RemoveRow(1, Synopsis{0}).ok());
+  EXPECT_TRUE(catalog.DropPartition(id).ok());
+  // `p` is destroyed now; only the id may be used.
+  EXPECT_EQ(catalog.DropPartition(id).code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, ForEachSkipsTombstones) {
+  PartitionCatalog catalog;
+  catalog.CreatePartition();
+  catalog.CreatePartition();
+  catalog.CreatePartition();
+  ASSERT_TRUE(catalog.DropPartition(1).ok());
+  std::vector<PartitionId> seen;
+  catalog.ForEachPartition([&](Partition& p) { seen.push_back(p.id()); });
+  EXPECT_EQ(seen, (std::vector<PartitionId>{0, 2}));
+  EXPECT_EQ(catalog.LivePartitionIds(), (std::vector<PartitionId>{0, 2}));
+}
+
+TEST(CatalogTest, EntityBindings) {
+  PartitionCatalog catalog;
+  catalog.CreatePartition();
+  catalog.CreatePartition();
+  catalog.BindEntity(10, 0);
+  catalog.BindEntity(11, 1);
+  EXPECT_EQ(catalog.FindEntity(10), std::optional<PartitionId>(0));
+  EXPECT_EQ(catalog.entity_count(), 2u);
+  catalog.BindEntity(10, 1);  // Rebind (move).
+  EXPECT_EQ(catalog.FindEntity(10), std::optional<PartitionId>(1));
+  EXPECT_EQ(catalog.entity_count(), 2u);
+  catalog.UnbindEntity(10);
+  EXPECT_EQ(catalog.FindEntity(10), std::nullopt);
+  EXPECT_EQ(catalog.entity_count(), 1u);
+}
+
+TEST(CatalogTest, SeparateRatingFlagPropagates) {
+  PartitionCatalog catalog(/*separate_rating_synopsis=*/true);
+  Partition& p = catalog.CreatePartition();
+  ASSERT_TRUE(p.AddRow(MakeRow(1, {0}), Synopsis{9}).ok());
+  EXPECT_EQ(p.rating_synopsis(), Synopsis{9});
+  EXPECT_TRUE(catalog.separate_rating_synopsis());
+}
+
+// -- SynopsisIndex ------------------------------------------------------------
+
+TEST(SynopsisIndexTest, CollectsOverlappingPartitions) {
+  SynopsisIndex index;
+  index.AddPosting(1, 0);
+  index.AddPosting(2, 0);
+  index.AddPosting(2, 1);
+  index.AddPosting(3, 2);
+
+  std::vector<PartitionId> candidates;
+  index.CollectCandidates(Synopsis{2}, &candidates);
+  std::sort(candidates.begin(), candidates.end());
+  EXPECT_EQ(candidates, (std::vector<PartitionId>{0, 1}));
+
+  candidates.clear();
+  index.CollectCandidates(Synopsis{1, 3}, &candidates);
+  std::sort(candidates.begin(), candidates.end());
+  EXPECT_EQ(candidates, (std::vector<PartitionId>{0, 2}));
+}
+
+TEST(SynopsisIndexTest, DeduplicatesCandidates) {
+  SynopsisIndex index;
+  index.AddPosting(1, 0);
+  index.AddPosting(2, 0);
+  std::vector<PartitionId> candidates;
+  index.CollectCandidates(Synopsis{1, 2}, &candidates);
+  EXPECT_EQ(candidates.size(), 1u);
+}
+
+TEST(SynopsisIndexTest, RemovePostingHidesPartition) {
+  SynopsisIndex index;
+  index.AddPosting(1, 0);
+  index.AddPosting(1, 1);
+  index.RemovePosting(1, 0);
+  std::vector<PartitionId> candidates;
+  index.CollectCandidates(Synopsis{1}, &candidates);
+  EXPECT_EQ(candidates, (std::vector<PartitionId>{1}));
+  EXPECT_EQ(index.live_posting_count(), 1u);
+}
+
+TEST(SynopsisIndexTest, CompactionPreservesLivePostings) {
+  SynopsisIndex index;
+  for (PartitionId p = 0; p < 100; ++p) index.AddPosting(5, p);
+  for (PartitionId p = 0; p < 99; ++p) index.RemovePosting(5, p);
+  std::vector<PartitionId> candidates;
+  index.CollectCandidates(Synopsis{5}, &candidates);
+  EXPECT_EQ(candidates, (std::vector<PartitionId>{99}));
+}
+
+TEST(SynopsisIndexTest, UnknownIdsYieldNoCandidates) {
+  SynopsisIndex index;
+  index.AddPosting(1, 0);
+  std::vector<PartitionId> candidates;
+  index.CollectCandidates(Synopsis{500}, &candidates);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(SynopsisIndexTest, ReAddAfterRemove) {
+  SynopsisIndex index;
+  index.AddPosting(1, 0);
+  index.RemovePosting(1, 0);
+  index.AddPosting(1, 0);
+  std::vector<PartitionId> candidates;
+  index.CollectCandidates(Synopsis{1}, &candidates);
+  EXPECT_EQ(candidates, (std::vector<PartitionId>{0}));
+}
+
+}  // namespace
+}  // namespace cinderella

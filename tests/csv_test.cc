@@ -1,0 +1,172 @@
+// Tests for wide-CSV import/export of sparse universal tables.
+
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/cinderella.h"
+#include "core/universal_table.h"
+#include "io/csv.h"
+
+namespace cinderella {
+namespace {
+
+UniversalTable MakeTable() {
+  CinderellaConfig config;
+  config.weight = 0.5;
+  config.max_size = 100;
+  return UniversalTable(std::move(Cinderella::Create(config)).value());
+}
+
+TEST(CsvImportTest, BasicSparseImport) {
+  UniversalTable table = MakeTable();
+  std::stringstream in(
+      "id,name,resolution,storage\n"
+      "1,Canon S120,12.1,\n"
+      "2,WD4000FYYZ,,4TB\n");
+  ASSERT_TRUE(ImportCsv(in, &table).ok());
+  EXPECT_EQ(table.entity_count(), 2u);
+  auto row1 = table.Get(1);
+  ASSERT_TRUE(row1.ok());
+  EXPECT_EQ(row1->attribute_count(), 2u);  // Empty cell skipped.
+  EXPECT_EQ(row1->Get(*table.dictionary().Find("name"))->as_string(),
+            "Canon S120");
+  EXPECT_DOUBLE_EQ(
+      row1->Get(*table.dictionary().Find("resolution"))->as_double(), 12.1);
+  auto row2 = table.Get(2);
+  EXPECT_EQ(row2->Get(*table.dictionary().Find("storage"))->as_string(),
+            "4TB");
+}
+
+TEST(CsvImportTest, TypeInference) {
+  UniversalTable table = MakeTable();
+  std::stringstream in("id,a,b,c\n1,42,2.5,hello\n");
+  ASSERT_TRUE(ImportCsv(in, &table).ok());
+  auto row = table.Get(1);
+  EXPECT_TRUE(row->Get(*table.dictionary().Find("a"))->is_int64());
+  EXPECT_TRUE(row->Get(*table.dictionary().Find("b"))->is_double());
+  EXPECT_TRUE(row->Get(*table.dictionary().Find("c"))->is_string());
+}
+
+TEST(CsvImportTest, InferenceDisabled) {
+  UniversalTable table = MakeTable();
+  CsvOptions options;
+  options.infer_types = false;
+  std::stringstream in("id,a\n1,42\n");
+  ASSERT_TRUE(ImportCsv(in, &table, options).ok());
+  EXPECT_TRUE(table.Get(1)->Get(*table.dictionary().Find("a"))->is_string());
+}
+
+TEST(CsvImportTest, AutoAssignsIdsWithoutIdColumn) {
+  UniversalTable table = MakeTable();
+  std::stringstream in("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(ImportCsv(in, &table).ok());
+  EXPECT_EQ(table.entity_count(), 2u);
+  EXPECT_TRUE(table.Get(0).ok());
+  EXPECT_TRUE(table.Get(1).ok());
+}
+
+TEST(CsvImportTest, QuotedFields) {
+  UniversalTable table = MakeTable();
+  std::stringstream in(
+      "id,name,comment\n"
+      "1,\"Grimm, Brothers\",\"said \"\"hi\"\"\"\n"
+      "2,\"multi\nline\",x\n");
+  ASSERT_TRUE(ImportCsv(in, &table).ok());
+  EXPECT_EQ(table.Get(1)->Get(*table.dictionary().Find("name"))->as_string(),
+            "Grimm, Brothers");
+  EXPECT_EQ(
+      table.Get(1)->Get(*table.dictionary().Find("comment"))->as_string(),
+      "said \"hi\"");
+  EXPECT_EQ(table.Get(2)->Get(*table.dictionary().Find("name"))->as_string(),
+            "multi\nline");
+}
+
+TEST(CsvImportTest, CrLfAndBlankLines) {
+  UniversalTable table = MakeTable();
+  std::stringstream in("id,a\r\n1,x\r\n\r\n2,y\r\n");
+  ASSERT_TRUE(ImportCsv(in, &table).ok());
+  EXPECT_EQ(table.entity_count(), 2u);
+}
+
+TEST(CsvImportTest, Errors) {
+  {
+    UniversalTable table = MakeTable();
+    std::stringstream in("");
+    EXPECT_FALSE(ImportCsv(in, &table).ok());
+  }
+  {
+    UniversalTable table = MakeTable();
+    std::stringstream in("id,a\nnot_a_number,x\n");
+    EXPECT_EQ(ImportCsv(in, &table).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    UniversalTable table = MakeTable();
+    std::stringstream in("id,a\n1,x,y,z\n");
+    EXPECT_EQ(ImportCsv(in, &table).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    UniversalTable table = MakeTable();
+    std::stringstream in("id,a\n1,x\n1,y\n");  // Duplicate id.
+    EXPECT_EQ(ImportCsv(in, &table).code(), StatusCode::kAlreadyExists);
+  }
+  {
+    UniversalTable table = MakeTable();
+    std::stringstream in("id,a\n1,\"unterminated\n");
+    EXPECT_EQ(ImportCsv(in, &table).code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(CsvRoundTripTest, ExportThenImportPreservesData) {
+  UniversalTable table = MakeTable();
+  ASSERT_TRUE(table.Insert(5, {{"name", Value("a,b")},
+                               {"size", Value(int64_t{7})}})
+                  .ok());
+  ASSERT_TRUE(table.Insert(2, {{"size", Value(int64_t{9})},
+                               {"note", Value("x\"y")}})
+                  .ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(ExportCsv(table, buffer).ok());
+
+  UniversalTable reloaded = MakeTable();
+  ASSERT_TRUE(ImportCsv(buffer, &reloaded).ok());
+  EXPECT_EQ(reloaded.entity_count(), 2u);
+  EXPECT_EQ(
+      reloaded.Get(5)->Get(*reloaded.dictionary().Find("name"))->as_string(),
+      "a,b");
+  EXPECT_EQ(
+      reloaded.Get(5)->Get(*reloaded.dictionary().Find("size"))->as_int64(),
+      7);
+  EXPECT_EQ(
+      reloaded.Get(2)->Get(*reloaded.dictionary().Find("note"))->as_string(),
+      "x\"y");
+  // Entity 2 never had "name": the empty cell stays absent.
+  EXPECT_EQ(reloaded.Get(2)->Get(*reloaded.dictionary().Find("name")),
+            nullptr);
+}
+
+TEST(CsvExportTest, RowsSortedById) {
+  UniversalTable table = MakeTable();
+  ASSERT_TRUE(table.Insert(30, {{"a", Value(int64_t{1})}}).ok());
+  ASSERT_TRUE(table.Insert(10, {{"a", Value(int64_t{1})}}).ok());
+  ASSERT_TRUE(table.Insert(20, {{"a", Value(int64_t{1})}}).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(ExportCsv(table, buffer).ok());
+  std::string line;
+  std::getline(buffer, line);  // Header.
+  std::getline(buffer, line);
+  EXPECT_EQ(line.substr(0, 3), "10,");
+  std::getline(buffer, line);
+  EXPECT_EQ(line.substr(0, 3), "20,");
+}
+
+TEST(CsvFileTest, MissingFile) {
+  UniversalTable table = MakeTable();
+  EXPECT_EQ(ImportCsvFromFile("/nonexistent/file.csv", &table).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cinderella

@@ -1,0 +1,190 @@
+// Tests for the distributed-cluster simulation: placement policies, node
+// loads, and scatter-gather query execution with pruning.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baseline/hash_partitioner.h"
+#include "core/cinderella.h"
+#include "distributed/cluster.h"
+
+namespace cinderella {
+namespace {
+
+Row MakeRow(EntityId id, std::initializer_list<AttributeId> attrs) {
+  Row row(id);
+  for (AttributeId a : attrs) row.Set(a, Value(int64_t{1}));
+  return row;
+}
+
+// Catalog with four single-family partitions of different sizes.
+std::unique_ptr<Cinderella> MakeFamilies() {
+  CinderellaConfig config;
+  config.weight = 0.3;
+  config.max_size = 1000;
+  auto c = std::move(Cinderella::Create(config)).value();
+  EntityId next = 0;
+  const size_t sizes[] = {40, 30, 20, 10};
+  for (size_t family = 0; family < 4; ++family) {
+    for (size_t i = 0; i < sizes[family]; ++i) {
+      const AttributeId base = static_cast<AttributeId>(family * 10);
+      EXPECT_TRUE(c->Insert(MakeRow(next++, {base, base + 1})).ok());
+    }
+  }
+  EXPECT_EQ(c->catalog().partition_count(), 4u);
+  return c;
+}
+
+TEST(ClusterTest, RoundRobinPlacement) {
+  auto c = MakeFamilies();
+  Cluster cluster(2, PlacementPolicy::kRoundRobin);
+  cluster.Place(c->catalog());
+  const auto ids = c->catalog().LivePartitionIds();
+  EXPECT_EQ(*cluster.NodeOf(ids[0]), 0u);
+  EXPECT_EQ(*cluster.NodeOf(ids[1]), 1u);
+  EXPECT_EQ(*cluster.NodeOf(ids[2]), 0u);
+  EXPECT_EQ(*cluster.NodeOf(ids[3]), 1u);
+}
+
+TEST(ClusterTest, LeastLoadedBalancesEntities) {
+  auto c = MakeFamilies();  // Sizes 40/30/20/10.
+  Cluster cluster(2, PlacementPolicy::kLeastLoaded);
+  cluster.Place(c->catalog());
+  const auto loads = cluster.node_loads(c->catalog());
+  // 40 -> node0; 30 -> node1; 20 -> node1 (30<40); 10 -> node0 (40<50).
+  EXPECT_EQ(loads[0].entities, 50u);
+  EXPECT_EQ(loads[1].entities, 50u);
+  EXPECT_DOUBLE_EQ(cluster.LoadImbalance(c->catalog()), 1.0);
+}
+
+TEST(ClusterTest, RoundRobinCanBeImbalanced) {
+  auto c = MakeFamilies();
+  Cluster cluster(2, PlacementPolicy::kRoundRobin);
+  cluster.Place(c->catalog());
+  // Node 0 gets 40+20=60, node 1 gets 30+10=40.
+  EXPECT_GT(cluster.LoadImbalance(c->catalog()), 1.0);
+}
+
+TEST(ClusterTest, NodeOfUnplacedFails) {
+  Cluster cluster(2, PlacementPolicy::kRoundRobin);
+  EXPECT_FALSE(cluster.NodeOf(0).ok());
+}
+
+TEST(ClusterTest, SelectiveQueryContactsOneNode) {
+  auto c = MakeFamilies();
+  Cluster cluster(4, PlacementPolicy::kRoundRobin);
+  cluster.Place(c->catalog());
+  const DistributedQueryResult result =
+      cluster.Execute(Query(Synopsis{30}), c->catalog());
+  EXPECT_EQ(result.nodes_contacted, 1u);
+  EXPECT_EQ(result.partitions_scanned, 1u);
+  EXPECT_EQ(result.partitions_pruned, 3u);
+  EXPECT_EQ(result.rows_matched, 10u);
+  EXPECT_EQ(result.max_node_rows, 10u);
+  // Each matched row ships its one projected cell.
+  EXPECT_EQ(result.result_cells_shipped, 10u);
+}
+
+TEST(ClusterTest, BroadQueryFansOut) {
+  auto c = MakeFamilies();
+  Cluster cluster(4, PlacementPolicy::kRoundRobin);
+  cluster.Place(c->catalog());
+  const DistributedQueryResult result =
+      cluster.Execute(Query(Synopsis{0, 10, 20, 30}), c->catalog());
+  EXPECT_EQ(result.nodes_contacted, 4u);
+  EXPECT_EQ(result.rows_matched, 100u);
+  // Critical path: the node holding the 40-entity partition.
+  EXPECT_EQ(result.max_node_rows, 40u);
+}
+
+TEST(ClusterTest, HashPartitioningAlwaysFansOut) {
+  // Schema-oblivious hash placement: every partition contains every
+  // schema, so even a selective query contacts all nodes.
+  HashPartitioner hash(4);
+  EntityId next = 0;
+  for (size_t family = 0; family < 4; ++family) {
+    for (size_t i = 0; i < 25; ++i) {
+      const AttributeId base = static_cast<AttributeId>(family * 10);
+      ASSERT_TRUE(hash.Insert(MakeRow(next++, {base, base + 1})).ok());
+    }
+  }
+  Cluster cluster(4, PlacementPolicy::kRoundRobin);
+  cluster.Place(hash.catalog());
+  const DistributedQueryResult result =
+      cluster.Execute(Query(Synopsis{30}), hash.catalog());
+  EXPECT_EQ(result.nodes_contacted, 4u);
+  EXPECT_EQ(result.rows_scanned, 100u);  // No pruning possible.
+  EXPECT_EQ(result.rows_matched, 25u);
+}
+
+TEST(ClusterTest, SchemaAwareCoLocatesSimilarPartitions) {
+  // Two schema families, two partitions each (forced by capacity).
+  CinderellaConfig config;
+  config.weight = 0.3;
+  config.max_size = 10;
+  auto c = std::move(Cinderella::Create(config)).value();
+  EntityId next = 0;
+  for (int round = 0; round < 18; ++round) {
+    ASSERT_TRUE(c->Insert(MakeRow(next++, {0, 1})).ok());
+    ASSERT_TRUE(c->Insert(MakeRow(next++, {20, 21})).ok());
+  }
+  ASSERT_GE(c->catalog().partition_count(), 4u);
+
+  Cluster cluster(2, PlacementPolicy::kSchemaAware);
+  cluster.Place(c->catalog());
+  // Every family's partitions should land on one node: a family query
+  // contacts exactly one node.
+  const DistributedQueryResult family_a =
+      cluster.Execute(Query(Synopsis{0}), c->catalog());
+  const DistributedQueryResult family_b =
+      cluster.Execute(Query(Synopsis{20}), c->catalog());
+  EXPECT_EQ(family_a.nodes_contacted, 1u);
+  EXPECT_EQ(family_b.nodes_contacted, 1u);
+  // And the load cap keeps the placement balanced.
+  EXPECT_LE(cluster.LoadImbalance(c->catalog()), 1.3);
+}
+
+TEST(ClusterTest, SchemaAwareRespectsLoadCap) {
+  // Ten identical-schema partitions must not all pile on one node.
+  CinderellaConfig config;
+  config.weight = 1.0;
+  config.max_size = 10;
+  auto c = std::move(Cinderella::Create(config)).value();
+  for (EntityId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(c->Insert(MakeRow(id, {0, 1})).ok());
+  }
+  ASSERT_GE(c->catalog().partition_count(), 8u);
+  Cluster cluster(4, PlacementPolicy::kSchemaAware);
+  cluster.Place(c->catalog());
+  EXPECT_LE(cluster.LoadImbalance(c->catalog()), 1.5);
+  const auto loads = cluster.node_loads(c->catalog());
+  for (const NodeLoad& load : loads) {
+    EXPECT_GT(load.entities, 0u);  // No empty node.
+  }
+}
+
+TEST(ClusterTest, RePlaceAfterCatalogChanges) {
+  auto c = MakeFamilies();
+  Cluster cluster(2, PlacementPolicy::kLeastLoaded);
+  cluster.Place(c->catalog());
+  ASSERT_TRUE(c->Insert(MakeRow(999, {70, 71})).ok());  // New partition.
+  cluster.Place(c->catalog());
+  const auto ids = c->catalog().LivePartitionIds();
+  for (PartitionId id : ids) {
+    EXPECT_TRUE(cluster.NodeOf(id).ok());
+  }
+}
+
+TEST(ClusterTest, EmptyCatalog) {
+  PartitionCatalog catalog;
+  Cluster cluster(3, PlacementPolicy::kRoundRobin);
+  cluster.Place(catalog);
+  EXPECT_DOUBLE_EQ(cluster.LoadImbalance(catalog), 0.0);
+  const DistributedQueryResult result =
+      cluster.Execute(Query(Synopsis{0}), catalog);
+  EXPECT_EQ(result.nodes_contacted, 0u);
+}
+
+}  // namespace
+}  // namespace cinderella

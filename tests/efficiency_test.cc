@@ -1,0 +1,175 @@
+// Tests for Definition 1 (partitioning efficiency) and the Figure-7
+// partitioning statistics.
+
+#include <gtest/gtest.h>
+
+#include "core/cinderella.h"
+#include "core/efficiency.h"
+#include "core/partitioning_stats.h"
+
+namespace cinderella {
+namespace {
+
+Row MakeRow(EntityId id, std::initializer_list<AttributeId> attrs) {
+  Row row(id);
+  for (AttributeId a : attrs) row.Set(a, Value(int64_t{1}));
+  return row;
+}
+
+// Builds a catalog by hand: one partition per entity group.
+struct ManualCatalog {
+  PartitionCatalog catalog;
+  void AddPartition(std::vector<Row> rows) {
+    Partition& p = catalog.CreatePartition();
+    for (Row& row : rows) {
+      const Synopsis s = row.AttributeSynopsis();
+      const EntityId id = row.id();
+      ASSERT_TRUE(p.AddRow(std::move(row), s).ok());
+      catalog.BindEntity(id, p.id());
+    }
+  }
+};
+
+TEST(EfficiencyTest, PerfectPartitioningScoresOne) {
+  ManualCatalog m;
+  std::vector<Row> cameras;
+  cameras.push_back(MakeRow(1, {0, 1}));
+  cameras.push_back(MakeRow(2, {0, 1}));
+  std::vector<Row> disks;
+  disks.push_back(MakeRow(3, {5, 6}));
+  m.AddPartition(std::move(cameras));
+  m.AddPartition(std::move(disks));
+
+  // One query per schema: every scanned partition is fully relevant.
+  const std::vector<Synopsis> workload{Synopsis{0}, Synopsis{5}};
+  const EfficiencyBreakdown e =
+      ComputeEfficiency(m.catalog, workload, SizeMeasure::kEntityCount);
+  EXPECT_DOUBLE_EQ(e.relevant, 3.0);
+  EXPECT_DOUBLE_EQ(e.read, 3.0);
+  EXPECT_DOUBLE_EQ(e.efficiency, 1.0);
+}
+
+TEST(EfficiencyTest, UniversalTableReadsEverything) {
+  ManualCatalog m;
+  std::vector<Row> all;
+  all.push_back(MakeRow(1, {0, 1}));
+  all.push_back(MakeRow(2, {0, 1}));
+  all.push_back(MakeRow(3, {5, 6}));
+  all.push_back(MakeRow(4, {5, 6}));
+  m.AddPartition(std::move(all));
+
+  // Query touching only the camera schema reads the whole table.
+  const std::vector<Synopsis> workload{Synopsis{0}};
+  const EfficiencyBreakdown e =
+      ComputeEfficiency(m.catalog, workload, SizeMeasure::kEntityCount);
+  EXPECT_DOUBLE_EQ(e.relevant, 2.0);
+  EXPECT_DOUBLE_EQ(e.read, 4.0);
+  EXPECT_DOUBLE_EQ(e.efficiency, 0.5);
+}
+
+TEST(EfficiencyTest, PrunedPartitionsNotCounted) {
+  ManualCatalog m;
+  std::vector<Row> a;
+  a.push_back(MakeRow(1, {0}));
+  std::vector<Row> b;
+  b.push_back(MakeRow(2, {9}));
+  m.AddPartition(std::move(a));
+  m.AddPartition(std::move(b));
+  const std::vector<Synopsis> workload{Synopsis{0}};
+  const EfficiencyBreakdown e =
+      ComputeEfficiency(m.catalog, workload, SizeMeasure::kEntityCount);
+  EXPECT_DOUBLE_EQ(e.read, 1.0);  // Partition {9} pruned.
+  EXPECT_DOUBLE_EQ(e.efficiency, 1.0);
+}
+
+TEST(EfficiencyTest, EmptyWorkloadIsPerfect) {
+  ManualCatalog m;
+  std::vector<Row> a;
+  a.push_back(MakeRow(1, {0}));
+  m.AddPartition(std::move(a));
+  const EfficiencyBreakdown e =
+      ComputeEfficiency(m.catalog, {}, SizeMeasure::kEntityCount);
+  EXPECT_DOUBLE_EQ(e.efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(e.read, 0.0);
+}
+
+TEST(EfficiencyTest, ByteMeasureWeighsBigRows) {
+  ManualCatalog m;
+  std::vector<Row> mixed;
+  mixed.push_back(MakeRow(1, {0}));             // Relevant.
+  Row fat(2);
+  fat.Set(9, Value(std::string(100, 'x')));     // Irrelevant, large.
+  mixed.push_back(std::move(fat));
+  m.AddPartition(std::move(mixed));
+  const std::vector<Synopsis> workload{Synopsis{0}};
+  const EfficiencyBreakdown e =
+      ComputeEfficiency(m.catalog, workload, SizeMeasure::kByteSize);
+  EXPECT_LT(e.efficiency, 0.2);  // Most bytes read are irrelevant.
+}
+
+TEST(EfficiencyTest, CinderellaBeatsSinglePartitionOnHeterogeneousData) {
+  // Two schema families; Cinderella separates them, so a per-family
+  // workload scores higher than on the unpartitioned table.
+  CinderellaConfig config;
+  config.weight = 0.3;
+  config.max_size = 100;
+  auto c = std::move(Cinderella::Create(config)).value();
+  ManualCatalog universal;
+  std::vector<Row> all_rows;
+  for (EntityId id = 0; id < 40; ++id) {
+    const bool camera = id % 2 == 0;
+    Row row = camera ? MakeRow(id, {0, 1, 2}) : MakeRow(id, {10, 11, 12});
+    all_rows.push_back(row);
+    ASSERT_TRUE(c->Insert(std::move(row)).ok());
+  }
+  universal.AddPartition(std::move(all_rows));
+
+  const std::vector<Synopsis> workload{Synopsis{0}, Synopsis{10}};
+  const double partitioned =
+      ComputeEfficiency(c->catalog(), workload, SizeMeasure::kEntityCount)
+          .efficiency;
+  const double unpartitioned =
+      ComputeEfficiency(universal.catalog, workload,
+                        SizeMeasure::kEntityCount)
+          .efficiency;
+  EXPECT_DOUBLE_EQ(partitioned, 1.0);
+  EXPECT_DOUBLE_EQ(unpartitioned, 0.5);
+}
+
+// -- PartitioningReport ---------------------------------------------------------
+
+TEST(PartitioningStatsTest, ComputesFigure7Metrics) {
+  ManualCatalog m;
+  std::vector<Row> a;
+  a.push_back(MakeRow(1, {0, 1}));
+  a.push_back(MakeRow(2, {0}));
+  std::vector<Row> b;
+  b.push_back(MakeRow(3, {5, 6, 7}));
+  m.AddPartition(std::move(a));
+  m.AddPartition(std::move(b));
+
+  const PartitioningReport report = AnalyzePartitioning(m.catalog);
+  EXPECT_EQ(report.partition_count, 2u);
+  EXPECT_EQ(report.entity_count, 3u);
+  EXPECT_EQ(report.table_attribute_count, 5u);
+  EXPECT_DOUBLE_EQ(report.entities_per_partition.mean, 1.5);
+  EXPECT_DOUBLE_EQ(report.attributes_per_partition.min, 2.0);
+  EXPECT_DOUBLE_EQ(report.attributes_per_partition.max, 3.0);
+  // Partition a: 3 cells over 2x2 slots -> sparseness 0.25; b: 0.
+  EXPECT_DOUBLE_EQ(report.sparseness_per_partition.max, 0.25);
+  EXPECT_DOUBLE_EQ(report.sparseness_per_partition.min, 0.0);
+  // Table: 6 cells over 3x5 slots -> 1 - 6/15.
+  EXPECT_NEAR(report.table_sparseness, 1.0 - 6.0 / 15.0, 1e-12);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(PartitioningStatsTest, EmptyCatalog) {
+  PartitionCatalog catalog;
+  const PartitioningReport report = AnalyzePartitioning(catalog);
+  EXPECT_EQ(report.partition_count, 0u);
+  EXPECT_EQ(report.entity_count, 0u);
+  EXPECT_DOUBLE_EQ(report.table_sparseness, 0.0);
+}
+
+}  // namespace
+}  // namespace cinderella

@@ -1,0 +1,188 @@
+// Failure-injection tests: a journal cut at *any* byte boundary must
+// recover the longest valid prefix without errors or crashes, and a
+// snapshot truncated anywhere must fail cleanly (never crash, never
+// return a half-loaded table).
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/cinderella.h"
+#include "core/snapshot.h"
+#include "io/durable_table.h"
+#include "io/journal.h"
+
+namespace cinderella {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+Row MakeRow(EntityId id, Rng& rng) {
+  Row row(id);
+  const int attrs = 1 + static_cast<int>(rng.Uniform(4));
+  for (int a = 0; a < attrs; ++a) {
+    const AttributeId attribute = static_cast<AttributeId>(rng.Uniform(20));
+    switch (rng.Uniform(3)) {
+      case 0:
+        row.Set(attribute, Value(static_cast<int64_t>(rng.Uniform(1000))));
+        break;
+      case 1:
+        row.Set(attribute, Value(rng.UniformDouble()));
+        break;
+      default:
+        row.Set(attribute, Value(std::string(rng.Uniform(12), 'x')));
+        break;
+    }
+  }
+  return row;
+}
+
+TEST(FuzzRecoveryTest, JournalTruncatedAtEveryBoundary) {
+  const std::string path = TempPath("fuzz_journal.log");
+  size_t full_entries = 0;
+  {
+    auto writer = JournalWriter::Open(path, true);
+    ASSERT_TRUE(writer.ok());
+    Rng rng(1);
+    for (EntityId id = 0; id < 40; ++id) {
+      ASSERT_TRUE((*writer)->LogInsert(MakeRow(id, rng)).ok());
+      if (id % 5 == 4) {
+        ASSERT_TRUE((*writer)->LogDelete(id - 2).ok());
+      }
+      if (id % 7 == 6) {
+        ASSERT_TRUE((*writer)->LogAttribute(static_cast<AttributeId>(id),
+                                            "attr" + std::to_string(id))
+                        .ok());
+      }
+    }
+    full_entries = (*writer)->entries_written();
+  }
+  const std::string full = ReadFile(path);
+  ASSERT_GT(full.size(), 100u);
+
+  // Sample many cut points, including every one of the first 64 bytes.
+  Rng rng(2);
+  size_t recovered_max = 0;
+  for (size_t trial = 0; trial < 200; ++trial) {
+    const size_t cut =
+        trial < 64
+            ? trial
+            : (trial == 64
+                   ? full.size()  // Uncut: everything must recover.
+                   : static_cast<size_t>(rng.Uniform(full.size())));
+    const std::string truncated_path = TempPath("fuzz_journal_cut.log");
+    WriteFile(truncated_path, full.substr(0, cut));
+
+    auto reader = JournalReader::Open(truncated_path);
+    ASSERT_TRUE(reader.ok());
+    JournalEntry entry;
+    size_t recovered = 0;
+    while (true) {
+      StatusOr<bool> more = (*reader)->Next(&entry);
+      // Corruption must end the stream, never crash; the only acceptable
+      // error is a corrupt entry *kind* (cut landed on a kind byte of a
+      // previous entry's payload — impossible here since we cut, not
+      // flip; so Next() must succeed).
+      ASSERT_TRUE(more.ok()) << "cut=" << cut;
+      if (!*more) break;
+      ++recovered;
+    }
+    EXPECT_LE(recovered, full_entries);
+    recovered_max = std::max(recovered_max, recovered);
+  }
+  EXPECT_EQ(recovered_max, full_entries);  // Uncut tail recovers fully.
+}
+
+TEST(FuzzRecoveryTest, SnapshotTruncationFailsCleanly) {
+  CinderellaConfig config;
+  config.weight = 0.4;
+  config.max_size = 16;
+  auto c = std::move(Cinderella::Create(config)).value();
+  AttributeDictionary dictionary;
+  dictionary.GetOrCreate("alpha");
+  Rng rng(3);
+  for (EntityId id = 0; id < 120; ++id) {
+    ASSERT_TRUE(c->Insert(MakeRow(id, rng)).ok());
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveSnapshot(*c, dictionary, buffer).ok());
+  const std::string full = buffer.str();
+
+  Rng cuts(4);
+  for (size_t trial = 0; trial < 120; ++trial) {
+    const size_t cut = trial < 32
+                           ? trial
+                           : static_cast<size_t>(cuts.Uniform(full.size()));
+    std::stringstream truncated(full.substr(0, cut));
+    auto restored = LoadSnapshot(truncated);
+    // Never OK (the data is incomplete), never a crash.
+    EXPECT_FALSE(restored.ok()) << "cut=" << cut;
+  }
+  // And the full snapshot still loads.
+  std::stringstream intact(full);
+  EXPECT_TRUE(LoadSnapshot(intact).ok());
+}
+
+TEST(FuzzRecoveryTest, DurableTableSurvivesRepeatedCrashes) {
+  const std::string dir = TempPath("fuzz_durable");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  DurableTable::Options options;
+  options.directory = dir;
+  options.config.weight = 0.4;
+  options.config.max_size = 32;
+
+  Rng rng(9);
+  EntityId next = 0;
+  size_t expected_entities = 0;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    {
+      auto table = DurableTable::Open(options);
+      ASSERT_TRUE(table.ok()) << table.status().ToString();
+      ASSERT_EQ((*table)->table().entity_count(), expected_entities);
+      for (int op = 0; op < 50; ++op) {
+        ASSERT_TRUE((*table)->InsertRow(MakeRow(next++, rng)).ok());
+        ++expected_entities;
+      }
+      if (epoch % 2 == 0) {
+        ASSERT_TRUE((*table)->Checkpoint().ok());
+      }
+      // "Crash": no clean shutdown beyond stream destructors.
+    }
+    // Occasionally tear the journal tail as a mid-append crash.
+    if (epoch % 3 == 2) {
+      const std::string journal = dir + "/journal.log";
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(journal, ec);
+      if (!ec && size > 4) {
+        std::filesystem::resize_file(journal, size - 2, ec);
+        // The torn final insert is lost.
+        --expected_entities;
+        --next;  // Re-insert the lost id next epoch.
+      }
+    }
+  }
+  auto final_table = DurableTable::Open(options);
+  ASSERT_TRUE(final_table.ok());
+  EXPECT_EQ((*final_table)->table().entity_count(), expected_entities);
+}
+
+}  // namespace
+}  // namespace cinderella

@@ -1,0 +1,412 @@
+// Tests for the paged storage substrate: slotted-page codec, file-backed
+// pager, LRU buffer pool, and the pruning paged store.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/cinderella.h"
+#include "pagestore/buffer_pool.h"
+#include "pagestore/page_codec.h"
+#include "pagestore/paged_store.h"
+#include "pagestore/pager.h"
+
+namespace cinderella {
+namespace {
+
+Row MakeRow(EntityId id, std::initializer_list<AttributeId> attrs) {
+  Row row(id);
+  for (AttributeId a : attrs) row.Set(a, Value(int64_t{1}));
+  return row;
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// -- PageCodec -------------------------------------------------------------------
+
+class PageCodecTest : public testing::Test {
+ protected:
+  PageCodecTest() : codec_(512), page_(512) { codec_.InitPage(page_.data()); }
+  PageCodec codec_;
+  std::vector<uint8_t> page_;
+};
+
+TEST_F(PageCodecTest, EmptyPage) {
+  EXPECT_EQ(codec_.SlotCount(page_.data()), 0u);
+  EXPECT_GT(codec_.FreeSpace(page_.data()), 480u);
+  EXPECT_FALSE(codec_.IsLive(page_.data(), 0));
+  EXPECT_FALSE(codec_.ReadRow(page_.data(), 0).ok());
+}
+
+TEST_F(PageCodecTest, AppendAndReadBack) {
+  Row row(42);
+  row.Set(1, Value(int64_t{-7}));
+  row.Set(2, Value(3.5));
+  row.Set(3, Value("slipper"));
+  const auto slot = codec_.AppendRow(page_.data(), row);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(*slot, 0u);
+  EXPECT_TRUE(codec_.IsLive(page_.data(), 0));
+
+  auto loaded = codec_.ReadRow(page_.data(), 0);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->id(), 42u);
+  EXPECT_EQ(loaded->Get(1)->as_int64(), -7);
+  EXPECT_DOUBLE_EQ(loaded->Get(2)->as_double(), 3.5);
+  EXPECT_EQ(loaded->Get(3)->as_string(), "slipper");
+}
+
+TEST_F(PageCodecTest, EncodedRowSizeMatchesConsumption) {
+  Row row(1);
+  row.Set(0, Value(int64_t{1}));
+  row.Set(1, Value("abc"));
+  const size_t before = codec_.FreeSpace(page_.data());
+  ASSERT_TRUE(codec_.AppendRow(page_.data(), row).has_value());
+  const size_t after = codec_.FreeSpace(page_.data());
+  // One slot entry (4 bytes) + payload.
+  EXPECT_EQ(before - after, PageCodec::EncodedRowSize(row) + 4);
+}
+
+TEST_F(PageCodecTest, FillsUntilFull) {
+  int appended = 0;
+  while (true) {
+    const auto slot =
+        codec_.AppendRow(page_.data(), MakeRow(appended, {0, 1, 2}));
+    if (!slot.has_value()) break;
+    ++appended;
+  }
+  EXPECT_GT(appended, 5);
+  EXPECT_EQ(codec_.SlotCount(page_.data()), appended);
+  // Every stored row reads back.
+  for (int slot = 0; slot < appended; ++slot) {
+    auto row = codec_.ReadRow(page_.data(), static_cast<uint16_t>(slot));
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(row->id(), static_cast<EntityId>(slot));
+  }
+}
+
+TEST_F(PageCodecTest, TombstoneAndCompact) {
+  for (EntityId id = 0; id < 6; ++id) {
+    ASSERT_TRUE(codec_.AppendRow(page_.data(), MakeRow(id, {0})).has_value());
+  }
+  codec_.Tombstone(page_.data(), 1);
+  codec_.Tombstone(page_.data(), 4);
+  EXPECT_FALSE(codec_.IsLive(page_.data(), 1));
+  EXPECT_FALSE(codec_.ReadRow(page_.data(), 4).ok());
+  EXPECT_TRUE(codec_.IsLive(page_.data(), 0));
+
+  const size_t live = codec_.Compact(page_.data());
+  EXPECT_EQ(live, 4u);
+  EXPECT_EQ(codec_.SlotCount(page_.data()), 4u);
+  std::vector<EntityId> ids;
+  for (uint16_t slot = 0; slot < 4; ++slot) {
+    ids.push_back(codec_.ReadRow(page_.data(), slot)->id());
+  }
+  EXPECT_EQ(ids, (std::vector<EntityId>{0, 2, 3, 5}));
+}
+
+TEST_F(PageCodecTest, OversizedRowRejected) {
+  Row fat(1);
+  fat.Set(0, Value(std::string(600, 'x')));
+  EXPECT_FALSE(codec_.AppendRow(page_.data(), fat).has_value());
+  EXPECT_EQ(codec_.SlotCount(page_.data()), 0u);
+}
+
+// -- Pager -----------------------------------------------------------------------
+
+TEST(PagerTest, AllocateWriteReadRoundTrip) {
+  auto pager = Pager::Open(TempPath("pager_basic.db"), 512, true);
+  ASSERT_TRUE(pager.ok());
+  auto page = (*pager)->AllocatePage();
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(*page, 1u);
+
+  std::vector<uint8_t> out(512);
+  for (size_t i = 0; i < out.size(); ++i) out[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE((*pager)->WritePage(*page, out.data()).ok());
+  std::vector<uint8_t> in(512, 0);
+  ASSERT_TRUE((*pager)->ReadPage(*page, in.data()).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_GE((*pager)->pages_read(), 1u);
+}
+
+TEST(PagerTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("pager_reopen.db");
+  {
+    auto pager = Pager::Open(path, 512, true);
+    ASSERT_TRUE(pager.ok());
+    auto page = (*pager)->AllocatePage();
+    std::vector<uint8_t> data(512, 0xAB);
+    ASSERT_TRUE((*pager)->WritePage(*page, data.data()).ok());
+    ASSERT_TRUE((*pager)->Flush().ok());
+  }
+  auto reopened = Pager::Open(path, 512, false);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->page_count(), 2u);
+  std::vector<uint8_t> data(512, 0);
+  ASSERT_TRUE((*reopened)->ReadPage(1, data.data()).ok());
+  EXPECT_EQ(data[100], 0xAB);
+}
+
+TEST(PagerTest, FreeListReusesPages) {
+  auto pager = Pager::Open(TempPath("pager_free.db"), 512, true);
+  ASSERT_TRUE(pager.ok());
+  auto a = (*pager)->AllocatePage();
+  auto b = (*pager)->AllocatePage();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE((*pager)->FreePage(*a).ok());
+  EXPECT_EQ((*pager)->free_page_count(), 1u);
+  auto c = (*pager)->AllocatePage();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);  // Reused.
+  EXPECT_EQ((*pager)->free_page_count(), 0u);
+  EXPECT_EQ((*pager)->page_count(), 3u);  // Header + 2.
+}
+
+TEST(PagerTest, RejectsBadAccess) {
+  auto pager = Pager::Open(TempPath("pager_bad.db"), 512, true);
+  ASSERT_TRUE(pager.ok());
+  std::vector<uint8_t> buffer(512);
+  EXPECT_FALSE((*pager)->ReadPage(0, buffer.data()).ok());   // Header.
+  EXPECT_FALSE((*pager)->ReadPage(99, buffer.data()).ok());  // Beyond EOF.
+  EXPECT_FALSE((*pager)->FreePage(0).ok());
+}
+
+TEST(PagerTest, RejectsMismatchedPageSize) {
+  const std::string path = TempPath("pager_mismatch.db");
+  {
+    auto pager = Pager::Open(path, 512, true);
+    ASSERT_TRUE(pager.ok());
+    ASSERT_TRUE((*pager)->Flush().ok());
+  }
+  EXPECT_FALSE(Pager::Open(path, 1024, false).ok());
+  EXPECT_FALSE(Pager::Open(TempPath("not_there.db"), 512, false).ok());
+}
+
+// -- BufferPool --------------------------------------------------------------------
+
+class BufferPoolTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto pager = Pager::Open(TempPath("pool.db"), 512, true);
+    ASSERT_TRUE(pager.ok());
+    pager_ = std::move(pager).value();
+    for (int i = 0; i < 6; ++i) {
+      auto page = pager_->AllocatePage();
+      ASSERT_TRUE(page.ok());
+      std::vector<uint8_t> data(512, static_cast<uint8_t>(*page));
+      ASSERT_TRUE(pager_->WritePage(*page, data.data()).ok());
+    }
+  }
+  std::unique_ptr<Pager> pager_;
+};
+
+TEST_F(BufferPoolTest, HitsAndMisses) {
+  BufferPool pool(pager_.get(), 3);
+  { auto h = pool.Fetch(1); ASSERT_TRUE(h.ok()); }
+  { auto h = pool.Fetch(1); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(pager_.get(), 2);
+  { auto h = pool.Fetch(1); }
+  { auto h = pool.Fetch(2); }
+  { auto h = pool.Fetch(1); }  // 1 is now more recent than 2.
+  { auto h = pool.Fetch(3); }  // Evicts 2.
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  { auto h = pool.Fetch(1); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(pool.stats().hits, 2u);  // 1 stayed cached.
+}
+
+TEST_F(BufferPoolTest, DirtyPagesWrittenBackOnEviction) {
+  {
+    BufferPool pool(pager_.get(), 1);
+    {
+      auto h = pool.Fetch(1);
+      ASSERT_TRUE(h.ok());
+      h->mutable_data()[7] = 0x5A;
+      h->MarkDirty();
+    }
+    { auto h = pool.Fetch(2); }  // Evicts and writes back page 1.
+    EXPECT_EQ(pool.stats().writebacks, 1u);
+  }
+  std::vector<uint8_t> data(512);
+  ASSERT_TRUE(pager_->ReadPage(1, data.data()).ok());
+  EXPECT_EQ(data[7], 0x5A);
+}
+
+TEST_F(BufferPoolTest, FlushAllPersistsDirtyFrames) {
+  BufferPool pool(pager_.get(), 4);
+  {
+    auto h = pool.Fetch(3);
+    ASSERT_TRUE(h.ok());
+    h->mutable_data()[0] = 0x77;
+    h->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  std::vector<uint8_t> data(512);
+  ASSERT_TRUE(pager_->ReadPage(3, data.data()).ok());
+  EXPECT_EQ(data[0], 0x77);
+}
+
+TEST_F(BufferPoolTest, AllPinnedFails) {
+  BufferPool pool(pager_.get(), 2);
+  auto a = pool.Fetch(1);
+  auto b = pool.Fetch(2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto c = pool.Fetch(3);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kFailedPrecondition);
+  a->Release();
+  auto d = pool.Fetch(3);
+  EXPECT_TRUE(d.ok());
+}
+
+TEST_F(BufferPoolTest, DiscardRemovesCleanFrame) {
+  BufferPool pool(pager_.get(), 2);
+  { auto h = pool.Fetch(1); }
+  ASSERT_TRUE(pool.Discard(1).ok());
+  { auto h = pool.Fetch(1); }
+  EXPECT_EQ(pool.stats().misses, 2u);  // Re-read after discard.
+}
+
+// -- PagedStore --------------------------------------------------------------------
+
+class PagedStoreTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto pager = Pager::Open(TempPath("paged_store.db"), 4096, true);
+    ASSERT_TRUE(pager.ok());
+    pager_ = std::move(pager).value();
+    pool_ = std::make_unique<BufferPool>(pager_.get(), 16);
+    store_ = std::make_unique<PagedStore>(pager_.get(), pool_.get());
+  }
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<PagedStore> store_;
+};
+
+TEST_F(PagedStoreTest, InsertLookupDelete) {
+  const size_t p = store_->AddEmptyPartition();
+  ASSERT_TRUE(store_->Insert(p, MakeRow(1, {0, 1})).ok());
+  ASSERT_TRUE(store_->Insert(p, MakeRow(2, {1, 2})).ok());
+  EXPECT_EQ(store_->entity_count(), 2u);
+  EXPECT_EQ(store_->PartitionSynopsis(p), (Synopsis{0, 1, 2}));
+
+  auto row = store_->Lookup(1);
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE(row->Has(0));
+
+  EXPECT_EQ(store_->Insert(p, MakeRow(1, {5})).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(store_->Delete(1).ok());
+  EXPECT_FALSE(store_->Lookup(1).ok());
+  EXPECT_EQ(store_->Delete(1).code(), StatusCode::kNotFound);
+}
+
+TEST_F(PagedStoreTest, ChainsGrowAcrossPages) {
+  const size_t p = store_->AddEmptyPartition();
+  for (EntityId id = 0; id < 500; ++id) {
+    ASSERT_TRUE(store_->Insert(p, MakeRow(id, {0, 1, 2, 3})).ok());
+  }
+  EXPECT_GT(store_->PartitionPageCount(p), 3u);
+  // All rows readable through a scan.
+  auto result = store_->ExecuteQuery(Query(Synopsis{0}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows_matched, 500u);
+  EXPECT_EQ(result->pages_fetched, store_->PartitionPageCount(p));
+}
+
+TEST_F(PagedStoreTest, QueryPrunesPartitionPages) {
+  const size_t cameras = store_->AddEmptyPartition();
+  const size_t disks = store_->AddEmptyPartition();
+  for (EntityId id = 0; id < 200; ++id) {
+    ASSERT_TRUE(store_->Insert(cameras, MakeRow(id, {0, 1})).ok());
+    ASSERT_TRUE(store_->Insert(disks, MakeRow(1000 + id, {10, 11})).ok());
+  }
+  auto result = store_->ExecuteQuery(Query(Synopsis{10}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->partitions_pruned, 1u);
+  EXPECT_EQ(result->rows_matched, 200u);
+  // Only the disk partition's pages were fetched.
+  EXPECT_EQ(result->pages_fetched, store_->PartitionPageCount(disks));
+}
+
+TEST_F(PagedStoreTest, BuildFromCinderellaCatalog) {
+  CinderellaConfig config;
+  config.weight = 0.3;
+  config.max_size = 50;
+  auto cinderella = std::move(Cinderella::Create(config)).value();
+  for (EntityId id = 0; id < 100; ++id) {
+    const AttributeId base = id % 2 == 0 ? 0 : 20;
+    ASSERT_TRUE(
+        cinderella->Insert(MakeRow(id, {base, base + 1, base + 2})).ok());
+  }
+  cinderella->catalog().ForEachPartition([&](const Partition& partition) {
+    auto index = store_->AddPartition(partition);
+    ASSERT_TRUE(index.ok());
+    EXPECT_EQ(store_->PartitionSynopsis(*index),
+              partition.attribute_synopsis());
+  });
+  EXPECT_EQ(store_->entity_count(), 100u);
+  auto result = store_->ExecuteQuery(Query(Synopsis{20}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows_matched, 50u);
+  EXPECT_GT(result->partitions_pruned, 0u);
+}
+
+TEST_F(PagedStoreTest, VacuumCompactsAndShrinksSynopsis) {
+  const size_t p = store_->AddEmptyPartition();
+  for (EntityId id = 0; id < 300; ++id) {
+    ASSERT_TRUE(store_->Insert(p, MakeRow(id, {id % 2 == 0
+                                                   ? AttributeId{0}
+                                                   : AttributeId{9}}))
+                    .ok());
+  }
+  const size_t pages_before = store_->PartitionPageCount(p);
+  // Delete every odd entity (all carriers of attribute 9).
+  for (EntityId id = 1; id < 300; id += 2) {
+    ASSERT_TRUE(store_->Delete(id).ok());
+  }
+  // Synopsis is conservative until vacuum.
+  EXPECT_TRUE(store_->PartitionSynopsis(p).Contains(9));
+  ASSERT_TRUE(store_->Vacuum().ok());
+  EXPECT_FALSE(store_->PartitionSynopsis(p).Contains(9));
+  EXPECT_LT(store_->PartitionPageCount(p), pages_before);
+  EXPECT_EQ(store_->entity_count(), 150u);
+  auto row = store_->Lookup(2);
+  ASSERT_TRUE(row.ok());  // Index rebuilt.
+  EXPECT_GT(pager_->free_page_count(), 0u);
+}
+
+TEST_F(PagedStoreTest, OversizedRowRejectedCleanly) {
+  const size_t p = store_->AddEmptyPartition();
+  Row fat(1);
+  fat.Set(0, Value(std::string(5000, 'x')));
+  EXPECT_FALSE(store_->Insert(p, fat).ok());
+}
+
+TEST_F(PagedStoreTest, TinyPoolStillScansEverything) {
+  // Pool smaller than the data forces eviction churn during scans.
+  auto pager = Pager::Open(TempPath("tiny_pool.db"), 512, true);
+  ASSERT_TRUE(pager.ok());
+  BufferPool pool(pager->get(), 2);
+  PagedStore store(pager->get(), &pool);
+  const size_t p = store.AddEmptyPartition();
+  for (EntityId id = 0; id < 200; ++id) {
+    ASSERT_TRUE(store.Insert(p, MakeRow(id, {0, 1})).ok());
+  }
+  auto result = store.ExecuteQuery(Query(Synopsis{0}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows_matched, 200u);
+  EXPECT_GT(pool.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace cinderella

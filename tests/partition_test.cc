@@ -1,0 +1,159 @@
+// Tests for Partition (refcounted synopses, sizes, starters, sparseness)
+// and RefcountedSynopsis.
+
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "core/refcounted_synopsis.h"
+
+namespace cinderella {
+namespace {
+
+Row MakeRow(EntityId id, std::initializer_list<AttributeId> attrs) {
+  Row row(id);
+  for (AttributeId a : attrs) row.Set(a, Value(int64_t{1}));
+  return row;
+}
+
+// -- RefcountedSynopsis --------------------------------------------------------
+
+TEST(RefcountedSynopsisTest, AddRemoveMaintainsCounts) {
+  RefcountedSynopsis rs;
+  rs.Add(Synopsis{1, 2});
+  rs.Add(Synopsis{2, 3});
+  EXPECT_EQ(rs.RefCount(1), 1u);
+  EXPECT_EQ(rs.RefCount(2), 2u);
+  EXPECT_EQ(rs.RefCount(3), 1u);
+  EXPECT_EQ(rs.synopsis().Count(), 3u);
+
+  rs.Remove(Synopsis{2, 3});
+  EXPECT_EQ(rs.RefCount(2), 1u);
+  EXPECT_EQ(rs.RefCount(3), 0u);
+  EXPECT_TRUE(rs.synopsis().Contains(2));
+  EXPECT_FALSE(rs.synopsis().Contains(3));
+}
+
+TEST(RefcountedSynopsisTest, ReportsTransitions) {
+  RefcountedSynopsis rs;
+  std::vector<AttributeId> added;
+  rs.Add(Synopsis{1, 2}, &added);
+  EXPECT_EQ(added, (std::vector<AttributeId>{1, 2}));
+  added.clear();
+  rs.Add(Synopsis{2, 3}, &added);
+  EXPECT_EQ(added, (std::vector<AttributeId>{3}));  // 2 was already present.
+
+  std::vector<AttributeId> removed;
+  rs.Remove(Synopsis{1, 2}, &removed);
+  EXPECT_EQ(removed, (std::vector<AttributeId>{1}));  // 2 still referenced.
+}
+
+TEST(RefcountedSynopsisTest, ClearResets) {
+  RefcountedSynopsis rs;
+  rs.Add(Synopsis{5});
+  rs.Clear();
+  EXPECT_TRUE(rs.synopsis().Empty());
+  EXPECT_EQ(rs.RefCount(5), 0u);
+}
+
+// -- Partition -------------------------------------------------------------------
+
+TEST(PartitionTest, AddRowBuildsSynopsis) {
+  Partition p(0, /*separate_rating_synopsis=*/false);
+  ASSERT_TRUE(p.AddRow(MakeRow(1, {0, 1}), Synopsis{0, 1}).ok());
+  ASSERT_TRUE(p.AddRow(MakeRow(2, {1, 2}), Synopsis{1, 2}).ok());
+  EXPECT_EQ(p.entity_count(), 2u);
+  EXPECT_EQ(p.attribute_synopsis(), (Synopsis{0, 1, 2}));
+  // Entity-based: rating synopsis aliases the attribute synopsis.
+  EXPECT_EQ(p.rating_synopsis(), p.attribute_synopsis());
+}
+
+TEST(PartitionTest, RemoveRowShrinksSynopsisWithLastCarrier) {
+  Partition p(0, false);
+  ASSERT_TRUE(p.AddRow(MakeRow(1, {0, 1}), Synopsis{0, 1}).ok());
+  ASSERT_TRUE(p.AddRow(MakeRow(2, {1}), Synopsis{1}).ok());
+  ASSERT_TRUE(p.RemoveRow(1, Synopsis{0, 1}).ok());
+  EXPECT_EQ(p.attribute_synopsis(), Synopsis{1});
+}
+
+TEST(PartitionTest, SizesPerMeasure) {
+  Partition p(0, false);
+  Row r1 = MakeRow(1, {0, 1});
+  Row r2 = MakeRow(2, {1, 2, 3});
+  const uint64_t bytes = r1.byte_size() + r2.byte_size();
+  ASSERT_TRUE(p.AddRow(std::move(r1), Synopsis{0, 1}).ok());
+  ASSERT_TRUE(p.AddRow(std::move(r2), Synopsis{1, 2, 3}).ok());
+  EXPECT_EQ(p.Size(SizeMeasure::kEntityCount), 2u);
+  EXPECT_EQ(p.Size(SizeMeasure::kAttributeCount), 5u);
+  EXPECT_EQ(p.Size(SizeMeasure::kByteSize), bytes);
+}
+
+TEST(PartitionTest, SeparateRatingSynopsis) {
+  Partition p(0, /*separate_rating_synopsis=*/true);
+  // Workload-based mode: rating ids are query ids, unrelated to attrs.
+  ASSERT_TRUE(p.AddRow(MakeRow(1, {0, 1}), Synopsis{7}).ok());
+  EXPECT_EQ(p.attribute_synopsis(), (Synopsis{0, 1}));
+  EXPECT_EQ(p.rating_synopsis(), Synopsis{7});
+  ASSERT_TRUE(p.RemoveRow(1, Synopsis{7}).ok());
+  EXPECT_TRUE(p.rating_synopsis().Empty());
+  EXPECT_TRUE(p.attribute_synopsis().Empty());
+}
+
+TEST(PartitionTest, RemoveRowClearsMatchingStarter) {
+  Partition p(0, false);
+  ASSERT_TRUE(p.AddRow(MakeRow(1, {0}), Synopsis{0}).ok());
+  ASSERT_TRUE(p.AddRow(MakeRow(2, {1}), Synopsis{1}).ok());
+  p.set_starter_a(Partition::Starter{1, Synopsis{0}});
+  p.set_starter_b(Partition::Starter{2, Synopsis{1}});
+  ASSERT_TRUE(p.RemoveRow(1, Synopsis{0}).ok());
+  EXPECT_FALSE(p.starter_a().has_value());
+  EXPECT_TRUE(p.starter_b().has_value());
+}
+
+TEST(PartitionTest, ReplaceRowUpdatesSynopsisAndStarter) {
+  Partition p(0, false);
+  ASSERT_TRUE(p.AddRow(MakeRow(1, {0, 1}), Synopsis{0, 1}).ok());
+  p.set_starter_a(Partition::Starter{1, Synopsis{0, 1}});
+  ASSERT_TRUE(p.ReplaceRow(MakeRow(1, {2}), Synopsis{0, 1}, Synopsis{2}).ok());
+  EXPECT_EQ(p.attribute_synopsis(), Synopsis{2});
+  ASSERT_TRUE(p.starter_a().has_value());
+  EXPECT_EQ(p.starter_a()->synopsis, Synopsis{2});
+  EXPECT_EQ(p.segment().Find(1)->attribute_count(), 1u);
+}
+
+TEST(PartitionTest, ReplaceMissingRowFails) {
+  Partition p(0, false);
+  EXPECT_EQ(p.ReplaceRow(MakeRow(9, {0}), Synopsis{}, Synopsis{0}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PartitionTest, SparsenessComputation) {
+  Partition p(0, false);
+  // Two entities over synopsis {0,1,2}: 2*3 = 6 slots, 4 cells -> 1/3.
+  ASSERT_TRUE(p.AddRow(MakeRow(1, {0, 1, 2}), Synopsis{0, 1, 2}).ok());
+  ASSERT_TRUE(p.AddRow(MakeRow(2, {0}), Synopsis{0}).ok());
+  EXPECT_NEAR(p.Sparseness(), 1.0 - 4.0 / 6.0, 1e-12);
+}
+
+TEST(PartitionTest, SparsenessOfHomogeneousPartitionIsZero) {
+  Partition p(0, false);
+  ASSERT_TRUE(p.AddRow(MakeRow(1, {0, 1}), Synopsis{0, 1}).ok());
+  ASSERT_TRUE(p.AddRow(MakeRow(2, {0, 1}), Synopsis{0, 1}).ok());
+  EXPECT_DOUBLE_EQ(p.Sparseness(), 0.0);
+}
+
+TEST(PartitionTest, EmptyPartitionSparsenessZero) {
+  Partition p(0, false);
+  EXPECT_DOUBLE_EQ(p.Sparseness(), 0.0);
+}
+
+TEST(PartitionTest, ClearStarters) {
+  Partition p(0, false);
+  p.set_starter_a(Partition::Starter{1, Synopsis{0}});
+  p.set_starter_b(Partition::Starter{2, Synopsis{1}});
+  p.ClearStarters();
+  EXPECT_FALSE(p.starter_a().has_value());
+  EXPECT_FALSE(p.starter_b().has_value());
+}
+
+}  // namespace
+}  // namespace cinderella

@@ -1,0 +1,127 @@
+// Tests for the Section IV rating: hand-computed cases, weight semantics,
+// and normalization properties.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/rating.h"
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+namespace {
+
+TEST(RatingTest, HandComputedBreakdown) {
+  // e = {0,1,2}, p = {1,2,3,4}; SIZE(e)=1, SIZE(p)=10, w=0.5.
+  const Synopsis e{0, 1, 2};
+  const Synopsis p{1, 2, 3, 4};
+  const RatingBreakdown b = RateDetailed(e, 1.0, p, 10.0, 0.5);
+  EXPECT_DOUBLE_EQ(b.homogeneity, 11.0 * 2);            // (10+1)*|{1,2}|
+  EXPECT_DOUBLE_EQ(b.entity_heterogeneity, 1.0 * 2);    // 1*|{3,4}|
+  EXPECT_DOUBLE_EQ(b.partition_heterogeneity, 10.0 * 1);  // 10*|{0}|
+  EXPECT_DOUBLE_EQ(b.local, 0.5 * 22 - 0.5 * 12);       // 5
+  EXPECT_DOUBLE_EQ(b.global, 5.0 / (11.0 * 5.0));       // |e∨p| = 5
+}
+
+TEST(RatingTest, IdenticalSynopsesMaximizeGlobalRating) {
+  const Synopsis s{0, 1, 2, 3};
+  const RatingBreakdown b = RateDetailed(s, 1.0, s, 5.0, 0.5);
+  EXPECT_DOUBLE_EQ(b.entity_heterogeneity, 0.0);
+  EXPECT_DOUBLE_EQ(b.partition_heterogeneity, 0.0);
+  // r = w·(S·|e|) / (S·|e|) = w.
+  EXPECT_DOUBLE_EQ(b.global, 0.5);
+}
+
+TEST(RatingTest, GlobalRatingIsBoundedByWeight) {
+  // For any inputs, r = (w·h⁺ − (1−w)h⁻)/norm with h⁺ ≤ norm and h⁻ ≤ norm,
+  // so r ∈ [-(1−w), w].
+  Rng rng(31);
+  for (int trial = 0; trial < 300; ++trial) {
+    Synopsis e;
+    Synopsis p;
+    for (int i = 0; i < 20; ++i) {
+      if (rng.Bernoulli(0.3)) e.Add(static_cast<AttributeId>(rng.Uniform(40)));
+      if (rng.Bernoulli(0.5)) p.Add(static_cast<AttributeId>(rng.Uniform(40)));
+    }
+    const double w = rng.UniformDouble();
+    const double size_e = 1.0 + rng.UniformDouble() * 10;
+    const double size_p = 1.0 + rng.UniformDouble() * 1000;
+    const RatingBreakdown b = RateDetailed(e, size_e, p, size_p, w);
+    EXPECT_LE(b.global, w + 1e-9);
+    EXPECT_GE(b.global, -(1.0 - w) - 1e-9);
+  }
+}
+
+TEST(RatingTest, DisjointSynopsesRateNonPositive) {
+  const Synopsis e{0, 1};
+  const Synopsis p{5, 6, 7};
+  for (double w : {0.0, 0.2, 0.5, 0.8}) {
+    EXPECT_LT(Rate(e, 1.0, p, 10.0, w), 0.0) << "w=" << w;
+  }
+  // At w = 1 negative evidence is ignored: disjoint rates exactly 0.
+  EXPECT_DOUBLE_EQ(Rate(e, 1.0, p, 10.0, 1.0), 0.0);
+}
+
+TEST(RatingTest, WeightZeroAcceptsOnlyPerfectHomogeneity) {
+  // Section V: "In the extreme case of w = 0 all created partitions are
+  // completely homogeneous": any heterogeneity rates negative, identical
+  // synopses rate exactly 0.
+  const Synopsis e{0, 1, 2};
+  EXPECT_DOUBLE_EQ(Rate(e, 1.0, e, 10.0, 0.0), 0.0);
+  const Synopsis p{0, 1, 2, 3};
+  EXPECT_LT(Rate(e, 1.0, p, 10.0, 0.0), 0.0);
+  const Synopsis q{0, 1};
+  EXPECT_LT(Rate(e, 1.0, q, 10.0, 0.0), 0.0);
+}
+
+TEST(RatingTest, HigherWeightNeverLowersRating) {
+  const Synopsis e{0, 1, 2, 9};
+  const Synopsis p{1, 2, 3, 4, 5};
+  double prev = Rate(e, 1.0, p, 20.0, 0.0);
+  for (double w = 0.1; w <= 1.0001; w += 0.1) {
+    const double r = Rate(e, 1.0, p, 20.0, w);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(RatingTest, EmptyInputsYieldZero) {
+  const Synopsis empty;
+  EXPECT_DOUBLE_EQ(Rate(empty, 0.0, empty, 0.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Rate(empty, 1.0, empty, 5.0, 0.5), 0.0);
+}
+
+TEST(RatingTest, EmptyEntityAgainstNonEmptyPartitionIsNegative) {
+  const Synopsis empty;
+  const Synopsis p{0, 1};
+  // h⁺ = 0, h⁻ₑ = SIZE(e)·|p| > 0.
+  EXPECT_LT(Rate(empty, 1.0, p, 5.0, 0.5), 0.0);
+}
+
+TEST(RatingTest, UnnormalizedEqualsLocal) {
+  const Synopsis e{0, 1};
+  const Synopsis p{1, 2};
+  const RatingBreakdown b = RateDetailed(e, 2.0, p, 8.0, 0.3);
+  EXPECT_DOUBLE_EQ(Rate(e, 2.0, p, 8.0, 0.3, /*normalize=*/false), b.local);
+  EXPECT_DOUBLE_EQ(Rate(e, 2.0, p, 8.0, 0.3, /*normalize=*/true), b.global);
+}
+
+TEST(RatingTest, LocalRatingScalesWithSizeButGlobalComparable) {
+  // Two partitions with identical schema fit but different sizes: the
+  // local rating grows with partition size (not comparable), the global
+  // rating is size-invariant for proportional inputs.
+  const Synopsis e{0, 1, 2};
+  const RatingBreakdown small = RateDetailed(e, 1.0, e, 10.0, 0.4);
+  const RatingBreakdown large = RateDetailed(e, 1.0, e, 1000.0, 0.4);
+  EXPECT_GT(large.local, small.local);
+  EXPECT_DOUBLE_EQ(small.global, large.global);  // Both = w.
+}
+
+TEST(RatingTest, PrefersPartitionWithLargerOverlap) {
+  const Synopsis e{0, 1, 2, 3};
+  const Synopsis close{0, 1, 2, 4};
+  const Synopsis far{0, 7, 8, 9};
+  EXPECT_GT(Rate(e, 1.0, close, 10.0, 0.5), Rate(e, 1.0, far, 10.0, 0.5));
+}
+
+}  // namespace
+}  // namespace cinderella

@@ -1,0 +1,194 @@
+// Tests for snapshot save/restore: exact partitioning round-trip, value
+// fidelity, workload-based mode, corruption handling, and continued
+// operation after a restore.
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/cinderella.h"
+#include "core/snapshot.h"
+
+namespace cinderella {
+namespace {
+
+Row MakeRow(EntityId id, std::initializer_list<AttributeId> attrs) {
+  Row row(id);
+  for (AttributeId a : attrs) row.Set(a, Value(int64_t{1}));
+  return row;
+}
+
+std::set<std::set<EntityId>> Grouping(const Cinderella& c) {
+  std::set<std::set<EntityId>> groups;
+  c.catalog().ForEachPartition([&](const Partition& p) {
+    std::set<EntityId> members;
+    for (const Row& row : p.segment().rows()) members.insert(row.id());
+    groups.insert(std::move(members));
+  });
+  return groups;
+}
+
+TEST(SnapshotTest, RoundTripsPartitioningExactly) {
+  CinderellaConfig config;
+  config.weight = 0.35;
+  config.max_size = 17;
+  config.dissolve_threshold = 0.1;
+  auto original = std::move(Cinderella::Create(config)).value();
+  AttributeDictionary dictionary;
+  dictionary.GetOrCreate("name");
+  dictionary.GetOrCreate("weight");
+
+  Rng rng(5);
+  for (EntityId id = 0; id < 300; ++id) {
+    Row row(id);
+    const AttributeId base = static_cast<AttributeId>(rng.Uniform(3) * 8);
+    for (AttributeId a = 0; a < 4; ++a) {
+      row.Set(base + a, Value(static_cast<int64_t>(rng.Uniform(100))));
+    }
+    ASSERT_TRUE(original->Insert(std::move(row)).ok());
+  }
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveSnapshot(*original, dictionary, buffer).ok());
+  auto restored = LoadSnapshot(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(Grouping(*original), Grouping(*restored->partitioner));
+  EXPECT_EQ(restored->partitioner->catalog().entity_count(), 300u);
+  EXPECT_TRUE(restored->partitioner->VerifyIntegrity().ok());
+  EXPECT_EQ(restored->partitioner->config().weight, 0.35);
+  EXPECT_EQ(restored->partitioner->config().max_size, 17u);
+  EXPECT_EQ(restored->partitioner->config().dissolve_threshold, 0.1);
+  EXPECT_EQ(restored->dictionary->size(), 2u);
+  EXPECT_EQ(restored->dictionary->Find("weight"),
+            std::optional<AttributeId>(1));
+}
+
+TEST(SnapshotTest, PreservesValues) {
+  CinderellaConfig config;
+  auto original = std::move(Cinderella::Create(config)).value();
+  AttributeDictionary dictionary;
+  Row row(7);
+  row.Set(0, Value(int64_t{-42}));
+  row.Set(1, Value(2.718));
+  row.Set(2, Value("Grimm"));
+  ASSERT_TRUE(original->Insert(std::move(row)).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveSnapshot(*original, dictionary, buffer).ok());
+  auto restored = LoadSnapshot(buffer);
+  ASSERT_TRUE(restored.ok());
+  const auto home = restored->partitioner->catalog().FindEntity(7);
+  ASSERT_TRUE(home.has_value());
+  const Row* loaded =
+      restored->partitioner->catalog().GetPartition(*home)->segment().Find(7);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->Get(0)->as_int64(), -42);
+  EXPECT_DOUBLE_EQ(loaded->Get(1)->as_double(), 2.718);
+  EXPECT_EQ(loaded->Get(2)->as_string(), "Grimm");
+}
+
+TEST(SnapshotTest, WorkloadBasedRoundTrip) {
+  CinderellaConfig config;
+  config.mode = SynopsisMode::kWorkloadBased;
+  auto original = std::move(
+      Cinderella::Create(config, {Synopsis{0, 1}, Synopsis{5}})).value();
+  AttributeDictionary dictionary;
+  ASSERT_TRUE(original->Insert(MakeRow(1, {0})).ok());
+  ASSERT_TRUE(original->Insert(MakeRow(2, {5})).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveSnapshot(*original, dictionary, buffer).ok());
+  auto restored = LoadSnapshot(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->partitioner->config().mode,
+            SynopsisMode::kWorkloadBased);
+  ASSERT_EQ(restored->partitioner->workload().size(), 2u);
+  EXPECT_EQ(restored->partitioner->workload()[0], (Synopsis{0, 1}));
+  // A restored instance keeps rating in workload terms.
+  EXPECT_EQ(restored->partitioner->ExtractSynopsis(MakeRow(9, {1})),
+            Synopsis{0});
+}
+
+TEST(SnapshotTest, RestoredInstanceKeepsOperating) {
+  CinderellaConfig config;
+  config.weight = 0.5;
+  config.max_size = 5;
+  auto original = std::move(Cinderella::Create(config)).value();
+  AttributeDictionary dictionary;
+  for (EntityId id = 0; id < 12; ++id) {
+    ASSERT_TRUE(original->Insert(MakeRow(id, {0, 1})).ok());
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveSnapshot(*original, dictionary, buffer).ok());
+  auto restored = LoadSnapshot(buffer);
+  ASSERT_TRUE(restored.ok());
+  Cinderella& c = *restored->partitioner;
+  // Inserts (incl. splits: restored partitions re-seed their starters
+  // lazily), deletes and updates all still work.
+  for (EntityId id = 100; id < 120; ++id) {
+    ASSERT_TRUE(c.Insert(MakeRow(id, {0, 1})).ok());
+  }
+  ASSERT_TRUE(c.Delete(3).ok());
+  ASSERT_TRUE(c.Update(MakeRow(5, {40, 41})).ok());
+  EXPECT_EQ(c.catalog().entity_count(), 31u);
+  c.catalog().ForEachPartition([&](const Partition& p) {
+    EXPECT_LE(p.entity_count(), 5u);
+    EXPECT_GT(p.entity_count(), 0u);
+  });
+  // Duplicate against restored content is rejected.
+  EXPECT_EQ(c.Insert(MakeRow(7, {0})).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SnapshotTest, RejectsGarbageAndTruncation) {
+  {
+    std::stringstream buffer;
+    buffer << "not a snapshot at all";
+    EXPECT_FALSE(LoadSnapshot(buffer).ok());
+  }
+  {
+    // Valid header, truncated body.
+    CinderellaConfig config;
+    auto original = std::move(Cinderella::Create(config)).value();
+    AttributeDictionary dictionary;
+    ASSERT_TRUE(original->Insert(MakeRow(1, {0, 1, 2})).ok());
+    std::stringstream buffer;
+    ASSERT_TRUE(SaveSnapshot(*original, dictionary, buffer).ok());
+    const std::string full = buffer.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    EXPECT_FALSE(LoadSnapshot(truncated).ok());
+  }
+}
+
+TEST(SnapshotTest, FileRoundTrip) {
+  CinderellaConfig config;
+  auto original = std::move(Cinderella::Create(config)).value();
+  AttributeDictionary dictionary;
+  dictionary.GetOrCreate("alpha");
+  ASSERT_TRUE(original->Insert(MakeRow(1, {0})).ok());
+  const std::string path = testing::TempDir() + "/cinderella_snapshot.bin";
+  ASSERT_TRUE(SaveSnapshotToFile(*original, dictionary, path).ok());
+  auto restored = LoadSnapshotFromFile(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->partitioner->catalog().entity_count(), 1u);
+  EXPECT_FALSE(LoadSnapshotFromFile(path + ".missing").ok());
+}
+
+TEST(SnapshotTest, RestorePartitionRejectsDuplicates) {
+  CinderellaConfig config;
+  auto c = std::move(Cinderella::Create(config)).value();
+  std::vector<Row> rows;
+  rows.push_back(MakeRow(1, {0}));
+  ASSERT_TRUE(c->RestorePartition(std::move(rows)).ok());
+  std::vector<Row> duplicate;
+  duplicate.push_back(MakeRow(1, {2}));
+  EXPECT_EQ(c->RestorePartition(std::move(duplicate)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(c->RestorePartition({}).ok());
+}
+
+}  // namespace
+}  // namespace cinderella

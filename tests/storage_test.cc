@@ -1,0 +1,181 @@
+// Unit tests for src/storage: values, sparse rows, segments.
+
+#include <gtest/gtest.h>
+
+#include "storage/row.h"
+#include "storage/segment.h"
+#include "storage/value.h"
+
+namespace cinderella {
+namespace {
+
+// -- Value --------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  const Value i(int64_t{42});
+  const Value d(2.5);
+  const Value s("hello");
+  EXPECT_TRUE(i.is_int64());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.as_int64(), 42);
+  EXPECT_DOUBLE_EQ(d.as_double(), 2.5);
+  EXPECT_EQ(s.as_string(), "hello");
+}
+
+TEST(ValueTest, ByteSize) {
+  EXPECT_EQ(Value(int64_t{1}).byte_size(), 8u);
+  EXPECT_EQ(Value(1.0).byte_size(), 8u);
+  EXPECT_EQ(Value("abc").byte_size(), 3u);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value("x").ToString(), "x");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));
+  EXPECT_NE(Value("a"), Value("b"));
+}
+
+// -- Row ----------------------------------------------------------------------
+
+TEST(RowTest, SetGetErase) {
+  Row row(10);
+  row.Set(3, Value(int64_t{1}));
+  row.Set(1, Value("x"));
+  EXPECT_EQ(row.attribute_count(), 2u);
+  ASSERT_NE(row.Get(3), nullptr);
+  EXPECT_EQ(row.Get(3)->as_int64(), 1);
+  EXPECT_EQ(row.Get(2), nullptr);
+  EXPECT_TRUE(row.Erase(3));
+  EXPECT_FALSE(row.Erase(3));
+  EXPECT_EQ(row.attribute_count(), 1u);
+}
+
+TEST(RowTest, SetOverwrites) {
+  Row row(1);
+  row.Set(5, Value(int64_t{1}));
+  row.Set(5, Value(int64_t{2}));
+  EXPECT_EQ(row.attribute_count(), 1u);
+  EXPECT_EQ(row.Get(5)->as_int64(), 2);
+}
+
+TEST(RowTest, CellsSortedByAttribute) {
+  Row row(1);
+  row.Set(9, Value(int64_t{9}));
+  row.Set(2, Value(int64_t{2}));
+  row.Set(5, Value(int64_t{5}));
+  const auto& cells = row.cells();
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].attribute, 2u);
+  EXPECT_EQ(cells[1].attribute, 5u);
+  EXPECT_EQ(cells[2].attribute, 9u);
+}
+
+TEST(RowTest, AttributeSynopsis) {
+  Row row(1);
+  row.Set(2, Value(int64_t{0}));
+  row.Set(64, Value(int64_t{0}));
+  const Synopsis s = row.AttributeSynopsis();
+  EXPECT_EQ(s.Count(), 2u);
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(64));
+}
+
+TEST(RowTest, ByteSizeAccounting) {
+  Row row(1);
+  EXPECT_EQ(row.byte_size(), 8u);  // id only
+  row.Set(0, Value(int64_t{1}));   // +4 +8
+  EXPECT_EQ(row.byte_size(), 20u);
+  row.Set(1, Value("abc"));        // +4 +3
+  EXPECT_EQ(row.byte_size(), 27u);
+}
+
+// -- Segment --------------------------------------------------------------------
+
+Row MakeRow(EntityId id, std::initializer_list<AttributeId> attrs) {
+  Row row(id);
+  for (AttributeId a : attrs) row.Set(a, Value(int64_t{1}));
+  return row;
+}
+
+TEST(SegmentTest, InsertFindRemove) {
+  Segment seg;
+  ASSERT_TRUE(seg.Insert(MakeRow(1, {0, 1})).ok());
+  ASSERT_TRUE(seg.Insert(MakeRow(2, {1, 2, 3})).ok());
+  EXPECT_EQ(seg.entity_count(), 2u);
+  EXPECT_EQ(seg.cell_count(), 5u);
+  ASSERT_NE(seg.Find(1), nullptr);
+  EXPECT_EQ(seg.Find(1)->attribute_count(), 2u);
+  EXPECT_EQ(seg.Find(99), nullptr);
+
+  auto removed = seg.Remove(1);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value().id(), 1u);
+  EXPECT_EQ(seg.entity_count(), 1u);
+  EXPECT_EQ(seg.cell_count(), 3u);
+  EXPECT_FALSE(seg.Contains(1));
+}
+
+TEST(SegmentTest, DuplicateInsertFails) {
+  Segment seg;
+  ASSERT_TRUE(seg.Insert(MakeRow(1, {0})).ok());
+  const Status s = seg.Insert(MakeRow(1, {1}));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(seg.entity_count(), 1u);
+}
+
+TEST(SegmentTest, RemoveMissingFails) {
+  Segment seg;
+  EXPECT_EQ(seg.Remove(5).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SegmentTest, SwapRemoveKeepsIndexConsistent) {
+  Segment seg;
+  for (EntityId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(seg.Insert(MakeRow(id, {static_cast<AttributeId>(id)})).ok());
+  }
+  // Remove from the middle; the last row takes its slot.
+  ASSERT_TRUE(seg.Remove(3).ok());
+  for (EntityId id = 0; id < 10; ++id) {
+    if (id == 3) {
+      EXPECT_EQ(seg.Find(id), nullptr);
+    } else {
+      ASSERT_NE(seg.Find(id), nullptr) << id;
+      EXPECT_EQ(seg.Find(id)->id(), id);
+    }
+  }
+}
+
+TEST(SegmentTest, ReplaceUpdatesAccounting) {
+  Segment seg;
+  ASSERT_TRUE(seg.Insert(MakeRow(1, {0, 1, 2})).ok());
+  const uint64_t bytes_before = seg.byte_size();
+  ASSERT_TRUE(seg.Replace(MakeRow(1, {5})).ok());
+  EXPECT_EQ(seg.cell_count(), 1u);
+  EXPECT_LT(seg.byte_size(), bytes_before);
+  EXPECT_TRUE(seg.Find(1)->Has(5));
+  EXPECT_FALSE(seg.Find(1)->Has(0));
+}
+
+TEST(SegmentTest, ReplaceMissingFails) {
+  Segment seg;
+  EXPECT_EQ(seg.Replace(MakeRow(7, {0})).code(), StatusCode::kNotFound);
+}
+
+TEST(SegmentTest, ByteSizeSumsRows) {
+  Segment seg;
+  Row a = MakeRow(1, {0});
+  Row b = MakeRow(2, {0, 1});
+  const uint64_t expected = a.byte_size() + b.byte_size();
+  ASSERT_TRUE(seg.Insert(std::move(a)).ok());
+  ASSERT_TRUE(seg.Insert(std::move(b)).ok());
+  EXPECT_EQ(seg.byte_size(), expected);
+}
+
+}  // namespace
+}  // namespace cinderella

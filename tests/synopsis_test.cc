@@ -1,0 +1,210 @@
+// Unit and property tests for the Synopsis bitset algebra and the
+// attribute dictionary.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "synopsis/attribute_dictionary.h"
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+namespace {
+
+TEST(SynopsisTest, StartsEmpty) {
+  Synopsis s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(SynopsisTest, AddContainsRemove) {
+  Synopsis s;
+  s.Add(3);
+  s.Add(70);  // Crosses a word boundary.
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(70));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Count(), 2u);
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.Count(), 1u);
+}
+
+TEST(SynopsisTest, AddIsIdempotent) {
+  Synopsis s;
+  s.Add(5);
+  s.Add(5);
+  EXPECT_EQ(s.Count(), 1u);
+}
+
+TEST(SynopsisTest, RemoveAbsentIsNoop) {
+  Synopsis s{1, 2};
+  s.Remove(99);
+  EXPECT_EQ(s.Count(), 2u);
+}
+
+TEST(SynopsisTest, InitializerListAndFromIds) {
+  Synopsis a{1, 5, 9};
+  Synopsis b = Synopsis::FromIds({1, 5, 9});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+TEST(SynopsisTest, SetCardinalities) {
+  Synopsis e{0, 1, 2, 3};
+  Synopsis p{2, 3, 4, 5, 6};
+  EXPECT_EQ(e.IntersectCount(p), 2u);  // {2,3}
+  EXPECT_EQ(e.UnionCount(p), 7u);      // {0..6}
+  EXPECT_EQ(e.XorCount(p), 5u);        // {0,1,4,5,6}
+  EXPECT_EQ(e.AndNotCount(p), 2u);     // {0,1}
+  EXPECT_EQ(p.AndNotCount(e), 3u);     // {4,5,6}
+}
+
+TEST(SynopsisTest, OperationsAcrossDifferentLengths) {
+  Synopsis small{1};
+  Synopsis large{1, 200};
+  EXPECT_EQ(small.IntersectCount(large), 1u);
+  EXPECT_EQ(small.UnionCount(large), 2u);
+  EXPECT_EQ(large.AndNotCount(small), 1u);
+  EXPECT_EQ(small.AndNotCount(large), 0u);
+  EXPECT_EQ(small.XorCount(large), 1u);
+  EXPECT_TRUE(small.IsSubsetOf(large));
+  EXPECT_FALSE(large.IsSubsetOf(small));
+}
+
+TEST(SynopsisTest, IntersectsFastPath) {
+  Synopsis a{10, 90};
+  Synopsis b{90};
+  Synopsis c{11};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(Synopsis().Intersects(a));
+}
+
+TEST(SynopsisTest, UnionWithAccumulates) {
+  Synopsis a{1, 2};
+  Synopsis b{2, 300};
+  a.UnionWith(b);
+  EXPECT_EQ(a.Count(), 3u);
+  EXPECT_TRUE(a.Contains(300));
+}
+
+TEST(SynopsisTest, ToIdsSortedAscending) {
+  Synopsis s{300, 2, 65, 7};
+  const std::vector<AttributeId> ids = s.ToIds();
+  EXPECT_EQ(ids, (std::vector<AttributeId>{2, 7, 65, 300}));
+}
+
+TEST(SynopsisTest, ToStringFormat) {
+  EXPECT_EQ(Synopsis({1, 5}).ToString(), "{1, 5}");
+  EXPECT_EQ(Synopsis().ToString(), "{}");
+}
+
+TEST(SynopsisTest, EqualityIgnoresTrailingZeroWords) {
+  Synopsis a{1};
+  Synopsis b{1, 500};
+  b.Remove(500);
+  EXPECT_EQ(a, b);
+  b.Add(2);
+  EXPECT_NE(a, b);
+}
+
+TEST(SynopsisTest, ClearEmpties) {
+  Synopsis s{1, 2, 3};
+  s.Clear();
+  EXPECT_TRUE(s.Empty());
+}
+
+// Property test: bitset algebra agrees with std::set reference across
+// random synopsis pairs.
+TEST(SynopsisPropertyTest, AgreesWithSetReference) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::set<AttributeId> sa;
+    std::set<AttributeId> sb;
+    Synopsis a;
+    Synopsis b;
+    const int na = static_cast<int>(rng.Uniform(40));
+    const int nb = static_cast<int>(rng.Uniform(40));
+    for (int i = 0; i < na; ++i) {
+      const AttributeId id = static_cast<AttributeId>(rng.Uniform(150));
+      sa.insert(id);
+      a.Add(id);
+    }
+    for (int i = 0; i < nb; ++i) {
+      const AttributeId id = static_cast<AttributeId>(rng.Uniform(150));
+      sb.insert(id);
+      b.Add(id);
+    }
+    std::vector<AttributeId> tmp;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::back_inserter(tmp));
+    EXPECT_EQ(a.IntersectCount(b), tmp.size());
+    EXPECT_EQ(a.Intersects(b), !tmp.empty());
+    tmp.clear();
+    std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                   std::back_inserter(tmp));
+    EXPECT_EQ(a.UnionCount(b), tmp.size());
+    tmp.clear();
+    std::set_symmetric_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                                  std::back_inserter(tmp));
+    EXPECT_EQ(a.XorCount(b), tmp.size());
+    tmp.clear();
+    std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(tmp));
+    EXPECT_EQ(a.AndNotCount(b), tmp.size());
+    EXPECT_EQ(a.IsSubsetOf(b), tmp.empty());
+    EXPECT_EQ(a.ToIds(),
+              std::vector<AttributeId>(sa.begin(), sa.end()));
+  }
+}
+
+// Identity: |a ⊕ b| = |a ∨ b| − |a ∧ b| (used implicitly by the rating).
+TEST(SynopsisPropertyTest, XorIsUnionMinusIntersection) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    Synopsis a;
+    Synopsis b;
+    for (int i = 0; i < 30; ++i) {
+      if (rng.Bernoulli(0.4)) a.Add(static_cast<AttributeId>(rng.Uniform(100)));
+      if (rng.Bernoulli(0.4)) b.Add(static_cast<AttributeId>(rng.Uniform(100)));
+    }
+    EXPECT_EQ(a.XorCount(b), a.UnionCount(b) - a.IntersectCount(b));
+  }
+}
+
+// -- AttributeDictionary -----------------------------------------------------
+
+TEST(AttributeDictionaryTest, InternAssignsDenseIds) {
+  AttributeDictionary dict;
+  EXPECT_EQ(dict.GetOrCreate("name"), 0u);
+  EXPECT_EQ(dict.GetOrCreate("weight"), 1u);
+  EXPECT_EQ(dict.GetOrCreate("name"), 0u);  // Idempotent.
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(AttributeDictionaryTest, FindAndName) {
+  AttributeDictionary dict;
+  const AttributeId id = dict.GetOrCreate("aperture");
+  EXPECT_EQ(dict.Find("aperture"), std::optional<AttributeId>(id));
+  EXPECT_EQ(dict.Find("missing"), std::nullopt);
+  auto name = dict.Name(id);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name.value(), "aperture");
+  EXPECT_FALSE(dict.Name(99).ok());
+}
+
+TEST(AttributeDictionaryTest, MakeSynopsis) {
+  AttributeDictionary dict;
+  const Synopsis s = dict.MakeSynopsis({"a", "b", "a"});
+  EXPECT_EQ(s.Count(), 2u);
+  EXPECT_TRUE(s.Contains(*dict.Find("a")));
+  EXPECT_TRUE(s.Contains(*dict.Find("b")));
+}
+
+}  // namespace
+}  // namespace cinderella

@@ -1,0 +1,100 @@
+// Tests for the UniversalTable facade (name-based DML routed through a
+// partitioner, like the paper's trigger-based prototype).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/cinderella.h"
+#include "core/universal_table.h"
+
+namespace cinderella {
+namespace {
+
+UniversalTable MakeTable(double weight = 0.5, uint64_t max_size = 100) {
+  CinderellaConfig config;
+  config.weight = weight;
+  config.max_size = max_size;
+  return UniversalTable(std::move(Cinderella::Create(config)).value());
+}
+
+TEST(UniversalTableTest, InsertByNameInternsAttributes) {
+  UniversalTable table = MakeTable();
+  ASSERT_TRUE(table
+                  .Insert(1, {{"name", Value("Canon S120")},
+                              {"resolution", Value(12.1)}})
+                  .ok());
+  EXPECT_EQ(table.entity_count(), 1u);
+  EXPECT_TRUE(table.dictionary().Find("name").has_value());
+  EXPECT_TRUE(table.dictionary().Find("resolution").has_value());
+
+  auto row = table.Get(1);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->attribute_count(), 2u);
+  EXPECT_EQ(row->Get(*table.dictionary().Find("name"))->as_string(),
+            "Canon S120");
+}
+
+TEST(UniversalTableTest, GetMissingFails) {
+  UniversalTable table = MakeTable();
+  EXPECT_EQ(table.Get(42).status().code(), StatusCode::kNotFound);
+}
+
+TEST(UniversalTableTest, DeleteRemoves) {
+  UniversalTable table = MakeTable();
+  ASSERT_TRUE(table.Insert(1, {{"a", Value(int64_t{1})}}).ok());
+  ASSERT_TRUE(table.Delete(1).ok());
+  EXPECT_EQ(table.entity_count(), 0u);
+  EXPECT_EQ(table.Delete(1).code(), StatusCode::kNotFound);
+}
+
+TEST(UniversalTableTest, UpdateReplacesAttributes) {
+  UniversalTable table = MakeTable();
+  ASSERT_TRUE(table.Insert(1, {{"a", Value(int64_t{1})},
+                               {"b", Value(int64_t{2})}})
+                  .ok());
+  ASSERT_TRUE(table.Update(1, {{"a", Value(int64_t{9})},
+                               {"c", Value(int64_t{3})}})
+                  .ok());
+  auto row = table.Get(1);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->Get(*table.dictionary().Find("a"))->as_int64(), 9);
+  EXPECT_EQ(row->Get(*table.dictionary().Find("b")), nullptr);
+  EXPECT_NE(row->Get(*table.dictionary().Find("c")), nullptr);
+}
+
+TEST(UniversalTableTest, SharedAttributeSpaceAcrossEntities) {
+  UniversalTable table = MakeTable();
+  ASSERT_TRUE(table.Insert(1, {{"name", Value("x")}}).ok());
+  ASSERT_TRUE(table.Insert(2, {{"name", Value("y")}}).ok());
+  // Both rows carry the same attribute id for "name".
+  const AttributeId name_id = *table.dictionary().Find("name");
+  EXPECT_TRUE(table.Get(1)->Has(name_id));
+  EXPECT_TRUE(table.Get(2)->Has(name_id));
+  EXPECT_EQ(table.dictionary().size(), 1u);
+}
+
+TEST(UniversalTableTest, PartitionerAccessors) {
+  UniversalTable table = MakeTable(0.4, 77);
+  EXPECT_EQ(table.partitioner().name(), "cinderella(w=0.40,B=77,entities)");
+  ASSERT_TRUE(table.Insert(1, {{"a", Value(int64_t{1})}}).ok());
+  EXPECT_EQ(table.catalog().partition_count(), 1u);
+}
+
+TEST(UniversalTableTest, HeterogeneousEntitiesLandInDifferentPartitions) {
+  UniversalTable table = MakeTable(0.3);
+  ASSERT_TRUE(table
+                  .Insert(1, {{"resolution", Value(12.1)},
+                              {"aperture", Value(2.0)},
+                              {"screen", Value(3.0)}})
+                  .ok());
+  ASSERT_TRUE(table
+                  .Insert(2, {{"storage", Value("4TB")},
+                              {"rotation", Value(int64_t{7200})},
+                              {"form factor", Value("3.5\"")}})
+                  .ok());
+  EXPECT_EQ(table.catalog().partition_count(), 2u);
+}
+
+}  // namespace
+}  // namespace cinderella

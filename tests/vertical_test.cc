@@ -1,0 +1,98 @@
+// Tests for the hidden-schema vertical partitioner (related work [18]):
+// co-occurrence computation, attribute clustering, and the query cost
+// profile.
+
+#include <gtest/gtest.h>
+
+#include "baseline/vertical_partitioner.h"
+
+namespace cinderella {
+namespace {
+
+Row MakeRow(EntityId id, std::initializer_list<AttributeId> attrs) {
+  Row row(id);
+  for (AttributeId a : attrs) row.Set(a, Value(int64_t{1}));
+  return row;
+}
+
+// Two disjoint attribute families, always co-occurring within a family.
+std::vector<Row> TwoFamilies(size_t per_family) {
+  std::vector<Row> rows;
+  EntityId next = 0;
+  for (size_t i = 0; i < per_family; ++i) {
+    rows.push_back(MakeRow(next++, {0, 1, 2}));
+    rows.push_back(MakeRow(next++, {3, 4, 5}));
+  }
+  return rows;
+}
+
+TEST(VerticalTest, CoOccurrenceMatrix) {
+  VerticalPartitioner vertical(VerticalConfig{.k = 2});
+  ASSERT_TRUE(vertical.Build(TwoFamilies(10), 6).ok());
+  EXPECT_DOUBLE_EQ(vertical.CoOccurrence(0, 1), 1.0);  // Always together.
+  EXPECT_DOUBLE_EQ(vertical.CoOccurrence(0, 3), 0.0);  // Never together.
+  EXPECT_DOUBLE_EQ(vertical.CoOccurrence(2, 2), 1.0);
+}
+
+TEST(VerticalTest, ClustersRecoverTheFamilies) {
+  VerticalPartitioner vertical(VerticalConfig{.k = 2});
+  ASSERT_TRUE(vertical.Build(TwoFamilies(10), 6).ok());
+  ASSERT_EQ(vertical.groups().size(), 2u);
+  EXPECT_EQ(vertical.GroupOf(0), vertical.GroupOf(1));
+  EXPECT_EQ(vertical.GroupOf(0), vertical.GroupOf(2));
+  EXPECT_EQ(vertical.GroupOf(3), vertical.GroupOf(4));
+  EXPECT_NE(vertical.GroupOf(0), vertical.GroupOf(3));
+}
+
+TEST(VerticalTest, PartialOverlapJaccard) {
+  // Attribute 0 on all 4 rows; attribute 1 on 2 of them.
+  std::vector<Row> rows;
+  rows.push_back(MakeRow(0, {0, 1}));
+  rows.push_back(MakeRow(1, {0, 1}));
+  rows.push_back(MakeRow(2, {0}));
+  rows.push_back(MakeRow(3, {0}));
+  VerticalPartitioner vertical(VerticalConfig{.k = 1});
+  ASSERT_TRUE(vertical.Build(rows, 2).ok());
+  EXPECT_DOUBLE_EQ(vertical.CoOccurrence(0, 1), 0.5);  // 2 / 4.
+}
+
+TEST(VerticalTest, QueryCostReadsOnlyTouchedGroups) {
+  VerticalPartitioner vertical(VerticalConfig{.k = 2});
+  ASSERT_TRUE(vertical.Build(TwoFamilies(10), 6).ok());
+  // Query within one family: one group, no joins, 30 cells (3 attrs x 10).
+  const auto one = vertical.CostOf(Synopsis{0});
+  EXPECT_EQ(one.groups_read, 1u);
+  EXPECT_EQ(one.cells_read, 30u);
+  EXPECT_EQ(one.joins_needed, 0u);
+  // Query across both families: two groups, one join.
+  const auto both = vertical.CostOf(Synopsis{0, 3});
+  EXPECT_EQ(both.groups_read, 2u);
+  EXPECT_EQ(both.cells_read, 60u);
+  EXPECT_EQ(both.joins_needed, 1u);
+  // Unknown attribute: nothing read.
+  const auto none = vertical.CostOf(Synopsis{99});
+  EXPECT_EQ(none.groups_read, 0u);
+}
+
+TEST(VerticalTest, KOneMergesEverything) {
+  VerticalPartitioner vertical(VerticalConfig{.k = 1});
+  ASSERT_TRUE(vertical.Build(TwoFamilies(5), 6).ok());
+  ASSERT_EQ(vertical.groups().size(), 1u);
+  EXPECT_EQ(vertical.groups()[0].size(), 6u);
+}
+
+TEST(VerticalTest, BuildTwiceFails) {
+  VerticalPartitioner vertical(VerticalConfig{.k = 2});
+  ASSERT_TRUE(vertical.Build(TwoFamilies(2), 6).ok());
+  EXPECT_EQ(vertical.Build(TwoFamilies(2), 6).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(VerticalTest, KLargerThanAttributesKeepsSingletons) {
+  VerticalPartitioner vertical(VerticalConfig{.k = 10});
+  ASSERT_TRUE(vertical.Build(TwoFamilies(3), 6).ok());
+  EXPECT_EQ(vertical.groups().size(), 6u);  // Never merges below need.
+}
+
+}  // namespace
+}  // namespace cinderella

@@ -1,0 +1,310 @@
+// Tests for the workload substrate: the DBpedia-like generator must
+// reproduce the Figure 4 distributions; the query workload must cover the
+// selectivity range; TPC-H schema/generator/footprints must be consistent.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/dataset_stats.h"
+#include "workload/dbpedia_generator.h"
+#include "workload/query_workload.h"
+#include "workload/tpch/tpch_generator.h"
+#include "workload/tpch/tpch_queries.h"
+#include "workload/tpch/tpch_schema.h"
+
+namespace cinderella {
+namespace {
+
+// -- DBpedia generator ---------------------------------------------------------
+
+class DbpediaTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DbpediaConfig config;
+    config.num_entities = 20000;  // Enough for tight frequency estimates.
+    config.seed = 42;
+    dictionary_ = new AttributeDictionary();
+    DbpediaGenerator generator(config, dictionary_);
+    rows_ = new std::vector<Row>(generator.Generate());
+    distribution_ = new DatasetDistribution(
+        ComputeDatasetDistribution(*rows_, config.num_attributes));
+  }
+  static void TearDownTestSuite() {
+    delete rows_;
+    delete distribution_;
+    delete dictionary_;
+    rows_ = nullptr;
+    distribution_ = nullptr;
+    dictionary_ = nullptr;
+  }
+
+  static std::vector<Row>* rows_;
+  static DatasetDistribution* distribution_;
+  static AttributeDictionary* dictionary_;
+};
+
+std::vector<Row>* DbpediaTest::rows_ = nullptr;
+DatasetDistribution* DbpediaTest::distribution_ = nullptr;
+AttributeDictionary* DbpediaTest::dictionary_ = nullptr;
+
+TEST_F(DbpediaTest, GeneratesRequestedCount) {
+  EXPECT_EQ(rows_->size(), 20000u);
+  EXPECT_EQ(dictionary_->size(), 100u);
+}
+
+TEST_F(DbpediaTest, Figure4aTwoNearUniversalAttributes) {
+  // "two attributes are extremely common and appear on almost every
+  // entity".
+  EXPECT_EQ(distribution_->CountAttributesAbove(0.85), 2u);
+}
+
+TEST_F(DbpediaTest, Figure4aThirteenCommonAttributes) {
+  // 2 universal + "Eleven attributes ... appear on over 30%".
+  EXPECT_EQ(distribution_->CountAttributesAbove(0.30), 13u);
+}
+
+TEST_F(DbpediaTest, Figure4aLongTail) {
+  // "85% of the attributes appear on less than 10% of the entities".
+  const size_t below = distribution_->CountAttributesBelow(0.10);
+  EXPECT_GE(below, 83u);
+  EXPECT_LE(below, 87u);
+}
+
+TEST_F(DbpediaTest, Figure4bAttributesPerEntity) {
+  // "the majority of entities have between two and 15 attributes, a few
+  // entities have up to 27".
+  size_t bulk = 0;
+  for (size_t k = 2; k <= 15 && k < distribution_->attrs_per_entity_histogram.size();
+       ++k) {
+    bulk += distribution_->attrs_per_entity_histogram[k];
+  }
+  EXPECT_GT(static_cast<double>(bulk) / 20000.0, 0.80);
+  EXPECT_GE(distribution_->max_attributes_per_entity, 18u);
+  EXPECT_LE(distribution_->max_attributes_per_entity, 32u);
+}
+
+TEST_F(DbpediaTest, TableIsVerySparse) {
+  // The paper quotes 0.94 for its extract.
+  EXPECT_GT(distribution_->sparseness, 0.88);
+  EXPECT_LT(distribution_->sparseness, 0.96);
+}
+
+TEST_F(DbpediaTest, EmpiricalFrequenciesTrackTargets) {
+  DbpediaConfig config;
+  config.num_entities = 20000;
+  config.seed = 42;
+  AttributeDictionary dict;
+  DbpediaGenerator generator(config, &dict);
+  const auto& targets = generator.target_frequencies();
+  ASSERT_EQ(targets.size(), 100u);
+  for (size_t a = 0; a < 100; ++a) {
+    EXPECT_NEAR(distribution_->frequency[a], targets[a],
+                0.02 + 0.1 * targets[a])
+        << "attribute " << a;
+  }
+}
+
+TEST_F(DbpediaTest, DeterministicForSeed) {
+  DbpediaConfig config;
+  config.num_entities = 500;
+  config.seed = 7;
+  AttributeDictionary d1;
+  AttributeDictionary d2;
+  auto r1 = DbpediaGenerator(config, &d1).Generate();
+  auto r2 = DbpediaGenerator(config, &d2).Generate();
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].AttributeSynopsis(), r2[i].AttributeSynopsis());
+  }
+  config.seed = 8;
+  AttributeDictionary d3;
+  auto r3 = DbpediaGenerator(config, &d3).Generate();
+  size_t same = 0;
+  for (size_t i = 0; i < r1.size(); ++i) {
+    same += r1[i].AttributeSynopsis() == r3[i].AttributeSynopsis();
+  }
+  EXPECT_LT(same, r1.size() / 2);
+}
+
+// -- Dataset stats ----------------------------------------------------------------
+
+TEST(DatasetStatsTest, SmallHandComputedExample) {
+  std::vector<Row> rows;
+  Row a(0);
+  a.Set(0, Value(int64_t{1}));
+  a.Set(1, Value(int64_t{1}));
+  Row b(1);
+  b.Set(0, Value(int64_t{1}));
+  rows.push_back(std::move(a));
+  rows.push_back(std::move(b));
+  const DatasetDistribution d = ComputeDatasetDistribution(rows, 3);
+  EXPECT_DOUBLE_EQ(d.frequency[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.frequency[1], 0.5);
+  EXPECT_DOUBLE_EQ(d.frequency[2], 0.0);
+  EXPECT_EQ(d.attrs_per_entity_histogram[1], 1u);
+  EXPECT_EQ(d.attrs_per_entity_histogram[2], 1u);
+  EXPECT_EQ(d.max_attributes_per_entity, 2u);
+  EXPECT_DOUBLE_EQ(d.mean_attributes_per_entity, 1.5);
+  EXPECT_DOUBLE_EQ(d.sparseness, 1.0 - 3.0 / 6.0);
+  EXPECT_DOUBLE_EQ(d.frequency_sorted[0], 1.0);
+}
+
+// -- Query workload ------------------------------------------------------------------
+
+TEST(QueryWorkloadTest, CoversSelectivityRange) {
+  DbpediaConfig config;
+  config.num_entities = 5000;
+  AttributeDictionary dict;
+  auto rows = DbpediaGenerator(config, &dict).Generate();
+  QueryWorkloadConfig wconfig;
+  const auto workload = GenerateQueryWorkload(rows, 100, wconfig);
+  ASSERT_FALSE(workload.empty());
+  // Sorted by selectivity, covering low and high ends.
+  for (size_t i = 1; i < workload.size(); ++i) {
+    EXPECT_GE(workload[i].selectivity, workload[i - 1].selectivity);
+  }
+  EXPECT_LT(workload.front().selectivity, 0.05);
+  EXPECT_GT(workload.back().selectivity, 0.8);
+  // At most queries_per_bin per bin.
+  std::vector<size_t> bins(wconfig.selectivity_bins, 0);
+  for (const auto& q : workload) {
+    size_t bin = std::min(
+        static_cast<size_t>(q.selectivity * wconfig.selectivity_bins),
+        wconfig.selectivity_bins - 1);
+    ++bins[bin];
+  }
+  for (size_t count : bins) EXPECT_LE(count, wconfig.queries_per_bin);
+}
+
+TEST(QueryWorkloadTest, SelectivityMatchesManualCount) {
+  std::vector<Row> rows;
+  for (EntityId id = 0; id < 10; ++id) {
+    Row row(id);
+    if (id < 3) row.Set(0, Value(int64_t{1}));
+    row.Set(1, Value(int64_t{1}));
+    rows.push_back(std::move(row));
+  }
+  QueryWorkloadConfig config;
+  config.top_attributes = 2;
+  const auto workload = GenerateQueryWorkload(rows, 2, config);
+  // Find the single-attribute query over attr 0.
+  bool found = false;
+  for (const auto& q : workload) {
+    if (q.query.attributes() == Synopsis{0}) {
+      EXPECT_DOUBLE_EQ(q.selectivity, 0.3);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// -- TPC-H -----------------------------------------------------------------------------
+
+TEST(TpchSchemaTest, ColumnCounts) {
+  EXPECT_EQ(TpchColumns(TpchTable::kRegion).size(), 3u);
+  EXPECT_EQ(TpchColumns(TpchTable::kNation).size(), 4u);
+  EXPECT_EQ(TpchColumns(TpchTable::kSupplier).size(), 7u);
+  EXPECT_EQ(TpchColumns(TpchTable::kCustomer).size(), 8u);
+  EXPECT_EQ(TpchColumns(TpchTable::kPart).size(), 9u);
+  EXPECT_EQ(TpchColumns(TpchTable::kPartsupp).size(), 5u);
+  EXPECT_EQ(TpchColumns(TpchTable::kOrders).size(), 9u);
+  EXPECT_EQ(TpchColumns(TpchTable::kLineitem).size(), 16u);
+  // 61 distinct columns in total; prefixes keep them disjoint.
+  std::set<std::string> all;
+  for (TpchTable t : AllTpchTables()) {
+    for (const auto& c : TpchColumns(t)) all.insert(c);
+  }
+  EXPECT_EQ(all.size(), 61u);
+}
+
+TEST(TpchSchemaTest, RowCountsScale) {
+  EXPECT_EQ(TpchRowCount(TpchTable::kRegion, 0.5), 5u);
+  EXPECT_EQ(TpchRowCount(TpchTable::kNation, 0.5), 25u);
+  EXPECT_EQ(TpchRowCount(TpchTable::kSupplier, 0.5), 5000u);
+  EXPECT_EQ(TpchRowCount(TpchTable::kLineitem, 0.5), 3000000u);
+  EXPECT_EQ(TpchRowCount(TpchTable::kOrders, 0.01), 15000u);
+}
+
+TEST(TpchSchemaTest, EntityIdRoundTrip) {
+  const EntityId id = TpchEntityId(TpchTable::kOrders, 12345);
+  EXPECT_EQ(TpchTableOfEntity(id), TpchTable::kOrders);
+  EXPECT_EQ(TpchTableOfEntity(TpchEntityId(TpchTable::kRegion, 0)),
+            TpchTable::kRegion);
+}
+
+TEST(TpchGeneratorTest, RowsHaveExactColumnSets) {
+  TpchGeneratorConfig config;
+  config.scale_factor = 0.001;
+  AttributeDictionary dict;
+  TpchGenerator generator(config, &dict);
+  const auto rows = generator.Generate();
+  EXPECT_EQ(rows.size(), generator.TotalRows());
+  for (const Row& row : rows) {
+    const TpchTable table = TpchTableOfEntity(row.id());
+    EXPECT_EQ(row.attribute_count(), TpchColumns(table).size())
+        << TpchTableName(table);
+    for (const std::string& column : TpchColumns(table)) {
+      EXPECT_TRUE(row.Has(*dict.Find(column)));
+    }
+  }
+}
+
+TEST(TpchGeneratorTest, PerfectlyRegularPerTable) {
+  TpchGeneratorConfig config;
+  config.scale_factor = 0.001;
+  AttributeDictionary dict;
+  const auto rows = TpchGenerator(config, &dict).Generate();
+  // All rows of one table share one synopsis; synopses differ across
+  // tables.
+  std::map<TpchTable, Synopsis> schema;
+  for (const Row& row : rows) {
+    const TpchTable table = TpchTableOfEntity(row.id());
+    auto it = schema.find(table);
+    if (it == schema.end()) {
+      schema.emplace(table, row.AttributeSynopsis());
+    } else {
+      EXPECT_EQ(it->second, row.AttributeSynopsis());
+    }
+  }
+  EXPECT_EQ(schema.size(), kTpchTableCount);
+}
+
+TEST(TpchQueriesTest, AllTwentyTwoFootprints) {
+  const auto& footprints = TpchQueryFootprints();
+  ASSERT_EQ(footprints.size(), 22u);
+  for (size_t i = 0; i < footprints.size(); ++i) {
+    EXPECT_EQ(footprints[i].number, static_cast<int>(i + 1));
+    EXPECT_FALSE(footprints[i].references.empty());
+    // Every referenced column must exist in its table's schema.
+    for (const auto& [table, columns] : footprints[i].references) {
+      const auto& schema = TpchColumns(table);
+      for (const std::string& column : columns) {
+        EXPECT_NE(std::find(schema.begin(), schema.end(), column),
+                  schema.end())
+            << "Q" << footprints[i].number << " references unknown column "
+            << column;
+      }
+    }
+  }
+}
+
+TEST(TpchQueriesTest, MakeTpchQueryUnionsColumns) {
+  AttributeDictionary dict;
+  TpchGeneratorConfig config;
+  config.scale_factor = 0.001;
+  TpchGenerator(config, &dict).Generate();
+  // Q6 references 4 lineitem columns.
+  const Query q6 = MakeTpchQuery(TpchQueryFootprints()[5], dict);
+  EXPECT_EQ(q6.attributes().Count(), 4u);
+  // Q1 touches only lineitem: its synopsis is a subset of lineitem's.
+  Synopsis lineitem;
+  for (const auto& column : TpchColumns(TpchTable::kLineitem)) {
+    lineitem.Add(*dict.Find(column));
+  }
+  const Query q1 = MakeTpchQuery(TpchQueryFootprints()[0], dict);
+  EXPECT_TRUE(q1.attributes().IsSubsetOf(lineitem));
+}
+
+}  // namespace
+}  // namespace cinderella

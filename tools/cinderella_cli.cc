@@ -1,0 +1,256 @@
+// Command-line front end to the library: generate synthetic data, load a
+// CSV into a Cinderella-partitioned table, inspect the partitioning, run
+// attribute queries, and save/restore snapshots.
+//
+//   cinderella_cli generate  --entities 10000 [--seed 42] --out data.csv
+//   cinderella_cli partition --in data.csv [--weight 0.3] [--max-size 5000]
+//                            [--dissolve 0.2] --snapshot table.snap
+//   cinderella_cli stats     --snapshot table.snap
+//   cinderella_cli query     --snapshot table.snap --attrs name,weight
+//   cinderella_cli export    --snapshot table.snap --out data.csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/cinderella.h"
+#include "core/partitioning_stats.h"
+#include "core/snapshot.h"
+#include "core/universal_table.h"
+#include "io/csv.h"
+#include "query/estimator.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "workload/dbpedia_generator.h"
+
+namespace cinderella {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = flags.find(name);
+    return it != flags.end() ? it->second : fallback;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = flags.find(name);
+    return it != flags.end() ? std::atof(it->second.c_str()) : fallback;
+  }
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    auto it = flags.find(name);
+    return it != flags.end() ? std::atoll(it->second.c_str()) : fallback;
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cinderella_cli <command> [--flag value ...]\n"
+      "  generate  --entities N [--seed S] --out FILE.csv\n"
+      "  partition --in FILE.csv [--weight W] [--max-size B]\n"
+      "            [--dissolve T] [--index] --snapshot FILE.snap\n"
+      "  stats     --snapshot FILE.snap\n"
+      "  query     --snapshot FILE.snap --attrs a,b,c\n"
+      "  sql       --snapshot FILE.snap --query \"SELECT a WHERE b > 5\"\n"
+      "  explain   --snapshot FILE.snap --attrs a,b,c\n"
+      "  export    --snapshot FILE.snap --out FILE.csv\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Generate(const Args& args) {
+  const std::string out = args.Get("out");
+  if (out.empty()) return Usage();
+  DbpediaConfig config;
+  config.num_entities = static_cast<size_t>(args.GetInt("entities", 10000));
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  // Stage the rows in an unlimited single-partition table for export.
+  CinderellaConfig cc;
+  cc.weight = 1.0;
+  cc.max_size = config.num_entities + 1;
+  UniversalTable table(std::move(Cinderella::Create(cc)).value());
+  DbpediaGenerator generator(config, &table.dictionary());
+  for (Row& row : generator.Generate()) {
+    const Status status = table.InsertRow(std::move(row));
+    if (!status.ok()) return Fail(status);
+  }
+  const Status status = ExportCsvToFile(table, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu entities x %zu attributes to %s\n",
+              config.num_entities, config.num_attributes, out.c_str());
+  return 0;
+}
+
+int PartitionCommand(const Args& args) {
+  const std::string in = args.Get("in");
+  const std::string snapshot = args.Get("snapshot");
+  if (in.empty() || snapshot.empty()) return Usage();
+
+  CinderellaConfig config;
+  config.weight = args.GetDouble("weight", 0.3);
+  config.max_size = static_cast<uint64_t>(args.GetInt("max-size", 5000));
+  config.dissolve_threshold = args.GetDouble("dissolve", 0.0);
+  config.use_synopsis_index = args.flags.count("index") > 0;
+  auto created = Cinderella::Create(config);
+  if (!created.ok()) return Fail(created.status());
+  UniversalTable table(std::move(created).value());
+
+  WallTimer timer;
+  Status status = ImportCsvFromFile(in, &table);
+  if (!status.ok()) return Fail(status);
+  const auto& cinderella =
+      static_cast<const Cinderella&>(table.partitioner());
+  std::printf("loaded %zu entities in %.2fs: %zu partitions, %llu splits\n",
+              table.entity_count(), timer.ElapsedSeconds(),
+              table.catalog().partition_count(),
+              static_cast<unsigned long long>(cinderella.stats().splits));
+  status = SaveSnapshotToFile(cinderella, table.dictionary(), snapshot);
+  if (!status.ok()) return Fail(status);
+  std::printf("snapshot written to %s\n", snapshot.c_str());
+  return 0;
+}
+
+StatusOr<RestoredSnapshot> OpenSnapshot(const Args& args) {
+  const std::string snapshot = args.Get("snapshot");
+  if (snapshot.empty()) {
+    return Status::InvalidArgument("--snapshot is required");
+  }
+  return LoadSnapshotFromFile(snapshot);
+}
+
+int Stats(const Args& args) {
+  auto restored = OpenSnapshot(args);
+  if (!restored.ok()) return Fail(restored.status());
+  const Cinderella& c = *restored->partitioner;
+  std::printf("%s\n", c.name().c_str());
+  std::printf("%s", AnalyzePartitioning(c.catalog()).ToString().c_str());
+  if (args.flags.count("verify") > 0) {
+    const Status integrity = c.VerifyIntegrity();
+    std::printf("integrity: %s\n", integrity.ToString().c_str());
+    if (!integrity.ok()) return 1;
+  }
+  return 0;
+}
+
+int QueryCommand(const Args& args) {
+  auto restored = OpenSnapshot(args);
+  if (!restored.ok()) return Fail(restored.status());
+  const std::string attrs = args.Get("attrs");
+  if (attrs.empty()) return Usage();
+  std::vector<std::string> names;
+  std::stringstream ss(attrs);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (!name.empty()) names.push_back(name);
+  }
+  const Query query = Query::FromNames(*restored->dictionary, names);
+  QueryExecutor executor(restored->partitioner->catalog());
+  WallTimer timer;
+  const QueryResult result = executor.Execute(query);
+  std::printf(
+      "matched %llu rows (selectivity %.4f) in %.3f ms; scanned %llu/%llu "
+      "partitions (%llu pruned), %llu cells read\n",
+      static_cast<unsigned long long>(result.metrics.rows_matched),
+      result.selectivity, timer.ElapsedMillis(),
+      static_cast<unsigned long long>(result.metrics.partitions_scanned),
+      static_cast<unsigned long long>(result.metrics.partitions_total),
+      static_cast<unsigned long long>(result.metrics.partitions_pruned),
+      static_cast<unsigned long long>(result.metrics.cells_read));
+  return 0;
+}
+
+int Explain(const Args& args) {
+  auto restored = OpenSnapshot(args);
+  if (!restored.ok()) return Fail(restored.status());
+  const std::string attrs = args.Get("attrs");
+  if (attrs.empty()) return Usage();
+  std::vector<std::string> names;
+  std::stringstream ss(attrs);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (!name.empty()) names.push_back(name);
+  }
+  const Query query = Query::FromNames(*restored->dictionary, names);
+  std::fputs(
+      ExplainQuery(restored->partitioner->catalog(), query).c_str(),
+      stdout);
+  return 0;
+}
+
+int Sql(const Args& args) {
+  auto restored = OpenSnapshot(args);
+  if (!restored.ok()) return Fail(restored.status());
+  const std::string text = args.Get("query");
+  if (text.empty()) return Usage();
+  auto statement = ParseSelect(text, *restored->dictionary);
+  if (!statement.ok()) return Fail(statement.status());
+  QueryExecutor executor(restored->partitioner->catalog());
+  WallTimer timer;
+  const QueryResult result = executor.ExecuteSelect(*statement);
+  std::printf(
+      "matched %llu rows in %.3f ms; %llu cells materialized; scanned "
+      "%llu/%llu partitions (%llu pruned)\n",
+      static_cast<unsigned long long>(result.metrics.rows_matched),
+      timer.ElapsedMillis(),
+      static_cast<unsigned long long>(result.cells_materialized),
+      static_cast<unsigned long long>(result.metrics.partitions_scanned),
+      static_cast<unsigned long long>(result.metrics.partitions_total),
+      static_cast<unsigned long long>(result.metrics.partitions_pruned));
+  return 0;
+}
+
+int Export(const Args& args) {
+  auto restored = OpenSnapshot(args);
+  if (!restored.ok()) return Fail(restored.status());
+  const std::string out = args.Get("out");
+  if (out.empty()) return Usage();
+  UniversalTable table(std::move(restored->partitioner),
+                       std::move(*restored->dictionary));
+  const Status status = ExportCsvToFile(table, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("exported %zu entities to %s\n", table.entity_count(),
+              out.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) return Usage();
+    flag = flag.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.flags[flag] = argv[++i];
+    } else {
+      args.flags[flag] = "true";  // Boolean flag (e.g. --index).
+    }
+  }
+  if (args.command == "generate") return Generate(args);
+  if (args.command == "partition") return PartitionCommand(args);
+  if (args.command == "stats") return Stats(args);
+  if (args.command == "query") return QueryCommand(args);
+  if (args.command == "sql") return Sql(args);
+  if (args.command == "explain") return Explain(args);
+  if (args.command == "export") return Export(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cinderella
+
+int main(int argc, char** argv) { return cinderella::Main(argc, argv); }
