@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/cinderella_bench_common.dir/bench_common.cc.o.d"
+  "libcinderella_bench_common.a"
+  "libcinderella_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

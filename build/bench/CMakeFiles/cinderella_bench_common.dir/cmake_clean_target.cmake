@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcinderella_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_fanout.dir/distributed_fanout.cc.o"
+  "CMakeFiles/distributed_fanout.dir/distributed_fanout.cc.o.d"
+  "distributed_fanout"
+  "distributed_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_attribute_distribution.dir/fig4_attribute_distribution.cc.o"
+  "CMakeFiles/fig4_attribute_distribution.dir/fig4_attribute_distribution.cc.o.d"
+  "fig4_attribute_distribution"
+  "fig4_attribute_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_attribute_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_query_time_vs_partition_limit.dir/fig5_query_time_vs_partition_limit.cc.o"
+  "CMakeFiles/fig5_query_time_vs_partition_limit.dir/fig5_query_time_vs_partition_limit.cc.o.d"
+  "fig5_query_time_vs_partition_limit"
+  "fig5_query_time_vs_partition_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_query_time_vs_partition_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

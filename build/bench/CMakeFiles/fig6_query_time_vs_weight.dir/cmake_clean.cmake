@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_query_time_vs_weight.dir/fig6_query_time_vs_weight.cc.o"
+  "CMakeFiles/fig6_query_time_vs_weight.dir/fig6_query_time_vs_weight.cc.o.d"
+  "fig6_query_time_vs_weight"
+  "fig6_query_time_vs_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_query_time_vs_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_weight_influence.dir/fig7_weight_influence.cc.o"
+  "CMakeFiles/fig7_weight_influence.dir/fig7_weight_influence.cc.o.d"
+  "fig7_weight_influence"
+  "fig7_weight_influence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_weight_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pagestore.dir/micro_pagestore.cc.o"
+  "CMakeFiles/micro_pagestore.dir/micro_pagestore.cc.o.d"
+  "micro_pagestore"
+  "micro_pagestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pagestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

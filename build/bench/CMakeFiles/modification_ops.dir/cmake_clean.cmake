@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modification_ops.dir/modification_ops.cc.o"
+  "CMakeFiles/modification_ops.dir/modification_ops.cc.o.d"
+  "modification_ops"
+  "modification_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modification_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

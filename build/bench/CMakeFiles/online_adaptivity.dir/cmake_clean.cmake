@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_adaptivity.dir/online_adaptivity.cc.o"
+  "CMakeFiles/online_adaptivity.dir/online_adaptivity.cc.o.d"
+  "online_adaptivity"
+  "online_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagestore_pruning.dir/pagestore_pruning.cc.o"
+  "CMakeFiles/pagestore_pruning.dir/pagestore_pruning.cc.o.d"
+  "pagestore_pruning"
+  "pagestore_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagestore_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_tpch.dir/table1_tpch.cc.o"
+  "CMakeFiles/table1_tpch.dir/table1_tpch.cc.o.d"
+  "table1_tpch"
+  "table1_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertical_vs_horizontal.dir/vertical_vs_horizontal.cc.o"
+  "CMakeFiles/vertical_vs_horizontal.dir/vertical_vs_horizontal.cc.o.d"
+  "vertical_vs_horizontal"
+  "vertical_vs_horizontal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertical_vs_horizontal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

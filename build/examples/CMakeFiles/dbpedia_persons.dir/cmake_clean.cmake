@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpedia_persons.dir/dbpedia_persons.cpp.o"
+  "CMakeFiles/dbpedia_persons.dir/dbpedia_persons.cpp.o.d"
+  "dbpedia_persons"
+  "dbpedia_persons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpedia_persons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

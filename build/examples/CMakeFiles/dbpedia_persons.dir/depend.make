@@ -1,0 +1,2 @@
+# Empty dependencies file for dbpedia_persons.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cinderella_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/cinderella_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cinderella_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cinderella_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cinderella_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/synopsis/CMakeFiles/cinderella_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cinderella_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

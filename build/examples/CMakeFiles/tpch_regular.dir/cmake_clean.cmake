@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_regular.dir/tpch_regular.cpp.o"
+  "CMakeFiles/tpch_regular.dir/tpch_regular.cpp.o.d"
+  "tpch_regular"
+  "tpch_regular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_based.dir/workload_based.cpp.o"
+  "CMakeFiles/workload_based.dir/workload_based.cpp.o.d"
+  "workload_based"
+  "workload_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/fixed_assignment_partitioner.cc" "src/baseline/CMakeFiles/cinderella_baseline.dir/fixed_assignment_partitioner.cc.o" "gcc" "src/baseline/CMakeFiles/cinderella_baseline.dir/fixed_assignment_partitioner.cc.o.d"
+  "/root/repo/src/baseline/hash_partitioner.cc" "src/baseline/CMakeFiles/cinderella_baseline.dir/hash_partitioner.cc.o" "gcc" "src/baseline/CMakeFiles/cinderella_baseline.dir/hash_partitioner.cc.o.d"
+  "/root/repo/src/baseline/labeled_partitioner.cc" "src/baseline/CMakeFiles/cinderella_baseline.dir/labeled_partitioner.cc.o" "gcc" "src/baseline/CMakeFiles/cinderella_baseline.dir/labeled_partitioner.cc.o.d"
+  "/root/repo/src/baseline/offline_cluster_partitioner.cc" "src/baseline/CMakeFiles/cinderella_baseline.dir/offline_cluster_partitioner.cc.o" "gcc" "src/baseline/CMakeFiles/cinderella_baseline.dir/offline_cluster_partitioner.cc.o.d"
+  "/root/repo/src/baseline/range_partitioner.cc" "src/baseline/CMakeFiles/cinderella_baseline.dir/range_partitioner.cc.o" "gcc" "src/baseline/CMakeFiles/cinderella_baseline.dir/range_partitioner.cc.o.d"
+  "/root/repo/src/baseline/single_partitioner.cc" "src/baseline/CMakeFiles/cinderella_baseline.dir/single_partitioner.cc.o" "gcc" "src/baseline/CMakeFiles/cinderella_baseline.dir/single_partitioner.cc.o.d"
+  "/root/repo/src/baseline/vertical_partitioner.cc" "src/baseline/CMakeFiles/cinderella_baseline.dir/vertical_partitioner.cc.o" "gcc" "src/baseline/CMakeFiles/cinderella_baseline.dir/vertical_partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cinderella_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cinderella_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/synopsis/CMakeFiles/cinderella_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cinderella_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella_baseline.dir/fixed_assignment_partitioner.cc.o"
+  "CMakeFiles/cinderella_baseline.dir/fixed_assignment_partitioner.cc.o.d"
+  "CMakeFiles/cinderella_baseline.dir/hash_partitioner.cc.o"
+  "CMakeFiles/cinderella_baseline.dir/hash_partitioner.cc.o.d"
+  "CMakeFiles/cinderella_baseline.dir/labeled_partitioner.cc.o"
+  "CMakeFiles/cinderella_baseline.dir/labeled_partitioner.cc.o.d"
+  "CMakeFiles/cinderella_baseline.dir/offline_cluster_partitioner.cc.o"
+  "CMakeFiles/cinderella_baseline.dir/offline_cluster_partitioner.cc.o.d"
+  "CMakeFiles/cinderella_baseline.dir/range_partitioner.cc.o"
+  "CMakeFiles/cinderella_baseline.dir/range_partitioner.cc.o.d"
+  "CMakeFiles/cinderella_baseline.dir/single_partitioner.cc.o"
+  "CMakeFiles/cinderella_baseline.dir/single_partitioner.cc.o.d"
+  "CMakeFiles/cinderella_baseline.dir/vertical_partitioner.cc.o"
+  "CMakeFiles/cinderella_baseline.dir/vertical_partitioner.cc.o.d"
+  "libcinderella_baseline.a"
+  "libcinderella_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella_common.dir/env.cc.o"
+  "CMakeFiles/cinderella_common.dir/env.cc.o.d"
+  "CMakeFiles/cinderella_common.dir/histogram.cc.o"
+  "CMakeFiles/cinderella_common.dir/histogram.cc.o.d"
+  "CMakeFiles/cinderella_common.dir/random.cc.o"
+  "CMakeFiles/cinderella_common.dir/random.cc.o.d"
+  "CMakeFiles/cinderella_common.dir/stats.cc.o"
+  "CMakeFiles/cinderella_common.dir/stats.cc.o.d"
+  "CMakeFiles/cinderella_common.dir/status.cc.o"
+  "CMakeFiles/cinderella_common.dir/status.cc.o.d"
+  "CMakeFiles/cinderella_common.dir/table_printer.cc.o"
+  "CMakeFiles/cinderella_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/cinderella_common.dir/zipf.cc.o"
+  "CMakeFiles/cinderella_common.dir/zipf.cc.o.d"
+  "libcinderella_common.a"
+  "libcinderella_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/catalog.cc" "src/core/CMakeFiles/cinderella_core.dir/catalog.cc.o" "gcc" "src/core/CMakeFiles/cinderella_core.dir/catalog.cc.o.d"
+  "/root/repo/src/core/cinderella.cc" "src/core/CMakeFiles/cinderella_core.dir/cinderella.cc.o" "gcc" "src/core/CMakeFiles/cinderella_core.dir/cinderella.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/cinderella_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/cinderella_core.dir/config.cc.o.d"
+  "/root/repo/src/core/efficiency.cc" "src/core/CMakeFiles/cinderella_core.dir/efficiency.cc.o" "gcc" "src/core/CMakeFiles/cinderella_core.dir/efficiency.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/core/CMakeFiles/cinderella_core.dir/partition.cc.o" "gcc" "src/core/CMakeFiles/cinderella_core.dir/partition.cc.o.d"
+  "/root/repo/src/core/partitioning_stats.cc" "src/core/CMakeFiles/cinderella_core.dir/partitioning_stats.cc.o" "gcc" "src/core/CMakeFiles/cinderella_core.dir/partitioning_stats.cc.o.d"
+  "/root/repo/src/core/rating.cc" "src/core/CMakeFiles/cinderella_core.dir/rating.cc.o" "gcc" "src/core/CMakeFiles/cinderella_core.dir/rating.cc.o.d"
+  "/root/repo/src/core/refcounted_synopsis.cc" "src/core/CMakeFiles/cinderella_core.dir/refcounted_synopsis.cc.o" "gcc" "src/core/CMakeFiles/cinderella_core.dir/refcounted_synopsis.cc.o.d"
+  "/root/repo/src/core/size_measure.cc" "src/core/CMakeFiles/cinderella_core.dir/size_measure.cc.o" "gcc" "src/core/CMakeFiles/cinderella_core.dir/size_measure.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/core/CMakeFiles/cinderella_core.dir/snapshot.cc.o" "gcc" "src/core/CMakeFiles/cinderella_core.dir/snapshot.cc.o.d"
+  "/root/repo/src/core/synopsis_extractor.cc" "src/core/CMakeFiles/cinderella_core.dir/synopsis_extractor.cc.o" "gcc" "src/core/CMakeFiles/cinderella_core.dir/synopsis_extractor.cc.o.d"
+  "/root/repo/src/core/synopsis_index.cc" "src/core/CMakeFiles/cinderella_core.dir/synopsis_index.cc.o" "gcc" "src/core/CMakeFiles/cinderella_core.dir/synopsis_index.cc.o.d"
+  "/root/repo/src/core/universal_table.cc" "src/core/CMakeFiles/cinderella_core.dir/universal_table.cc.o" "gcc" "src/core/CMakeFiles/cinderella_core.dir/universal_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/cinderella_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/synopsis/CMakeFiles/cinderella_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cinderella_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

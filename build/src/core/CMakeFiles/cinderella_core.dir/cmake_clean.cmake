@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella_core.dir/catalog.cc.o"
+  "CMakeFiles/cinderella_core.dir/catalog.cc.o.d"
+  "CMakeFiles/cinderella_core.dir/cinderella.cc.o"
+  "CMakeFiles/cinderella_core.dir/cinderella.cc.o.d"
+  "CMakeFiles/cinderella_core.dir/config.cc.o"
+  "CMakeFiles/cinderella_core.dir/config.cc.o.d"
+  "CMakeFiles/cinderella_core.dir/efficiency.cc.o"
+  "CMakeFiles/cinderella_core.dir/efficiency.cc.o.d"
+  "CMakeFiles/cinderella_core.dir/partition.cc.o"
+  "CMakeFiles/cinderella_core.dir/partition.cc.o.d"
+  "CMakeFiles/cinderella_core.dir/partitioning_stats.cc.o"
+  "CMakeFiles/cinderella_core.dir/partitioning_stats.cc.o.d"
+  "CMakeFiles/cinderella_core.dir/rating.cc.o"
+  "CMakeFiles/cinderella_core.dir/rating.cc.o.d"
+  "CMakeFiles/cinderella_core.dir/refcounted_synopsis.cc.o"
+  "CMakeFiles/cinderella_core.dir/refcounted_synopsis.cc.o.d"
+  "CMakeFiles/cinderella_core.dir/size_measure.cc.o"
+  "CMakeFiles/cinderella_core.dir/size_measure.cc.o.d"
+  "CMakeFiles/cinderella_core.dir/snapshot.cc.o"
+  "CMakeFiles/cinderella_core.dir/snapshot.cc.o.d"
+  "CMakeFiles/cinderella_core.dir/synopsis_extractor.cc.o"
+  "CMakeFiles/cinderella_core.dir/synopsis_extractor.cc.o.d"
+  "CMakeFiles/cinderella_core.dir/synopsis_index.cc.o"
+  "CMakeFiles/cinderella_core.dir/synopsis_index.cc.o.d"
+  "CMakeFiles/cinderella_core.dir/universal_table.cc.o"
+  "CMakeFiles/cinderella_core.dir/universal_table.cc.o.d"
+  "libcinderella_core.a"
+  "libcinderella_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

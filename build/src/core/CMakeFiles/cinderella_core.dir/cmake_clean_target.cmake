@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcinderella_core.a"
+)

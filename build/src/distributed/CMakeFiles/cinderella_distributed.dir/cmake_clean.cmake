@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella_distributed.dir/cluster.cc.o"
+  "CMakeFiles/cinderella_distributed.dir/cluster.cc.o.d"
+  "libcinderella_distributed.a"
+  "libcinderella_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

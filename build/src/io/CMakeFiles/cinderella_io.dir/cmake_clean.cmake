@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella_io.dir/csv.cc.o"
+  "CMakeFiles/cinderella_io.dir/csv.cc.o.d"
+  "CMakeFiles/cinderella_io.dir/durable_table.cc.o"
+  "CMakeFiles/cinderella_io.dir/durable_table.cc.o.d"
+  "CMakeFiles/cinderella_io.dir/journal.cc.o"
+  "CMakeFiles/cinderella_io.dir/journal.cc.o.d"
+  "libcinderella_io.a"
+  "libcinderella_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

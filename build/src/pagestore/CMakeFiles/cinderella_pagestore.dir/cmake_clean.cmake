@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella_pagestore.dir/buffer_pool.cc.o"
+  "CMakeFiles/cinderella_pagestore.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/cinderella_pagestore.dir/page_codec.cc.o"
+  "CMakeFiles/cinderella_pagestore.dir/page_codec.cc.o.d"
+  "CMakeFiles/cinderella_pagestore.dir/paged_store.cc.o"
+  "CMakeFiles/cinderella_pagestore.dir/paged_store.cc.o.d"
+  "CMakeFiles/cinderella_pagestore.dir/pager.cc.o"
+  "CMakeFiles/cinderella_pagestore.dir/pager.cc.o.d"
+  "libcinderella_pagestore.a"
+  "libcinderella_pagestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella_pagestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/estimator.cc" "src/query/CMakeFiles/cinderella_query.dir/estimator.cc.o" "gcc" "src/query/CMakeFiles/cinderella_query.dir/estimator.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/query/CMakeFiles/cinderella_query.dir/executor.cc.o" "gcc" "src/query/CMakeFiles/cinderella_query.dir/executor.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/cinderella_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/cinderella_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/query/CMakeFiles/cinderella_query.dir/predicate.cc.o" "gcc" "src/query/CMakeFiles/cinderella_query.dir/predicate.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/cinderella_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/cinderella_query.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cinderella_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cinderella_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/synopsis/CMakeFiles/cinderella_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cinderella_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella_query.dir/estimator.cc.o"
+  "CMakeFiles/cinderella_query.dir/estimator.cc.o.d"
+  "CMakeFiles/cinderella_query.dir/executor.cc.o"
+  "CMakeFiles/cinderella_query.dir/executor.cc.o.d"
+  "CMakeFiles/cinderella_query.dir/parser.cc.o"
+  "CMakeFiles/cinderella_query.dir/parser.cc.o.d"
+  "CMakeFiles/cinderella_query.dir/predicate.cc.o"
+  "CMakeFiles/cinderella_query.dir/predicate.cc.o.d"
+  "CMakeFiles/cinderella_query.dir/query.cc.o"
+  "CMakeFiles/cinderella_query.dir/query.cc.o.d"
+  "libcinderella_query.a"
+  "libcinderella_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella_storage.dir/row.cc.o"
+  "CMakeFiles/cinderella_storage.dir/row.cc.o.d"
+  "CMakeFiles/cinderella_storage.dir/segment.cc.o"
+  "CMakeFiles/cinderella_storage.dir/segment.cc.o.d"
+  "CMakeFiles/cinderella_storage.dir/value.cc.o"
+  "CMakeFiles/cinderella_storage.dir/value.cc.o.d"
+  "libcinderella_storage.a"
+  "libcinderella_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

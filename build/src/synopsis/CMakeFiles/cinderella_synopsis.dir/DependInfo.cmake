@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synopsis/attribute_dictionary.cc" "src/synopsis/CMakeFiles/cinderella_synopsis.dir/attribute_dictionary.cc.o" "gcc" "src/synopsis/CMakeFiles/cinderella_synopsis.dir/attribute_dictionary.cc.o.d"
+  "/root/repo/src/synopsis/synopsis.cc" "src/synopsis/CMakeFiles/cinderella_synopsis.dir/synopsis.cc.o" "gcc" "src/synopsis/CMakeFiles/cinderella_synopsis.dir/synopsis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cinderella_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella_synopsis.dir/attribute_dictionary.cc.o"
+  "CMakeFiles/cinderella_synopsis.dir/attribute_dictionary.cc.o.d"
+  "CMakeFiles/cinderella_synopsis.dir/synopsis.cc.o"
+  "CMakeFiles/cinderella_synopsis.dir/synopsis.cc.o.d"
+  "libcinderella_synopsis.a"
+  "libcinderella_synopsis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella_synopsis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

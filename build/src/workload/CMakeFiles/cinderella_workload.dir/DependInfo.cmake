@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset_stats.cc" "src/workload/CMakeFiles/cinderella_workload.dir/dataset_stats.cc.o" "gcc" "src/workload/CMakeFiles/cinderella_workload.dir/dataset_stats.cc.o.d"
+  "/root/repo/src/workload/dbpedia_generator.cc" "src/workload/CMakeFiles/cinderella_workload.dir/dbpedia_generator.cc.o" "gcc" "src/workload/CMakeFiles/cinderella_workload.dir/dbpedia_generator.cc.o.d"
+  "/root/repo/src/workload/query_workload.cc" "src/workload/CMakeFiles/cinderella_workload.dir/query_workload.cc.o" "gcc" "src/workload/CMakeFiles/cinderella_workload.dir/query_workload.cc.o.d"
+  "/root/repo/src/workload/tpch/tpch_generator.cc" "src/workload/CMakeFiles/cinderella_workload.dir/tpch/tpch_generator.cc.o" "gcc" "src/workload/CMakeFiles/cinderella_workload.dir/tpch/tpch_generator.cc.o.d"
+  "/root/repo/src/workload/tpch/tpch_queries.cc" "src/workload/CMakeFiles/cinderella_workload.dir/tpch/tpch_queries.cc.o" "gcc" "src/workload/CMakeFiles/cinderella_workload.dir/tpch/tpch_queries.cc.o.d"
+  "/root/repo/src/workload/tpch/tpch_schema.cc" "src/workload/CMakeFiles/cinderella_workload.dir/tpch/tpch_schema.cc.o" "gcc" "src/workload/CMakeFiles/cinderella_workload.dir/tpch/tpch_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/cinderella_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cinderella_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cinderella_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/synopsis/CMakeFiles/cinderella_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cinderella_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

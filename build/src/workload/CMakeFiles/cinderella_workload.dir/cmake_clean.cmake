@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella_workload.dir/dataset_stats.cc.o"
+  "CMakeFiles/cinderella_workload.dir/dataset_stats.cc.o.d"
+  "CMakeFiles/cinderella_workload.dir/dbpedia_generator.cc.o"
+  "CMakeFiles/cinderella_workload.dir/dbpedia_generator.cc.o.d"
+  "CMakeFiles/cinderella_workload.dir/query_workload.cc.o"
+  "CMakeFiles/cinderella_workload.dir/query_workload.cc.o.d"
+  "CMakeFiles/cinderella_workload.dir/tpch/tpch_generator.cc.o"
+  "CMakeFiles/cinderella_workload.dir/tpch/tpch_generator.cc.o.d"
+  "CMakeFiles/cinderella_workload.dir/tpch/tpch_queries.cc.o"
+  "CMakeFiles/cinderella_workload.dir/tpch/tpch_queries.cc.o.d"
+  "CMakeFiles/cinderella_workload.dir/tpch/tpch_schema.cc.o"
+  "CMakeFiles/cinderella_workload.dir/tpch/tpch_schema.cc.o.d"
+  "libcinderella_workload.a"
+  "libcinderella_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella_property_test.dir/cinderella_property_test.cc.o"
+  "CMakeFiles/cinderella_property_test.dir/cinderella_property_test.cc.o.d"
+  "cinderella_property_test"
+  "cinderella_property_test.pdb"
+  "cinderella_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

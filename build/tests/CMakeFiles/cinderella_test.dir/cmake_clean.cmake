@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella_test.dir/cinderella_test.cc.o"
+  "CMakeFiles/cinderella_test.dir/cinderella_test.cc.o.d"
+  "cinderella_test"
+  "cinderella_test.pdb"
+  "cinderella_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_table_test.dir/concurrent_table_test.cc.o"
+  "CMakeFiles/concurrent_table_test.dir/concurrent_table_test.cc.o.d"
+  "concurrent_table_test"
+  "concurrent_table_test.pdb"
+  "concurrent_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficiency_test.dir/efficiency_test.cc.o"
+  "CMakeFiles/efficiency_test.dir/efficiency_test.cc.o.d"
+  "efficiency_test"
+  "efficiency_test.pdb"
+  "efficiency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficiency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

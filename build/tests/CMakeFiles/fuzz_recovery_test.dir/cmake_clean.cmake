@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_recovery_test.dir/fuzz_recovery_test.cc.o"
+  "CMakeFiles/fuzz_recovery_test.dir/fuzz_recovery_test.cc.o.d"
+  "fuzz_recovery_test"
+  "fuzz_recovery_test.pdb"
+  "fuzz_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rating_test.dir/rating_test.cc.o"
+  "CMakeFiles/rating_test.dir/rating_test.cc.o.d"
+  "rating_test"
+  "rating_test.pdb"
+  "rating_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rating_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universal_table_test.dir/universal_table_test.cc.o"
+  "CMakeFiles/universal_table_test.dir/universal_table_test.cc.o.d"
+  "universal_table_test"
+  "universal_table_test.pdb"
+  "universal_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universal_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

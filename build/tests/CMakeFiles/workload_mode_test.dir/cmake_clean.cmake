@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_mode_test.dir/workload_mode_test.cc.o"
+  "CMakeFiles/workload_mode_test.dir/workload_mode_test.cc.o.d"
+  "workload_mode_test"
+  "workload_mode_test.pdb"
+  "workload_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

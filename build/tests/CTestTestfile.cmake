@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/synopsis_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/rating_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/cinderella_test[1]_include.cmake")
+include("/root/repo/build/tests/cinderella_property_test[1]_include.cmake")
+include("/root/repo/build/tests/efficiency_test[1]_include.cmake")
+include("/root/repo/build/tests/universal_table_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/predicate_test[1]_include.cmake")
+include("/root/repo/build/tests/pagestore_test[1]_include.cmake")
+include("/root/repo/build/tests/journal_test[1]_include.cmake")
+include("/root/repo/build/tests/distributed_test[1]_include.cmake")
+include("/root/repo/build/tests/vertical_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrent_table_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_mode_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_shapes_test[1]_include.cmake")

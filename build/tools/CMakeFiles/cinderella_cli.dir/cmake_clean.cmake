@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella_cli.dir/cinderella_cli.cc.o"
+  "CMakeFiles/cinderella_cli.dir/cinderella_cli.cc.o.d"
+  "cinderella_cli"
+  "cinderella_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
