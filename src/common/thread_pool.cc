@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/env.h"
+
+namespace cinderella {
+
+ThreadPool::ThreadPool(int degree) : degree_(std::max(degree, 1)) {
+  workers_.reserve(static_cast<size_t>(degree_ - 1));
+  for (int i = 1; i < degree_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunChunks(
+    const std::function<void(size_t, size_t, size_t)>& fn, size_t items,
+    size_t chunk) {
+  const size_t num_chunks = NumChunks(items, chunk);
+  size_t c;
+  while ((c = next_chunk_.fetch_add(1, std::memory_order_relaxed)) <
+         num_chunks) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(items, begin + chunk);
+    fn(begin, end, c);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
+    size_t items = 0;
+    size_t chunk = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this, seen] { return shutdown_ || batch_seq_ != seen; });
+      if (shutdown_) return;
+      seen = batch_seq_;
+      fn = fn_;
+      items = items_;
+      chunk = chunk_;
+    }
+    RunChunks(*fn, items, chunk);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t items, size_t chunk,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (chunk == 0) chunk = 1;
+  const size_t num_chunks = NumChunks(items, chunk);
+  if (num_chunks == 0) return;
+  // Serial fast path: no workers, or nothing to spread. Runs the chunks
+  // inline in ascending order — identical invocation sequence to the
+  // parallel path's chunk indices, so callers need no special casing.
+  if (workers_.empty() || num_chunks == 1) {
+    for (size_t c = 0; c < num_chunks; ++c) {
+      fn(c * chunk, std::min(items, (c + 1) * chunk), c);
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    items_ = items;
+    chunk_ = chunk;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    pending_workers_ = workers_.size();
+    ++batch_seq_;
+  }
+  work_cv_.notify_all();
+  // The caller participates: even if every worker is slow to wake, the
+  // batch completes.
+  RunChunks(fn, items, chunk);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+  fn_ = nullptr;
+}
+
+int ThreadPool::ResolveDegree(int configured) {
+  if (configured > 0) return configured;
+  const int64_t from_env = Int64FromEnv("CINDERELLA_SCAN_THREADS", 0);
+  if (from_env > 0) return static_cast<int>(from_env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace cinderella

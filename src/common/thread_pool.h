@@ -1,0 +1,91 @@
+#ifndef CINDERELLA_COMMON_THREAD_POOL_H_
+#define CINDERELLA_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cinderella {
+
+/// A fixed pool of worker threads driving the ParallelFor primitive used
+/// by the scan engine (rating scan of Algorithm 1, query-side partition
+/// scan).
+///
+/// Design notes:
+///  - `degree` counts execution streams *including* the calling thread,
+///    so a pool of degree d spawns d-1 workers. Degree <= 1 spawns no
+///    threads at all and ParallelFor degrades to an inline serial loop —
+///    the serial build has zero threading overhead and needs no special
+///    casing at call sites.
+///  - ParallelFor splits the range into contiguous chunks identified by a
+///    stable ascending chunk index. Callers write per-chunk outputs into
+///    pre-sized slots and merge them in chunk order after the call, which
+///    makes every result deterministic (bit-identical to the serial loop)
+///    regardless of thread scheduling.
+///  - One batch runs at a time; concurrent ParallelFor calls on the same
+///    pool serialize behind an internal lock. The caller participates in
+///    chunk execution, so even a heavily contended pool makes progress.
+class ThreadPool {
+ public:
+  /// Spawns degree-1 workers (none for degree <= 1).
+  explicit ThreadPool(int degree);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution streams (calling thread + workers).
+  int degree() const { return degree_; }
+
+  /// Splits [0, items) into NumChunks(items, chunk) contiguous chunks and
+  /// invokes fn(begin, end, chunk_index) exactly once per chunk, spread
+  /// over the workers and the calling thread. Blocks until every chunk
+  /// completed. `fn` must be safe to call concurrently for distinct
+  /// chunks; chunk_index is 0-based in ascending range order.
+  void ParallelFor(size_t items, size_t chunk,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// Number of chunks ParallelFor(items, chunk, ...) produces.
+  static size_t NumChunks(size_t items, size_t chunk) {
+    if (chunk == 0) chunk = 1;
+    return items == 0 ? 0 : (items + chunk - 1) / chunk;
+  }
+
+  /// Resolves a configured thread-count knob to an effective pool degree:
+  /// a positive value wins, 0 falls back to the CINDERELLA_SCAN_THREADS
+  /// environment variable, and an unset/invalid variable falls back to
+  /// std::thread::hardware_concurrency(). Never returns less than 1.
+  static int ResolveDegree(int configured);
+
+ private:
+  void RunChunks(const std::function<void(size_t, size_t, size_t)>& fn,
+                 size_t items, size_t chunk);
+  void WorkerLoop();
+
+  const int degree_;
+  std::vector<std::thread> workers_;
+
+  // Serializes whole ParallelFor batches.
+  std::mutex run_mu_;
+
+  // Protects the batch publication state below.
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers wait for a new batch.
+  std::condition_variable done_cv_;  // Caller waits for batch completion.
+  bool shutdown_ = false;
+  uint64_t batch_seq_ = 0;
+  size_t pending_workers_ = 0;
+  const std::function<void(size_t, size_t, size_t)>* fn_ = nullptr;
+  size_t items_ = 0;
+  size_t chunk_ = 0;
+  std::atomic<size_t> next_chunk_{0};
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_COMMON_THREAD_POOL_H_

@@ -45,6 +45,8 @@ Cinderella::Cinderella(CinderellaConfig config,
       rng_(config.starter_seed) {
   extractor_ = workload_ != nullptr ? workload_->AsExtractor()
                                     : MakeEntityBasedExtractor();
+  const int degree = ThreadPool::ResolveDegree(config_.scan_threads);
+  if (degree > 1) pool_ = std::make_unique<ThreadPool>(degree);
 }
 
 std::string Cinderella::name() const {
@@ -282,6 +284,50 @@ Cinderella::BestPartition Cinderella::FindBestPartition(
       Partition* partition = catalog_.GetPartition(id);
       CINDERELLA_DCHECK(partition != nullptr);
       consider(*partition);
+    }
+    return best;
+  }
+
+  // Unrestricted full scan. With a pool and enough live partitions the
+  // scan is chunked across the workers: each chunk computes a local
+  // argmax over an ascending id range, and the chunk results are merged
+  // in ascending order with the same strict `>` comparison the serial
+  // loop uses — so ties keep the lowest partition id and the outcome is
+  // bit-identical to the serial scan at any thread count.
+  constexpr size_t kScanChunk = 64;
+  if (pool_ != nullptr && catalog_.partition_count() >= 2 * kScanChunk) {
+    const std::vector<PartitionId> ids = catalog_.LivePartitionIds();
+    struct ChunkBest {
+      Partition* partition = nullptr;
+      double rating = -std::numeric_limits<double>::infinity();
+      uint64_t rated = 0;
+    };
+    std::vector<ChunkBest> chunk_best(
+        ThreadPool::NumChunks(ids.size(), kScanChunk));
+    pool_->ParallelFor(
+        ids.size(), kScanChunk,
+        [&](size_t chunk_begin, size_t chunk_end, size_t chunk_index) {
+          ChunkBest& local = chunk_best[chunk_index];
+          for (size_t i = chunk_begin; i < chunk_end; ++i) {
+            Partition* partition = catalog_.GetPartition(ids[i]);
+            CINDERELLA_DCHECK(partition != nullptr);
+            ++local.rated;
+            const double r =
+                Rate(synopsis, entity_size, partition->rating_synopsis(),
+                     static_cast<double>(partition->Size(config_.measure)),
+                     config_.weight, config_.normalize_rating);
+            if (r > local.rating) {
+              local.rating = r;
+              local.partition = partition;
+            }
+          }
+        });
+    for (const ChunkBest& local : chunk_best) {
+      stats_.partitions_rated += local.rated;
+      if (local.partition != nullptr && local.rating > best.rating) {
+        best.rating = local.rating;
+        best.partition = local.partition;
+      }
     }
     return best;
   }

@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/catalog.h"
 #include "core/config.h"
 #include "core/partitioner.h"
@@ -171,6 +172,9 @@ class Cinderella : public Partitioner {
 
   CinderellaConfig config_;
   PartitionCatalog catalog_;
+  // Scan pool for the unrestricted rating scan; null when the resolved
+  // degree is 1 (serial). Created once in the constructor.
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<WorkloadSynopsisBuilder> workload_;
   SynopsisExtractor extractor_;
   SynopsisIndex index_;

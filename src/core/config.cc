@@ -14,6 +14,10 @@ Status CinderellaConfig::Validate() const {
         "dissolve_threshold must be in [0, 0.5] (larger values can "
         "oscillate with the split trigger)");
   }
+  if (scan_threads < 0) {
+    return Status::InvalidArgument(
+        "scan_threads must be >= 0 (0 resolves from the environment)");
+  }
   return Status::OK();
 }
 

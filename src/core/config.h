@@ -63,6 +63,15 @@ struct CinderellaConfig {
   /// Seed for StarterPolicy::kRandom.
   uint64_t starter_seed = 42;
 
+  /// Degree of parallelism for the unrestricted rating scan of
+  /// FindBestPartition (Algorithm 1 lines 3-7): the live partitions are
+  /// chunked across a fixed thread pool with a deterministic lowest-id
+  /// tie-break, so placements are bit-identical to the serial scan at any
+  /// degree. 1 = serial (no threads spawned); 0 = resolve from the
+  /// CINDERELLA_SCAN_THREADS environment variable, falling back to the
+  /// hardware concurrency. Negative values are invalid.
+  int scan_threads = 0;
+
   /// Extension (not in the paper): dissolve a partition whose size drops
   /// below this fraction of max_size after a delete, re-inserting its
   /// remaining entities through the normal insert routine. The paper only

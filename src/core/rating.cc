@@ -5,15 +5,14 @@ namespace cinderella {
 RatingBreakdown RateDetailed(const Synopsis& entity, double entity_size,
                              const Synopsis& partition, double partition_size,
                              double w) {
-  // |e∧p|: attributes shared by entity and partition.
-  const double overlap =
-      static_cast<double>(entity.IntersectCount(partition));
-  // |¬e∧p|: attributes the partition has but the entity lacks.
-  const double missing_on_entity =
-      static_cast<double>(partition.AndNotCount(entity));
-  // |e∧¬p|: attributes the entity has but the partition lacks.
-  const double missing_on_partition =
-      static_cast<double>(entity.AndNotCount(partition));
+  // One fused pass over both bitsets yields all three disjoint
+  // cardinalities (|e∧p|, |e∧¬p|, |¬e∧p|); the union is their sum.
+  const Synopsis::RatingCounts counts = entity.RateCounts(partition);
+  const double overlap = static_cast<double>(counts.intersect);
+  // Attributes the partition has but the entity lacks.
+  const double missing_on_entity = static_cast<double>(counts.only_other);
+  // Attributes the entity has but the partition lacks.
+  const double missing_on_partition = static_cast<double>(counts.only_this);
 
   RatingBreakdown b;
   const double combined_size = partition_size + entity_size;

@@ -1,6 +1,120 @@
 #include "query/executor.h"
 
+#include <iterator>
+#include <utility>
+
 namespace cinderella {
+namespace {
+
+// Partitions per scan chunk: coarse enough to amortize chunk dispatch,
+// fine enough to rebalance irregular partition sizes across workers.
+constexpr size_t kScanChunk = 4;
+
+void MergeMetrics(const ScanMetrics& from, ScanMetrics* into) {
+  into->partitions_total += from.partitions_total;
+  into->partitions_scanned += from.partitions_scanned;
+  into->partitions_pruned += from.partitions_pruned;
+  into->rows_scanned += from.rows_scanned;
+  into->rows_matched += from.rows_matched;
+  into->cells_read += from.cells_read;
+  into->bytes_read += from.bytes_read;
+}
+
+std::vector<const Partition*> SnapshotPartitions(
+    const PartitionCatalog& catalog) {
+  std::vector<const Partition*> partitions;
+  partitions.reserve(catalog.partition_count());
+  catalog.ForEachPartition(
+      [&](const Partition& partition) { partitions.push_back(&partition); });
+  return partitions;
+}
+
+/// Runs `scan(partition, &out)` over every partition and feeds the
+/// per-chunk outputs to `merge` in ascending partition-id order — the
+/// merge sequence (and therefore every counter and buffer built from it)
+/// is identical to a serial left-to-right scan at any pool degree. The
+/// serial path produces one output for the whole range, so `merge` sees a
+/// single already-ordered aggregate and buffers move instead of copy.
+template <typename Out, typename Scan, typename Merge>
+void ChunkedScan(ThreadPool* pool,
+                 const std::vector<const Partition*>& partitions, Scan&& scan,
+                 Merge&& merge) {
+  const size_t num_chunks =
+      ThreadPool::NumChunks(partitions.size(), kScanChunk);
+  if (pool == nullptr || num_chunks <= 1) {
+    Out out;
+    for (const Partition* partition : partitions) scan(*partition, &out);
+    merge(std::move(out));
+    return;
+  }
+  std::vector<Out> outs(num_chunks);
+  pool->ParallelFor(partitions.size(), kScanChunk,
+                    [&](size_t begin, size_t end, size_t chunk_index) {
+                      Out& out = outs[chunk_index];
+                      for (size_t i = begin; i < end; ++i) {
+                        scan(*partitions[i], &out);
+                      }
+                    });
+  for (Out& out : outs) merge(std::move(out));
+}
+
+}  // namespace
+
+ThreadPool* QueryExecutor::pool() {
+  if (degree_ <= 1) return nullptr;
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(degree_);
+  return pool_.get();
+}
+
+QueryResult QueryExecutor::ScanMatchingRows(const Predicate& predicate) {
+  QueryResult result;
+  match_buffer_.clear();
+  Synopsis pruning;
+  const bool prunable = predicate.PruningSynopsis(&pruning);
+  const std::vector<const Partition*> partitions =
+      SnapshotPartitions(*catalog_);
+  size_t table_entities = 0;
+
+  struct Out {
+    ScanMetrics metrics;
+    size_t entities = 0;
+    std::vector<const Row*> matches;
+  };
+  auto scan = [&](const Partition& partition, Out* out) {
+    ++out->metrics.partitions_total;
+    out->entities += partition.entity_count();
+    if (prunable && !partition.attribute_synopsis().Intersects(pruning)) {
+      ++out->metrics.partitions_pruned;
+      return;
+    }
+    ++out->metrics.partitions_scanned;
+    out->metrics.rows_scanned += partition.entity_count();
+    out->metrics.cells_read += partition.segment().cell_count();
+    out->metrics.bytes_read += partition.segment().byte_size();
+    for (const Row& row : partition.segment().rows()) {
+      if (predicate.Matches(row)) {
+        ++out->metrics.rows_matched;
+        out->matches.push_back(&row);
+      }
+    }
+  };
+  ChunkedScan<Out>(pool(), partitions, scan, [&](Out out) {
+    MergeMetrics(out.metrics, &result.metrics);
+    table_entities += out.entities;
+    if (match_buffer_.empty()) {
+      match_buffer_ = std::move(out.matches);
+    } else {
+      match_buffer_.insert(match_buffer_.end(), out.matches.begin(),
+                           out.matches.end());
+    }
+  });
+  result.selectivity =
+      table_entities > 0
+          ? static_cast<double>(result.metrics.rows_matched) /
+                static_cast<double>(table_entities)
+          : 0.0;
+  return result;
+}
 
 QueryResult QueryExecutor::ExecutePredicate(const Predicate& predicate) {
   return ScanMatches(predicate, [](const Row&) {});
@@ -35,20 +149,27 @@ QueryResult QueryExecutor::ExecuteSelect(const SelectStatement& statement) {
 QueryResult QueryExecutor::Execute(const Query& query) {
   QueryResult result;
   result_buffer_.clear();
+  const std::vector<const Partition*> partitions =
+      SnapshotPartitions(*catalog_);
   size_t table_entities = 0;
 
-  catalog_->ForEachPartition([&](const Partition& partition) {
-    ++result.metrics.partitions_total;
-    table_entities += partition.entity_count();
+  struct Out {
+    ScanMetrics metrics;
+    size_t entities = 0;
+    std::vector<Value> values;
+  };
+  auto scan = [&](const Partition& partition, Out* out) {
+    ++out->metrics.partitions_total;
+    out->entities += partition.entity_count();
     // Definition 1 pruning: skip partitions with sgn(|p ∧ q|) = 0.
     if (!partition.attribute_synopsis().Intersects(query.attributes())) {
-      ++result.metrics.partitions_pruned;
+      ++out->metrics.partitions_pruned;
       return;
     }
-    ++result.metrics.partitions_scanned;
-    result.metrics.rows_scanned += partition.entity_count();
-    result.metrics.cells_read += partition.segment().cell_count();
-    result.metrics.bytes_read += partition.segment().byte_size();
+    ++out->metrics.partitions_scanned;
+    out->metrics.rows_scanned += partition.entity_count();
+    out->metrics.cells_read += partition.segment().cell_count();
+    out->metrics.bytes_read += partition.segment().byte_size();
     for (const Row& row : partition.segment().rows()) {
       // OR-of-IS-NOT-NULL match; projection materializes the queried
       // attributes that are present.
@@ -57,10 +178,21 @@ QueryResult QueryExecutor::Execute(const Query& query) {
         const Value* value = row.Get(attribute);
         if (value != nullptr) {
           matched = true;
-          result_buffer_.push_back(*value);
+          out->values.push_back(*value);
         }
       }
-      if (matched) ++result.metrics.rows_matched;
+      if (matched) ++out->metrics.rows_matched;
+    }
+  };
+  ChunkedScan<Out>(pool(), partitions, scan, [&](Out out) {
+    MergeMetrics(out.metrics, &result.metrics);
+    table_entities += out.entities;
+    if (result_buffer_.empty()) {
+      result_buffer_ = std::move(out.values);
+    } else {
+      result_buffer_.insert(result_buffer_.end(),
+                            std::make_move_iterator(out.values.begin()),
+                            std::make_move_iterator(out.values.end()));
     }
   });
 

@@ -2,8 +2,10 @@
 #define CINDERELLA_QUERY_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/catalog.h"
 #include "query/parser.h"
 #include "query/predicate.h"
@@ -14,7 +16,9 @@ namespace cinderella {
 
 /// Per-query execution counters. The deterministic counters make the
 /// figure benches' shape assertions reproducible; wall time is measured by
-/// the bench drivers around Execute().
+/// the bench drivers around Execute(). All counters are deterministic at
+/// any scan degree: parallel chunks accumulate locally and are merged in
+/// partition-id order.
 struct ScanMetrics {
   uint64_t partitions_total = 0;
   uint64_t partitions_scanned = 0;  // Synopsis intersected the query.
@@ -60,10 +64,19 @@ struct QueryResult {
 /// Executes attribute-set queries against a partition catalog with
 /// synopsis-based pruning (the paper's rewrite to a UNION ALL over all
 /// partitions containing the requested attributes).
+///
+/// Threading: with `scan_threads` != 1 the partition scan is chunked
+/// across a fixed thread pool. Per-chunk metrics, matched rows and
+/// materialized cells are merged in partition-id order, so every result —
+/// counters, selectivity, and the materialization buffer — is
+/// bit-identical to the serial scan. The default is 1 (serial, the exact
+/// pre-threading behavior); 0 resolves from CINDERELLA_SCAN_THREADS /
+/// hardware concurrency. The executor itself is not thread-safe; use one
+/// instance per querying thread.
 class QueryExecutor {
  public:
-  explicit QueryExecutor(const PartitionCatalog& catalog)
-      : catalog_(&catalog) {}
+  explicit QueryExecutor(const PartitionCatalog& catalog, int scan_threads = 1)
+      : catalog_(&catalog), degree_(ThreadPool::ResolveDegree(scan_threads)) {}
 
   /// Scans all non-prunable partitions, materializing the projection of
   /// matching rows into an internal buffer (real work, so wall-clock
@@ -80,42 +93,32 @@ class QueryExecutor {
   /// materialization of the projected attributes.
   QueryResult ExecuteSelect(const SelectStatement& statement);
 
-  /// Like ExecutePredicate, invoking `fn(const Row&)` for every match.
+  /// Like ExecutePredicate, invoking `fn(const Row&)` for every match in
+  /// partition-id-then-row order. Predicate evaluation may run on the
+  /// scan pool; `fn` always runs on the calling thread, after the scan.
   template <typename Fn>
   QueryResult ScanMatches(const Predicate& predicate, Fn&& fn) {
-    QueryResult result;
-    Synopsis pruning;
-    const bool prunable = predicate.PruningSynopsis(&pruning);
-    size_t table_entities = 0;
-    catalog_->ForEachPartition([&](const Partition& partition) {
-      ++result.metrics.partitions_total;
-      table_entities += partition.entity_count();
-      if (prunable && !partition.attribute_synopsis().Intersects(pruning)) {
-        ++result.metrics.partitions_pruned;
-        return;
-      }
-      ++result.metrics.partitions_scanned;
-      result.metrics.rows_scanned += partition.entity_count();
-      result.metrics.cells_read += partition.segment().cell_count();
-      result.metrics.bytes_read += partition.segment().byte_size();
-      for (const Row& row : partition.segment().rows()) {
-        if (predicate.Matches(row)) {
-          ++result.metrics.rows_matched;
-          fn(row);
-        }
-      }
-    });
-    result.selectivity =
-        table_entities > 0
-            ? static_cast<double>(result.metrics.rows_matched) /
-                  static_cast<double>(table_entities)
-            : 0.0;
+    QueryResult result = ScanMatchingRows(predicate);
+    for (const Row* row : match_buffer_) fn(*row);
     return result;
   }
 
+  /// Effective scan parallelism (1 = serial).
+  int scan_degree() const { return degree_; }
+
  private:
+  /// Prunes + scans, filling match_buffer_ with the matching rows in
+  /// partition-id-then-row order and returning the filled-in metrics.
+  QueryResult ScanMatchingRows(const Predicate& predicate);
+
+  /// Lazily created pool; nullptr while degree_ == 1.
+  ThreadPool* pool();
+
   const PartitionCatalog* catalog_;
-  // Reused materialization buffer (cleared per query).
+  int degree_;
+  std::unique_ptr<ThreadPool> pool_;
+  // Reused scratch buffers (cleared per query).
+  std::vector<const Row*> match_buffer_;
   std::vector<Value> result_buffer_;
 };
 

@@ -120,12 +120,14 @@ class Lexer {
   }
 
   Status LexSymbol(std::vector<Token>* tokens) {
+    // The token text is built with a string *constructor* rather than
+    // assigned into a default-constructed Token: GCC 12's Release-mode
+    // string inlining misreports assignment into the fresh SSO buffer as
+    // -Werror=restrict / -Werror=maybe-uninitialized.
     static constexpr const char* kTwoChar[] = {"!=", "<>", "<=", ">="};
-    Token token;
-    token.kind = TokenKind::kSymbol;
     for (const char* two : kTwoChar) {
       if (text_.compare(pos_, 2, two) == 0) {
-        token.text = two;
+        Token token{TokenKind::kSymbol, std::string(two, 2), 0, 0.0};
         pos_ += 2;
         tokens->push_back(std::move(token));
         return Status::OK();
@@ -134,7 +136,7 @@ class Lexer {
     const char c = text_[pos_];
     if (c == '(' || c == ')' || c == ',' || c == '=' || c == '<' ||
         c == '>' || c == '*') {
-      token.text = std::string(1, c);
+      Token token{TokenKind::kSymbol, std::string(1, c), 0, 0.0};
       ++pos_;
       tokens->push_back(std::move(token));
       return Status::OK();

@@ -26,13 +26,18 @@ void Synopsis::ShrinkTrailingZeroWords() {
 
 void Synopsis::Add(AttributeId id) {
   EnsureCapacity(id);
-  words_[id / kBitsPerWord] |= uint64_t{1} << (id % kBitsPerWord);
+  uint64_t& word = words_[id / kBitsPerWord];
+  const uint64_t mask = uint64_t{1} << (id % kBitsPerWord);
+  count_ += (word & mask) == 0;
+  word |= mask;
 }
 
 void Synopsis::Remove(AttributeId id) {
   const size_t word = id / kBitsPerWord;
   if (word >= words_.size()) return;
-  words_[word] &= ~(uint64_t{1} << (id % kBitsPerWord));
+  const uint64_t mask = uint64_t{1} << (id % kBitsPerWord);
+  count_ -= (words_[word] & mask) != 0;
+  words_[word] &= ~mask;
   ShrinkTrailingZeroWords();
 }
 
@@ -42,21 +47,24 @@ bool Synopsis::Contains(AttributeId id) const {
   return (words_[word] >> (id % kBitsPerWord)) & 1;
 }
 
-size_t Synopsis::Count() const {
-  size_t total = 0;
-  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
-  return total;
+void Synopsis::Clear() {
+  words_.clear();
+  count_ = 0;
 }
-
-void Synopsis::Clear() { words_.clear(); }
 
 void Synopsis::UnionWith(const Synopsis& other) {
   if (other.words_.size() > words_.size()) {
     words_.resize(other.words_.size(), 0);
   }
+  size_t total = 0;
   for (size_t i = 0; i < other.words_.size(); ++i) {
     words_[i] |= other.words_[i];
+    total += static_cast<size_t>(std::popcount(words_[i]));
   }
+  for (size_t i = other.words_.size(); i < words_.size(); ++i) {
+    total += static_cast<size_t>(std::popcount(words_[i]));
+  }
+  count_ = total;
 }
 
 size_t Synopsis::IntersectCount(const Synopsis& other) const {
@@ -97,6 +105,23 @@ size_t Synopsis::AndNotCount(const Synopsis& other) const {
     total += static_cast<size_t>(std::popcount(words_[i] & ~b));
   }
   return total;
+}
+
+Synopsis::RatingCounts Synopsis::RateCounts(const Synopsis& other) const {
+  size_t intersect = 0;
+  const size_t common = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < common; ++i) {
+    intersect +=
+        static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  RatingCounts counts;
+  counts.intersect = intersect;
+  // The exclusive cardinalities fall out of the cached totals; bits past
+  // the common prefix are exclusive by construction and already included
+  // in the respective count.
+  counts.only_this = count_ - intersect;
+  counts.only_other = other.count_ - intersect;
+  return counts;
 }
 
 bool Synopsis::Intersects(const Synopsis& other) const {

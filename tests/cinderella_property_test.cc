@@ -2,6 +2,7 @@
 // workloads of inserts, deletes, and updates, swept over weights, capacity
 // limits, size measures, and the synopsis index (TEST_P).
 
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <set>
@@ -266,8 +267,14 @@ TEST_P(IndexEquivalenceTest, IndexedMatchesScan) {
 INSTANTIATE_TEST_SUITE_P(Weights, IndexEquivalenceTest,
                          testing::Values(0.0, 0.2, 0.5, 0.8, 1.0),
                          [](const testing::TestParamInfo<double>& info) {
-                           return "w" + std::to_string(static_cast<int>(
-                                            info.param * 10));
+                           // snprintf instead of string concatenation: GCC
+                           // 12's Release-mode string inlining misreports
+                           // the "w" + to_string(...) form as
+                           // -Werror=restrict.
+                           char buf[16];
+                           std::snprintf(buf, sizeof(buf), "w%02d",
+                                         static_cast<int>(info.param * 10));
+                           return std::string(buf);
                          });
 
 // Starter-policy sweep: all policies must preserve the structural

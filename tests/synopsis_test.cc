@@ -119,6 +119,71 @@ TEST(SynopsisTest, ClearEmpties) {
   EXPECT_TRUE(s.Empty());
 }
 
+// Regression for the O(1) Empty(): removing the last id must report empty
+// even when the set once spanned many words (the trailing-zero-word shrink
+// invariant is what makes the words_.empty() check valid).
+TEST(SynopsisTest, EmptyAfterRemovingHighIds) {
+  Synopsis s;
+  EXPECT_TRUE(s.Empty());
+  s.Add(1000);  // ~16 words of capacity.
+  EXPECT_FALSE(s.Empty());
+  s.Remove(1000);
+  EXPECT_TRUE(s.Empty());
+  s.Add(3);
+  s.Add(700);
+  s.Remove(700);
+  EXPECT_FALSE(s.Empty());  // {3} survives in word 0.
+  s.Remove(3);
+  EXPECT_TRUE(s.Empty());
+  // Union with an empty synopsis keeps emptiness observable.
+  Synopsis other;
+  s.UnionWith(other);
+  EXPECT_TRUE(s.Empty());
+}
+
+TEST(SynopsisTest, RateCountsMatchesHandComputedSets) {
+  Synopsis e{0, 1, 2, 3};
+  Synopsis p{2, 3, 4, 5, 6};
+  const Synopsis::RatingCounts counts = e.RateCounts(p);
+  EXPECT_EQ(counts.intersect, 2u);   // {2,3}
+  EXPECT_EQ(counts.only_this, 2u);   // {0,1}
+  EXPECT_EQ(counts.only_other, 3u);  // {4,5,6}
+  EXPECT_EQ(counts.union_count(), e.UnionCount(p));
+}
+
+// The fused kernel must agree with the three separate count methods for
+// every operand shape, in particular synopses of different word lengths
+// (including empty operands and ids far beyond the other's capacity).
+TEST(SynopsisPropertyTest, RateCountsEquivalentToThreePasses) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 300; ++trial) {
+    Synopsis a;
+    Synopsis b;
+    // Deliberately mismatched universes so one side regularly owns tail
+    // words the other lacks.
+    const size_t universe_a = 1 + rng.Uniform(800);
+    const size_t universe_b = 1 + rng.Uniform(800);
+    const int na = static_cast<int>(rng.Uniform(60));
+    const int nb = static_cast<int>(rng.Uniform(60));
+    for (int i = 0; i < na; ++i) {
+      a.Add(static_cast<AttributeId>(rng.Uniform(universe_a)));
+    }
+    for (int i = 0; i < nb; ++i) {
+      b.Add(static_cast<AttributeId>(rng.Uniform(universe_b)));
+    }
+    const Synopsis::RatingCounts ab = a.RateCounts(b);
+    EXPECT_EQ(ab.intersect, a.IntersectCount(b));
+    EXPECT_EQ(ab.only_this, a.AndNotCount(b));
+    EXPECT_EQ(ab.only_other, b.AndNotCount(a));
+    EXPECT_EQ(ab.union_count(), a.UnionCount(b));
+    // Symmetry: swapping operands swaps the exclusive counts.
+    const Synopsis::RatingCounts ba = b.RateCounts(a);
+    EXPECT_EQ(ba.intersect, ab.intersect);
+    EXPECT_EQ(ba.only_this, ab.only_other);
+    EXPECT_EQ(ba.only_other, ab.only_this);
+  }
+}
+
 // Property test: bitset algebra agrees with std::set reference across
 // random synopsis pairs.
 TEST(SynopsisPropertyTest, AgreesWithSetReference) {

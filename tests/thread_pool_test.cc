@@ -1,0 +1,127 @@
+// Tests for the fixed worker pool behind the parallel scan engine:
+// exactly-once chunk coverage, deterministic chunk indexing, the inline
+// serial fallback at degree 1, reuse across batches, and degree
+// resolution from config/environment.
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace cinderella {
+namespace {
+
+TEST(ThreadPoolTest, NumChunks) {
+  EXPECT_EQ(ThreadPool::NumChunks(0, 16), 0u);
+  EXPECT_EQ(ThreadPool::NumChunks(1, 16), 1u);
+  EXPECT_EQ(ThreadPool::NumChunks(16, 16), 1u);
+  EXPECT_EQ(ThreadPool::NumChunks(17, 16), 2u);
+  EXPECT_EQ(ThreadPool::NumChunks(100, 1), 100u);
+  EXPECT_EQ(ThreadPool::NumChunks(5, 0), 5u);  // chunk 0 behaves as 1.
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (int degree : {1, 2, 4, 8}) {
+    ThreadPool pool(degree);
+    EXPECT_EQ(pool.degree(), degree);
+    const size_t items = 1237;
+    std::vector<std::atomic<int>> hits(items);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(items, 10, [&](size_t begin, size_t end, size_t) {
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < items; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " degree " << degree;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunkIndexIdentifiesRange) {
+  ThreadPool pool(4);
+  const size_t items = 103;
+  const size_t chunk = 8;
+  const size_t num_chunks = ThreadPool::NumChunks(items, chunk);
+  std::vector<std::pair<size_t, size_t>> ranges(num_chunks);
+  pool.ParallelFor(items, chunk,
+                   [&](size_t begin, size_t end, size_t chunk_index) {
+                     ASSERT_LT(chunk_index, num_chunks);
+                     ranges[chunk_index] = {begin, end};
+                   });
+  for (size_t c = 0; c < num_chunks; ++c) {
+    EXPECT_EQ(ranges[c].first, c * chunk);
+    EXPECT_EQ(ranges[c].second, std::min(items, (c + 1) * chunk));
+  }
+}
+
+TEST(ThreadPoolTest, DegreeOneRunsInlineInOrder) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<size_t> order;
+  pool.ParallelFor(50, 7, [&](size_t begin, size_t, size_t chunk_index) {
+    // Inline execution: same thread, ascending chunk order, so unprotected
+    // access to `order` is safe by construction.
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(begin, chunk_index * 7);
+    order.push_back(chunk_index);
+  });
+  ASSERT_EQ(order.size(), ThreadPool::NumChunks(50, 7));
+  for (size_t c = 0; c < order.size(); ++c) EXPECT_EQ(order[c], c);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> total{0};
+  for (int batch = 0; batch < 200; ++batch) {
+    pool.ParallelFor(64, 4, [&](size_t begin, size_t end, size_t) {
+      uint64_t local = 0;
+      for (size_t i = begin; i < end; ++i) local += i;
+      total.fetch_add(local);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * (64u * 63u / 2));
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, 8, [&](size_t, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelReductionViaPerChunkSlots) {
+  // The merge pattern used by the scan engine: per-chunk outputs merged in
+  // ascending chunk order after the batch.
+  ThreadPool pool(4);
+  const size_t items = 1000;
+  const size_t chunk = 32;
+  std::vector<uint64_t> partial(ThreadPool::NumChunks(items, chunk), 0);
+  pool.ParallelFor(items, chunk, [&](size_t begin, size_t end, size_t c) {
+    for (size_t i = begin; i < end; ++i) partial[c] += i;
+  });
+  const uint64_t total = std::accumulate(partial.begin(), partial.end(),
+                                         uint64_t{0});
+  EXPECT_EQ(total, uint64_t{items} * (items - 1) / 2);
+}
+
+TEST(ThreadPoolTest, ResolveDegreeConfiguredWins) {
+  EXPECT_EQ(ThreadPool::ResolveDegree(3), 3);
+  EXPECT_EQ(ThreadPool::ResolveDegree(1), 1);
+}
+
+TEST(ThreadPoolTest, ResolveDegreeFromEnvironment) {
+  ASSERT_EQ(setenv("CINDERELLA_SCAN_THREADS", "5", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::ResolveDegree(0), 5);
+  // Explicit configuration still beats the environment.
+  EXPECT_EQ(ThreadPool::ResolveDegree(2), 2);
+  ASSERT_EQ(unsetenv("CINDERELLA_SCAN_THREADS"), 0);
+  EXPECT_GE(ThreadPool::ResolveDegree(0), 1);  // Falls back to hardware.
+}
+
+}  // namespace
+}  // namespace cinderella

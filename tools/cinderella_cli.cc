@@ -157,7 +157,8 @@ int QueryCommand(const Args& args) {
     if (!name.empty()) names.push_back(name);
   }
   const Query query = Query::FromNames(*restored->dictionary, names);
-  QueryExecutor executor(restored->partitioner->catalog());
+  // Degree 0: honor CINDERELLA_SCAN_THREADS / the hardware, like inserts.
+  QueryExecutor executor(restored->partitioner->catalog(), 0);
   WallTimer timer;
   const QueryResult result = executor.Execute(query);
   std::printf(
@@ -197,7 +198,7 @@ int Sql(const Args& args) {
   if (text.empty()) return Usage();
   auto statement = ParseSelect(text, *restored->dictionary);
   if (!statement.ok()) return Fail(statement.status());
-  QueryExecutor executor(restored->partitioner->catalog());
+  QueryExecutor executor(restored->partitioner->catalog(), 0);
   WallTimer timer;
   const QueryResult result = executor.ExecuteSelect(*statement);
   std::printf(

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then a
+# thread-sanitized side build of the scan engine (thread pool, parallel
+# rating scan, parallel query executor) to catch data races the regular
+# build cannot.
+#
+# Usage: tools/tier1.sh [jobs]   (defaults to nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: standard build + ctest =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "== tier-1: TSan build of the scan engine tests =="
+cmake -B build-tsan -S . -DCINDERELLA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$JOBS" --target thread_pool_test parallel_scan_test
+# Force the pool to spawn real workers even on small machines.
+CINDERELLA_SCAN_THREADS=4 ./build-tsan/tests/thread_pool_test
+CINDERELLA_SCAN_THREADS=4 ./build-tsan/tests/parallel_scan_test
+
+echo "tier-1 OK"
