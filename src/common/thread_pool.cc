@@ -95,8 +95,12 @@ void ThreadPool::ParallelFor(
 }
 
 int ThreadPool::ResolveDegree(int configured) {
+  return ResolveDegree(configured, "CINDERELLA_SCAN_THREADS");
+}
+
+int ThreadPool::ResolveDegree(int configured, const char* env_var) {
   if (configured > 0) return configured;
-  const int64_t from_env = Int64FromEnv("CINDERELLA_SCAN_THREADS", 0);
+  const int64_t from_env = Int64FromEnv(env_var, 0);
   if (from_env > 0) return static_cast<int>(from_env);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;

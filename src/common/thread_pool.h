@@ -62,6 +62,10 @@ class ThreadPool {
   /// std::thread::hardware_concurrency(). Never returns less than 1.
   static int ResolveDegree(int configured);
 
+  /// Same resolution rule with a caller-chosen environment variable
+  /// (e.g. CINDERELLA_INSERT_SHARDS for the batched insert engine).
+  static int ResolveDegree(int configured, const char* env_var);
+
  private:
   void RunChunks(const std::function<void(size_t, size_t, size_t)>& fn,
                  size_t items, size_t chunk);

@@ -137,6 +137,7 @@ Status Cinderella::VerifyIntegrity() const {
 }
 
 Status Cinderella::Reorganize() {
+  ++catalog_generation_;
   // Extract everything.
   std::vector<std::pair<Row, Synopsis>> all;
   all.reserve(catalog_.entity_count());
@@ -170,17 +171,28 @@ Status Cinderella::Reorganize() {
 }
 
 Status Cinderella::RestorePartition(std::vector<Row> rows) {
+  ++catalog_generation_;
   if (rows.empty()) {
     return Status::InvalidArgument("cannot restore an empty partition");
   }
+  // Validate against the catalog AND within the batch before creating the
+  // partition: a duplicate detected after the first AddRow would leave a
+  // partially-built partition behind (audit: empty-partition leak fix).
+  std::unordered_set<EntityId> batch_ids;
+  batch_ids.reserve(rows.size());
   for (const Row& row : rows) {
-    if (catalog_.FindEntity(row.id()).has_value()) {
+    if (!batch_ids.insert(row.id()).second ||
+        catalog_.FindEntity(row.id()).has_value()) {
       return Status::AlreadyExists("entity " + std::to_string(row.id()) +
-                                   " already in table");
+                                   " duplicated in restore batch or already "
+                                   "in table");
     }
   }
   Partition& partition = catalog_.CreatePartition();
   ++stats_.partitions_created;
+  if (mutation_capture_ != nullptr) {
+    mutation_capture_->created.push_back(partition.id());
+  }
   for (Row& row : rows) {
     const Synopsis synopsis = extractor_(row);
     CINDERELLA_RETURN_IF_ERROR(
@@ -214,6 +226,9 @@ Status Cinderella::AddRowToPartition(Partition& partition, Row row,
       empty_synopsis_partitions_.erase(partition.id());
     }
   }
+  if (mutation_capture_ != nullptr) {
+    mutation_capture_->touched.push_back(partition.id());
+  }
   return Status::OK();
 }
 
@@ -233,12 +248,18 @@ StatusOr<Row> Cinderella::RemoveRowFromPartition(Partition& partition,
       empty_synopsis_partitions_.erase(partition.id());
     }
   }
+  if (mutation_capture_ != nullptr) {
+    mutation_capture_->touched.push_back(partition.id());
+  }
   return row;
 }
 
 void Cinderella::DropEmptyPartition(Partition& partition) {
   CINDERELLA_DCHECK(partition.entity_count() == 0);
   empty_synopsis_partitions_.erase(partition.id());
+  if (mutation_capture_ != nullptr) {
+    mutation_capture_->dropped.push_back(partition.id());
+  }
   const Status status = catalog_.DropPartition(partition.id());
   CINDERELLA_CHECK(status.ok());
   ++stats_.partitions_dropped;
@@ -430,6 +451,7 @@ void Cinderella::PickRandomStarters(Partition& partition) {
 // ---------------------------------------------------------------------------
 
 Status Cinderella::Insert(Row row) {
+  ++catalog_generation_;
   if (catalog_.FindEntity(row.id()).has_value()) {
     return Status::AlreadyExists("entity " + std::to_string(row.id()) +
                                  " already in table");
@@ -437,6 +459,26 @@ Status Cinderella::Insert(Row row) {
   const Synopsis synopsis = extractor_(row);
   CINDERELLA_RETURN_IF_ERROR(
       InsertIntoCatalog(std::move(row), synopsis, nullptr, 0));
+  ++stats_.inserts;
+  return Status::OK();
+}
+
+Status Cinderella::InsertBatch(std::vector<Row> rows) {
+  if (batch_engine_ != nullptr) {
+    return batch_engine_->InsertBatch(std::move(rows));
+  }
+  return Partitioner::InsertBatch(std::move(rows));
+}
+
+Status Cinderella::InsertResolved(Row row, const Synopsis& synopsis,
+                                  Partition* target) {
+  ++catalog_generation_;
+  if (catalog_.FindEntity(row.id()).has_value()) {
+    return Status::AlreadyExists("entity " + std::to_string(row.id()) +
+                                 " already in table");
+  }
+  CINDERELLA_RETURN_IF_ERROR(
+      PlaceRow(std::move(row), synopsis, target, nullptr, 0));
   ++stats_.inserts;
   return Status::OK();
 }
@@ -453,33 +495,44 @@ Status Cinderella::InsertIntoCatalog(Row row, const Synopsis& synopsis,
   // (DESIGN.md deviation 2).
   if (restricted == nullptr &&
       (best.partition == nullptr || best.rating < 0.0)) {
+    return PlaceRow(std::move(row), synopsis, nullptr, restricted, depth);
+  }
+  CINDERELLA_CHECK(best.partition != nullptr);
+  return PlaceRow(std::move(row), synopsis, best.partition, restricted, depth);
+}
+
+Status Cinderella::PlaceRow(Row row, const Synopsis& synopsis,
+                            Partition* target,
+                            std::vector<PartitionId>* restricted, int depth) {
+  if (target == nullptr) {
     Partition& fresh = catalog_.CreatePartition();
     ++stats_.partitions_created;
+    if (mutation_capture_ != nullptr) {
+      mutation_capture_->created.push_back(fresh.id());
+    }
     fresh.set_starter_a(Partition::Starter{row.id(), synopsis});
     return AddRowToPartition(fresh, std::move(row), synopsis);
   }
-  CINDERELLA_CHECK(best.partition != nullptr);
-  Partition& target = *best.partition;
 
   // Lines 14-24: starter maintenance happens before the capacity check so
   // the incoming entity can seed one of the split halves.
-  EnsureStarters(target);
-  UpdateStarters(target, row.id(), synopsis);
+  EnsureStarters(*target);
+  UpdateStarters(*target, row.id(), synopsis);
 
   // Lines 26-33: split when the entity does not fit.
-  if (target.Size(config_.measure) + RowSize(row, config_.measure) >
+  if (target->Size(config_.measure) + RowSize(row, config_.measure) >
       config_.max_size) {
     // A partition that cannot yield two starters (a single resident whose
     // size already exhausts MAXSIZE under cell/byte measures) cannot be
     // split; the oversized row is admitted instead.
-    if (target.entity_count() >= 1) {
-      return SplitPartition(target.id(), std::move(row), synopsis, restricted,
+    if (target->entity_count() >= 1) {
+      return SplitPartition(target->id(), std::move(row), synopsis, restricted,
                             depth);
     }
   }
 
   // Line 36: normal insert.
-  return AddRowToPartition(target, std::move(row), synopsis);
+  return AddRowToPartition(*target, std::move(row), synopsis);
 }
 
 Status Cinderella::SplitPartition(PartitionId source, Row pending_row,
@@ -506,6 +559,10 @@ Status Cinderella::SplitPartition(PartitionId source, Row pending_row,
   Partition& child_a = catalog_.CreatePartition();
   Partition& child_b = catalog_.CreatePartition();
   stats_.partitions_created += 2;
+  if (mutation_capture_ != nullptr) {
+    mutation_capture_->created.push_back(child_a.id());
+    mutation_capture_->created.push_back(child_b.id());
+  }
 
   CINDERELLA_CHECK(starter_a.entity != starter_b.entity);
 
@@ -553,6 +610,24 @@ Status Cinderella::SplitPartition(PartitionId source, Row pending_row,
 
   DropEmptyPartition(*src);
 
+  // Audit (empty-partition leak): every child is seeded with a starter row
+  // and restricted redistribution never moves rows out of `targets` except
+  // through a cascade split (which replaces the drained child in `targets`
+  // itself), so no child can be empty here — but an empty child escaping
+  // into the catalog would be unrateable and violate the "empty partitions
+  // are deleted" invariant of Section III forever after. Drop eagerly
+  // instead of relying on downstream deletes.
+  for (auto it = targets.begin(); it != targets.end();) {
+    Partition* child = catalog_.GetPartition(*it);
+    CINDERELLA_CHECK(child != nullptr);
+    if (child->entity_count() == 0) {
+      DropEmptyPartition(*child);
+      it = targets.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
   if (outer_targets != nullptr) {
     outer_targets->erase(
         std::remove(outer_targets->begin(), outer_targets->end(), source),
@@ -568,6 +643,7 @@ Status Cinderella::SplitPartition(PartitionId source, Row pending_row,
 // ---------------------------------------------------------------------------
 
 Status Cinderella::Delete(EntityId entity) {
+  ++catalog_generation_;
   const std::optional<PartitionId> home = catalog_.FindEntity(entity);
   if (!home.has_value()) {
     return Status::NotFound("entity " + std::to_string(entity) +
@@ -617,6 +693,7 @@ Status Cinderella::MaybeDissolve(Partition& partition) {
 }
 
 Status Cinderella::Update(Row row) {
+  ++catalog_generation_;
   const std::optional<PartitionId> home = catalog_.FindEntity(row.id());
   if (!home.has_value()) {
     return Status::NotFound("entity " + std::to_string(row.id()) +
@@ -659,6 +736,9 @@ Status Cinderella::Update(Row row) {
       } else {
         empty_synopsis_partitions_.erase(current->id());
       }
+    }
+    if (mutation_capture_ != nullptr) {
+      mutation_capture_->touched.push_back(current->id());
     }
     // Offer the updated entity as a split-starter candidate under its new
     // synopsis (ReplaceRow already refreshed it if it *is* a starter).

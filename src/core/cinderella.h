@@ -38,6 +38,29 @@ struct CinderellaStats {
   uint64_t entities_reinserted = 0;    // Rows re-homed by dissolution.
 };
 
+/// Partition ids touched by catalog mutations, recorded for the batched
+/// insert engine (src/ingest): `touched` lists every partition that gained,
+/// lost or replaced a row (ids may repeat), `created` the partitions added
+/// to the catalog, and `dropped` the partitions removed from it. The engine
+/// uses the record to refresh its sharded packed mirror incrementally
+/// instead of rebuilding it after every commit.
+struct CatalogMutations {
+  std::vector<PartitionId> touched;
+  std::vector<PartitionId> created;
+  std::vector<PartitionId> dropped;
+};
+
+/// Hook through which Cinderella::InsertBatch delegates to the batched
+/// insert engine (src/ingest/batch_inserter.h). Lives outside src/core so
+/// the core library carries no ingest dependency; the engine owns its
+/// thread pool and sharded catalog mirror and calls back into Cinderella
+/// via InsertResolved for each placement.
+class BatchInsertEngine {
+ public:
+  virtual ~BatchInsertEngine() = default;
+  virtual Status InsertBatch(std::vector<Row> rows) = 0;
+};
+
 /// The Cinderella online horizontal partitioner (Sections III-IV).
 ///
 /// Implements Algorithm 1 with the deviations documented in DESIGN.md:
@@ -64,6 +87,10 @@ class Cinderella : public Partitioner {
   Status Insert(Row row) override;
   Status Delete(EntityId entity) override;
   Status Update(Row row) override;
+  /// Routes through the attached BatchInsertEngine when one is set, else
+  /// falls back to the validated serial loop of the base class. Either
+  /// way, placements are identical to serial single-row inserts.
+  Status InsertBatch(std::vector<Row> rows) override;
   PartitionCatalog& catalog() override { return catalog_; }
   const PartitionCatalog& catalog() const override { return catalog_; }
   std::string name() const override;
@@ -103,6 +130,40 @@ class Cinderella : public Partitioner {
   /// snapshots persist it so a restored instance rates identically.
   const std::vector<Synopsis>& workload() const;
 
+  // -- Batched-insert engine hooks (src/ingest) -----------------------------
+
+  /// Inserts a row whose placement was already resolved externally:
+  /// `target` must be the partition the serial rating scan would pick for
+  /// `row` (nullptr for "no partition rates >= 0: create a new one"), and
+  /// `synopsis` the row's rating synopsis under the active mode. Runs
+  /// everything of Insert() downstream of the scan — duplicate check,
+  /// starter maintenance, capacity check, split cascade, binding — so a
+  /// caller that computes the same argmax the serial scan would (the batch
+  /// engine's revalidated top-2) produces the exact serial catalog state.
+  Status InsertResolved(Row row, const Synopsis& synopsis, Partition* target);
+
+  /// Monotonic counter bumped at the start of every mutating operation
+  /// (including InsertResolved and failed attempts). The batch engine
+  /// compares it against the generation it last mirrored: a mismatch means
+  /// the catalog changed outside the engine's own commits (serial inserts,
+  /// deletes, updates, reorganize, restore) and the packed mirror must be
+  /// rebuilt before the next placement is resolved.
+  uint64_t catalog_generation() const { return catalog_generation_; }
+
+  /// Registers `capture` to receive the partition ids every subsequent
+  /// mutation touches, creates or drops (nullptr unregisters). Used by the
+  /// batch engine around InsertResolved to learn which packed entries a
+  /// commit (and any split cascade it triggered) invalidated.
+  void set_mutation_capture(CatalogMutations* capture) {
+    mutation_capture_ = capture;
+  }
+
+  /// Attaches the engine consulted by InsertBatch (nullptr detaches). The
+  /// engine is owned by the caller and must outlive the attachment; see
+  /// AttachBatchInserter in ingest/batch_inserter.h.
+  void set_batch_engine(BatchInsertEngine* engine) { batch_engine_ = engine; }
+  BatchInsertEngine* batch_engine() const { return batch_engine_; }
+
  private:
   Cinderella(CinderellaConfig config,
              std::unique_ptr<WorkloadSynopsisBuilder> workload);
@@ -125,6 +186,14 @@ class Cinderella : public Partitioner {
   /// best target is used even when negative. `depth > 0` inside a split.
   Status InsertIntoCatalog(Row row, const Synopsis& synopsis,
                            std::vector<PartitionId>* restricted, int depth);
+
+  /// Everything of the insert routine downstream of the rating scan:
+  /// places `row` into `target` (starter maintenance, capacity check,
+  /// split cascade) or, with `target == nullptr`, into a fresh partition.
+  /// Shared by InsertIntoCatalog and the externally-resolved
+  /// InsertResolved so both paths produce identical catalog state.
+  Status PlaceRow(Row row, const Synopsis& synopsis, Partition* target,
+                  std::vector<PartitionId>* restricted, int depth);
 
   /// Splits `source` (which is full w.r.t. the pending row): the split
   /// starters seed two new partitions, remaining entities are re-inserted
@@ -184,6 +253,10 @@ class Cinderella : public Partitioner {
   std::unordered_set<PartitionId> empty_synopsis_partitions_;
   CinderellaStats stats_;
   Rng rng_;
+  // Batched-insert engine state: see the public hooks above.
+  uint64_t catalog_generation_ = 0;
+  CatalogMutations* mutation_capture_ = nullptr;
+  BatchInsertEngine* batch_engine_ = nullptr;
 };
 
 }  // namespace cinderella

@@ -18,6 +18,10 @@ Status CinderellaConfig::Validate() const {
     return Status::InvalidArgument(
         "scan_threads must be >= 0 (0 resolves from the environment)");
   }
+  if (insert_shards < 0) {
+    return Status::InvalidArgument(
+        "insert_shards must be >= 0 (0 resolves from the environment)");
+  }
   return Status::OK();
 }
 

@@ -72,6 +72,16 @@ struct CinderellaConfig {
   /// hardware concurrency. Negative values are invalid.
   int scan_threads = 0;
 
+  /// Number of catalog shards (and scan threads) used by the batched
+  /// insert engine (src/ingest): the live partitions are mirrored into
+  /// `insert_shards` packed synopsis arrays keyed by partition id, each
+  /// with its own lock, and batch rating scans them shard-parallel.
+  /// Placements stay bit-identical to serial single-row inserts at any
+  /// shard count. 0 = resolve from the CINDERELLA_INSERT_SHARDS
+  /// environment variable, falling back to the hardware concurrency
+  /// (mirrors the scan_threads convention). Negative values are invalid.
+  int insert_shards = 0;
+
   /// Extension (not in the paper): dissolve a partition whose size drops
   /// below this fraction of max_size after a delete, re-inserting its
   /// remaining entities through the normal insert routine. The paper only

@@ -2,6 +2,9 @@
 #define CINDERELLA_CORE_PARTITIONER_H_
 
 #include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "core/catalog.h"
@@ -23,6 +26,30 @@ class Partitioner {
 
   /// Inserts a new entity; fails with AlreadyExists for duplicate ids.
   virtual Status Insert(Row row) = 0;
+
+  /// Inserts a batch of new entities in row order with placements
+  /// identical to inserting them one by one. Fails with AlreadyExists —
+  /// before touching the table — when a row duplicates an existing entity
+  /// or another row of the same batch, so a failed batch leaves the table
+  /// unchanged. The default validates and loops over Insert(); Cinderella
+  /// routes this through the batched rating engine of src/ingest when one
+  /// is attached.
+  virtual Status InsertBatch(std::vector<Row> rows) {
+    std::unordered_set<EntityId> batch_ids;
+    batch_ids.reserve(rows.size());
+    for (const Row& row : rows) {
+      if (!batch_ids.insert(row.id()).second ||
+          catalog().FindEntity(row.id()).has_value()) {
+        return Status::AlreadyExists("entity " + std::to_string(row.id()) +
+                                     " duplicated in batch or already in "
+                                     "table");
+      }
+    }
+    for (Row& row : rows) {
+      CINDERELLA_RETURN_IF_ERROR(Insert(std::move(row)));
+    }
+    return Status::OK();
+  }
 
   /// Deletes an entity; fails with NotFound for unknown ids.
   virtual Status Delete(EntityId entity) = 0;

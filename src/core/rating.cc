@@ -31,9 +31,11 @@ RatingBreakdown RateDetailed(const Synopsis& entity, double entity_size,
 double Rate(const Synopsis& entity, double entity_size,
             const Synopsis& partition, double partition_size, double w,
             bool normalize) {
-  const RatingBreakdown b =
-      RateDetailed(entity, entity_size, partition, partition_size, w);
-  return normalize ? b.global : b.local;
+  const Synopsis::RatingCounts counts = entity.RateCounts(partition);
+  return RateFromCounts(static_cast<double>(counts.intersect),
+                        static_cast<double>(counts.only_other),
+                        static_cast<double>(counts.only_this), entity_size,
+                        partition_size, w, normalize);
 }
 
 }  // namespace cinderella

@@ -23,6 +23,52 @@ RatingBreakdown RateDetailed(const Synopsis& entity, double entity_size,
                              const Synopsis& partition, double partition_size,
                              double w);
 
+/// The two Section IV aggregates from the three disjoint cardinalities:
+/// `local` is r' = w·h⁺ − (1−w)(h⁻ₑ+h⁻ₚ) and `normalizer` is
+/// (SIZE(p)+SIZE(e))·|e∨p|; the global rating is local/normalizer when the
+/// normalizer is positive, else 0.
+///
+/// This inline is the single definition of the rating arithmetic: the
+/// serial scan (Rate) and the packed batch-rating kernel in src/ingest
+/// both call it, so the two paths evaluate the identical floating-point
+/// expression (same operations in the same order, no fast-math in the
+/// build) and placement comparisons between them are bit-exact.
+///
+/// `missing_on_entity` is |¬e∧p| (ids the partition has, the entity
+/// lacks); `missing_on_partition` is |e∧¬p|.
+struct RatingTerms {
+  double local = 0.0;
+  double normalizer = 0.0;
+};
+inline RatingTerms RatingTermsFromCounts(double overlap,
+                                         double missing_on_entity,
+                                         double missing_on_partition,
+                                         double entity_size,
+                                         double partition_size, double w) {
+  RatingTerms t;
+  const double combined_size = partition_size + entity_size;
+  const double homogeneity = combined_size * overlap;
+  const double entity_heterogeneity = entity_size * missing_on_entity;
+  const double partition_heterogeneity = partition_size * missing_on_partition;
+  t.local = w * homogeneity -
+            (1.0 - w) * (entity_heterogeneity + partition_heterogeneity);
+  const double union_count = overlap + missing_on_entity + missing_on_partition;
+  t.normalizer = combined_size * union_count;
+  return t;
+}
+
+/// The scalar rating from pre-computed cardinalities: the global rating
+/// when `normalize` is set, else the local rating r'.
+inline double RateFromCounts(double overlap, double missing_on_entity,
+                             double missing_on_partition, double entity_size,
+                             double partition_size, double w, bool normalize) {
+  const RatingTerms t =
+      RatingTermsFromCounts(overlap, missing_on_entity, missing_on_partition,
+                            entity_size, partition_size, w);
+  if (!normalize) return t.local;
+  return t.normalizer > 0.0 ? t.local / t.normalizer : 0.0;
+}
+
 /// Returns the rating used to pick the best partition: the global rating
 /// when `normalize` is set (the paper's r), else the local rating r'
 /// (ablation mode; not comparable across partitions).

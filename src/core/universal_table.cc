@@ -34,6 +34,10 @@ Status UniversalTable::InsertRow(Row row) {
   return partitioner_->Insert(std::move(row));
 }
 
+Status UniversalTable::InsertBatch(std::vector<Row> rows) {
+  return partitioner_->InsertBatch(std::move(rows));
+}
+
 Status UniversalTable::Delete(EntityId entity) {
   return partitioner_->Delete(entity);
 }

@@ -44,6 +44,11 @@ class UniversalTable {
   /// Inserts a pre-built row (attribute ids must come from dictionary()).
   Status InsertRow(Row row);
 
+  /// Inserts many pre-built rows through the partitioner's batch path
+  /// (the ingest pipeline when one is attached, else a validated serial
+  /// loop). Placements match inserting the rows one by one in order.
+  Status InsertBatch(std::vector<Row> rows);
+
   /// Deletes an entity.
   Status Delete(EntityId entity);
 

@@ -1,0 +1,404 @@
+#include "ingest/batch_inserter.h"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/rating.h"
+#include "core/size_measure.h"
+
+namespace cinderella {
+
+namespace {
+
+size_t ResolveShardCount(const Cinderella& cinderella,
+                         const BatchInserterOptions& options) {
+  const int configured =
+      options.shards > 0 ? options.shards : cinderella.config().insert_shards;
+  return static_cast<size_t>(
+      ThreadPool::ResolveDegree(configured, "CINDERELLA_INSERT_SHARDS"));
+}
+
+}  // namespace
+
+/// Per-window scratch: the deduplicated entity groups, their packed
+/// bitset words, and the row -> group mapping.
+struct BatchInserter::Window {
+  std::vector<size_t> group_of;      // Window-relative row -> group index.
+  std::vector<EntityGroup> groups;
+  std::vector<uint64_t> entity_arena;  // groups.size() * stride words.
+  size_t stride = 1;
+};
+
+BatchInserter::BatchInserter(Cinderella* cinderella,
+                             BatchInserterOptions options)
+    : cinderella_(cinderella),
+      options_(options),
+      weight_(cinderella->config().weight),
+      normalize_(cinderella->config().normalize_rating),
+      measure_(cinderella->config().measure),
+      catalog_(ResolveShardCount(*cinderella, options)) {
+  if (catalog_.shard_count() > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<int>(catalog_.shard_count()));
+  }
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  RebuildLocked();
+  stats_.rebuilds = 0;  // The initial fill is not an external-mutation event.
+}
+
+BatchInserter::~BatchInserter() {
+  if (cinderella_->batch_engine() == this) {
+    cinderella_->set_batch_engine(nullptr);
+  }
+}
+
+BatchInserter::Stats BatchInserter::stats() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return stats_;
+}
+
+void BatchInserter::Consider(Candidate* c, double rating, PartitionId id) {
+  if (!c->valid || rating > c->rating ||
+      (rating == c->rating && id < c->id)) {
+    *c = Candidate{rating, id, true};
+  }
+}
+
+void BatchInserter::Offer(Top2* top, double rating, PartitionId id) {
+  if (!top->best.valid || rating > top->best.rating ||
+      (rating == top->best.rating && id < top->best.id)) {
+    top->second = top->best;
+    top->best = Candidate{rating, id, true};
+  } else if (!top->second.valid || rating > top->second.rating ||
+             (rating == top->second.rating && id < top->second.id)) {
+    top->second = Candidate{rating, id, true};
+  }
+}
+
+double BatchInserter::RateEntry(const ShardedCatalog::EntryView& entry,
+                                const uint64_t* entity_words,
+                                size_t entity_stride,
+                                const EntityGroup& group) const {
+  // Words past either stride are zero (absent ids) and contribute nothing
+  // to the intersection; the exclusive counts come from the cached
+  // cardinalities exactly as Synopsis::RateCounts derives them.
+  const size_t common = std::min(entity_stride, entry.num_words);
+  size_t intersect = 0;
+  for (size_t w = 0; w < common; ++w) {
+    intersect += static_cast<size_t>(
+        std::popcount(entity_words[w] & entry.words[w]));
+  }
+  return RateFromCounts(
+      static_cast<double>(intersect),
+      static_cast<double>(entry.count - intersect),   // |¬e∧p|
+      static_cast<double>(group.count - intersect),   // |e∧¬p|
+      group.size, static_cast<double>(entry.size), weight_, normalize_);
+}
+
+Status BatchInserter::InsertBatch(std::vector<Row> rows) {
+  if (rows.empty()) return Status::OK();
+
+  // Validate before touching anything: duplicates within the batch and
+  // against the live bindings (the latter under the commit lock, since
+  // concurrent commits mutate the binding map).
+  {
+    std::unordered_set<EntityId> batch_ids;
+    batch_ids.reserve(rows.size());
+    for (const Row& row : rows) {
+      if (!batch_ids.insert(row.id()).second) {
+        return Status::AlreadyExists("entity " + std::to_string(row.id()) +
+                                     " duplicated in batch");
+      }
+    }
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    for (const Row& row : rows) {
+      if (cinderella_->catalog().FindEntity(row.id()).has_value()) {
+        return Status::AlreadyExists("entity " + std::to_string(row.id()) +
+                                     " already in table");
+      }
+    }
+  }
+
+  // One synopsis extraction per row, outside every lock (the extractor
+  // only reads the row and the immutable workload).
+  std::vector<Synopsis> synopses;
+  synopses.reserve(rows.size());
+  for (const Row& row : rows) {
+    synopses.push_back(cinderella_->ExtractSynopsis(row));
+  }
+
+  const size_t window = std::max<size_t>(1, options_.window);
+  for (size_t begin = 0; begin < rows.size(); begin += window) {
+    const size_t end = std::min(rows.size(), begin + window);
+    CINDERELLA_RETURN_IF_ERROR(ProcessWindow(&rows, &synopses, begin, end));
+  }
+
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  ++stats_.batches;
+  stats_.rows += rows.size();
+  return Status::OK();
+}
+
+Status BatchInserter::ProcessWindow(std::vector<Row>* rows,
+                                    const std::vector<Synopsis>* synopses,
+                                    size_t begin, size_t end) {
+  const size_t n = end - begin;
+  const size_t num_shards = catalog_.shard_count();
+
+  // -- Group identical (synopsis, size) rows: one rating per class. ------
+  Window win;
+  win.group_of.resize(n);
+  std::unordered_map<std::string, size_t> dedupe;
+  dedupe.reserve(n);
+  std::vector<const std::vector<uint64_t>*> group_words;
+  for (size_t i = 0; i < n; ++i) {
+    const Synopsis& synopsis = (*synopses)[begin + i];
+    const std::vector<uint64_t>& words = synopsis.words();
+    const uint64_t size = RowSize((*rows)[begin + i], measure_);
+    std::string key(reinterpret_cast<const char*>(words.data()),
+                    words.size() * sizeof(uint64_t));
+    key.append(reinterpret_cast<const char*>(&size), sizeof(size));
+    const auto [it, inserted] = dedupe.emplace(std::move(key),
+                                               win.groups.size());
+    if (inserted) {
+      EntityGroup group;
+      group.count = static_cast<uint32_t>(synopsis.Count());
+      group.size = static_cast<double>(size);
+      win.groups.push_back(group);
+      group_words.push_back(&words);
+      win.stride = std::max(win.stride, words.size());
+    }
+    win.group_of[i] = it->second;
+  }
+  const size_t num_groups = win.groups.size();
+  win.entity_arena.assign(num_groups * win.stride, 0);
+  for (size_t g = 0; g < num_groups; ++g) {
+    win.groups[g].words_offset = g * win.stride;
+    std::copy(group_words[g]->begin(), group_words[g]->end(),
+              win.entity_arena.begin() +
+                  static_cast<ptrdiff_t>(win.groups[g].words_offset));
+  }
+
+  // -- Scan phase: per-(shard, group) top-2, no commit lock held. --------
+  const uint64_t dirty_snap = dirty_state_.load(std::memory_order_acquire);
+  std::vector<Top2> slab(num_shards * num_groups);
+  std::vector<uint64_t> shard_ratings(num_shards, 0);
+  auto scan_shard = [&](size_t s) {
+    Top2* tops = slab.data() + s * num_groups;
+    uint64_t rated = 0;
+    catalog_.ScanShard(s, [&](const ShardedCatalog::EntryView& entry) {
+      const size_t common = std::min(win.stride, entry.num_words);
+      const double partition_size = static_cast<double>(entry.size);
+      for (size_t g = 0; g < num_groups; ++g) {
+        const EntityGroup& group = win.groups[g];
+        const uint64_t* entity_words =
+            win.entity_arena.data() + group.words_offset;
+        size_t intersect = 0;
+        for (size_t w = 0; w < common; ++w) {
+          intersect += static_cast<size_t>(
+              std::popcount(entity_words[w] & entry.words[w]));
+        }
+        ++rated;
+        const RatingTerms terms = RatingTermsFromCounts(
+            static_cast<double>(intersect),
+            static_cast<double>(entry.count - intersect),
+            static_cast<double>(group.count - intersect), group.size,
+            partition_size, weight_);
+        Top2& top = tops[g];
+        double r;
+        if (normalize_) {
+          // Skip the divide for a provably-losing candidate: local < 0
+          // requires a positive heterogeneity term, which needs both a
+          // positive size and a missing id — so the normalizer is
+          // positive too and r = local/normalizer < 0 strictly. A
+          // negative candidate cannot displace a non-negative best; it
+          // may understate the second slot, which the commit phase
+          // tolerates (DESIGN.md §8: an understated second is only
+          // consulted when every surviving candidate is negative, where
+          // serial also creates a new partition).
+          if (terms.local < 0.0 && top.best.valid && top.best.rating >= 0.0) {
+            continue;
+          }
+          r = terms.normalizer > 0.0 ? terms.local / terms.normalizer : 0.0;
+        } else {
+          r = terms.local;
+        }
+        Offer(&top, r, entry.id);
+      }
+    });
+    shard_ratings[s] = rated;
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(num_shards, 1,
+                       [&](size_t chunk_begin, size_t chunk_end, size_t) {
+                         for (size_t s = chunk_begin; s < chunk_end; ++s) {
+                           scan_shard(s);
+                         }
+                       });
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) scan_shard(s);
+  }
+
+  // Merge the shard slabs per group (order-independent comparator).
+  std::vector<Top2> merged(num_groups);
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (size_t g = 0; g < num_groups; ++g) {
+      const Top2& top = slab[s * num_groups + g];
+      if (top.best.valid) Offer(&merged[g], top.best.rating, top.best.id);
+      if (top.second.valid) {
+        Offer(&merged[g], top.second.rating, top.second.id);
+      }
+    }
+  }
+
+  // -- Commit phase: serialized, placements resolved exactly. ------------
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  ++stats_.windows;
+  for (uint64_t rated : shard_ratings) stats_.ratings += rated;
+
+  // External serial mutations invalidate the mirror (and, via the epoch
+  // bump, this window's scan).
+  SyncMirrorLocked();
+  const uint64_t snap_epoch = dirty_snap >> kSizeBits;
+  const uint64_t snap_size = dirty_snap & ((uint64_t{1} << kSizeBits) - 1);
+  const bool stale = snap_epoch != dirty_epoch_;
+  std::unordered_set<PartitionId> dirty;
+  if (!stale) {
+    for (size_t i = static_cast<size_t>(snap_size); i < dirty_log_.size();
+         ++i) {
+      dirty.insert(dirty_log_[i]);
+    }
+  }
+
+  CatalogMutations capture;
+  for (size_t i = 0; i < n; ++i) {
+    const EntityGroup& group = win.groups[win.group_of[i]];
+    const uint64_t* entity_words =
+        win.entity_arena.data() + group.words_offset;
+    const Top2& top = merged[win.group_of[i]];
+
+    Candidate chosen;
+    const bool best_dirty = top.best.valid && dirty.count(top.best.id) > 0;
+    const bool second_dirty =
+        top.second.valid && dirty.count(top.second.id) > 0;
+    if (stale || (best_dirty && second_dirty)) {
+      // The top-2 no longer bounds the clean partitions: re-scan this
+      // entity exactly under the lock (rare; the dirty set is small).
+      ++stats_.rescans;
+      for (size_t s = 0; s < num_shards; ++s) {
+        catalog_.ScanShard(s, [&](const ShardedCatalog::EntryView& entry) {
+          ++stats_.reratings;
+          Consider(&chosen, RateEntry(entry, entity_words, win.stride, group),
+                   entry.id);
+        });
+      }
+    } else {
+      if (top.best.valid && !best_dirty) {
+        Consider(&chosen, top.best.rating, top.best.id);
+      }
+      if (top.second.valid && !second_dirty) {
+        Consider(&chosen, top.second.rating, top.second.id);
+      }
+      for (const PartitionId id : dirty) {
+        // Dropped partitions have no entry and stop being candidates.
+        catalog_.WithEntry(id, [&](const ShardedCatalog::EntryView& entry) {
+          ++stats_.reratings;
+          Consider(&chosen, RateEntry(entry, entity_words, win.stride, group),
+                   entry.id);
+        });
+      }
+    }
+
+    // Serial create-new rule: no partition, or best rating < 0.
+    Partition* target = nullptr;
+    if (chosen.valid && chosen.rating >= 0.0) {
+      target = cinderella_->catalog().GetPartition(chosen.id);
+      CINDERELLA_CHECK(target != nullptr);
+    }
+
+    capture.touched.clear();
+    capture.created.clear();
+    capture.dropped.clear();
+    cinderella_->set_mutation_capture(&capture);
+    const Status status = cinderella_->InsertResolved(
+        std::move((*rows)[begin + i]), (*synopses)[begin + i], target);
+    cinderella_->set_mutation_capture(nullptr);
+    if (!status.ok()) {
+      // A failed InsertResolved may have partially mutated the catalog
+      // (mid-cascade internal error); rebuild the mirror defensively.
+      RebuildLocked();
+      return status;
+    }
+    AppendMutationsLocked(capture, &dirty);
+    synced_generation_ = cinderella_->catalog_generation();
+  }
+  return Status::OK();
+}
+
+void BatchInserter::SyncMirrorLocked() {
+  if (cinderella_->catalog_generation() != synced_generation_) {
+    RebuildLocked();
+    ++stats_.rebuilds;
+  }
+}
+
+void BatchInserter::RebuildLocked() {
+  catalog_.Clear();
+  cinderella_->catalog().ForEachPartition([&](const Partition& partition) {
+    catalog_.Upsert(partition.id(), partition.Size(measure_),
+                    partition.rating_synopsis());
+  });
+  dirty_log_.clear();
+  ++dirty_epoch_;
+  PublishDirtyStateLocked();
+  synced_generation_ = cinderella_->catalog_generation();
+}
+
+void BatchInserter::AppendMutationsLocked(
+    const CatalogMutations& mutations,
+    std::unordered_set<PartitionId>* dirty) {
+  auto refresh = [&](PartitionId id) {
+    const Partition* partition = cinderella_->catalog().GetPartition(id);
+    if (partition != nullptr) {
+      catalog_.Upsert(id, partition->Size(measure_),
+                      partition->rating_synopsis());
+    }
+    dirty_log_.push_back(id);
+    dirty->insert(id);
+  };
+  for (const PartitionId id : mutations.created) refresh(id);
+  for (const PartitionId id : mutations.touched) refresh(id);
+  for (const PartitionId id : mutations.dropped) {
+    catalog_.Remove(id);
+    dirty_log_.push_back(id);
+    dirty->insert(id);
+  }
+  if (dirty_log_.size() > kDirtyLogTrim) {
+    // Bound the log; in-flight scans that snapshotted the old epoch fall
+    // back to the full-rescan path at their commit.
+    dirty_log_.clear();
+    ++dirty_epoch_;
+  }
+  PublishDirtyStateLocked();
+}
+
+void BatchInserter::PublishDirtyStateLocked() {
+  CINDERELLA_DCHECK(dirty_log_.size() <
+                    (size_t{1} << kSizeBits));
+  dirty_state_.store((dirty_epoch_ << kSizeBits) |
+                         static_cast<uint64_t>(dirty_log_.size()),
+                     std::memory_order_release);
+}
+
+std::unique_ptr<BatchInserter> AttachBatchInserter(
+    Cinderella* cinderella, BatchInserterOptions options) {
+  auto engine = std::make_unique<BatchInserter>(cinderella, options);
+  cinderella->set_batch_engine(engine.get());
+  return engine;
+}
+
+}  // namespace cinderella

@@ -113,6 +113,7 @@ Status ImportCsv(std::istream& in, UniversalTable* table,
   }
 
   std::vector<std::string> fields;
+  std::vector<Row> batch;
   EntityId next_auto_id = 0;
   size_t line = 1;
   while (ReadRecord(in, &fields, &malformed)) {
@@ -139,13 +140,30 @@ Status ImportCsv(std::istream& in, UniversalTable* table,
     }
     next_auto_id = std::max(next_auto_id, entity + 1);
 
-    std::vector<UniversalTable::NamedValue> values;
+    if (options.batch_rows == 0) {
+      std::vector<UniversalTable::NamedValue> values;
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (i == id_column || fields[i].empty()) continue;
+        values.emplace_back(header[i],
+                            ParseValue(fields[i], options.infer_types));
+      }
+      CINDERELLA_RETURN_IF_ERROR(table->Insert(entity, values));
+      continue;
+    }
+    Row row(entity);
     for (size_t i = 0; i < fields.size(); ++i) {
       if (i == id_column || fields[i].empty()) continue;
-      values.emplace_back(header[i],
-                          ParseValue(fields[i], options.infer_types));
+      row.Set(table->dictionary().GetOrCreate(header[i]),
+              ParseValue(fields[i], options.infer_types));
     }
-    CINDERELLA_RETURN_IF_ERROR(table->Insert(entity, values));
+    batch.push_back(std::move(row));
+    if (batch.size() >= options.batch_rows) {
+      CINDERELLA_RETURN_IF_ERROR(table->InsertBatch(std::move(batch)));
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    CINDERELLA_RETURN_IF_ERROR(table->InsertBatch(std::move(batch)));
   }
   return Status::OK();
 }

@@ -19,6 +19,12 @@ struct CsvOptions {
   /// Import: infer int64/double cell types from the text (strings
   /// otherwise). Export always renders values with Value::ToString().
   bool infer_types = true;
+
+  /// Import: rows accumulated per UniversalTable::InsertBatch call. The
+  /// default 0 keeps the historical row-by-row trigger path; any positive
+  /// value routes the load through the batched ingest pipeline (identical
+  /// placements, amortized rating and durability cost).
+  size_t batch_rows = 0;
 };
 
 /// Imports a *wide* CSV: the header names the attributes, an empty cell

@@ -106,6 +106,9 @@ StatusOr<std::unique_ptr<DurableTable>> DurableTable::Open(Options options) {
       std::move(options), std::move(table), cinderella,
       std::move(journal).value(), replayed, torn_tail));
   durable->logged_attributes_ = durable->table_->dictionary().size();
+  // Attach the ingest pipeline after replay so its catalog mirror is
+  // built once, from the fully recovered state.
+  durable->ingest_ = AttachBatchInserter(cinderella, durable->options_.ingest);
   if (torn_tail) {
     // The torn bytes would corrupt future replays; checkpoint now so the
     // journal restarts clean.
@@ -114,10 +117,8 @@ StatusOr<std::unique_ptr<DurableTable>> DurableTable::Open(Options options) {
   return durable;
 }
 
-Status DurableTable::AfterApply(
-    Status status, const std::function<Status(JournalWriter&)>& log) {
-  CINDERELLA_RETURN_IF_ERROR(status);
-  // Persist dictionary growth before the row that relies on it.
+Status DurableTable::LogDictionaryGrowth() {
+  // Persist dictionary growth before the rows that rely on it.
   const AttributeDictionary& dictionary = table_->dictionary();
   while (logged_attributes_ < dictionary.size()) {
     const AttributeId id = static_cast<AttributeId>(logged_attributes_);
@@ -126,11 +127,27 @@ Status DurableTable::AfterApply(
     CINDERELLA_RETURN_IF_ERROR(journal_->LogAttribute(id, name.value()));
     ++logged_attributes_;
   }
-  CINDERELLA_RETURN_IF_ERROR(log(*journal_));
-  if (options_.sync_every_op) {
-    CINDERELLA_RETURN_IF_ERROR(journal_->Sync());
-  }
   return Status::OK();
+}
+
+Status DurableTable::MaybeSync(uint64_t ops) {
+  if (options_.group_commit_ops > 0) {
+    ops_since_sync_ += ops;
+    if (ops_since_sync_ < options_.group_commit_ops) return Status::OK();
+  } else if (!options_.sync_every_op) {
+    return Status::OK();
+  }
+  CINDERELLA_RETURN_IF_ERROR(journal_->Sync());
+  ops_since_sync_ = 0;
+  return Status::OK();
+}
+
+Status DurableTable::AfterApply(
+    Status status, const std::function<Status(JournalWriter&)>& log) {
+  CINDERELLA_RETURN_IF_ERROR(status);
+  CINDERELLA_RETURN_IF_ERROR(LogDictionaryGrowth());
+  CINDERELLA_RETURN_IF_ERROR(log(*journal_));
+  return MaybeSync(1);
 }
 
 Status DurableTable::InsertRow(Row row) {
@@ -139,6 +156,28 @@ Status DurableTable::InsertRow(Row row) {
                     [&](JournalWriter& journal) {
                       return journal.LogInsert(copy);
                     });
+}
+
+Status DurableTable::InsertBatch(std::vector<Row> rows) {
+  if (rows.empty()) return Status::OK();
+  std::vector<Row> copies = rows;
+  const size_t before = table_->entity_count();
+  const Status applied = table_->InsertBatch(std::move(rows));
+  // Inserts are applied strictly in batch order and each adds exactly one
+  // entity, so the count delta is the length of the applied prefix — the
+  // part the journal must record even when the batch failed part-way.
+  const size_t applied_rows = table_->entity_count() - before;
+  CINDERELLA_RETURN_IF_ERROR(LogDictionaryGrowth());
+  if (applied_rows > 0) {
+    copies.resize(applied_rows);
+    CINDERELLA_RETURN_IF_ERROR(journal_->LogBatch(copies));
+    // The group-commit payoff: one fsync for the whole batch.
+    if (options_.sync_every_op || options_.group_commit_ops > 0) {
+      CINDERELLA_RETURN_IF_ERROR(journal_->Sync());
+      ops_since_sync_ = 0;
+    }
+  }
+  return applied;
 }
 
 Status DurableTable::Insert(
@@ -193,6 +232,7 @@ Status DurableTable::Checkpoint() {
       JournalWriter::Open(journal_path(), /*truncate=*/true);
   CINDERELLA_RETURN_IF_ERROR(journal.status());
   journal_ = std::move(journal).value();
+  ops_since_sync_ = 0;
   return Status::OK();
 }
 

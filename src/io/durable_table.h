@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/cinderella.h"
 #include "core/universal_table.h"
+#include "ingest/batch_inserter.h"
 #include "io/journal.h"
 
 namespace cinderella {
@@ -32,6 +33,16 @@ class DurableTable {
     CinderellaConfig config;
     /// fsync-like flush after every logged operation (slower, safer).
     bool sync_every_op = false;
+    /// Group-commit coalescing: when > 0, single-row operations fsync
+    /// only once every `group_commit_ops` journaled operations (and
+    /// InsertBatch fsyncs once per batch regardless of its size). Takes
+    /// precedence over sync_every_op. An un-synced tail is still written
+    /// to the OS on close, but a crash may lose up to group_commit_ops-1
+    /// trailing operations — replay recovers a consistent prefix.
+    uint32_t group_commit_ops = 0;
+    /// Batched-insert engine tuning (shard count, rating window) for the
+    /// BatchInserter attached to the recovered partitioner.
+    BatchInserterOptions ingest;
   };
 
   /// Opens or creates the table in `options.directory` (the directory
@@ -41,6 +52,12 @@ class DurableTable {
   Status Insert(EntityId entity,
                 const std::vector<UniversalTable::NamedValue>& attributes);
   Status InsertRow(Row row);
+  /// Group-commit insert: applies the batch through the ingest pipeline,
+  /// journals every row, then issues exactly one fsync (when any syncing
+  /// is configured) — the durability cost is amortized over the batch.
+  /// On failure the journal records exactly the successfully applied
+  /// prefix, so recovery stays consistent with the in-memory state.
+  Status InsertBatch(std::vector<Row> rows);
   Status Update(EntityId entity,
                 const std::vector<UniversalTable::NamedValue>& attributes);
   Status UpdateRow(Row row);
@@ -59,6 +76,13 @@ class DurableTable {
   /// True if Open() found a torn trailing journal entry (crash evidence).
   bool recovered_from_torn_tail() const { return torn_tail_; }
 
+  /// fsyncs issued on the current journal segment (resets at Checkpoint);
+  /// lets tests and the bench verify group-commit coalescing.
+  uint64_t journal_syncs() const { return journal_->syncs(); }
+
+  /// The batched-insert engine attached to the table's partitioner.
+  const BatchInserter& batch_inserter() const { return *ingest_; }
+
  private:
   DurableTable(Options options, std::unique_ptr<UniversalTable> table,
                Cinderella* cinderella,
@@ -68,13 +92,26 @@ class DurableTable {
   Status AfterApply(Status status,
                     const std::function<Status(JournalWriter&)>& log);
 
+  /// Journals dictionary entries interned since the last call, so replay
+  /// reproduces attribute ids before the rows that use them.
+  Status LogDictionaryGrowth();
+
+  /// Sync policy shared by the single-op and batch paths: `ops` journaled
+  /// operations just completed.
+  Status MaybeSync(uint64_t ops);
+
   std::string snapshot_path() const;
   std::string journal_path() const;
 
   Options options_;
   std::unique_ptr<UniversalTable> table_;
   Cinderella* cinderella_;  // Owned by table_'s partitioner slot.
+  /// Batched-insert engine attached to cinderella_; must outlive the
+  /// attachment and is therefore owned here, next to the partitioner.
+  std::unique_ptr<BatchInserter> ingest_;
   std::unique_ptr<JournalWriter> journal_;
+  /// Journaled ops since the last fsync (group-commit accounting).
+  uint64_t ops_since_sync_ = 0;
   uint64_t replayed_ = 0;
   bool torn_tail_ = false;
   /// Dictionary entries already persisted (snapshot or journaled); any

@@ -1,5 +1,9 @@
 #include "io/journal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 
 namespace cinderella {
@@ -8,9 +12,13 @@ namespace {
 // Entry wire format: u8 kind, then either u64 entity (delete) or the row:
 // u64 id, u32 cell count, per cell u32 attribute, u8 type, payload.
 
+// Flush the writer's user-space buffer once it exceeds this; keeps memory
+// bounded for arbitrarily large group-commit batches.
+constexpr size_t kWriterFlushBytes = 1 << 20;
+
 template <typename T>
-void WritePod(std::ofstream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void WritePod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
@@ -19,7 +27,7 @@ bool ReadPod(std::ifstream& in, T* value) {
   return in.good();
 }
 
-void WriteRowPayload(std::ofstream& out, const Row& row) {
+void WriteRowPayload(std::string* out, const Row& row) {
   WritePod<uint64_t>(out, row.id());
   WritePod<uint32_t>(out, static_cast<uint32_t>(row.attribute_count()));
   for (const Row::Cell& cell : row.cells()) {
@@ -35,7 +43,7 @@ void WriteRowPayload(std::ofstream& out, const Row& row) {
       case ValueType::kString: {
         const std::string& s = cell.value.as_string();
         WritePod<uint32_t>(out, static_cast<uint32_t>(s.size()));
-        out.write(s.data(), static_cast<std::streamsize>(s.size()));
+        out->append(s.data(), s.size());
         break;
       }
     }
@@ -86,24 +94,46 @@ bool ReadRowPayload(std::ifstream& in, Row* row) {
 
 // -- JournalWriter --------------------------------------------------------------
 
-JournalWriter::JournalWriter(std::ofstream out) : out_(std::move(out)) {}
+JournalWriter::JournalWriter(int fd) : fd_(fd) {}
+
+JournalWriter::~JournalWriter() {
+  const Status flushed = FlushBuffer();
+  (void)flushed;  // Destructors cannot report write failures.
+  if (fd_ >= 0) ::close(fd_);
+}
 
 StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Open(
     const std::string& path, bool truncate) {
-  std::ios::openmode mode = std::ios::binary | std::ios::out;
-  mode |= truncate ? std::ios::trunc : std::ios::app;
-  std::ofstream out(path, mode);
-  if (!out.is_open()) {
-    return Status::InvalidArgument("cannot open " + path + " for append");
+  const int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open " + path + " for append: " +
+                                   std::strerror(errno));
   }
-  return std::unique_ptr<JournalWriter>(new JournalWriter(std::move(out)));
+  return std::unique_ptr<JournalWriter>(new JournalWriter(fd));
+}
+
+Status JournalWriter::FlushBuffer() {
+  size_t offset = 0;
+  while (offset < buffer_.size()) {
+    const ssize_t written =
+        ::write(fd_, buffer_.data() + offset, buffer_.size() - offset);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("journal write failure: ") +
+                              std::strerror(errno));
+    }
+    offset += static_cast<size_t>(written);
+  }
+  buffer_.clear();
+  return Status::OK();
 }
 
 Status JournalWriter::LogRow(JournalEntry::Kind kind, const Row& row) {
-  WritePod<uint8_t>(out_, static_cast<uint8_t>(kind));
-  WriteRowPayload(out_, row);
-  if (!out_.good()) return Status::Internal("journal write failure");
+  WritePod<uint8_t>(&buffer_, static_cast<uint8_t>(kind));
+  WriteRowPayload(&buffer_, row);
   ++entries_;
+  if (buffer_.size() >= kWriterFlushBytes) return FlushBuffer();
   return Status::OK();
 }
 
@@ -115,29 +145,41 @@ Status JournalWriter::LogUpdate(const Row& row) {
   return LogRow(JournalEntry::Kind::kUpdate, row);
 }
 
+Status JournalWriter::LogBatch(const std::vector<Row>& rows) {
+  for (const Row& row : rows) {
+    CINDERELLA_RETURN_IF_ERROR(LogRow(JournalEntry::Kind::kInsert, row));
+  }
+  return Status::OK();
+}
+
 Status JournalWriter::LogDelete(EntityId entity) {
-  WritePod<uint8_t>(out_, static_cast<uint8_t>(JournalEntry::Kind::kDelete));
-  WritePod<uint64_t>(out_, entity);
-  if (!out_.good()) return Status::Internal("journal write failure");
+  WritePod<uint8_t>(&buffer_,
+                    static_cast<uint8_t>(JournalEntry::Kind::kDelete));
+  WritePod<uint64_t>(&buffer_, entity);
   ++entries_;
+  if (buffer_.size() >= kWriterFlushBytes) return FlushBuffer();
   return Status::OK();
 }
 
 Status JournalWriter::LogAttribute(AttributeId attribute,
                                    const std::string& name) {
-  WritePod<uint8_t>(out_,
+  WritePod<uint8_t>(&buffer_,
                     static_cast<uint8_t>(JournalEntry::Kind::kAttribute));
-  WritePod<uint32_t>(out_, attribute);
-  WritePod<uint32_t>(out_, static_cast<uint32_t>(name.size()));
-  out_.write(name.data(), static_cast<std::streamsize>(name.size()));
-  if (!out_.good()) return Status::Internal("journal write failure");
+  WritePod<uint32_t>(&buffer_, attribute);
+  WritePod<uint32_t>(&buffer_, static_cast<uint32_t>(name.size()));
+  buffer_.append(name.data(), name.size());
   ++entries_;
+  if (buffer_.size() >= kWriterFlushBytes) return FlushBuffer();
   return Status::OK();
 }
 
 Status JournalWriter::Sync() {
-  out_.flush();
-  if (!out_.good()) return Status::Internal("journal flush failure");
+  CINDERELLA_RETURN_IF_ERROR(FlushBuffer());
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(std::string("journal fsync failure: ") +
+                            std::strerror(errno));
+  }
+  ++syncs_;
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/partitioner.h"
@@ -37,29 +38,54 @@ struct JournalEntry {
 /// truncating the journal, recover by loading the snapshot and replaying
 /// the tail. Because Cinderella is deterministic, replay reproduces not
 /// only the table contents but the exact same partitioning.
+///
+/// Entries accumulate in a user-space buffer; Sync() writes the buffer
+/// and issues a real fsync, so the group-commit policy of DurableTable
+/// (one Sync per batch instead of per row) directly controls the number
+/// of disk round trips — observable through syncs().
 class JournalWriter {
  public:
   /// Opens for append (`truncate` = false) or creates afresh.
   static StatusOr<std::unique_ptr<JournalWriter>> Open(
       const std::string& path, bool truncate);
 
+  /// Flushes buffered entries to the OS (no fsync) and closes.
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
   Status LogInsert(const Row& row);
   Status LogUpdate(const Row& row);
   Status LogDelete(EntityId entity);
   Status LogAttribute(AttributeId attribute, const std::string& name);
 
-  /// Flushes buffered entries to the OS.
+  /// Group-commit append: one kInsert entry per row, serialized into the
+  /// buffer in one pass. Pair with a single Sync() to make the whole
+  /// batch durable with one fsync.
+  Status LogBatch(const std::vector<Row>& rows);
+
+  /// Writes buffered entries to the OS and fsyncs the file: everything
+  /// logged so far is durable when this returns OK.
   Status Sync();
 
   uint64_t entries_written() const { return entries_; }
 
- private:
-  explicit JournalWriter(std::ofstream out);
+  /// Number of fsyncs issued; the bench and the recovery tests use this
+  /// to verify the group-commit coalescing actually coalesces.
+  uint64_t syncs() const { return syncs_; }
 
+ private:
+  explicit JournalWriter(int fd);
+
+  /// Writes the buffer to the OS (no fsync).
+  Status FlushBuffer();
   Status LogRow(JournalEntry::Kind kind, const Row& row);
 
-  std::ofstream out_;
+  int fd_ = -1;
+  std::string buffer_;
   uint64_t entries_ = 0;
+  uint64_t syncs_ = 0;
 };
 
 /// Sequential reader over a journal file.

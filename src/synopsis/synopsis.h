@@ -99,6 +99,12 @@ class Synopsis {
   /// True if every id of this set is also in `other`.
   bool IsSubsetOf(const Synopsis& other) const;
 
+  /// Read-only view of the underlying bitset words (64 ids per word,
+  /// little-endian within a word, no trailing zero words). The packed
+  /// batch-rating kernel (src/ingest) copies these into its per-shard
+  /// arenas so it can popcount without going through Synopsis.
+  const std::vector<uint64_t>& words() const { return words_; }
+
   /// Enumerates the ids in ascending order.
   std::vector<AttributeId> ToIds() const;
 

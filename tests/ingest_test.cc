@@ -1,0 +1,428 @@
+// Tests for the batched ingest pipeline (src/ingest): the sharded packed
+// catalog mirror, and — the core guarantee — that BatchInserter places
+// every row exactly where serial single-row inserts would, at any batch
+// size and shard count, across configurations (index, workload mode,
+// unnormalized rating) and through interleavings with serial mutations.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cinderella.h"
+#include "core/efficiency.h"
+#include "ingest/batch_inserter.h"
+#include "ingest/sharded_catalog.h"
+#include "workload/dbpedia_generator.h"
+
+namespace cinderella {
+namespace {
+
+// -- ShardedCatalog -----------------------------------------------------------
+
+Synopsis MakeSynopsis(std::vector<AttributeId> ids) {
+  return Synopsis::FromIds(ids);
+}
+
+TEST(ShardedCatalogTest, AssignsByIdModuloShards) {
+  ShardedCatalog catalog(4);
+  EXPECT_EQ(catalog.shard_count(), 4u);
+  for (PartitionId id = 0; id < 16; ++id) {
+    EXPECT_EQ(catalog.ShardOf(id), id % 4);
+  }
+}
+
+TEST(ShardedCatalogTest, UpsertRemoveContains) {
+  ShardedCatalog catalog(3);
+  catalog.Upsert(5, 10, MakeSynopsis({1, 2}));
+  catalog.Upsert(2, 7, MakeSynopsis({3}));
+  EXPECT_TRUE(catalog.Contains(5));
+  EXPECT_TRUE(catalog.Contains(2));
+  EXPECT_FALSE(catalog.Contains(8));  // Same shard as 2, absent.
+  EXPECT_EQ(catalog.partition_count(), 2u);
+
+  // Upsert refreshes in place.
+  catalog.Upsert(5, 11, MakeSynopsis({1, 2, 4}));
+  EXPECT_EQ(catalog.partition_count(), 2u);
+  bool seen = false;
+  catalog.WithEntry(5, [&](const ShardedCatalog::EntryView& e) {
+    seen = true;
+    EXPECT_EQ(e.size, 11u);
+    EXPECT_EQ(e.count, 3u);
+  });
+  EXPECT_TRUE(seen);
+
+  EXPECT_TRUE(catalog.Remove(5));
+  EXPECT_FALSE(catalog.Remove(5));
+  EXPECT_FALSE(catalog.Contains(5));
+  EXPECT_EQ(catalog.partition_count(), 1u);
+}
+
+TEST(ShardedCatalogTest, ScanIsAscendingAndStrideWidens) {
+  ShardedCatalog catalog(2);
+  // All even ids land in shard 0; insert out of order.
+  catalog.Upsert(8, 1, MakeSynopsis({0}));
+  catalog.Upsert(2, 1, MakeSynopsis({1}));
+  // Wide synopsis (bit 300) forces the shard stride to grow; the earlier
+  // narrow entries must survive, zero-padded.
+  catalog.Upsert(4, 1, MakeSynopsis({300}));
+  std::vector<PartitionId> order;
+  catalog.ScanShard(0, [&](const ShardedCatalog::EntryView& e) {
+    order.push_back(e.id);
+    ASSERT_GE(e.num_words, 5u);  // ceil(301/64) words after widening.
+    uint32_t bits = 0;
+    for (size_t w = 0; w < e.num_words; ++w) {
+      bits += static_cast<uint32_t>(__builtin_popcountll(e.words[w]));
+    }
+    EXPECT_EQ(bits, e.count);  // Padding is zero, counts stay exact.
+  });
+  EXPECT_EQ(order, (std::vector<PartitionId>{2, 4, 8}));
+}
+
+// -- Placement determinism ----------------------------------------------------
+
+std::vector<Row> TestRows(size_t n, AttributeDictionary* dictionary,
+                          uint64_t seed = 42) {
+  DbpediaConfig config;
+  config.num_entities = n;
+  config.seed = seed;
+  DbpediaGenerator generator(config, dictionary);
+  return generator.Generate();
+}
+
+// Canonical partitioning fingerprint: partition id -> sorted resident ids.
+// Identical fingerprints mean identical partitionings including the ids
+// the partitions were created under (i.e. identical creation order).
+std::map<PartitionId, std::vector<EntityId>> Fingerprint(
+    const PartitionCatalog& catalog) {
+  std::map<PartitionId, std::vector<EntityId>> fingerprint;
+  catalog.ForEachPartition([&](const Partition& partition) {
+    std::vector<EntityId>& residents = fingerprint[partition.id()];
+    for (const Row& row : partition.segment().rows()) {
+      residents.push_back(row.id());
+    }
+    std::sort(residents.begin(), residents.end());
+  });
+  return fingerprint;
+}
+
+// A small probe workload for the EFFICIENCY comparison: single-attribute
+// queries over the first 24 attributes.
+std::vector<Synopsis> ProbeWorkload() {
+  std::vector<Synopsis> workload;
+  for (AttributeId a = 0; a < 24; ++a) {
+    workload.push_back(MakeSynopsis({a}));
+  }
+  return workload;
+}
+
+std::unique_ptr<Cinderella> SerialReference(const CinderellaConfig& config,
+                                            const std::vector<Row>& rows) {
+  auto reference = std::move(Cinderella::Create(config)).value();
+  for (const Row& row : rows) {
+    Row copy = row;
+    EXPECT_TRUE(reference->Insert(std::move(copy)).ok());
+  }
+  return reference;
+}
+
+void ExpectBatchedMatchesSerial(const CinderellaConfig& config,
+                                const std::vector<Row>& rows,
+                                size_t batch_rows, int shards) {
+  const std::unique_ptr<Cinderella> reference = SerialReference(config, rows);
+
+  auto batched = std::move(Cinderella::Create(config)).value();
+  BatchInserterOptions options;
+  options.shards = shards;
+  const std::unique_ptr<BatchInserter> engine =
+      AttachBatchInserter(batched.get(), options);
+  for (size_t begin = 0; begin < rows.size(); begin += batch_rows) {
+    const size_t end = std::min(rows.size(), begin + batch_rows);
+    std::vector<Row> batch(rows.begin() + begin, rows.begin() + end);
+    ASSERT_TRUE(batched->InsertBatch(std::move(batch)).ok());
+  }
+
+  ASSERT_TRUE(batched->VerifyIntegrity().ok());
+  EXPECT_EQ(batched->catalog().partition_count(),
+            reference->catalog().partition_count());
+  EXPECT_EQ(Fingerprint(batched->catalog()),
+            Fingerprint(reference->catalog()))
+      << "batch=" << batch_rows << " shards=" << shards;
+  // Identical partitionings score identical EFFICIENCY.
+  const std::vector<Synopsis> workload = ProbeWorkload();
+  EXPECT_DOUBLE_EQ(
+      ComputeEfficiency(batched->catalog(), workload, config.measure)
+          .efficiency,
+      ComputeEfficiency(reference->catalog(), workload, config.measure)
+          .efficiency);
+}
+
+TEST(BatchInserterTest, MatchesSerialAcrossBatchSizesAndShards) {
+  AttributeDictionary dictionary;
+  const std::vector<Row> rows = TestRows(1500, &dictionary);
+  CinderellaConfig config;
+  config.weight = 0.3;
+  config.max_size = 200;
+  for (const size_t batch : {size_t{1}, size_t{7}, size_t{256}}) {
+    for (const int shards : {1, 3, 8}) {
+      SCOPED_TRACE(testing::Message() << "batch=" << batch
+                                      << " shards=" << shards);
+      ExpectBatchedMatchesSerial(config, rows, batch, shards);
+    }
+  }
+}
+
+TEST(BatchInserterTest, MatchesSerialWithLargeBatches) {
+  AttributeDictionary dictionary;
+  const std::vector<Row> rows = TestRows(2000, &dictionary);
+  CinderellaConfig config;
+  config.weight = 0.4;
+  config.max_size = 500;
+  ExpectBatchedMatchesSerial(config, rows, 1024, 4);
+}
+
+TEST(BatchInserterTest, MatchesSerialWithSynopsisIndex) {
+  AttributeDictionary dictionary;
+  const std::vector<Row> rows = TestRows(800, &dictionary);
+  CinderellaConfig config;
+  config.weight = 0.3;
+  config.max_size = 150;
+  config.use_synopsis_index = true;
+  ExpectBatchedMatchesSerial(config, rows, 128, 4);
+}
+
+TEST(BatchInserterTest, MatchesSerialUnnormalized) {
+  AttributeDictionary dictionary;
+  const std::vector<Row> rows = TestRows(600, &dictionary);
+  CinderellaConfig config;
+  config.weight = 0.3;
+  config.max_size = 120;
+  config.normalize_rating = false;
+  ExpectBatchedMatchesSerial(config, rows, 64, 3);
+}
+
+TEST(BatchInserterTest, MatchesSerialWithDissolution) {
+  AttributeDictionary dictionary;
+  const std::vector<Row> rows = TestRows(600, &dictionary);
+  CinderellaConfig config;
+  config.weight = 0.3;
+  config.max_size = 100;
+  config.dissolve_threshold = 0.2;
+  ExpectBatchedMatchesSerial(config, rows, 100, 2);
+}
+
+TEST(BatchInserterTest, MatchesSerialInWorkloadMode) {
+  AttributeDictionary dictionary;
+  const std::vector<Row> rows = TestRows(500, &dictionary);
+  std::vector<Synopsis> workload;
+  for (AttributeId a = 0; a < 40; a += 2) {
+    workload.push_back(MakeSynopsis({a, static_cast<AttributeId>(a + 1)}));
+  }
+  CinderellaConfig config;
+  config.weight = 0.3;
+  config.max_size = 100;
+  config.mode = SynopsisMode::kWorkloadBased;
+
+  auto reference =
+      std::move(Cinderella::Create(config, workload)).value();
+  for (const Row& row : rows) {
+    Row copy = row;
+    ASSERT_TRUE(reference->Insert(std::move(copy)).ok());
+  }
+
+  auto batched = std::move(Cinderella::Create(config, workload)).value();
+  BatchInserterOptions options;
+  options.shards = 3;
+  const std::unique_ptr<BatchInserter> engine =
+      AttachBatchInserter(batched.get(), options);
+  std::vector<Row> copy = rows;
+  ASSERT_TRUE(batched->InsertBatch(std::move(copy)).ok());
+
+  ASSERT_TRUE(batched->VerifyIntegrity().ok());
+  EXPECT_EQ(Fingerprint(batched->catalog()),
+            Fingerprint(reference->catalog()));
+}
+
+// -- Validation and mixed use -------------------------------------------------
+
+TEST(BatchInserterTest, EmptyBatchIsANoOp) {
+  CinderellaConfig config;
+  auto c = std::move(Cinderella::Create(config)).value();
+  const std::unique_ptr<BatchInserter> engine =
+      AttachBatchInserter(c.get());
+  EXPECT_TRUE(c->InsertBatch({}).ok());
+  EXPECT_EQ(c->catalog().partition_count(), 0u);
+  EXPECT_EQ(engine->stats().rows, 0u);
+}
+
+TEST(BatchInserterTest, RejectsDuplicatesBeforeMutating) {
+  AttributeDictionary dictionary;
+  std::vector<Row> rows = TestRows(50, &dictionary);
+  CinderellaConfig config;
+  config.max_size = 40;
+  auto c = std::move(Cinderella::Create(config)).value();
+  const std::unique_ptr<BatchInserter> engine =
+      AttachBatchInserter(c.get());
+
+  std::vector<Row> first(rows.begin(), rows.begin() + 30);
+  ASSERT_TRUE(c->InsertBatch(std::move(first)).ok());
+  const auto before = Fingerprint(c->catalog());
+
+  // A batch whose 11th row duplicates a stored entity: rejected as a
+  // whole, nothing applied.
+  std::vector<Row> dup_existing(rows.begin() + 30, rows.begin() + 40);
+  dup_existing.push_back(rows[5]);
+  const Status stored = c->InsertBatch(std::move(dup_existing));
+  EXPECT_EQ(stored.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Fingerprint(c->catalog()), before);
+
+  // A batch that duplicates an id within itself: also rejected whole.
+  std::vector<Row> dup_internal(rows.begin() + 30, rows.begin() + 40);
+  dup_internal.push_back(rows[32]);
+  const Status internal = c->InsertBatch(std::move(dup_internal));
+  EXPECT_EQ(internal.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Fingerprint(c->catalog()), before);
+  EXPECT_TRUE(c->VerifyIntegrity().ok());
+}
+
+TEST(BatchInserterTest, MixedSerialAndBatchedMatchesAllSerial) {
+  AttributeDictionary dictionary;
+  const std::vector<Row> rows = TestRows(900, &dictionary);
+  CinderellaConfig config;
+  config.weight = 0.3;
+  config.max_size = 120;
+
+  // Deletes + re-inserts applied identically to both instances.
+  auto scrub = [&](Cinderella& c) {
+    for (EntityId id = 100; id < 140; ++id) {
+      ASSERT_TRUE(c.Delete(id).ok());
+    }
+    for (EntityId id = 100; id < 140; ++id) {
+      Row copy = rows[id];
+      ASSERT_TRUE(c.Insert(std::move(copy)).ok());
+    }
+  };
+
+  // Reference: the same operation sequence, all single-row inserts.
+  auto reference = std::move(Cinderella::Create(config)).value();
+  for (size_t i = 0; i < 700; ++i) {
+    Row copy = rows[i];
+    ASSERT_TRUE(reference->Insert(std::move(copy)).ok());
+  }
+  scrub(*reference);
+  for (size_t i = 700; i < rows.size(); ++i) {
+    Row copy = rows[i];
+    ASSERT_TRUE(reference->Insert(std::move(copy)).ok());
+  }
+
+  // Mixed: batch, then serial inserts (which dirty the catalog behind the
+  // engine's back), then another batch (mirror rebuild path), then the
+  // delete/re-insert scrub, then a final batch.
+  auto mixed = std::move(Cinderella::Create(config)).value();
+  BatchInserterOptions options;
+  options.shards = 4;
+  const std::unique_ptr<BatchInserter> engine =
+      AttachBatchInserter(mixed.get(), options);
+  std::vector<Row> first(rows.begin(), rows.begin() + 300);
+  ASSERT_TRUE(mixed->InsertBatch(std::move(first)).ok());
+  for (size_t i = 300; i < 450; ++i) {
+    Row copy = rows[i];
+    ASSERT_TRUE(mixed->Insert(std::move(copy)).ok());
+  }
+  std::vector<Row> second(rows.begin() + 450, rows.begin() + 700);
+  ASSERT_TRUE(mixed->InsertBatch(std::move(second)).ok());
+  EXPECT_GE(engine->stats().rebuilds, 1u);  // Serial inserts forced one.
+  scrub(*mixed);
+  std::vector<Row> tail(rows.begin() + 700, rows.end());
+  ASSERT_TRUE(mixed->InsertBatch(std::move(tail)).ok());
+
+  ASSERT_TRUE(mixed->VerifyIntegrity().ok());
+  EXPECT_EQ(Fingerprint(mixed->catalog()), Fingerprint(reference->catalog()));
+}
+
+TEST(BatchInserterTest, StatsCountRowsAndWindows) {
+  AttributeDictionary dictionary;
+  std::vector<Row> rows = TestRows(300, &dictionary);
+  CinderellaConfig config;
+  config.max_size = 100;
+  auto c = std::move(Cinderella::Create(config)).value();
+  BatchInserterOptions options;
+  options.window = 64;
+  const std::unique_ptr<BatchInserter> engine =
+      AttachBatchInserter(c.get(), options);
+  ASSERT_TRUE(c->InsertBatch(std::move(rows)).ok());
+  const BatchInserter::Stats stats = engine->stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.rows, 300u);
+  EXPECT_EQ(stats.windows, (300u + 63u) / 64u);
+  EXPECT_GT(stats.ratings, 0u);
+}
+
+TEST(BatchInserterTest, DetachRestoresSerialFallback) {
+  AttributeDictionary dictionary;
+  std::vector<Row> rows = TestRows(60, &dictionary);
+  CinderellaConfig config;
+  config.max_size = 50;
+  auto c = std::move(Cinderella::Create(config)).value();
+  {
+    const std::unique_ptr<BatchInserter> engine =
+        AttachBatchInserter(c.get());
+    EXPECT_EQ(c->batch_engine(), engine.get());
+    std::vector<Row> first(rows.begin(), rows.begin() + 30);
+    ASSERT_TRUE(c->InsertBatch(std::move(first)).ok());
+  }
+  // Engine destroyed: InsertBatch falls back to the serial loop.
+  EXPECT_EQ(c->batch_engine(), nullptr);
+  std::vector<Row> second(rows.begin() + 30, rows.end());
+  ASSERT_TRUE(c->InsertBatch(std::move(second)).ok());
+  EXPECT_EQ(c->catalog().entity_count(), rows.size());
+  EXPECT_TRUE(c->VerifyIntegrity().ok());
+}
+
+// -- Regressions --------------------------------------------------------------
+
+// RestorePartition must reject duplicate ids within the restored batch
+// before creating the partition (it bypasses the rating path).
+TEST(BatchInserterTest, RestorePartitionRejectsIntraBatchDuplicates) {
+  CinderellaConfig config;
+  auto c = std::move(Cinderella::Create(config)).value();
+  Row a(1);
+  a.Set(0, Value(int64_t{1}));
+  Row b(1);  // Same entity id.
+  b.Set(1, Value(int64_t{2}));
+  std::vector<Row> batch;
+  batch.push_back(std::move(a));
+  batch.push_back(std::move(b));
+  const Status status = c->RestorePartition(std::move(batch));
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(c->catalog().partition_count(), 0u);
+  EXPECT_TRUE(c->VerifyIntegrity().ok());
+}
+
+// Split cascades must never leave empty partitions in the catalog (the
+// eager sweep in SplitPartition): drive a load hot enough to cascade and
+// lean on VerifyIntegrity's no-empty-partition invariant.
+TEST(BatchInserterTest, SplitCascadesLeaveNoEmptyPartitions) {
+  AttributeDictionary dictionary;
+  std::vector<Row> rows = TestRows(1200, &dictionary, /*seed=*/7);
+  CinderellaConfig config;
+  config.weight = 0.5;  // Aggressive merging -> frequent splits.
+  config.max_size = 24;
+  auto c = std::move(Cinderella::Create(config)).value();
+  const std::unique_ptr<BatchInserter> engine =
+      AttachBatchInserter(c.get());
+  ASSERT_TRUE(c->InsertBatch(std::move(rows)).ok());
+  EXPECT_GT(c->stats().splits, 0u);
+  size_t empties = 0;
+  c->catalog().ForEachPartition([&](const Partition& partition) {
+    if (partition.segment().rows().empty()) ++empties;
+  });
+  EXPECT_EQ(empties, 0u);
+  EXPECT_TRUE(c->VerifyIntegrity().ok());
+}
+
+}  // namespace
+}  // namespace cinderella

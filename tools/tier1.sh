@@ -15,11 +15,14 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== tier-1: TSan build of the scan engine tests =="
+echo "== tier-1: TSan build of the scan + ingest engine tests =="
 cmake -B build-tsan -S . -DCINDERELLA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j "$JOBS" --target thread_pool_test parallel_scan_test
-# Force the pool to spawn real workers even on small machines.
+cmake --build build-tsan -j "$JOBS" --target thread_pool_test parallel_scan_test \
+  ingest_test ingest_concurrency_test
+# Force the pools to spawn real workers even on small machines.
 CINDERELLA_SCAN_THREADS=4 ./build-tsan/tests/thread_pool_test
 CINDERELLA_SCAN_THREADS=4 ./build-tsan/tests/parallel_scan_test
+CINDERELLA_INSERT_SHARDS=4 ./build-tsan/tests/ingest_test
+CINDERELLA_INSERT_SHARDS=4 ./build-tsan/tests/ingest_concurrency_test
 
 echo "tier-1 OK"
