@@ -190,9 +190,7 @@ Status Cinderella::RestorePartition(std::vector<Row> rows) {
   }
   Partition& partition = catalog_.CreatePartition();
   ++stats_.partitions_created;
-  if (mutation_capture_ != nullptr) {
-    mutation_capture_->created.push_back(partition.id());
-  }
+  RecordCreated(partition.id());
   for (Row& row : rows) {
     const Synopsis synopsis = extractor_(row);
     CINDERELLA_RETURN_IF_ERROR(
@@ -226,9 +224,7 @@ Status Cinderella::AddRowToPartition(Partition& partition, Row row,
       empty_synopsis_partitions_.erase(partition.id());
     }
   }
-  if (mutation_capture_ != nullptr) {
-    mutation_capture_->touched.push_back(partition.id());
-  }
+  RecordTouched(partition.id());
   return Status::OK();
 }
 
@@ -248,18 +244,14 @@ StatusOr<Row> Cinderella::RemoveRowFromPartition(Partition& partition,
       empty_synopsis_partitions_.erase(partition.id());
     }
   }
-  if (mutation_capture_ != nullptr) {
-    mutation_capture_->touched.push_back(partition.id());
-  }
+  RecordTouched(partition.id());
   return row;
 }
 
 void Cinderella::DropEmptyPartition(Partition& partition) {
   CINDERELLA_DCHECK(partition.entity_count() == 0);
   empty_synopsis_partitions_.erase(partition.id());
-  if (mutation_capture_ != nullptr) {
-    mutation_capture_->dropped.push_back(partition.id());
-  }
+  RecordDropped(partition.id());
   const Status status = catalog_.DropPartition(partition.id());
   CINDERELLA_CHECK(status.ok());
   ++stats_.partitions_dropped;
@@ -507,9 +499,7 @@ Status Cinderella::PlaceRow(Row row, const Synopsis& synopsis,
   if (target == nullptr) {
     Partition& fresh = catalog_.CreatePartition();
     ++stats_.partitions_created;
-    if (mutation_capture_ != nullptr) {
-      mutation_capture_->created.push_back(fresh.id());
-    }
+    RecordCreated(fresh.id());
     fresh.set_starter_a(Partition::Starter{row.id(), synopsis});
     return AddRowToPartition(fresh, std::move(row), synopsis);
   }
@@ -559,10 +549,8 @@ Status Cinderella::SplitPartition(PartitionId source, Row pending_row,
   Partition& child_a = catalog_.CreatePartition();
   Partition& child_b = catalog_.CreatePartition();
   stats_.partitions_created += 2;
-  if (mutation_capture_ != nullptr) {
-    mutation_capture_->created.push_back(child_a.id());
-    mutation_capture_->created.push_back(child_b.id());
-  }
+  RecordCreated(child_a.id());
+  RecordCreated(child_b.id());
 
   CINDERELLA_CHECK(starter_a.entity != starter_b.entity);
 
@@ -737,9 +725,7 @@ Status Cinderella::Update(Row row) {
         empty_synopsis_partitions_.erase(current->id());
       }
     }
-    if (mutation_capture_ != nullptr) {
-      mutation_capture_->touched.push_back(current->id());
-    }
+    RecordTouched(current->id());
     // Offer the updated entity as a split-starter candidate under its new
     // synopsis (ReplaceRow already refreshed it if it *is* a starter).
     UpdateStarters(*current, entity, new_synopsis);

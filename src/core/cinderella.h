@@ -158,6 +158,16 @@ class Cinderella : public Partitioner {
     mutation_capture_ = capture;
   }
 
+  /// Second, independent mutation-capture slot with identical semantics,
+  /// registered by the MVCC publisher (mvcc/versioned_table.h) for the
+  /// lifetime of the facade. Kept separate from set_mutation_capture
+  /// because the batch engine registers and clears its capture transiently
+  /// around each commit, while the publisher needs every mutation —
+  /// including the engine's own commits — to reach its pending delta.
+  void set_version_capture(CatalogMutations* capture) {
+    version_capture_ = capture;
+  }
+
   /// Attaches the engine consulted by InsertBatch (nullptr detaches). The
   /// engine is owned by the caller and must outlive the attachment; see
   /// AttachBatchInserter in ingest/batch_inserter.h.
@@ -232,6 +242,21 @@ class Cinderella : public Partitioner {
                                        const Synopsis& synopsis);
   void DropEmptyPartition(Partition& partition);
 
+  // Fan a catalog mutation out to both capture slots (batch-engine and
+  // MVCC publisher); either may be null.
+  void RecordTouched(PartitionId id) {
+    if (mutation_capture_ != nullptr) mutation_capture_->touched.push_back(id);
+    if (version_capture_ != nullptr) version_capture_->touched.push_back(id);
+  }
+  void RecordCreated(PartitionId id) {
+    if (mutation_capture_ != nullptr) mutation_capture_->created.push_back(id);
+    if (version_capture_ != nullptr) version_capture_->created.push_back(id);
+  }
+  void RecordDropped(PartitionId id) {
+    if (mutation_capture_ != nullptr) mutation_capture_->dropped.push_back(id);
+    if (version_capture_ != nullptr) version_capture_->dropped.push_back(id);
+  }
+
   bool index_enabled() const {
     // At w == 1 every partition rates >= 0, so the overlap-only candidate
     // set of the index would diverge from the full scan; fall back to
@@ -256,6 +281,7 @@ class Cinderella : public Partitioner {
   // Batched-insert engine state: see the public hooks above.
   uint64_t catalog_generation_ = 0;
   CatalogMutations* mutation_capture_ = nullptr;
+  CatalogMutations* version_capture_ = nullptr;
   BatchInsertEngine* batch_engine_ = nullptr;
 };
 

@@ -72,6 +72,16 @@ class ConcurrentTable {
   ///     QueryExecutor executor(catalog);
   ///     return executor.Execute(query);
   ///   });
+  ///
+  /// LIFETIME: everything `fn` borrows from the catalog — `const Row*`
+  /// collected via QueryExecutor::ScanMatches, `Partition*`, synopsis
+  /// references — dies with the shared lock. A writer admitted after fn
+  /// returns may reallocate segments, move rows between partitions, or
+  /// drop partitions, so returning such pointers out of `fn` (or stashing
+  /// them in captures) is a use-after-free. Copy what must outlive the
+  /// call (see query/executor.h QueryOwnedRows for the row-returning
+  /// idiom), or use mvcc/versioned_table.h, whose snapshots stay valid
+  /// for the snapshot's lifetime without holding any lock.
   template <typename Fn>
   auto WithReadLock(Fn&& fn) const {
     std::shared_lock lock(mutex_);

@@ -80,6 +80,10 @@ class Partition {
     return attributes_.RefCount(attribute);
   }
 
+  /// The full refcounted attribute synopsis; copied into immutable
+  /// partition versions by the MVCC publisher (mvcc/partition_version.h).
+  const RefcountedSynopsis& attribute_refcounts() const { return attributes_; }
+
   /// SIZE(p) under the given measure.
   uint64_t Size(SizeMeasure measure) const;
 

@@ -54,6 +54,27 @@ class Partitioner {
   /// Deletes an entity; fails with NotFound for unknown ids.
   virtual Status Delete(EntityId entity) = 0;
 
+  /// Deletes a batch of entities in order with effects identical to
+  /// deleting them one by one. Fails with NotFound — before touching the
+  /// table — when an id is unknown or duplicated within the batch, so a
+  /// failed batch leaves the table unchanged (the delete-side mirror of
+  /// InsertBatch's validate-first contract).
+  virtual Status DeleteBatch(const std::vector<EntityId>& entities) {
+    std::unordered_set<EntityId> batch_ids;
+    batch_ids.reserve(entities.size());
+    for (EntityId entity : entities) {
+      if (!batch_ids.insert(entity).second ||
+          !catalog().FindEntity(entity).has_value()) {
+        return Status::NotFound("entity " + std::to_string(entity) +
+                                " duplicated in batch or not in table");
+      }
+    }
+    for (EntityId entity : entities) {
+      CINDERELLA_RETURN_IF_ERROR(Delete(entity));
+    }
+    return Status::OK();
+  }
+
   /// Replaces the row of an existing entity (attribute set may change);
   /// fails with NotFound for unknown ids.
   virtual Status Update(Row row) = 0;

@@ -42,6 +42,10 @@ Status UniversalTable::Delete(EntityId entity) {
   return partitioner_->Delete(entity);
 }
 
+Status UniversalTable::DeleteBatch(const std::vector<EntityId>& entities) {
+  return partitioner_->DeleteBatch(entities);
+}
+
 Status UniversalTable::Update(EntityId entity,
                               const std::vector<NamedValue>& attributes) {
   return partitioner_->Update(BuildRow(entity, attributes));

@@ -52,6 +52,11 @@ class UniversalTable {
   /// Deletes an entity.
   Status Delete(EntityId entity);
 
+  /// Deletes many entities through the partitioner's batch path. Fails
+  /// with NotFound before touching the table when an id is unknown or
+  /// duplicated in the batch.
+  Status DeleteBatch(const std::vector<EntityId>& entities);
+
   /// Replaces an entity's attributes.
   Status Update(EntityId entity, const std::vector<NamedValue>& attributes);
 

@@ -61,6 +61,11 @@ BatchInserter::Stats BatchInserter::stats() const {
   return stats_;
 }
 
+void BatchInserter::set_commit_hook(CommitHook hook) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  commit_hook_ = std::move(hook);
+}
+
 void BatchInserter::Consider(Candidate* c, double rating, PartitionId id) {
   if (!c->valid || rating > c->rating ||
       (rating == c->rating && id < c->id)) {
@@ -336,6 +341,10 @@ Status BatchInserter::ProcessWindow(std::vector<Row>* rows,
     AppendMutationsLocked(capture, &dirty);
     synced_generation_ = cinderella_->catalog_generation();
   }
+  // Window committed in full; let the MVCC publisher snapshot it while the
+  // catalog is still quiescent under the commit lock. (The failure return
+  // above skips this — the facade publishes the partial prefix itself.)
+  if (commit_hook_) commit_hook_();
   return Status::OK();
 }
 

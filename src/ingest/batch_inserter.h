@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_set>
@@ -101,6 +102,14 @@ class BatchInserter : public BatchInsertEngine {
   const ShardedCatalog& sharded_catalog() const { return catalog_; }
   Stats stats() const;
 
+  /// Called at the end of every committed window, while the commit lock is
+  /// still held (the catalog is quiescent and exactly the window's rows
+  /// are applied). The MVCC publisher registers here so each window
+  /// becomes one consistent published snapshot. The hook must not call
+  /// back into the engine. nullptr clears.
+  using CommitHook = std::function<void()>;
+  void set_commit_hook(CommitHook hook);
+
  private:
   /// A scan/revalidation candidate under the serial comparator.
   struct Candidate {
@@ -158,6 +167,7 @@ class BatchInserter : public BatchInsertEngine {
 
   // Serializes commit phases (and all mutations of the state below).
   mutable std::mutex commit_mu_;
+  CommitHook commit_hook_;
   uint64_t synced_generation_ = 0;
   uint64_t dirty_epoch_ = 0;
   std::vector<PartitionId> dirty_log_;

@@ -214,6 +214,30 @@ Status DurableTable::Delete(EntityId entity) {
   });
 }
 
+Status DurableTable::DeleteBatch(const std::vector<EntityId>& entities) {
+  if (entities.empty()) return Status::OK();
+  const size_t before = table_->entity_count();
+  const Status applied = table_->DeleteBatch(entities);
+  // Deletes apply strictly in batch order and each removes exactly one
+  // entity, so the count delta is the length of the applied prefix — what
+  // the journal must record even when the batch failed part-way. (The
+  // validate-first contract makes a partial prefix an internal-error path,
+  // but the journal must stay consistent with memory regardless.)
+  const size_t applied_deletes = before - table_->entity_count();
+  if (applied_deletes > 0) {
+    std::vector<EntityId> prefix(entities.begin(),
+                                 entities.begin() +
+                                     static_cast<ptrdiff_t>(applied_deletes));
+    CINDERELLA_RETURN_IF_ERROR(journal_->LogDeleteBatch(prefix));
+    // One fsync for the whole batch, mirroring InsertBatch.
+    if (options_.sync_every_op || options_.group_commit_ops > 0) {
+      CINDERELLA_RETURN_IF_ERROR(journal_->Sync());
+      ops_since_sync_ = 0;
+    }
+  }
+  return applied;
+}
+
 Status DurableTable::Checkpoint() {
   // Snapshot to a temp file, then atomically swap it in before truncating
   // the journal (a crash between the two steps replays against the new

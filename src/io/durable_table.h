@@ -62,6 +62,11 @@ class DurableTable {
                 const std::vector<UniversalTable::NamedValue>& attributes);
   Status UpdateRow(Row row);
   Status Delete(EntityId entity);
+  /// Group-commit delete: validated before any mutation (NotFound leaves
+  /// table and journal untouched), applied in order, journaled as one run
+  /// of kDelete entries, then fsynced once (when syncing is configured).
+  /// On failure the journal records exactly the applied prefix.
+  Status DeleteBatch(const std::vector<EntityId>& entities);
 
   /// Writes a snapshot and truncates the journal.
   Status Checkpoint();

@@ -152,6 +152,13 @@ Status JournalWriter::LogBatch(const std::vector<Row>& rows) {
   return Status::OK();
 }
 
+Status JournalWriter::LogDeleteBatch(const std::vector<EntityId>& entities) {
+  for (const EntityId entity : entities) {
+    CINDERELLA_RETURN_IF_ERROR(LogDelete(entity));
+  }
+  return Status::OK();
+}
+
 Status JournalWriter::LogDelete(EntityId entity) {
   WritePod<uint8_t>(&buffer_,
                     static_cast<uint8_t>(JournalEntry::Kind::kDelete));

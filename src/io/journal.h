@@ -65,6 +65,10 @@ class JournalWriter {
   /// batch durable with one fsync.
   Status LogBatch(const std::vector<Row>& rows);
 
+  /// Delete-side group commit: one kDelete entry per entity, buffered in
+  /// one pass; pair with a single Sync() like LogBatch.
+  Status LogDeleteBatch(const std::vector<EntityId>& entities);
+
   /// Writes buffered entries to the OS and fsyncs the file: everything
   /// logged so far is durable when this returns OK.
   Status Sync();

@@ -1,0 +1,101 @@
+#include "mvcc/epoch.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace cinderella {
+
+EpochManager::EpochManager() {
+  for (auto& slot : slots_) slot.store(kIdle, std::memory_order_relaxed);
+}
+
+EpochManager::~EpochManager() {
+  // Whatever is still retired can no longer be reached (the owner retired
+  // it); free it unconditionally.
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  for (const Retired& r : retired_) r.deleter(r.object);
+  retired_.clear();
+}
+
+size_t EpochManager::Pin() {
+  for (;;) {
+    for (size_t i = 0; i < kMaxReaders; ++i) {
+      uint64_t expected = kIdle;
+      uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+      if (!slots_[i].compare_exchange_strong(expected, epoch,
+                                             std::memory_order_seq_cst)) {
+        continue;  // Slot taken; try the next one.
+      }
+      // Re-check until the published slot matches the global epoch: once
+      // they agree, any retirement the writer performs afterwards is
+      // tagged >= epoch and our slot blocks its reclamation.
+      for (;;) {
+        const uint64_t global = global_epoch_.load(std::memory_order_seq_cst);
+        if (global == epoch) return i;
+        epoch = global;
+        slots_[i].store(epoch, std::memory_order_seq_cst);
+      }
+    }
+    // More than kMaxReaders concurrent pins: wait for a slot.
+    std::this_thread::yield();
+  }
+}
+
+void EpochManager::Unpin(size_t slot) {
+  slots_[slot].store(kIdle, std::memory_order_seq_cst);
+}
+
+void EpochManager::RetireObject(void* object, void (*deleter)(void*)) {
+  const uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  retired_.push_back(Retired{epoch, object, deleter});
+}
+
+uint64_t EpochManager::MinPinnedEpoch() const {
+  uint64_t min_epoch = kIdle;
+  for (const auto& slot : slots_) {
+    min_epoch = std::min(min_epoch, slot.load(std::memory_order_seq_cst));
+  }
+  return min_epoch;
+}
+
+size_t EpochManager::Advance() {
+  global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  const uint64_t min_pinned = MinPinnedEpoch();
+
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  size_t freed = 0;
+  size_t kept = 0;
+  for (size_t i = 0; i < retired_.size(); ++i) {
+    // kIdle (no pinned reader) frees everything retired so far.
+    if (retired_[i].epoch < min_pinned) {
+      retired_[i].deleter(retired_[i].object);
+      ++freed;
+    } else {
+      retired_[kept++] = retired_[i];
+    }
+  }
+  retired_.resize(kept);
+  reclaimed_ += freed;
+  return freed;
+}
+
+size_t EpochManager::retired_count() const {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  return retired_.size();
+}
+
+uint64_t EpochManager::reclaimed_count() const {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  return reclaimed_;
+}
+
+size_t EpochManager::pinned_count() const {
+  size_t pinned = 0;
+  for (const auto& slot : slots_) {
+    if (slot.load(std::memory_order_seq_cst) != kIdle) ++pinned;
+  }
+  return pinned;
+}
+
+}  // namespace cinderella

@@ -1,0 +1,28 @@
+#include "mvcc/partition_version.h"
+
+namespace cinderella {
+
+PartitionVersion::PartitionVersion(const Partition& partition)
+    : id_(partition.id()),
+      rows_(partition.segment().rows()),
+      attributes_(partition.attribute_refcounts()),
+      cell_count_(partition.segment().cell_count()),
+      byte_size_(partition.segment().byte_size()) {
+  index_.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) index_.emplace(rows_[i].id(), i);
+}
+
+const Row* PartitionVersion::Find(EntityId entity) const {
+  const auto it = index_.find(entity);
+  return it != index_.end() ? &rows_[it->second] : nullptr;
+}
+
+const Row* CatalogView::Find(EntityId entity) const {
+  for (const PartitionVersion* version : partitions_) {
+    const Row* row = version->Find(entity);
+    if (row != nullptr) return row;
+  }
+  return nullptr;
+}
+
+}  // namespace cinderella

@@ -1,0 +1,117 @@
+#ifndef CINDERELLA_MVCC_PARTITION_VERSION_H_
+#define CINDERELLA_MVCC_PARTITION_VERSION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/refcounted_synopsis.h"
+#include "storage/row.h"
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+
+/// An immutable copy-on-write snapshot of one partition, taken at a
+/// publication point (see versioned_table.h). Readers scan versions
+/// instead of live Partition objects, so the ingest writer never has to
+/// take a lock the read path contends on.
+///
+/// The version carries everything the query stack consumes: the rows (in
+/// the segment's scan order at capture time), the attribute synopsis for
+/// Definition-1 pruning, the per-attribute carrier counts for the
+/// selectivity estimator, the size totals for scan metrics, and a hash
+/// index for point lookups. It deliberately does NOT carry split starters
+/// or the rating synopsis of workload mode — versions serve reads, not
+/// the rating scan.
+///
+/// Lifetime: versions are created by the publisher, shared by any number
+/// of CatalogViews, retired to the EpochManager exactly once (when they
+/// leave the newest view), and freed when no pinned reader can reach them.
+class PartitionVersion {
+ public:
+  /// Deep-copies the partition's current state. Must be called while the
+  /// catalog is quiescent (the publisher's lock).
+  explicit PartitionVersion(const Partition& partition);
+
+  PartitionVersion(const PartitionVersion&) = delete;
+  PartitionVersion& operator=(const PartitionVersion&) = delete;
+
+  PartitionId id() const { return id_; }
+
+  /// Rows in the segment's scan order at capture time.
+  const std::vector<Row>& rows() const { return rows_; }
+
+  size_t entity_count() const { return rows_.size(); }
+  uint64_t cell_count() const { return cell_count_; }
+  uint64_t byte_size() const { return byte_size_; }
+
+  /// The pruning synopsis (set of attributes instantiated by residents).
+  const Synopsis& attribute_synopsis() const { return attributes_.synopsis(); }
+
+  /// Residents instantiating `attribute` (estimator input), mirroring
+  /// Partition::AttributeCarrierCount.
+  uint32_t AttributeCarrierCount(AttributeId attribute) const {
+    return attributes_.RefCount(attribute);
+  }
+
+  /// Point lookup; nullptr when the entity is not resident.
+  const Row* Find(EntityId entity) const;
+
+ private:
+  PartitionId id_;
+  std::vector<Row> rows_;
+  std::unordered_map<EntityId, size_t> index_;  // entity -> rows_ slot.
+  RefcountedSynopsis attributes_;
+  uint64_t cell_count_ = 0;
+  uint64_t byte_size_ = 0;
+};
+
+/// One immutable generation of the whole catalog: an ascending-id array
+/// of partition versions plus the table totals. A reader that pins an
+/// epoch and loads the current view gets a transactionally consistent
+/// image — prune-then-scan never observes a half-applied split cascade,
+/// because cascades publish a single view swap after the cascade settled.
+///
+/// Views share unchanged versions with their predecessor; only partitions
+/// the mutation touched are re-copied (COW at partition granularity).
+class CatalogView {
+ public:
+  CatalogView() = default;
+
+  CatalogView(const CatalogView&) = delete;
+  CatalogView& operator=(const CatalogView&) = delete;
+
+  /// Monotonic publication counter (1 = the initial view).
+  uint64_t generation() const { return generation_; }
+
+  size_t partition_count() const { return partitions_.size(); }
+  size_t entity_count() const { return entity_count_; }
+
+  /// Versions in ascending partition-id order.
+  const std::vector<const PartitionVersion*>& partitions() const {
+    return partitions_;
+  }
+
+  /// Invokes `fn(const PartitionVersion&)` for every partition in id
+  /// order — the same shape as PartitionCatalog::ForEachPartition, so the
+  /// estimator templates over both.
+  template <typename Fn>
+  void ForEachPartition(Fn&& fn) const {
+    for (const PartitionVersion* version : partitions_) fn(*version);
+  }
+
+  /// Point lookup across all partitions of this generation.
+  const Row* Find(EntityId entity) const;
+
+ private:
+  friend class VersionedTable;
+
+  std::vector<const PartitionVersion*> partitions_;
+  uint64_t generation_ = 0;
+  size_t entity_count_ = 0;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_MVCC_PARTITION_VERSION_H_

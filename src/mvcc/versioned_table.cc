@@ -1,0 +1,263 @@
+#include "mvcc/versioned_table.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cinderella {
+
+VersionedTable::VersionedTable(std::unique_ptr<Cinderella> table)
+    : VersionedTable(std::move(table), Options()) {}
+
+VersionedTable::VersionedTable(std::unique_ptr<Cinderella> table,
+                               Options options)
+    : owned_(std::move(table)), cinderella_(owned_.get()) {
+  CINDERELLA_CHECK(cinderella_ != nullptr);
+  if (options.batched_ingest) {
+    owned_engine_ = AttachBatchInserter(cinderella_, options.ingest);
+    engine_ = owned_engine_.get();
+  }
+  Hook();
+}
+
+VersionedTable::VersionedTable(Cinderella* table, BatchInserter* engine)
+    : cinderella_(table), engine_(engine) {
+  CINDERELLA_CHECK(cinderella_ != nullptr);
+  Hook();
+}
+
+void VersionedTable::Hook() {
+  cinderella_->set_version_capture(&pending_);
+  if (engine_ != nullptr) {
+    engine_->set_commit_hook([this] {
+      std::lock_guard<std::mutex> lock(publish_mu_);
+      PublishLocked();
+    });
+  }
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  RebuildViewLocked();
+}
+
+VersionedTable::~VersionedTable() {
+  if (engine_ != nullptr) engine_->set_commit_hook(nullptr);
+  cinderella_->set_version_capture(nullptr);
+
+  // The contract requires every Snapshot to be released before the table
+  // dies — a pinned reader would otherwise scan freed memory no epoch can
+  // protect once the manager itself is gone.
+  CINDERELLA_CHECK(epochs_.pinned_count() == 0);
+  const CatalogView* view = current_.load(std::memory_order_seq_cst);
+  if (view != nullptr) {
+    for (const PartitionVersion* version : view->partitions()) {
+      epochs_.Retire(version);
+    }
+    epochs_.Retire(view);
+  }
+  epochs_.Advance();
+  CINDERELLA_CHECK(epochs_.retired_count() == 0);
+}
+
+// -- Read path ----------------------------------------------------------------
+
+VersionedTable::Snapshot VersionedTable::snapshot() const {
+  // Pin first, then load: any view reachable through current_ after the
+  // pin was retired (if ever) no earlier than the pinned epoch, so it
+  // cannot be freed until Unpin.
+  const size_t slot = epochs_.Pin();
+  const CatalogView* view = current_.load(std::memory_order_seq_cst);
+  return Snapshot(&epochs_, slot, view);
+}
+
+StatusOr<Row> VersionedTable::Get(EntityId entity) const {
+  Snapshot snap = snapshot();
+  const Row* row = snap.view().Find(entity);
+  if (row == nullptr) {
+    return Status::NotFound("entity " + std::to_string(entity) +
+                            " not in table");
+  }
+  return Row(*row);  // Copy before the snapshot (and its pin) is released.
+}
+
+size_t VersionedTable::entity_count() const {
+  return snapshot().view().entity_count();
+}
+
+size_t VersionedTable::partition_count() const {
+  return snapshot().view().partition_count();
+}
+
+uint64_t VersionedTable::published_generation() const {
+  return snapshot().view().generation();
+}
+
+// -- Write path ---------------------------------------------------------------
+
+Status VersionedTable::Apply(const std::function<Status()>& op) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  const Status status = op();
+  // Publish even on failure: a failed operation may have mutated the
+  // catalog on a partial path (e.g. a split cascade that errors late), and
+  // the captured delta must reach the published view either way.
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  PublishLocked();
+  return status;
+}
+
+Status VersionedTable::Insert(Row row) {
+  return Apply([&] { return cinderella_->Insert(std::move(row)); });
+}
+
+Status VersionedTable::Update(Row row) {
+  return Apply([&] { return cinderella_->Update(std::move(row)); });
+}
+
+Status VersionedTable::Delete(EntityId entity) {
+  return Apply([&] { return cinderella_->Delete(entity); });
+}
+
+Status VersionedTable::DeleteBatch(const std::vector<EntityId>& entities) {
+  return Apply([&] { return cinderella_->DeleteBatch(entities); });
+}
+
+Status VersionedTable::InsertBatch(std::vector<Row> rows) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  // Routes through the attached engine when one is set; its commit hook
+  // publishes one view per committed window (under commit_mu_, which nests
+  // inside write_mu_ here). The publication below catches the tail: the
+  // serial fallback path, and the committed prefix of a batch that failed
+  // mid-window (whose hook never ran).
+  const Status status = cinderella_->InsertBatch(std::move(rows));
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  PublishLocked();
+  return status;
+}
+
+Status VersionedTable::Reorganize() {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  const Status status = cinderella_->Reorganize();
+  // Reorganize rewrites the whole catalog; a full rebuild is both simpler
+  // and cheaper than a delta covering every partition.
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  RebuildViewLocked();
+  return status;
+}
+
+void VersionedTable::RefreshView() {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  RebuildViewLocked();
+}
+
+// -- Publication --------------------------------------------------------------
+
+void VersionedTable::PublishLocked() {
+  CatalogMutations delta;
+  delta.touched.swap(pending_.touched);
+  delta.created.swap(pending_.created);
+  delta.dropped.swap(pending_.dropped);
+  if (delta.touched.empty() && delta.created.empty() && delta.dropped.empty()) {
+    return;  // Nothing changed since the last publication.
+  }
+
+  const PartitionCatalog& catalog = cinderella_->catalog();
+
+  std::unordered_set<PartitionId> dropped(delta.dropped.begin(),
+                                          delta.dropped.end());
+  // Fresh versions for every partition the delta touched or created that
+  // is still live. A touched-then-dropped partition (split source, drained
+  // empty partition) lands in `dropped` or resolves to nullptr and is
+  // excluded either way.
+  std::unordered_map<PartitionId, const PartitionVersion*> fresh;
+  auto consider = [&](PartitionId id) {
+    if (dropped.count(id) != 0 || fresh.count(id) != 0) return;
+    const Partition* partition = catalog.GetPartition(id);
+    if (partition == nullptr) {
+      dropped.insert(id);
+      return;
+    }
+    fresh.emplace(id, new PartitionVersion(*partition));
+  };
+  for (PartitionId id : delta.touched) consider(id);
+  for (PartitionId id : delta.created) consider(id);
+
+  const CatalogView* old_view = current_.load(std::memory_order_seq_cst);
+  auto* view = new CatalogView();
+  std::vector<const PartitionVersion*> superseded;
+  view->partitions_.reserve(old_view->partitions().size() + fresh.size());
+  for (const PartitionVersion* old_version : old_view->partitions()) {
+    const PartitionId id = old_version->id();
+    if (dropped.count(id) != 0) {
+      superseded.push_back(old_version);
+      continue;
+    }
+    const auto it = fresh.find(id);
+    if (it != fresh.end()) {
+      view->partitions_.push_back(it->second);
+      superseded.push_back(old_version);
+      fresh.erase(it);
+    } else {
+      view->partitions_.push_back(old_version);  // Shared with old_view.
+    }
+  }
+  // What remains in `fresh` was created since the old view. Created ids
+  // are always larger than any id live before them (catalog slots are
+  // never reused), so appending in ascending id order keeps the whole
+  // array sorted.
+  std::vector<const PartitionVersion*> created(fresh.size());
+  size_t created_count = 0;
+  for (const auto& [id, version] : fresh) created[created_count++] = version;
+  std::sort(created.begin(), created.end(),
+            [](const PartitionVersion* a, const PartitionVersion* b) {
+              return a->id() < b->id();
+            });
+  view->partitions_.insert(view->partitions_.end(), created.begin(),
+                           created.end());
+
+  size_t entities = 0;
+  for (const PartitionVersion* version : view->partitions_) {
+    entities += version->entity_count();
+  }
+  view->entity_count_ = entities;
+
+  InstallLocked(view, superseded);
+}
+
+void VersionedTable::RebuildViewLocked() {
+  // A rebuild supersedes the delta wholesale.
+  pending_.touched.clear();
+  pending_.created.clear();
+  pending_.dropped.clear();
+
+  auto* view = new CatalogView();
+  const PartitionCatalog& catalog = cinderella_->catalog();
+  view->partitions_.reserve(catalog.partition_count());
+  catalog.ForEachPartition([&](const Partition& partition) {
+    view->partitions_.push_back(new PartitionVersion(partition));
+  });
+  view->entity_count_ = catalog.entity_count();
+
+  const CatalogView* old_view = current_.load(std::memory_order_seq_cst);
+  std::vector<const PartitionVersion*> superseded;
+  if (old_view != nullptr) superseded = old_view->partitions();
+  InstallLocked(view, superseded);
+}
+
+void VersionedTable::InstallLocked(
+    CatalogView* view, const std::vector<const PartitionVersion*>& superseded) {
+  view->generation_ = ++view_generation_;
+  const CatalogView* old_view =
+      current_.exchange(view, std::memory_order_seq_cst);
+  // Retire before Advance: the garbage is tagged with the pre-advance
+  // epoch, so a reader whose verified pin predates this publication keeps
+  // it alive, while post-advance readers (who can only load the new view)
+  // never block its reclamation.
+  for (const PartitionVersion* version : superseded) epochs_.Retire(version);
+  if (old_view != nullptr) epochs_.Retire(old_view);
+  epochs_.Advance();
+}
+
+}  // namespace cinderella

@@ -1,0 +1,202 @@
+#ifndef CINDERELLA_MVCC_VERSIONED_TABLE_H_
+#define CINDERELLA_MVCC_VERSIONED_TABLE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cinderella.h"
+#include "ingest/batch_inserter.h"
+#include "mvcc/epoch.h"
+#include "mvcc/partition_version.h"
+#include "storage/row.h"
+
+namespace cinderella {
+
+/// The epoch-based MVCC read engine: a facade over a Cinderella
+/// partitioner that supersedes ConcurrentTable for the read path.
+///
+/// ConcurrentTable serializes every reader against the ingest writer on
+/// one shared_mutex; during batched ingest (whose rating scans and split
+/// cascades run under the exclusive lock) selective queries starve
+/// exactly when the partitioning is adapting. VersionedTable removes the
+/// reader lock entirely:
+///
+///  - Writers (Insert/Update/Delete/DeleteBatch/InsertBatch) mutate the
+///    live catalog as before, serialized on an internal writer mutex, and
+///    then *publish*: every partition the mutation touched is re-copied
+///    into an immutable PartitionVersion, spliced copy-on-write into a
+///    fresh CatalogView, and the view pointer is swapped atomically.
+///    InsertBatch publishes once per committed ingest window (the
+///    BatchInserter's commit hook), so a long batch becomes a sequence of
+///    consistent snapshots rather than one opaque lock hold.
+///  - Readers pin an epoch, load the current view, and scan immutable
+///    data — no lock, no waiting, and a prune-then-scan that always sees
+///    one consistent generation even mid-split-cascade.
+///  - Superseded versions and views are retired to the EpochManager and
+///    freed once no pinned reader can reach them.
+///
+/// Contract: all mutations must go through this facade (or be followed by
+/// RefreshView()); mutating the underlying Cinderella directly leaves the
+/// published view stale. Reads are safe from any number of threads;
+/// writes from multiple threads serialize internally. The placements the
+/// facade produces are bit-identical to bare serial inserts — it changes
+/// when readers see state, never what the state is.
+class VersionedTable {
+ public:
+  struct Options {
+    /// Attach (and own) a BatchInserter so InsertBatch runs the batched
+    /// ingest pipeline with per-window publication. When false,
+    /// InsertBatch falls back to the validated serial loop and publishes
+    /// once per batch.
+    bool batched_ingest = true;
+    BatchInserterOptions ingest;
+  };
+
+  /// Owning constructor: takes the partitioner, registers the publication
+  /// hooks, publishes the initial view. The single-argument overload uses
+  /// default Options (GCC rejects `Options options = {}` as a default
+  /// argument when the nested struct carries member initializers).
+  explicit VersionedTable(std::unique_ptr<Cinderella> table);
+  VersionedTable(std::unique_ptr<Cinderella> table, Options options);
+
+  /// Borrowing constructor for tables whose partitioner is owned
+  /// elsewhere (e.g. inside a UniversalTable): `table` and `engine` (may
+  /// be nullptr) must outlive this facade. When `engine` is non-null its
+  /// window commits publish a view each (the CLI's load-while-querying
+  /// path).
+  VersionedTable(Cinderella* table, BatchInserter* engine);
+
+  /// Unhooks, retires the final view, and frees everything. All readers
+  /// must have released their snapshots; outstanding pins fail a CHECK
+  /// rather than silently leaking.
+  ~VersionedTable();
+
+  VersionedTable(const VersionedTable&) = delete;
+  VersionedTable& operator=(const VersionedTable&) = delete;
+
+  // -- Read path (lock-free) ------------------------------------------------
+
+  /// A pinned, immutable image of the table. Holding it keeps every
+  /// version it references alive; release promptly — long-lived pins
+  /// delay reclamation of everything retired since.
+  class Snapshot {
+   public:
+    Snapshot(Snapshot&& other) noexcept
+        : epochs_(other.epochs_), slot_(other.slot_), view_(other.view_) {
+      other.epochs_ = nullptr;
+    }
+
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+    Snapshot& operator=(Snapshot&&) = delete;
+
+    ~Snapshot() {
+      if (epochs_ != nullptr) epochs_->Unpin(slot_);
+    }
+
+    const CatalogView& view() const { return *view_; }
+    const CatalogView* operator->() const { return view_; }
+
+   private:
+    friend class VersionedTable;
+    Snapshot(EpochManager* epochs, size_t slot, const CatalogView* view)
+        : epochs_(epochs), slot_(slot), view_(view) {}
+
+    EpochManager* epochs_;
+    size_t slot_;
+    const CatalogView* view_;
+  };
+
+  /// Pins the current generation. Never blocks on writers.
+  Snapshot snapshot() const;
+
+  /// Owned copy of the entity's row from the current generation.
+  StatusOr<Row> Get(EntityId entity) const;
+
+  size_t entity_count() const;
+  size_t partition_count() const;
+
+  /// Generation of the currently published view (tests and benches watch
+  /// this advance per window during InsertBatch).
+  uint64_t published_generation() const;
+
+  // -- Write path (internally serialized) -----------------------------------
+
+  Status Insert(Row row);
+  Status Update(Row row);
+  Status Delete(EntityId entity);
+
+  /// Batched delete with InsertBatch-mirroring semantics: validated
+  /// before any mutation (unknown or duplicated ids fail with NotFound
+  /// and leave the table unchanged), then applied in order. Publishes one
+  /// view; dropped empty partitions retire their versions through the
+  /// epoch machinery.
+  Status DeleteBatch(const std::vector<EntityId>& entities);
+
+  /// Routes through the attached ingest engine (placements identical to
+  /// serial), publishing a view per committed window.
+  Status InsertBatch(std::vector<Row> rows);
+
+  /// Full reorganization pass (Cinderella::Reorganize) published as one
+  /// generation swap.
+  Status Reorganize();
+
+  /// Re-publishes a full view from the live catalog. Call after mutating
+  /// the underlying partitioner outside the facade.
+  void RefreshView();
+
+  // -- Introspection --------------------------------------------------------
+
+  Cinderella& partitioner() { return *cinderella_; }
+  const Cinderella& partitioner() const { return *cinderella_; }
+  EpochManager& epochs() { return epochs_; }
+
+ private:
+  void Hook();
+
+  /// Runs `op` under the writer lock and publishes the captured delta.
+  Status Apply(const std::function<Status()>& op);
+
+  /// Publishes pending_ as a COW delta against the current view. Requires
+  /// publish_mu_; the catalog must be quiescent (writer lock or the
+  /// engine's commit lock).
+  void PublishLocked();
+
+  /// Replaces the view with a full copy of the live catalog (initial
+  /// publication and RefreshView).
+  void RebuildViewLocked();
+
+  /// Swaps `view` in, retires the previous view and `superseded`, and
+  /// runs a reclamation pass.
+  void InstallLocked(CatalogView* view,
+                     const std::vector<const PartitionVersion*>& superseded);
+
+  // Destruction order matters: owned_engine_ detaches from the partitioner
+  // in its destructor, so it must die before owned_ — members are declared
+  // owned_ first (destroyed last).
+  std::unique_ptr<Cinderella> owned_;
+  std::unique_ptr<BatchInserter> owned_engine_;
+  Cinderella* cinderella_;
+  BatchInserter* engine_ = nullptr;
+
+  mutable EpochManager epochs_;
+  /// Serializes facade write operations. Lock order: write_mu_ before the
+  /// engine's commit lock before publish_mu_.
+  std::mutex write_mu_;
+  /// Serializes view publication (facade writes and the engine's window
+  /// commit hook reach PublishLocked under different outer locks).
+  std::mutex publish_mu_;
+  /// Mutation delta since the last publication; registered as the
+  /// partitioner's version capture, drained by PublishLocked.
+  CatalogMutations pending_;
+  std::atomic<const CatalogView*> current_{nullptr};
+  uint64_t view_generation_ = 0;  // Guarded by publish_mu_.
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_MVCC_VERSIONED_TABLE_H_

@@ -3,12 +3,19 @@
 #include <algorithm>
 #include <cstdio>
 
-namespace cinderella {
+#include "mvcc/partition_version.h"
 
-SelectivityEstimate EstimateSelectivity(const PartitionCatalog& catalog,
-                                        const Query& query) {
+namespace cinderella {
+namespace {
+
+// Shared over both metadata sources: PartitionCatalog yields Partition,
+// CatalogView yields PartitionVersion; both expose id(), entity_count(),
+// attribute_synopsis() and AttributeCarrierCount() with identical
+// semantics, so the arithmetic is written once.
+template <typename Catalog>
+SelectivityEstimate EstimateImpl(const Catalog& catalog, const Query& query) {
   SelectivityEstimate estimate;
-  catalog.ForEachPartition([&](const Partition& partition) {
+  catalog.ForEachPartition([&](const auto& partition) {
     const uint64_t n = partition.entity_count();
     estimate.table_entities += n;
     if (!partition.attribute_synopsis().Intersects(query.attributes())) {
@@ -34,9 +41,10 @@ SelectivityEstimate EstimateSelectivity(const PartitionCatalog& catalog,
   return estimate;
 }
 
-std::string ExplainQuery(const PartitionCatalog& catalog, const Query& query,
-                         size_t max_partitions) {
-  const SelectivityEstimate estimate = EstimateSelectivity(catalog, query);
+template <typename Catalog>
+std::string ExplainImpl(const Catalog& catalog, const Query& query,
+                        size_t max_partitions) {
+  const SelectivityEstimate estimate = EstimateImpl(catalog, query);
   char line[256];
   std::string out;
   std::snprintf(line, sizeof(line),
@@ -59,7 +67,7 @@ std::string ExplainQuery(const PartitionCatalog& catalog, const Query& query,
   out += line;
 
   size_t listed = 0;
-  catalog.ForEachPartition([&](const Partition& partition) {
+  catalog.ForEachPartition([&](const auto& partition) {
     if (!partition.attribute_synopsis().Intersects(query.attributes())) {
       return;
     }
@@ -85,6 +93,28 @@ std::string ExplainQuery(const PartitionCatalog& catalog, const Query& query,
     out += line;
   }
   return out;
+}
+
+}  // namespace
+
+SelectivityEstimate EstimateSelectivity(const PartitionCatalog& catalog,
+                                        const Query& query) {
+  return EstimateImpl(catalog, query);
+}
+
+SelectivityEstimate EstimateSelectivity(const CatalogView& view,
+                                        const Query& query) {
+  return EstimateImpl(view, query);
+}
+
+std::string ExplainQuery(const PartitionCatalog& catalog, const Query& query,
+                         size_t max_partitions) {
+  return ExplainImpl(catalog, query, max_partitions);
+}
+
+std::string ExplainQuery(const CatalogView& view, const Query& query,
+                         size_t max_partitions) {
+  return ExplainImpl(view, query, max_partitions);
 }
 
 }  // namespace cinderella

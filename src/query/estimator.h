@@ -32,14 +32,26 @@ struct SelectivityEstimate {
   }
 };
 
+class CatalogView;  // mvcc/partition_version.h
+
 /// Estimates how many entities match `query` without reading any row.
 SelectivityEstimate EstimateSelectivity(const PartitionCatalog& catalog,
+                                        const Query& query);
+
+/// Same estimate over a pinned MVCC snapshot (partition versions carry
+/// the same synopses and carrier counts the live catalog does, frozen at
+/// publication time).
+SelectivityEstimate EstimateSelectivity(const CatalogView& view,
                                         const Query& query);
 
 /// Renders a human-readable access plan for `query`: which partitions
 /// would be scanned/pruned with their sizes and estimated yields — the
 /// CLI's EXPLAIN. `max_partitions` caps the listing.
 std::string ExplainQuery(const PartitionCatalog& catalog, const Query& query,
+                         size_t max_partitions = 20);
+
+/// EXPLAIN against a pinned MVCC snapshot.
+std::string ExplainQuery(const CatalogView& view, const Query& query,
                          size_t max_partitions = 20);
 
 }  // namespace cinderella

@@ -3,12 +3,57 @@
 #include <iterator>
 #include <utility>
 
+#include "core/concurrent_table.h"
+#include "mvcc/partition_version.h"
+
 namespace cinderella {
 namespace {
 
 // Partitions per scan chunk: coarse enough to amortize chunk dispatch,
 // fine enough to rebalance irregular partition sizes across workers.
 constexpr size_t kScanChunk = 4;
+
+/// Uniform scan input: what one partition contributes to a scan, whether
+/// it comes from the live catalog or from an immutable MVCC version.
+struct ScanSource {
+  const Synopsis* synopsis = nullptr;     // Pruning synopsis.
+  const std::vector<Row>* rows = nullptr; // Residents in scan order.
+  size_t entities = 0;
+  uint64_t cells = 0;
+  uint64_t bytes = 0;
+};
+
+void AppendSources(const PartitionCatalog& catalog,
+                   std::vector<ScanSource>* sources) {
+  sources->reserve(catalog.partition_count());
+  catalog.ForEachPartition([&](const Partition& partition) {
+    sources->push_back(ScanSource{&partition.attribute_synopsis(),
+                                  &partition.segment().rows(),
+                                  partition.entity_count(),
+                                  partition.segment().cell_count(),
+                                  partition.segment().byte_size()});
+  });
+}
+
+void AppendSources(const CatalogView& view, std::vector<ScanSource>* sources) {
+  sources->reserve(view.partition_count());
+  view.ForEachPartition([&](const PartitionVersion& version) {
+    sources->push_back(ScanSource{&version.attribute_synopsis(),
+                                  &version.rows(), version.entity_count(),
+                                  version.cell_count(), version.byte_size()});
+  });
+}
+
+std::vector<ScanSource> SnapshotSources(const PartitionCatalog* catalog,
+                                        const CatalogView* view) {
+  std::vector<ScanSource> sources;
+  if (catalog != nullptr) {
+    AppendSources(*catalog, &sources);
+  } else {
+    AppendSources(*view, &sources);
+  }
+  return sources;
+}
 
 void MergeMetrics(const ScanMetrics& from, ScanMetrics* into) {
   into->partitions_total += from.partitions_total;
@@ -20,39 +65,28 @@ void MergeMetrics(const ScanMetrics& from, ScanMetrics* into) {
   into->bytes_read += from.bytes_read;
 }
 
-std::vector<const Partition*> SnapshotPartitions(
-    const PartitionCatalog& catalog) {
-  std::vector<const Partition*> partitions;
-  partitions.reserve(catalog.partition_count());
-  catalog.ForEachPartition(
-      [&](const Partition& partition) { partitions.push_back(&partition); });
-  return partitions;
-}
-
-/// Runs `scan(partition, &out)` over every partition and feeds the
+/// Runs `scan(source, &out)` over every partition source and feeds the
 /// per-chunk outputs to `merge` in ascending partition-id order — the
 /// merge sequence (and therefore every counter and buffer built from it)
 /// is identical to a serial left-to-right scan at any pool degree. The
 /// serial path produces one output for the whole range, so `merge` sees a
 /// single already-ordered aggregate and buffers move instead of copy.
 template <typename Out, typename Scan, typename Merge>
-void ChunkedScan(ThreadPool* pool,
-                 const std::vector<const Partition*>& partitions, Scan&& scan,
-                 Merge&& merge) {
-  const size_t num_chunks =
-      ThreadPool::NumChunks(partitions.size(), kScanChunk);
+void ChunkedScan(ThreadPool* pool, const std::vector<ScanSource>& sources,
+                 Scan&& scan, Merge&& merge) {
+  const size_t num_chunks = ThreadPool::NumChunks(sources.size(), kScanChunk);
   if (pool == nullptr || num_chunks <= 1) {
     Out out;
-    for (const Partition* partition : partitions) scan(*partition, &out);
+    for (const ScanSource& source : sources) scan(source, &out);
     merge(std::move(out));
     return;
   }
   std::vector<Out> outs(num_chunks);
-  pool->ParallelFor(partitions.size(), kScanChunk,
+  pool->ParallelFor(sources.size(), kScanChunk,
                     [&](size_t begin, size_t end, size_t chunk_index) {
                       Out& out = outs[chunk_index];
                       for (size_t i = begin; i < end; ++i) {
-                        scan(*partitions[i], &out);
+                        scan(sources[i], &out);
                       }
                     });
   for (Out& out : outs) merge(std::move(out));
@@ -71,8 +105,7 @@ QueryResult QueryExecutor::ScanMatchingRows(const Predicate& predicate) {
   match_buffer_.clear();
   Synopsis pruning;
   const bool prunable = predicate.PruningSynopsis(&pruning);
-  const std::vector<const Partition*> partitions =
-      SnapshotPartitions(*catalog_);
+  const std::vector<ScanSource> sources = SnapshotSources(catalog_, view_);
   size_t table_entities = 0;
 
   struct Out {
@@ -80,25 +113,25 @@ QueryResult QueryExecutor::ScanMatchingRows(const Predicate& predicate) {
     size_t entities = 0;
     std::vector<const Row*> matches;
   };
-  auto scan = [&](const Partition& partition, Out* out) {
+  auto scan = [&](const ScanSource& source, Out* out) {
     ++out->metrics.partitions_total;
-    out->entities += partition.entity_count();
-    if (prunable && !partition.attribute_synopsis().Intersects(pruning)) {
+    out->entities += source.entities;
+    if (prunable && !source.synopsis->Intersects(pruning)) {
       ++out->metrics.partitions_pruned;
       return;
     }
     ++out->metrics.partitions_scanned;
-    out->metrics.rows_scanned += partition.entity_count();
-    out->metrics.cells_read += partition.segment().cell_count();
-    out->metrics.bytes_read += partition.segment().byte_size();
-    for (const Row& row : partition.segment().rows()) {
+    out->metrics.rows_scanned += source.entities;
+    out->metrics.cells_read += source.cells;
+    out->metrics.bytes_read += source.bytes;
+    for (const Row& row : *source.rows) {
       if (predicate.Matches(row)) {
         ++out->metrics.rows_matched;
         out->matches.push_back(&row);
       }
     }
   };
-  ChunkedScan<Out>(pool(), partitions, scan, [&](Out out) {
+  ChunkedScan<Out>(pool(), sources, scan, [&](Out out) {
     MergeMetrics(out.metrics, &result.metrics);
     table_entities += out.entities;
     if (match_buffer_.empty()) {
@@ -149,8 +182,7 @@ QueryResult QueryExecutor::ExecuteSelect(const SelectStatement& statement) {
 QueryResult QueryExecutor::Execute(const Query& query) {
   QueryResult result;
   result_buffer_.clear();
-  const std::vector<const Partition*> partitions =
-      SnapshotPartitions(*catalog_);
+  const std::vector<ScanSource> sources = SnapshotSources(catalog_, view_);
   size_t table_entities = 0;
 
   struct Out {
@@ -158,19 +190,19 @@ QueryResult QueryExecutor::Execute(const Query& query) {
     size_t entities = 0;
     std::vector<Value> values;
   };
-  auto scan = [&](const Partition& partition, Out* out) {
+  auto scan = [&](const ScanSource& source, Out* out) {
     ++out->metrics.partitions_total;
-    out->entities += partition.entity_count();
+    out->entities += source.entities;
     // Definition 1 pruning: skip partitions with sgn(|p ∧ q|) = 0.
-    if (!partition.attribute_synopsis().Intersects(query.attributes())) {
+    if (!source.synopsis->Intersects(query.attributes())) {
       ++out->metrics.partitions_pruned;
       return;
     }
     ++out->metrics.partitions_scanned;
-    out->metrics.rows_scanned += partition.entity_count();
-    out->metrics.cells_read += partition.segment().cell_count();
-    out->metrics.bytes_read += partition.segment().byte_size();
-    for (const Row& row : partition.segment().rows()) {
+    out->metrics.rows_scanned += source.entities;
+    out->metrics.cells_read += source.cells;
+    out->metrics.bytes_read += source.bytes;
+    for (const Row& row : *source.rows) {
       // OR-of-IS-NOT-NULL match; projection materializes the queried
       // attributes that are present.
       bool matched = false;
@@ -184,7 +216,7 @@ QueryResult QueryExecutor::Execute(const Query& query) {
       if (matched) ++out->metrics.rows_matched;
     }
   };
-  ChunkedScan<Out>(pool(), partitions, scan, [&](Out out) {
+  ChunkedScan<Out>(pool(), sources, scan, [&](Out out) {
     MergeMetrics(out.metrics, &result.metrics);
     table_entities += out.entities;
     if (result_buffer_.empty()) {
@@ -203,6 +235,20 @@ QueryResult QueryExecutor::Execute(const Query& query) {
                 static_cast<double>(table_entities)
           : 0.0;
   return result;
+}
+
+OwnedQueryResult QueryOwnedRows(const ConcurrentTable& table,
+                                const Predicate& predicate, int scan_threads) {
+  OwnedQueryResult owned;
+  table.WithReadLock([&](const PartitionCatalog& catalog) {
+    QueryExecutor executor(catalog, scan_threads);
+    // Copy the matched rows while the shared lock is still held; the
+    // pointers ScanMatches yields die with the lock.
+    owned.result = executor.ScanMatches(
+        predicate, [&](const Row& row) { owned.rows.push_back(row); });
+    return 0;
+  });
+  return owned;
 }
 
 }  // namespace cinderella

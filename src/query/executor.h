@@ -14,6 +14,9 @@
 
 namespace cinderella {
 
+class CatalogView;       // mvcc/partition_version.h
+class ConcurrentTable;   // core/concurrent_table.h
+
 /// Per-query execution counters. The deterministic counters make the
 /// figure benches' shape assertions reproducible; wall time is measured by
 /// the bench drivers around Execute(). All counters are deterministic at
@@ -78,6 +81,13 @@ class QueryExecutor {
   explicit QueryExecutor(const PartitionCatalog& catalog, int scan_threads = 1)
       : catalog_(&catalog), degree_(ThreadPool::ResolveDegree(scan_threads)) {}
 
+  /// Executes against a pinned MVCC snapshot (mvcc/partition_version.h)
+  /// instead of the live catalog: same pruning, same deterministic merge
+  /// order, same counters — the view must stay pinned for the executor
+  /// calls' duration. This is the lock-free read path of VersionedTable.
+  explicit QueryExecutor(const CatalogView& view, int scan_threads = 1)
+      : view_(&view), degree_(ThreadPool::ResolveDegree(scan_threads)) {}
+
   /// Scans all non-prunable partitions, materializing the projection of
   /// matching rows into an internal buffer (real work, so wall-clock
   /// measurements around this call are meaningful).
@@ -114,13 +124,34 @@ class QueryExecutor {
   /// Lazily created pool; nullptr while degree_ == 1.
   ThreadPool* pool();
 
-  const PartitionCatalog* catalog_;
+  // Exactly one of the two sources is set.
+  const PartitionCatalog* catalog_ = nullptr;
+  const CatalogView* view_ = nullptr;
   int degree_;
   std::unique_ptr<ThreadPool> pool_;
   // Reused scratch buffers (cleared per query).
   std::vector<const Row*> match_buffer_;
   std::vector<Value> result_buffer_;
 };
+
+/// A predicate query result whose matched rows are owned copies, safe to
+/// use after every lock is released.
+struct OwnedQueryResult {
+  QueryResult result;
+  std::vector<Row> rows;
+};
+
+/// Runs a predicate scan over `table` and returns owned copies of the
+/// matching rows.
+///
+/// This is the safe idiom for row-returning queries against a
+/// ConcurrentTable: row pointers collected inside WithReadLock (e.g. via
+/// ScanMatches) dangle as soon as the shared lock is released, because a
+/// writer may then move, reallocate, or delete the underlying segments.
+/// The copies here are made while the lock is still held.
+OwnedQueryResult QueryOwnedRows(const ConcurrentTable& table,
+                                const Predicate& predicate,
+                                int scan_threads = 1);
 
 }  // namespace cinderella
 

@@ -157,5 +157,41 @@ TEST(ConcurrentTableTest, ParallelReadersShareTheLock) {
   EXPECT_GE(peak.load(), 2);
 }
 
+// Regression for the WithReadLock lifetime hazard: `const Row*` collected
+// under the shared lock dangle once a writer reshuffles the segments.
+// QueryOwnedRows copies while the lock is held, so its rows stay valid
+// through arbitrary later mutations.
+TEST(ConcurrentTableTest, QueryOwnedRowsSurvivesLaterWrites) {
+  auto table = MakeTable();
+  for (EntityId id = 0; id < 60; ++id) {
+    ASSERT_TRUE(
+        table->Insert(MakeRow(id, {0, static_cast<AttributeId>(id % 5)}))
+            .ok());
+  }
+
+  const PredicatePtr predicate = IsNotNull(0);
+  const OwnedQueryResult owned = QueryOwnedRows(*table, *predicate);
+  ASSERT_EQ(owned.result.metrics.rows_matched, 60u);
+  ASSERT_EQ(owned.rows.size(), 60u);
+
+  // Mutate heavily: deletes force row moves and partition drops; inserts
+  // reallocate segment storage. Borrowed pointers from the scan would now
+  // dangle; the owned copies must not.
+  for (EntityId id = 0; id < 60; id += 2) {
+    ASSERT_TRUE(table->Delete(id).ok());
+  }
+  for (EntityId id = 100; id < 200; ++id) {
+    ASSERT_TRUE(table->Insert(MakeRow(id, {0, 1, 2})).ok());
+  }
+
+  // Every copied row still carries the state captured at scan time,
+  // including rows whose originals were since deleted.
+  for (const Row& row : owned.rows) {
+    EXPECT_LT(row.id(), 60u);
+    EXPECT_TRUE(row.Has(0));
+    EXPECT_TRUE(row.Has(static_cast<AttributeId>(row.id() % 5)));
+  }
+}
+
 }  // namespace
 }  // namespace cinderella

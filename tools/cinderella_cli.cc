@@ -6,17 +6,21 @@
 //   cinderella_cli partition --in data.csv [--weight 0.3] [--max-size 5000]
 //                            [--dissolve 0.2] --snapshot table.snap
 //   cinderella_cli load      --in data.csv [--batch 1024] [--shards N]
-//                            [--weight 0.3] [--max-size 5000] --snapshot t.snap
+//                            [--weight 0.3] [--max-size 5000]
+//                            [--probe a,b,c] --snapshot t.snap
 //   cinderella_cli stats     --snapshot table.snap
 //   cinderella_cli query     --snapshot table.snap --attrs name,weight
 //   cinderella_cli export    --snapshot table.snap --out data.csv
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/timer.h"
@@ -26,6 +30,7 @@
 #include "core/universal_table.h"
 #include "ingest/batch_inserter.h"
 #include "io/csv.h"
+#include "mvcc/versioned_table.h"
 #include "query/estimator.h"
 #include "query/executor.h"
 #include "query/parser.h"
@@ -62,6 +67,8 @@ int Usage() {
       "            [--dissolve T] [--index] --snapshot FILE.snap\n"
       "  load      --in FILE.csv [--batch ROWS] [--shards N] [--weight W]\n"
       "            [--max-size B] [--dissolve T] [--index]\n"
+      "            [--probe a,b,c]   (serve lock-free snapshot queries\n"
+      "            on these attributes while the load runs)\n"
       "            --snapshot FILE.snap   (bulk load via the batched\n"
       "            ingest pipeline; placements match `partition`)\n"
       "  stats     --snapshot FILE.snap\n"
@@ -153,18 +160,67 @@ int Load(const Args& args) {
   const std::unique_ptr<BatchInserter> engine =
       AttachBatchInserter(cinderella);
 
+  // --probe a,b,c: serve snapshot queries on those attributes from a
+  // second thread while the load runs — the MVCC read path end to end.
+  // The probe attributes are interned and the Query built *before* the
+  // import starts: the dictionary grows concurrently with the load and
+  // is not safe to read from another thread mid-import. Pre-interning
+  // shifts attribute-id assignment relative to a probe-less load, so the
+  // snapshot is not byte-comparable to `partition` output; the
+  // *placements* are unaffected (every rating cardinality and tie-break
+  // is attribute-id-permutation-invariant).
+  const std::string probe = args.Get("probe");
+  std::unique_ptr<VersionedTable> versioned;
+  std::thread probe_thread;
+  std::atomic<bool> load_done{false};
+  std::atomic<uint64_t> probe_queries{0};
+  std::atomic<uint64_t> probe_matched{0};
+  if (!probe.empty()) {
+    std::vector<std::string> names;
+    std::stringstream ss(probe);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      if (!name.empty()) names.push_back(name);
+    }
+    for (const std::string& attr : names) {
+      table.dictionary().GetOrCreate(attr);
+    }
+    const Query probe_query = Query::FromNames(table.dictionary(), names);
+    versioned = std::make_unique<VersionedTable>(cinderella, engine.get());
+    probe_thread = std::thread([&, probe_query] {
+      while (!load_done.load(std::memory_order_acquire)) {
+        {
+          const VersionedTable::Snapshot snapshot = versioned->snapshot();
+          QueryExecutor executor(snapshot.view());
+          probe_matched.store(
+              executor.Execute(probe_query).metrics.rows_matched,
+              std::memory_order_relaxed);
+          probe_queries.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Yield between snapshots so the probe samples the load instead
+        // of competing with it for every cycle.
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    });
+  }
+
   CsvOptions csv;
   csv.batch_rows = static_cast<size_t>(args.GetInt("batch", 1024));
   if (csv.batch_rows == 0) csv.batch_rows = 1;
   WallTimer timer;
   Status status = ImportCsvFromFile(in, &table, csv);
+  const double load_seconds = timer.ElapsedSeconds();
+  if (probe_thread.joinable()) {
+    load_done.store(true, std::memory_order_release);
+    probe_thread.join();
+  }
   if (!status.ok()) return Fail(status);
   const BatchInserter::Stats ingest = engine->stats();
   std::printf(
       "loaded %zu entities in %.2fs: %zu partitions, %llu splits\n"
       "ingest: %llu batches, %llu windows, %llu ratings "
       "(%llu re-rated, %llu rescanned)\n",
-      table.entity_count(), timer.ElapsedSeconds(),
+      table.entity_count(), load_seconds,
       table.catalog().partition_count(),
       static_cast<unsigned long long>(cinderella->stats().splits),
       static_cast<unsigned long long>(ingest.batches),
@@ -172,6 +228,17 @@ int Load(const Args& args) {
       static_cast<unsigned long long>(ingest.ratings),
       static_cast<unsigned long long>(ingest.reratings),
       static_cast<unsigned long long>(ingest.rescans));
+  if (versioned != nullptr) {
+    std::printf(
+        "probe '%s': %llu snapshot queries during the load "
+        "(%.0f/s, never blocked), final generation %llu, "
+        "last result %llu rows\n",
+        probe.c_str(),
+        static_cast<unsigned long long>(probe_queries.load()),
+        static_cast<double>(probe_queries.load()) / load_seconds,
+        static_cast<unsigned long long>(versioned->published_generation()),
+        static_cast<unsigned long long>(probe_matched.load()));
+  }
   status = SaveSnapshotToFile(*cinderella, table.dictionary(), snapshot);
   if (!status.ok()) return Fail(status);
   std::printf("snapshot written to %s\n", snapshot.c_str());

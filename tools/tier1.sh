@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard build + full test suite, then a
 # thread-sanitized side build of the scan engine (thread pool, parallel
-# rating scan, parallel query executor) to catch data races the regular
-# build cannot.
+# rating scan, parallel query executor) and the MVCC read engine to catch
+# data races the regular build cannot, then an address-sanitized build of
+# the MVCC tests with leak detection on — epoch-based deferred
+# reclamation must free every retired version exactly once.
 #
 # Usage: tools/tier1.sh [jobs]   (defaults to nproc)
 set -euo pipefail
@@ -18,11 +20,19 @@ cmake --build build -j "$JOBS"
 echo "== tier-1: TSan build of the scan + ingest engine tests =="
 cmake -B build-tsan -S . -DCINDERELLA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target thread_pool_test parallel_scan_test \
-  ingest_test ingest_concurrency_test
+  ingest_test ingest_concurrency_test mvcc_test mvcc_stress_test
 # Force the pools to spawn real workers even on small machines.
 CINDERELLA_SCAN_THREADS=4 ./build-tsan/tests/thread_pool_test
 CINDERELLA_SCAN_THREADS=4 ./build-tsan/tests/parallel_scan_test
 CINDERELLA_INSERT_SHARDS=4 ./build-tsan/tests/ingest_test
 CINDERELLA_INSERT_SHARDS=4 ./build-tsan/tests/ingest_concurrency_test
+CINDERELLA_SCAN_THREADS=4 ./build-tsan/tests/mvcc_test
+CINDERELLA_STRESS_READERS=4 ./build-tsan/tests/mvcc_stress_test
+
+echo "== tier-1: ASan+leak build of the MVCC read engine tests =="
+cmake -B build-asan -S . -DCINDERELLA_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$JOBS" --target mvcc_test mvcc_stress_test
+ASAN_OPTIONS=detect_leaks=1 ./build-asan/tests/mvcc_test
+ASAN_OPTIONS=detect_leaks=1 CINDERELLA_STRESS_READERS=4 ./build-asan/tests/mvcc_stress_test
 
 echo "tier-1 OK"
