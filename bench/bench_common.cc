@@ -1,10 +1,15 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
+
+extern char** environ;
 
 namespace cinderella {
 namespace bench {
@@ -98,6 +103,63 @@ void PrintSelectivityTable(const std::vector<SelectivitySeries>& series,
 
 void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+namespace {
+
+std::string JsonEscape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    if (*s == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(*s);
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteHostMetadata(std::FILE* json) {
+// Baked in by bench/CMakeLists.txt at configure time.
+#ifndef CINDERELLA_BENCH_BUILD_TYPE
+#define CINDERELLA_BENCH_BUILD_TYPE "unknown"
+#endif
+#ifndef CINDERELLA_BENCH_BUILD_FLAGS
+#define CINDERELLA_BENCH_BUILD_FLAGS ""
+#endif
+#ifndef CINDERELLA_BENCH_SANITIZE
+#define CINDERELLA_BENCH_SANITIZE ""
+#endif
+  std::fprintf(json, "  \"host\": {\n");
+  std::fprintf(json, "    \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(json, "    \"build_type\": \"%s\",\n",
+               JsonEscape(CINDERELLA_BENCH_BUILD_TYPE).c_str());
+  std::fprintf(json, "    \"build_flags\": \"%s\",\n",
+               JsonEscape(CINDERELLA_BENCH_BUILD_FLAGS).c_str());
+  std::fprintf(json, "    \"sanitizer\": \"%s\",\n",
+               JsonEscape(CINDERELLA_BENCH_SANITIZE).c_str());
+  // Every CINDERELLA_* knob in effect, sorted for stable diffs.
+  std::vector<std::string> knobs;
+  for (char** env = environ; *env != nullptr; ++env) {
+    if (std::strncmp(*env, "CINDERELLA_", 11) == 0) knobs.push_back(*env);
+  }
+  std::sort(knobs.begin(), knobs.end());
+  std::fprintf(json, "    \"env\": {");
+  for (size_t i = 0; i < knobs.size(); ++i) {
+    const size_t eq = knobs[i].find('=');
+    const std::string name = knobs[i].substr(0, eq);
+    const std::string value = eq == std::string::npos
+                                  ? std::string()
+                                  : knobs[i].substr(eq + 1);
+    std::fprintf(json, "%s\"%s\": \"%s\"", i == 0 ? "" : ", ",
+                 JsonEscape(name.c_str()).c_str(),
+                 JsonEscape(value.c_str()).c_str());
+  }
+  std::fprintf(json, "}\n  },\n");
 }
 
 }  // namespace bench

@@ -1,6 +1,7 @@
 #ifndef CINDERELLA_BENCH_BENCH_COMMON_H_
 #define CINDERELLA_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,14 @@ void PrintSelectivityTable(const std::vector<SelectivitySeries>& series,
 
 /// Prints a one-line header for a bench section.
 void PrintHeader(const std::string& title);
+
+/// Writes the shared host/build metadata object into an open BENCH_*.json
+/// emitter, as a `"host": {...},` member (trailing comma included):
+/// hardware core count, build type and compiler flags baked in at
+/// configure time, and every CINDERELLA_* environment variable that was
+/// set when the bench ran. Trajectory readers need all three to compare
+/// numbers across machines and configurations.
+void WriteHostMetadata(std::FILE* json);
 
 }  // namespace bench
 }  // namespace cinderella

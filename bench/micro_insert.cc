@@ -236,8 +236,7 @@ int main() {
   // Shard speedups on a single-CPU host measure the packed sharded mirror
   // and window amortization, not parallelism; record the core count so
   // trajectory readers can tell the regimes apart.
-  std::fprintf(json, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
+  bench::WriteHostMetadata(json);
   std::fprintf(json, "  \"ingest\": [");
   for (size_t i = 0; i < ingest_points.size(); ++i) {
     const IngestPoint& p = ingest_points[i];

@@ -288,8 +288,7 @@ int main() {
   std::fprintf(json, "  \"entities\": %zu,\n", entities);
   // Scan speedups are only meaningful relative to the cores available:
   // on a single-CPU host every degree > 1 measures pure pool overhead.
-  std::fprintf(json, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
+  bench::WriteHostMetadata(json);
   std::fprintf(json, "  \"rating_kernel\": [");
   for (size_t i = 0; i < kernels.size(); ++i) {
     std::fprintf(json,

@@ -322,10 +322,9 @@ int main() {
   std::fprintf(json, "  \"readers\": %d,\n", readers);
   std::fprintf(json, "  \"write_rate_target\": %.0f,\n", write_rate);
   // Reader/writer interference on a single-CPU host includes plain CPU
-  // sharing; record the core count so trajectory readers can tell lock
-  // stalls from scheduling.
-  std::fprintf(json, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
+  // sharing; the host metadata's core count tells lock stalls from
+  // scheduling.
+  bench::WriteHostMetadata(json);
   std::fprintf(json, "  \"points\": [");
   for (size_t i = 0; i < points.size(); ++i) {
     const ReaderPoint& p = points[i];

@@ -1,0 +1,120 @@
+#include "common/arena.h"
+
+#include "common/logging.h"
+
+namespace cinderella {
+namespace {
+
+inline char* AlignUp(char* p, size_t align) {
+  const uintptr_t u = reinterpret_cast<uintptr_t>(p);
+  return reinterpret_cast<char*>((u + align - 1) & ~uintptr_t(align - 1));
+}
+
+}  // namespace
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  CINDERELLA_CHECK(align != 0 && (align & (align - 1)) == 0);
+  // Requests that cannot be served by a fresh uniform block (leaving room
+  // for worst-case alignment) go to the dedicated large-block path.
+  if (bytes + align > kBlockSize) {
+    for (size_t i = 0; i < large_.size(); ++i) {
+      if (!large_used_[i] && large_[i].size >= bytes + align) {
+        large_used_[i] = 1;
+        bytes_used_ += bytes;
+        return AlignUp(large_[i].data.get(), align);
+      }
+    }
+    Block block;
+    block.size = bytes + align;
+    block.data.reset(new char[block.size]);
+    lifetime_blocks_allocated_.fetch_add(1, std::memory_order_relaxed);
+    bytes_retained_.fetch_add(block.size, std::memory_order_relaxed);
+    bytes_used_ += bytes;
+    char* result = AlignUp(block.data.get(), align);
+    large_.push_back(std::move(block));
+    large_used_.push_back(1);
+    return result;
+  }
+
+  char* aligned = cursor_ != nullptr ? AlignUp(cursor_, align) : nullptr;
+  if (aligned == nullptr || aligned + bytes > limit_) {
+    // Advance to the next retained block, or grow by one.
+    if (next_block_ == blocks_.size()) {
+      Block block;
+      block.size = kBlockSize;
+      block.data.reset(new char[block.size]);
+      lifetime_blocks_allocated_.fetch_add(1, std::memory_order_relaxed);
+      bytes_retained_.fetch_add(block.size, std::memory_order_relaxed);
+      blocks_.push_back(std::move(block));
+    }
+    Block& block = blocks_[next_block_++];
+    cursor_ = block.data.get();
+    limit_ = cursor_ + block.size;
+    aligned = AlignUp(cursor_, align);
+  }
+  bytes_used_ += static_cast<size_t>(aligned - cursor_) + bytes;
+  cursor_ = aligned + bytes;
+  return aligned;
+}
+
+void Arena::Reset() {
+  cursor_ = nullptr;
+  limit_ = nullptr;
+  next_block_ = 0;
+  bytes_used_ = 0;
+  for (size_t i = 0; i < large_used_.size(); ++i) large_used_[i] = 0;
+}
+
+void Arena::Unref() {
+  if (refs_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  if (pool_ != nullptr) {
+    pool_->Recycle(this);
+  } else {
+    delete this;
+  }
+}
+
+ArenaPool::~ArenaPool() = default;
+
+Arena* ArenaPool::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Arena* arena;
+  if (!free_.empty()) {
+    arena = free_.back();
+    free_.pop_back();
+    ++arenas_reused_;
+  } else {
+    all_.push_back(std::make_unique<Arena>());
+    arena = all_.back().get();
+    arena->pool_ = this;
+    ++arenas_created_;
+  }
+  arena->Ref();
+  return arena;
+}
+
+void ArenaPool::Recycle(Arena* arena) {
+  arena->Reset();
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(arena);
+  ++arenas_recycled_;
+}
+
+ArenaPool::Stats ArenaPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.arenas_created = arenas_created_;
+  stats.arenas_reused = arenas_reused_;
+  stats.arenas_recycled = arenas_recycled_;
+  stats.pooled_arenas = free_.size();
+  stats.live_arenas = all_.size() - free_.size();
+  for (const auto& arena : all_) {
+    stats.blocks_allocated += arena->lifetime_blocks_allocated();
+  }
+  for (const Arena* arena : free_) {
+    stats.bytes_retained += arena->bytes_retained();
+  }
+  return stats;
+}
+
+}  // namespace cinderella

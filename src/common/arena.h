@@ -1,0 +1,167 @@
+#ifndef CINDERELLA_COMMON_ARENA_H_
+#define CINDERELLA_COMMON_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace cinderella {
+
+class ArenaPool;
+
+/// A bump allocator over chunked 64 KiB blocks.
+///
+/// Built for the MVCC snapshot layer (mvcc/partition_version.h): every
+/// publication packs its fresh PartitionVersions — row headers, cell
+/// payloads, point index, synopsis words, carrier counts — into one arena
+/// so a ForEachPartition scan walks sequential memory instead of chasing
+/// per-version heap allocations. Allocations are never freed
+/// individually; Reset() rewinds the whole arena while *keeping* its
+/// blocks, which is what makes pooled reuse (ArenaPool) malloc-free.
+///
+/// Requests larger than a block get a dedicated block of exactly the
+/// requested size. Large blocks are retained across Resets too (each
+/// serves one allocation per fill cycle, first-fit by size), so a steady
+/// workload whose biggest partitions keep similar footprints reaches zero
+/// mallocs even when individual cell arrays exceed kBlockSize. The
+/// retained capacity is bounded by the worst generation seen and is
+/// observable through bytes_retained() / ArenaPool::Stats.
+///
+/// Thread-safety: allocation and Reset are single-threaded (the
+/// publisher's lock); only the reference count is atomic, because the
+/// last release can happen on the reclamation path. Readers only ever
+/// *read* arena memory, which is immutable between publication and Reset.
+class Arena {
+ public:
+  static constexpr size_t kBlockSize = 64 * 1024;
+
+  Arena() = default;
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two,
+  /// at most alignof(std::max_align_t)). Never returns nullptr.
+  void* Allocate(size_t bytes, size_t align);
+
+  /// Uninitialized storage for `count` objects of T, aligned for T. The
+  /// caller placement-constructs (and, for non-trivial T, destroys before
+  /// the arena is Reset — the arena never runs destructors).
+  template <typename T>
+  T* AllocateArrayOf(size_t count) {
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty, keeping every block for reuse: refilling up to the
+  /// retained capacity performs no allocator calls.
+  void Reset();
+
+  /// Bytes handed out since the last Reset (alignment padding included).
+  size_t bytes_used() const { return bytes_used_; }
+
+  /// Byte capacity retained across Resets.
+  size_t bytes_retained() const {
+    return bytes_retained_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks ever obtained from the allocator over this arena's lifetime —
+  /// monotonic across Resets. The steady-state "zero mallocs" claim in
+  /// BENCH_scan.json is this counter staying flat while publications keep
+  /// recycling the arena.
+  uint64_t lifetime_blocks_allocated() const {
+    return lifetime_blocks_allocated_.load(std::memory_order_relaxed);
+  }
+
+  // -- Pooled lifetime -------------------------------------------------------
+  //
+  // Snapshot arenas are shared: every PartitionVersion built in an arena
+  // holds one reference, and versions retire at different times (views
+  // share versions copy-on-write). The last Unref returns the arena to
+  // its pool (Reset, then free-listed) or deletes it when unpooled.
+
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Drops one reference; recycles into the owning pool (or deletes) when
+  /// it was the last. The caller must not touch the arena afterwards.
+  void Unref();
+
+ private:
+  friend class ArenaPool;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  /// Bump state over the uniform kBlockSize blocks.
+  char* cursor_ = nullptr;
+  char* limit_ = nullptr;
+  size_t next_block_ = 0;  // blocks_ index of the next block to bump into.
+  std::vector<Block> blocks_;
+
+  /// Dedicated blocks for requests > kBlockSize - alignment slack. Each
+  /// serves at most one allocation per fill cycle (first fit by size);
+  /// large_used_ flags are cleared by Reset.
+  std::vector<Block> large_;
+  std::vector<char> large_used_;
+
+  size_t bytes_used_ = 0;
+  // Atomic (relaxed): mutated only by the single-threaded filler, but read
+  // by concurrent ArenaPool::stats() probes.
+  std::atomic<size_t> bytes_retained_{0};
+  std::atomic<uint64_t> lifetime_blocks_allocated_{0};
+
+  std::atomic<uint64_t> refs_{0};
+  ArenaPool* pool_ = nullptr;  // Set once by the owning pool; never changes.
+};
+
+/// A free list of recycled arenas. Acquire() prefers a pooled arena (its
+/// blocks already sized by earlier generations) and only allocates a new
+/// one when the list is empty, so steady-state snapshot publication does
+/// zero mallocs. Thread-safe; the pool must outlive every arena it ever
+/// handed out (in VersionedTable it is declared before the EpochManager
+/// whose reclamation runs the final Unrefs).
+class ArenaPool {
+ public:
+  struct Stats {
+    uint64_t arenas_created = 0;    // Acquire() misses (new Arena).
+    uint64_t arenas_reused = 0;     // Acquire() hits (from the free list).
+    uint64_t arenas_recycled = 0;   // Last Unref returned an arena here.
+    uint64_t blocks_allocated = 0;  // Lifetime blocks across all arenas.
+    size_t pooled_arenas = 0;       // Currently idle in the free list.
+    size_t live_arenas = 0;         // Handed out and not yet recycled.
+    size_t bytes_retained = 0;      // Capacity held by idle pooled arenas.
+  };
+
+  ArenaPool() = default;
+  ~ArenaPool();
+
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
+
+  /// An empty arena with one reference held by the caller.
+  Arena* Acquire();
+
+  Stats stats() const;
+
+ private:
+  friend class Arena;
+
+  /// Called by the last Arena::Unref.
+  void Recycle(Arena* arena);
+
+  mutable std::mutex mu_;
+  std::vector<Arena*> free_;
+  std::vector<std::unique_ptr<Arena>> all_;  // Every arena ever created.
+  uint64_t arenas_created_ = 0;
+  uint64_t arenas_reused_ = 0;
+  uint64_t arenas_recycled_ = 0;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_COMMON_ARENA_H_

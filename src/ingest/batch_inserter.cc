@@ -344,7 +344,12 @@ Status BatchInserter::ProcessWindow(std::vector<Row>* rows,
   // Window committed in full; let the MVCC publisher snapshot it while the
   // catalog is still quiescent under the commit lock. (The failure return
   // above skips this — the facade publishes the partial prefix itself.)
-  if (commit_hook_) commit_hook_();
+  if (commit_hook_) {
+    WindowCommit commit;
+    commit.rows = end - begin;
+    commit.dirty_partitions = dirty.size();
+    commit_hook_(commit);
+  }
   return Status::OK();
 }
 

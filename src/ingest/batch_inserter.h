@@ -102,12 +102,20 @@ class BatchInserter : public BatchInsertEngine {
   const ShardedCatalog& sharded_catalog() const { return catalog_; }
   Stats stats() const;
 
+  /// What one committed window changed — passed to the commit hook so the
+  /// MVCC publisher can size its publication (the arena-pooled snapshot
+  /// layer pre-sizes its fresh-version scratch from dirty_partitions).
+  struct WindowCommit {
+    size_t rows = 0;              // Rows this window applied.
+    size_t dirty_partitions = 0;  // Distinct partitions it touched.
+  };
+
   /// Called at the end of every committed window, while the commit lock is
   /// still held (the catalog is quiescent and exactly the window's rows
   /// are applied). The MVCC publisher registers here so each window
   /// becomes one consistent published snapshot. The hook must not call
   /// back into the engine. nullptr clears.
-  using CommitHook = std::function<void()>;
+  using CommitHook = std::function<void(const WindowCommit&)>;
   void set_commit_hook(CommitHook hook);
 
  private:

@@ -2,69 +2,171 @@
 #define CINDERELLA_MVCC_PARTITION_VERSION_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <mutex>
 #include <vector>
 
+#include "common/arena.h"
 #include "core/partition.h"
-#include "core/refcounted_synopsis.h"
 #include "storage/row.h"
 #include "synopsis/synopsis.h"
 
 namespace cinderella {
+
+/// Fixed-size raw-storage free list for pooled version/view shells. The
+/// publisher places PartitionVersion objects into recycled storage so
+/// steady-state publication allocates nothing; the epoch reclaimer runs
+/// the destructor and returns the storage here instead of freeing it.
+/// Thread-safe (Acquire on the publisher thread, Return on whichever
+/// thread drives reclamation).
+class ShellPool {
+ public:
+  struct Stats {
+    uint64_t created = 0;   // Acquire() misses (::operator new).
+    uint64_t reused = 0;    // Acquire() hits.
+    uint64_t recycled = 0;  // Returns.
+    size_t pooled = 0;      // Currently idle.
+  };
+
+  ShellPool() = default;
+  ~ShellPool();
+
+  ShellPool(const ShellPool&) = delete;
+  ShellPool& operator=(const ShellPool&) = delete;
+
+  /// Storage of `size` bytes (the same size every call — one pool per
+  /// shell type).
+  void* Acquire(size_t size);
+
+  /// Returns storage previously handed out by Acquire.
+  void Return(void* storage);
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<void*> free_;
+  size_t size_ = 0;
+  uint64_t created_ = 0;
+  uint64_t reused_ = 0;
+  uint64_t recycled_ = 0;
+};
 
 /// An immutable copy-on-write snapshot of one partition, taken at a
 /// publication point (see versioned_table.h). Readers scan versions
 /// instead of live Partition objects, so the ingest writer never has to
 /// take a lock the read path contends on.
 ///
-/// The version carries everything the query stack consumes: the rows (in
-/// the segment's scan order at capture time), the attribute synopsis for
-/// Definition-1 pruning, the per-attribute carrier counts for the
-/// selectivity estimator, the size totals for scan metrics, and a hash
-/// index for point lookups. It deliberately does NOT carry split starters
-/// or the rating synopsis of workload mode — versions serve reads, not
-/// the rating scan.
+/// Storage: everything the version owns — row headers, cell payloads,
+/// point index, synopsis words, carrier counts — is packed into one
+/// publication-shared Arena, so a ForEachPartition scan walks sequential
+/// memory instead of chasing per-version heap blocks:
+///
+///   PackedRow[row_count]   (id, cell range)     8+4+4 bytes each
+///   Row::Cell[cell_total]  cell payloads, per-row slices sorted by attr
+///   IndexSlot[pow2]        open-addressing point index, load <= 0.5
+///   uint64_t[words]        synopsis bitset words
+///   uint32_t[words*64]     dense per-attribute carrier counts
+///
+/// Cells hold Value variants; string payloads beyond the SSO buffer
+/// remain heap-backed (the std::string inside the variant owns them), so
+/// the destructor destroys the cell array before the arena is recycled.
 ///
 /// Lifetime: versions are created by the publisher, shared by any number
 /// of CatalogViews, retired to the EpochManager exactly once (when they
-/// leave the newest view), and freed when no pinned reader can reach them.
+/// leave the newest view), and reclaimed when no pinned reader can reach
+/// them. Each version holds one reference on its arena; the arena
+/// recycles into the publisher's ArenaPool when its last version dies.
 class PartitionVersion {
  public:
-  /// Deep-copies the partition's current state. Must be called while the
-  /// catalog is quiescent (the publisher's lock).
-  explicit PartitionVersion(const Partition& partition);
+  /// One row header: entity id plus its slice of the packed cell array.
+  struct PackedRow {
+    EntityId id;
+    uint32_t cell_begin;
+    uint32_t cell_count;
+  };
+
+  /// Packs the partition's current state into `arena` and takes one
+  /// arena reference. Must be called while the catalog is quiescent (the
+  /// publisher's lock).
+  PartitionVersion(const Partition& partition, Arena* arena);
+
+  ~PartitionVersion();
 
   PartitionVersion(const PartitionVersion&) = delete;
   PartitionVersion& operator=(const PartitionVersion&) = delete;
 
   PartitionId id() const { return id_; }
 
-  /// Rows in the segment's scan order at capture time.
-  const std::vector<Row>& rows() const { return rows_; }
-
-  size_t entity_count() const { return rows_.size(); }
-  uint64_t cell_count() const { return cell_count_; }
+  size_t entity_count() const { return row_count_; }
+  uint64_t cell_count() const { return cell_total_; }
   uint64_t byte_size() const { return byte_size_; }
 
+  /// Row headers in the segment's scan order at capture time.
+  const PackedRow* packed_rows() const { return rows_; }
+
+  /// The shared cell array; row i's cells are
+  /// cell_data()[rows[i].cell_begin .. +rows[i].cell_count).
+  const Row::Cell* cell_data() const { return cells_; }
+
+  /// View of row `i` (i < entity_count()).
+  RowView row(size_t i) const {
+    const PackedRow& r = rows_[i];
+    return RowView(r.id, cells_ + r.cell_begin, r.cell_count);
+  }
+
+  /// Invokes `fn(const RowView&)` over the rows in scan order.
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    for (size_t i = 0; i < row_count_; ++i) fn(row(i));
+  }
+
   /// The pruning synopsis (set of attributes instantiated by residents).
-  const Synopsis& attribute_synopsis() const { return attributes_.synopsis(); }
+  SynopsisSpan attribute_synopsis() const {
+    return SynopsisSpan{synopsis_words_, synopsis_word_count_,
+                        synopsis_cardinality_};
+  }
 
   /// Residents instantiating `attribute` (estimator input), mirroring
   /// Partition::AttributeCarrierCount.
   uint32_t AttributeCarrierCount(AttributeId attribute) const {
-    return attributes_.RefCount(attribute);
+    return attribute < carrier_len_ ? carrier_counts_[attribute] : 0;
   }
 
-  /// Point lookup; nullptr when the entity is not resident.
-  const Row* Find(EntityId entity) const;
+  /// Point lookup; an invalid view when the entity is not resident.
+  RowView Find(EntityId entity) const;
+
+  /// Bytes this version consumed from its arena (diagnostics).
+  size_t arena_bytes() const { return arena_bytes_; }
+
+  /// The shell pool this version's storage returns to on reclamation;
+  /// nullptr when the shell was plain-new'ed. Set by the publisher.
+  ShellPool* shell_pool() const { return shell_pool_; }
 
  private:
+  friend class VersionedTable;
+
+  struct IndexSlot {
+    EntityId entity;
+    uint32_t row;  // kEmptySlot when free.
+  };
+  static constexpr uint32_t kEmptySlot = ~uint32_t{0};
+
   PartitionId id_;
-  std::vector<Row> rows_;
-  std::unordered_map<EntityId, size_t> index_;  // entity -> rows_ slot.
-  RefcountedSynopsis attributes_;
-  uint64_t cell_count_ = 0;
+  Arena* arena_;
+  const PackedRow* rows_;
+  Row::Cell* cells_;  // Mutable only for the destructor's destroy pass.
+  const IndexSlot* index_;
+  uint32_t index_mask_ = 0;  // Index capacity - 1 (capacity: power of 2).
+  uint32_t row_count_ = 0;
+  uint32_t cell_total_ = 0;
+  const uint64_t* synopsis_words_;
+  size_t synopsis_word_count_ = 0;
+  size_t synopsis_cardinality_ = 0;
+  const uint32_t* carrier_counts_;
+  uint32_t carrier_len_ = 0;
   uint64_t byte_size_ = 0;
+  size_t arena_bytes_ = 0;
+  ShellPool* shell_pool_ = nullptr;
 };
 
 /// One immutable generation of the whole catalog: an ascending-id array
@@ -75,6 +177,8 @@ class PartitionVersion {
 ///
 /// Views share unchanged versions with their predecessor; only partitions
 /// the mutation touched are re-copied (COW at partition granularity).
+/// View objects themselves are pooled (see VersionedTable): reclamation
+/// clears and recycles them, keeping the partitions_ capacity.
 class CatalogView {
  public:
   CatalogView() = default;
@@ -101,15 +205,54 @@ class CatalogView {
     for (const PartitionVersion* version : partitions_) fn(*version);
   }
 
-  /// Point lookup across all partitions of this generation.
-  const Row* Find(EntityId entity) const;
+  /// Point lookup across all partitions of this generation; an invalid
+  /// view when the entity is absent.
+  RowView Find(EntityId entity) const;
 
  private:
   friend class VersionedTable;
+  friend class ViewPool;
 
   std::vector<const PartitionVersion*> partitions_;
   uint64_t generation_ = 0;
   size_t entity_count_ = 0;
+  /// Recycle target on reclamation; nullptr when plain-new'ed. The
+  /// pointer doubles as the free-list link owner — see
+  /// VersionedTable::ReclaimView.
+  class ViewPool* pool_ = nullptr;
+};
+
+/// Free list of recycled CatalogView objects (kept constructed so their
+/// partitions_ capacity survives reuse). Thread-safety mirrors ShellPool.
+class ViewPool {
+ public:
+  struct Stats {
+    uint64_t created = 0;
+    uint64_t reused = 0;
+    uint64_t recycled = 0;
+    size_t pooled = 0;
+  };
+
+  ViewPool() = default;
+  ~ViewPool();
+
+  ViewPool(const ViewPool&) = delete;
+  ViewPool& operator=(const ViewPool&) = delete;
+
+  /// An empty view whose pool_ points here.
+  CatalogView* Acquire();
+
+  /// Clears `view` (keeping capacity) and free-lists it.
+  void Return(CatalogView* view);
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CatalogView*> free_;
+  uint64_t created_ = 0;
+  uint64_t reused_ = 0;
+  uint64_t recycled_ = 0;
 };
 
 }  // namespace cinderella

@@ -1,9 +1,8 @@
 #include "mvcc/versioned_table.h"
 
 #include <algorithm>
+#include <new>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
@@ -33,9 +32,11 @@ VersionedTable::VersionedTable(Cinderella* table, BatchInserter* engine)
 void VersionedTable::Hook() {
   cinderella_->set_version_capture(&pending_);
   if (engine_ != nullptr) {
-    engine_->set_commit_hook([this] {
+    engine_->set_commit_hook([this](const BatchInserter::WindowCommit& commit) {
       std::lock_guard<std::mutex> lock(publish_mu_);
-      PublishLocked();
+      // The window's dirty-partition count bounds the publication delta;
+      // passing it pre-sizes the fresh-version scratch.
+      PublishLocked(commit.dirty_partitions);
     });
   }
   std::lock_guard<std::mutex> lock(publish_mu_);
@@ -53,12 +54,16 @@ VersionedTable::~VersionedTable() {
   const CatalogView* view = current_.load(std::memory_order_seq_cst);
   if (view != nullptr) {
     for (const PartitionVersion* version : view->partitions()) {
-      epochs_.Retire(version);
+      epochs_.RetireObject(const_cast<PartitionVersion*>(version),
+                           &VersionedTable::ReclaimVersion);
     }
-    epochs_.Retire(view);
+    epochs_.RetireObject(const_cast<CatalogView*>(view),
+                         &VersionedTable::ReclaimView);
   }
   epochs_.Advance();
   CINDERELLA_CHECK(epochs_.retired_count() == 0);
+  // Member destruction frees the pools after epochs_: every version, view
+  // shell, and arena is back in its pool by now.
 }
 
 // -- Read path ----------------------------------------------------------------
@@ -74,12 +79,12 @@ VersionedTable::Snapshot VersionedTable::snapshot() const {
 
 StatusOr<Row> VersionedTable::Get(EntityId entity) const {
   Snapshot snap = snapshot();
-  const Row* row = snap.view().Find(entity);
-  if (row == nullptr) {
+  const RowView row = snap.view().Find(entity);
+  if (!row.valid()) {
     return Status::NotFound("entity " + std::to_string(entity) +
                             " not in table");
   }
-  return Row(*row);  // Copy before the snapshot (and its pin) is released.
+  return row.ToRow();  // Copy before the snapshot (and its pin) is released.
 }
 
 size_t VersionedTable::entity_count() const {
@@ -92,6 +97,24 @@ size_t VersionedTable::partition_count() const {
 
 uint64_t VersionedTable::published_generation() const {
   return snapshot().view().generation();
+}
+
+VersionedTable::MemoryStats VersionedTable::memory_stats() const {
+  MemoryStats stats;
+  {
+    Snapshot snap = snapshot();
+    stats.generation = snap.view().generation();
+    stats.live_versions = snap.view().partition_count();
+    for (const PartitionVersion* version : snap.view().partitions()) {
+      stats.view_bytes += version->arena_bytes();
+    }
+  }
+  stats.retired_objects = epochs_.retired_count();
+  stats.reclaimed_objects = epochs_.reclaimed_count();
+  stats.arenas = arena_pool_.stats();
+  stats.version_shells = version_pool_.stats();
+  stats.views = view_pool_.stats();
+  return stats;
 }
 
 // -- Write path ---------------------------------------------------------------
@@ -154,39 +177,86 @@ void VersionedTable::RefreshView() {
 
 // -- Publication --------------------------------------------------------------
 
-void VersionedTable::PublishLocked() {
-  CatalogMutations delta;
-  delta.touched.swap(pending_.touched);
-  delta.created.swap(pending_.created);
-  delta.dropped.swap(pending_.dropped);
+const PartitionVersion* VersionedTable::MakeVersionLocked(
+    const Partition& partition, Arena* arena) {
+  void* storage = version_pool_.Acquire(sizeof(PartitionVersion));
+  auto* version = new (storage) PartitionVersion(partition, arena);
+  version->shell_pool_ = &version_pool_;
+  return version;
+}
+
+void VersionedTable::ReclaimVersion(void* object) {
+  auto* version = static_cast<PartitionVersion*>(object);
+  ShellPool* pool = version->shell_pool_;
+  version->~PartitionVersion();
+  if (pool != nullptr) {
+    pool->Return(object);
+  } else {
+    ::operator delete(object);
+  }
+}
+
+void VersionedTable::ReclaimView(void* object) {
+  auto* view = static_cast<CatalogView*>(object);
+  if (view->pool_ != nullptr) {
+    view->pool_->Return(view);
+  } else {
+    delete view;
+  }
+}
+
+void VersionedTable::PublishLocked(size_t delta_hint) {
+  // Ping-pong the delta buffers with pending_: both sides keep their
+  // vector capacity, so draining the capture allocates nothing at steady
+  // state.
+  delta_scratch_.touched.clear();
+  delta_scratch_.created.clear();
+  delta_scratch_.dropped.clear();
+  delta_scratch_.touched.swap(pending_.touched);
+  delta_scratch_.created.swap(pending_.created);
+  delta_scratch_.dropped.swap(pending_.dropped);
+  const CatalogMutations& delta = delta_scratch_;
   if (delta.touched.empty() && delta.created.empty() && delta.dropped.empty()) {
     return;  // Nothing changed since the last publication.
   }
 
   const PartitionCatalog& catalog = cinderella_->catalog();
 
-  std::unordered_set<PartitionId> dropped(delta.dropped.begin(),
-                                          delta.dropped.end());
+  dropped_scratch_.clear();
+  dropped_scratch_.insert(delta.dropped.begin(), delta.dropped.end());
+  std::unordered_set<PartitionId>& dropped = dropped_scratch_;
+  fresh_scratch_.clear();
+  if (delta_hint != 0) fresh_scratch_.reserve(delta_hint);
+  std::unordered_map<PartitionId, const PartitionVersion*>& fresh =
+      fresh_scratch_;
+
   // Fresh versions for every partition the delta touched or created that
-  // is still live. A touched-then-dropped partition (split source, drained
-  // empty partition) lands in `dropped` or resolves to nullptr and is
-  // excluded either way.
-  std::unordered_map<PartitionId, const PartitionVersion*> fresh;
+  // is still live, packed into one pooled arena (acquired lazily: a
+  // delta that only drops partitions needs none). A touched-then-dropped
+  // partition (split source, drained empty partition) lands in `dropped`
+  // or resolves to nullptr and is excluded either way.
+  Arena* arena = nullptr;
   auto consider = [&](PartitionId id) {
     if (dropped.count(id) != 0 || fresh.count(id) != 0) return;
     const Partition* partition = catalog.GetPartition(id);
-    if (partition == nullptr) {
+    // A live-but-empty partition (a DeleteBatch drained it and the drop
+    // is still pending, or a cascade failed before its sweep) is dropped
+    // from the view: published views never carry empty versions, keeping
+    // estimator totals consistent with entity counts.
+    if (partition == nullptr || partition->entity_count() == 0) {
       dropped.insert(id);
       return;
     }
-    fresh.emplace(id, new PartitionVersion(*partition));
+    if (arena == nullptr) arena = arena_pool_.Acquire();
+    fresh.emplace(id, MakeVersionLocked(*partition, arena));
   };
   for (PartitionId id : delta.touched) consider(id);
   for (PartitionId id : delta.created) consider(id);
 
   const CatalogView* old_view = current_.load(std::memory_order_seq_cst);
-  auto* view = new CatalogView();
-  std::vector<const PartitionVersion*> superseded;
+  CatalogView* view = view_pool_.Acquire();
+  superseded_scratch_.clear();
+  std::vector<const PartitionVersion*>& superseded = superseded_scratch_;
   view->partitions_.reserve(old_view->partitions().size() + fresh.size());
   for (const PartitionVersion* old_version : old_view->partitions()) {
     const PartitionId id = old_version->id();
@@ -207,15 +277,14 @@ void VersionedTable::PublishLocked() {
   // are always larger than any id live before them (catalog slots are
   // never reused), so appending in ascending id order keeps the whole
   // array sorted.
-  std::vector<const PartitionVersion*> created(fresh.size());
-  size_t created_count = 0;
-  for (const auto& [id, version] : fresh) created[created_count++] = version;
-  std::sort(created.begin(), created.end(),
+  created_scratch_.clear();
+  for (const auto& [id, version] : fresh) created_scratch_.push_back(version);
+  std::sort(created_scratch_.begin(), created_scratch_.end(),
             [](const PartitionVersion* a, const PartitionVersion* b) {
               return a->id() < b->id();
             });
-  view->partitions_.insert(view->partitions_.end(), created.begin(),
-                           created.end());
+  view->partitions_.insert(view->partitions_.end(), created_scratch_.begin(),
+                           created_scratch_.end());
 
   size_t entities = 0;
   for (const PartitionVersion* version : view->partitions_) {
@@ -224,6 +293,9 @@ void VersionedTable::PublishLocked() {
   view->entity_count_ = entities;
 
   InstallLocked(view, superseded);
+  // Drop the publisher's arena reference; the versions built above hold
+  // theirs until reclamation, and the last one recycles the arena.
+  if (arena != nullptr) arena->Unref();
 }
 
 void VersionedTable::RebuildViewLocked() {
@@ -232,11 +304,15 @@ void VersionedTable::RebuildViewLocked() {
   pending_.created.clear();
   pending_.dropped.clear();
 
-  auto* view = new CatalogView();
+  CatalogView* view = view_pool_.Acquire();
   const PartitionCatalog& catalog = cinderella_->catalog();
   view->partitions_.reserve(catalog.partition_count());
+  Arena* arena = nullptr;
   catalog.ForEachPartition([&](const Partition& partition) {
-    view->partitions_.push_back(new PartitionVersion(partition));
+    // Same invariant as PublishLocked: views never carry empty versions.
+    if (partition.entity_count() == 0) return;
+    if (arena == nullptr) arena = arena_pool_.Acquire();
+    view->partitions_.push_back(MakeVersionLocked(partition, arena));
   });
   view->entity_count_ = catalog.entity_count();
 
@@ -244,6 +320,7 @@ void VersionedTable::RebuildViewLocked() {
   std::vector<const PartitionVersion*> superseded;
   if (old_view != nullptr) superseded = old_view->partitions();
   InstallLocked(view, superseded);
+  if (arena != nullptr) arena->Unref();
 }
 
 void VersionedTable::InstallLocked(
@@ -255,8 +332,14 @@ void VersionedTable::InstallLocked(
   // epoch, so a reader whose verified pin predates this publication keeps
   // it alive, while post-advance readers (who can only load the new view)
   // never block its reclamation.
-  for (const PartitionVersion* version : superseded) epochs_.Retire(version);
-  if (old_view != nullptr) epochs_.Retire(old_view);
+  for (const PartitionVersion* version : superseded) {
+    epochs_.RetireObject(const_cast<PartitionVersion*>(version),
+                         &VersionedTable::ReclaimVersion);
+  }
+  if (old_view != nullptr) {
+    epochs_.RetireObject(const_cast<CatalogView*>(old_view),
+                         &VersionedTable::ReclaimView);
+  }
   epochs_.Advance();
 }
 

@@ -5,8 +5,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "core/cinderella.h"
 #include "ingest/batch_inserter.h"
@@ -37,7 +40,16 @@ namespace cinderella {
 ///    data — no lock, no waiting, and a prune-then-scan that always sees
 ///    one consistent generation even mid-split-cascade.
 ///  - Superseded versions and views are retired to the EpochManager and
-///    freed once no pinned reader can reach them.
+///    reclaimed once no pinned reader can reach them.
+///
+/// Storage: each publication packs its fresh versions into one Arena
+/// from an internal ArenaPool, and version/view shells come from free
+/// lists — reclamation recycles all three instead of freeing, so steady-
+/// state publication performs zero allocator calls (see common/arena.h
+/// and DESIGN.md §10). The published view is also guaranteed free of
+/// empty partitions: a partition drained by a DeleteBatch (or left empty
+/// by a failed cascade) is dropped from the next view even if the live
+/// catalog briefly keeps it, so estimator totals stay consistent.
 ///
 /// Contract: all mutations must go through this facade (or be followed by
 /// RefreshView()); mutating the underlying Cinderella directly leaves the
@@ -155,6 +167,21 @@ class VersionedTable {
   const Cinderella& partitioner() const { return *cinderella_; }
   EpochManager& epochs() { return epochs_; }
 
+  /// Snapshot memory footprint: what the current generation holds, what
+  /// the pools retain, and what reclamation still owes. Safe to call
+  /// concurrently with readers and writers.
+  struct MemoryStats {
+    uint64_t generation = 0;
+    size_t live_versions = 0;    // Versions in the current view.
+    size_t view_bytes = 0;       // Arena bytes those versions consume.
+    size_t retired_objects = 0;  // Awaiting epoch reclamation.
+    uint64_t reclaimed_objects = 0;
+    ArenaPool::Stats arenas;
+    ShellPool::Stats version_shells;
+    ViewPool::Stats views;
+  };
+  MemoryStats memory_stats() const;
+
  private:
   void Hook();
 
@@ -163,8 +190,10 @@ class VersionedTable {
 
   /// Publishes pending_ as a COW delta against the current view. Requires
   /// publish_mu_; the catalog must be quiescent (writer lock or the
-  /// engine's commit lock).
-  void PublishLocked();
+  /// engine's commit lock). `delta_hint` pre-sizes the publication
+  /// scratch (the ingest commit hook passes its window's dirty-partition
+  /// count).
+  void PublishLocked(size_t delta_hint = 0);
 
   /// Replaces the view with a full copy of the live catalog (initial
   /// publication and RefreshView).
@@ -175,13 +204,28 @@ class VersionedTable {
   void InstallLocked(CatalogView* view,
                      const std::vector<const PartitionVersion*>& superseded);
 
-  // Destruction order matters: owned_engine_ detaches from the partitioner
-  // in its destructor, so it must die before owned_ — members are declared
-  // owned_ first (destroyed last).
+  /// Builds one version in pooled shell storage from the publication
+  /// arena. `partition` must be non-empty.
+  const PartitionVersion* MakeVersionLocked(const Partition& partition,
+                                            Arena* arena);
+
+  /// Epoch deleters: run the destructor, then recycle the shell into its
+  /// pool (plain delete when unpooled).
+  static void ReclaimVersion(void* object);
+  static void ReclaimView(void* object);
+
+  // Destruction order matters twice over: owned_engine_ detaches from the
+  // partitioner in its destructor, so it must die before owned_; and the
+  // pools must outlive epochs_ (whose reclamation recycles into them), so
+  // they are declared before it.
   std::unique_ptr<Cinderella> owned_;
   std::unique_ptr<BatchInserter> owned_engine_;
   Cinderella* cinderella_;
   BatchInserter* engine_ = nullptr;
+
+  ArenaPool arena_pool_;
+  ShellPool version_pool_;
+  ViewPool view_pool_;
 
   mutable EpochManager epochs_;
   /// Serializes facade write operations. Lock order: write_mu_ before the
@@ -195,6 +239,16 @@ class VersionedTable {
   CatalogMutations pending_;
   std::atomic<const CatalogView*> current_{nullptr};
   uint64_t view_generation_ = 0;  // Guarded by publish_mu_.
+
+  // Publication scratch, guarded by publish_mu_. Reused so steady-state
+  // publication allocates nothing: the delta ping-pongs its vector
+  // capacity with pending_, and the set/map keep their buckets across
+  // clear().
+  CatalogMutations delta_scratch_;
+  std::unordered_set<PartitionId> dropped_scratch_;
+  std::unordered_map<PartitionId, const PartitionVersion*> fresh_scratch_;
+  std::vector<const PartitionVersion*> superseded_scratch_;
+  std::vector<const PartitionVersion*> created_scratch_;
 };
 
 }  // namespace cinderella

@@ -14,33 +14,58 @@ namespace {
 constexpr size_t kScanChunk = 4;
 
 /// Uniform scan input: what one partition contributes to a scan, whether
-/// it comes from the live catalog or from an immutable MVCC version.
+/// it comes from the live catalog (heap-backed Row objects) or from an
+/// arena-packed MVCC version (row headers plus one shared cell array).
+/// Either way the scan body sees RowViews, so predicate evaluation and
+/// projection are layout-agnostic.
 struct ScanSource {
-  const Synopsis* synopsis = nullptr;     // Pruning synopsis.
-  const std::vector<Row>* rows = nullptr; // Residents in scan order.
+  SynopsisSpan synopsis;  // Pruning synopsis.
+  // Exactly one layout is set per source.
+  const std::vector<Row>* live_rows = nullptr;
+  const PartitionVersion::PackedRow* packed_rows = nullptr;
+  const Row::Cell* packed_cells = nullptr;
   size_t entities = 0;
   uint64_t cells = 0;
   uint64_t bytes = 0;
+
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    if (live_rows != nullptr) {
+      for (const Row& row : *live_rows) fn(RowView(row));
+      return;
+    }
+    for (size_t i = 0; i < entities; ++i) {
+      const PartitionVersion::PackedRow& row = packed_rows[i];
+      fn(RowView(row.id, packed_cells + row.cell_begin, row.cell_count));
+    }
+  }
 };
 
 void AppendSources(const PartitionCatalog& catalog,
                    std::vector<ScanSource>* sources) {
   sources->reserve(catalog.partition_count());
   catalog.ForEachPartition([&](const Partition& partition) {
-    sources->push_back(ScanSource{&partition.attribute_synopsis(),
-                                  &partition.segment().rows(),
-                                  partition.entity_count(),
-                                  partition.segment().cell_count(),
-                                  partition.segment().byte_size()});
+    ScanSource source;
+    source.synopsis = partition.attribute_synopsis().span();
+    source.live_rows = &partition.segment().rows();
+    source.entities = partition.entity_count();
+    source.cells = partition.segment().cell_count();
+    source.bytes = partition.segment().byte_size();
+    sources->push_back(source);
   });
 }
 
 void AppendSources(const CatalogView& view, std::vector<ScanSource>* sources) {
   sources->reserve(view.partition_count());
   view.ForEachPartition([&](const PartitionVersion& version) {
-    sources->push_back(ScanSource{&version.attribute_synopsis(),
-                                  &version.rows(), version.entity_count(),
-                                  version.cell_count(), version.byte_size()});
+    ScanSource source;
+    source.synopsis = version.attribute_synopsis();
+    source.packed_rows = version.packed_rows();
+    source.packed_cells = version.cell_data();
+    source.entities = version.entity_count();
+    source.cells = version.cell_count();
+    source.bytes = version.byte_size();
+    sources->push_back(source);
   });
 }
 
@@ -111,12 +136,12 @@ QueryResult QueryExecutor::ScanMatchingRows(const Predicate& predicate) {
   struct Out {
     ScanMetrics metrics;
     size_t entities = 0;
-    std::vector<const Row*> matches;
+    std::vector<RowView> matches;
   };
   auto scan = [&](const ScanSource& source, Out* out) {
     ++out->metrics.partitions_total;
     out->entities += source.entities;
-    if (prunable && !source.synopsis->Intersects(pruning)) {
+    if (prunable && !source.synopsis.Intersects(pruning)) {
       ++out->metrics.partitions_pruned;
       return;
     }
@@ -124,12 +149,12 @@ QueryResult QueryExecutor::ScanMatchingRows(const Predicate& predicate) {
     out->metrics.rows_scanned += source.entities;
     out->metrics.cells_read += source.cells;
     out->metrics.bytes_read += source.bytes;
-    for (const Row& row : *source.rows) {
+    source.ForEachRow([&](const RowView& row) {
       if (predicate.Matches(row)) {
         ++out->metrics.rows_matched;
-        out->matches.push_back(&row);
+        out->matches.push_back(row);
       }
-    }
+    });
   };
   ChunkedScan<Out>(pool(), sources, scan, [&](Out out) {
     MergeMetrics(out.metrics, &result.metrics);
@@ -150,14 +175,14 @@ QueryResult QueryExecutor::ScanMatchingRows(const Predicate& predicate) {
 }
 
 QueryResult QueryExecutor::ExecutePredicate(const Predicate& predicate) {
-  return ScanMatches(predicate, [](const Row&) {});
+  return ScanMatches(predicate, [](const RowView&) {});
 }
 
 QueryResult QueryExecutor::ExecuteSelect(const SelectStatement& statement) {
   result_buffer_.clear();
-  auto materialize = [&](const Row& row) {
+  auto materialize = [&](const RowView& row) {
     if (statement.select_all) {
-      for (const Row::Cell& cell : row.cells()) {
+      for (const Row::Cell& cell : row) {
         result_buffer_.push_back(cell.value);
       }
       return;
@@ -194,7 +219,7 @@ QueryResult QueryExecutor::Execute(const Query& query) {
     ++out->metrics.partitions_total;
     out->entities += source.entities;
     // Definition 1 pruning: skip partitions with sgn(|p ∧ q|) = 0.
-    if (!source.synopsis->Intersects(query.attributes())) {
+    if (!source.synopsis.Intersects(query.attributes())) {
       ++out->metrics.partitions_pruned;
       return;
     }
@@ -202,7 +227,7 @@ QueryResult QueryExecutor::Execute(const Query& query) {
     out->metrics.rows_scanned += source.entities;
     out->metrics.cells_read += source.cells;
     out->metrics.bytes_read += source.bytes;
-    for (const Row& row : *source.rows) {
+    source.ForEachRow([&](const RowView& row) {
       // OR-of-IS-NOT-NULL match; projection materializes the queried
       // attributes that are present.
       bool matched = false;
@@ -214,7 +239,7 @@ QueryResult QueryExecutor::Execute(const Query& query) {
         }
       }
       if (matched) ++out->metrics.rows_matched;
-    }
+    });
   };
   ChunkedScan<Out>(pool(), sources, scan, [&](Out out) {
     MergeMetrics(out.metrics, &result.metrics);
@@ -243,9 +268,10 @@ OwnedQueryResult QueryOwnedRows(const ConcurrentTable& table,
   table.WithReadLock([&](const PartitionCatalog& catalog) {
     QueryExecutor executor(catalog, scan_threads);
     // Copy the matched rows while the shared lock is still held; the
-    // pointers ScanMatches yields die with the lock.
+    // views ScanMatches yields die with the lock.
     owned.result = executor.ScanMatches(
-        predicate, [&](const Row& row) { owned.rows.push_back(row); });
+        predicate,
+        [&](const RowView& row) { owned.rows.push_back(row.ToRow()); });
     return 0;
   });
   return owned;

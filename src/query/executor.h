@@ -103,13 +103,15 @@ class QueryExecutor {
   /// materialization of the projected attributes.
   QueryResult ExecuteSelect(const SelectStatement& statement);
 
-  /// Like ExecutePredicate, invoking `fn(const Row&)` for every match in
-  /// partition-id-then-row order. Predicate evaluation may run on the
+  /// Like ExecutePredicate, invoking `fn(const RowView&)` for every match
+  /// in partition-id-then-row order. Predicate evaluation may run on the
   /// scan pool; `fn` always runs on the calling thread, after the scan.
+  /// The views borrow from the scanned source (live catalog or pinned
+  /// snapshot); copy via RowView::ToRow() to keep a row past the scan.
   template <typename Fn>
   QueryResult ScanMatches(const Predicate& predicate, Fn&& fn) {
     QueryResult result = ScanMatchingRows(predicate);
-    for (const Row* row : match_buffer_) fn(*row);
+    for (const RowView& row : match_buffer_) fn(row);
     return result;
   }
 
@@ -130,7 +132,7 @@ class QueryExecutor {
   int degree_;
   std::unique_ptr<ThreadPool> pool_;
   // Reused scratch buffers (cleared per query).
-  std::vector<const Row*> match_buffer_;
+  std::vector<RowView> match_buffer_;
   std::vector<Value> result_buffer_;
 };
 

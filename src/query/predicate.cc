@@ -48,7 +48,9 @@ class IsNotNullPredicate : public Predicate {
   explicit IsNotNullPredicate(AttributeId attribute)
       : attribute_(attribute) {}
 
-  bool Matches(const Row& row) const override { return row.Has(attribute_); }
+  bool Matches(const RowView& row) const override {
+    return row.Has(attribute_);
+  }
 
   bool PruningSynopsis(Synopsis* out) const override {
     out->Add(attribute_);
@@ -68,7 +70,7 @@ class ComparePredicate : public Predicate {
   ComparePredicate(AttributeId attribute, CompareOp op, Value literal)
       : attribute_(attribute), op_(op), literal_(std::move(literal)) {}
 
-  bool Matches(const Row& row) const override {
+  bool Matches(const RowView& row) const override {
     const Value* value = row.Get(attribute_);
     if (value == nullptr) return false;
     bool comparable = false;
@@ -112,7 +114,7 @@ class AndPredicate : public Predicate {
   explicit AndPredicate(std::vector<PredicatePtr> children)
       : children_(std::move(children)) {}
 
-  bool Matches(const Row& row) const override {
+  bool Matches(const RowView& row) const override {
     for (const PredicatePtr& child : children_) {
       if (!child->Matches(row)) return false;
     }
@@ -154,7 +156,7 @@ class OrPredicate : public Predicate {
   explicit OrPredicate(std::vector<PredicatePtr> children)
       : children_(std::move(children)) {}
 
-  bool Matches(const Row& row) const override {
+  bool Matches(const RowView& row) const override {
     for (const PredicatePtr& child : children_) {
       if (child->Matches(row)) return true;
     }
@@ -189,7 +191,7 @@ class NotPredicate : public Predicate {
  public:
   explicit NotPredicate(PredicatePtr child) : child_(std::move(child)) {}
 
-  bool Matches(const Row& row) const override {
+  bool Matches(const RowView& row) const override {
     return !child_->Matches(row);
   }
 

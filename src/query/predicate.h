@@ -31,8 +31,10 @@ class Predicate {
  public:
   virtual ~Predicate() = default;
 
-  /// True if `row` satisfies the predicate.
-  virtual bool Matches(const Row& row) const = 0;
+  /// True if `row` satisfies the predicate. Takes a RowView so the same
+  /// evaluation runs over heap Rows (which convert implicitly) and over
+  /// the packed cell arrays of arena-backed MVCC versions.
+  virtual bool Matches(const RowView& row) const = 0;
 
   /// Conservative pruning set: a partition whose synopsis does not
   /// intersect this set cannot contain a matching row. Returns false when

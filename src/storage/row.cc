@@ -50,4 +50,24 @@ Synopsis Row::AttributeSynopsis() const {
   return s;
 }
 
+const Value* RowView::Get(AttributeId attribute) const {
+  const Row::Cell* it =
+      std::lower_bound(cells_, cells_ + cell_count_, attribute, CellLess{});
+  if (it == cells_ + cell_count_ || it->attribute != attribute) return nullptr;
+  return &it->value;
+}
+
+uint64_t RowView::byte_size() const {
+  uint64_t total = 8;
+  for (const Row::Cell& cell : *this) total += 4 + cell.value.byte_size();
+  return total;
+}
+
+Row RowView::ToRow() const {
+  Row row(id_);
+  // Cells are sorted, so each Set appends without shifting.
+  for (const Row::Cell& cell : *this) row.Set(cell.attribute, cell.value);
+  return row;
+}
+
 }  // namespace cinderella

@@ -63,6 +63,53 @@ class Row {
   std::vector<Cell> cells_;
 };
 
+/// A non-owning view of one row: the entity id plus a span of cells
+/// sorted by attribute id. The scan path hands out RowViews so the same
+/// predicate/projection code runs over heap-backed Rows (live catalog)
+/// and over the packed cell arrays of arena-backed MVCC versions
+/// (mvcc/partition_version.h) without copying either.
+///
+/// A default-constructed view is invalid (point-lookup miss). Lookup
+/// semantics are exactly Row's: Get() binary-searches the sorted cells.
+class RowView {
+ public:
+  RowView() = default;
+  RowView(EntityId id, const Row::Cell* cells, size_t cell_count)
+      : id_(id), cells_(cells), cell_count_(cell_count), valid_(true) {}
+
+  /// Implicit on purpose: call sites holding a Row (tests, live-catalog
+  /// scans) pass it wherever a RowView is consumed.
+  RowView(const Row& row)  // NOLINT(google-explicit-constructor)
+      : RowView(row.id(), row.cells().data(), row.cells().size()) {}
+
+  /// False for a default-constructed view (e.g. a Find() miss).
+  bool valid() const { return valid_; }
+
+  EntityId id() const { return id_; }
+  size_t attribute_count() const { return cell_count_; }
+
+  /// The value for `attribute`, or nullptr if not instantiated.
+  const Value* Get(AttributeId attribute) const;
+
+  bool Has(AttributeId attribute) const { return Get(attribute) != nullptr; }
+
+  /// Cells sorted by attribute id.
+  const Row::Cell* begin() const { return cells_; }
+  const Row::Cell* end() const { return cells_ + cell_count_; }
+
+  /// Byte footprint, mirroring Row::byte_size().
+  uint64_t byte_size() const;
+
+  /// Owned deep copy (safe past the view's lifetime).
+  Row ToRow() const;
+
+ private:
+  EntityId id_ = 0;
+  const Row::Cell* cells_ = nullptr;
+  size_t cell_count_ = 0;
+  bool valid_ = false;
+};
+
 }  // namespace cinderella
 
 #endif  // CINDERELLA_STORAGE_ROW_H_

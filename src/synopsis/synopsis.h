@@ -12,6 +12,27 @@ namespace cinderella {
 /// query (workload-based mode). Assigned by AttributeDictionary.
 using AttributeId = uint32_t;
 
+class Synopsis;
+
+/// A non-owning view of a synopsis bitset: `num_words` little-endian
+/// 64-bit words plus the cached cardinality. The MVCC snapshot layer
+/// stores version synopses as packed words inside an arena
+/// (mvcc/partition_version.h) and hands them to the executor/estimator
+/// through this view, so both the live path (Synopsis::span()) and the
+/// packed path run the same pruning code.
+struct SynopsisSpan {
+  const uint64_t* words = nullptr;
+  size_t num_words = 0;
+  size_t cardinality = 0;
+
+  size_t Count() const { return cardinality; }
+  bool Empty() const { return num_words == 0; }
+
+  /// Definition-1 pruning test against a full synopsis (declared below;
+  /// defined after Synopsis).
+  bool Intersects(const Synopsis& other) const;
+};
+
 /// A synopsis is a set over dictionary-encoded ids, stored as a dynamic
 /// bitset (Section II of the paper: "Each partition is described in the
 /// system catalog using a partition synopsis p, which lists the attributes
@@ -105,6 +126,12 @@ class Synopsis {
   /// arenas so it can popcount without going through Synopsis.
   const std::vector<uint64_t>& words() const { return words_; }
 
+  /// Non-owning view over this synopsis; valid while the synopsis is
+  /// neither mutated nor destroyed.
+  SynopsisSpan span() const {
+    return SynopsisSpan{words_.data(), words_.size(), count_};
+  }
+
   /// Enumerates the ids in ascending order.
   std::vector<AttributeId> ToIds() const;
 
@@ -129,6 +156,16 @@ class Synopsis {
 bool operator==(const Synopsis& a, const Synopsis& b);
 inline bool operator!=(const Synopsis& a, const Synopsis& b) {
   return !(a == b);
+}
+
+inline bool SynopsisSpan::Intersects(const Synopsis& other) const {
+  const std::vector<uint64_t>& other_words = other.words();
+  const size_t common =
+      num_words < other_words.size() ? num_words : other_words.size();
+  for (size_t i = 0; i < common; ++i) {
+    if ((words[i] & other_words[i]) != 0) return true;
+  }
+  return false;
 }
 
 }  // namespace cinderella

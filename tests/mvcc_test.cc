@@ -80,10 +80,11 @@ void CheckViewInvariants(const CatalogView& view) {
     last_id = version->id();
     ASSERT_GT(version->entity_count(), 0u);
     entities += version->entity_count();
-    for (const Row& row : version->rows()) {
-      const Row* found = version->Find(row.id());
-      ASSERT_NE(found, nullptr);
-      ASSERT_EQ(found->id(), row.id());
+    for (size_t i = 0; i < version->entity_count(); ++i) {
+      const RowView row = version->row(i);
+      const RowView found = version->Find(row.id());
+      ASSERT_TRUE(found.valid());
+      ASSERT_EQ(found.id(), row.id());
     }
   }
   ASSERT_EQ(view.entity_count(), entities);
@@ -323,8 +324,8 @@ TEST(DeleteBatchTest, SnapshotStillSeesDeletedRows) {
 
   ASSERT_TRUE(table.DeleteBatch({0, 1, 2, 3}).ok());
   EXPECT_EQ(snapshot.view().entity_count(), 12u);
-  EXPECT_NE(snapshot.view().Find(0), nullptr);
-  EXPECT_EQ(table.snapshot().view().Find(0), nullptr);
+  EXPECT_TRUE(snapshot.view().Find(0).valid());
+  EXPECT_FALSE(table.snapshot().view().Find(0).valid());
 }
 
 TEST(DeleteBatchTest, DrainedPartitionsRetireTheirVersions) {
@@ -363,6 +364,100 @@ TEST(DeleteBatchTest, MatchesOneByOneDeletes) {
 
   EXPECT_EQ(GroupingFingerprint(table.partitioner()),
             GroupingFingerprint(*serial));
+}
+
+TEST(DeleteBatchTest, PublishedViewNeverContainsEmptyVersions) {
+  // Regression: a DeleteBatch that drains a partition must drop that
+  // partition's version from the published view — an empty version would
+  // skew estimator totals and violate the per-view invariants.
+  VersionedTable table(MakePartitioner(/*max_size=*/8));
+  ASSERT_TRUE(table.InsertBatch(MakeRows(0, 32)).ok());
+  ASSERT_GT(table.partition_count(), 2u);
+
+  // Entities 0,4,8,... cluster by (id % 4), so deleting one residue class
+  // drains whole partitions while others stay populated.
+  std::vector<EntityId> victims;
+  for (EntityId id = 0; id < 32; id += 4) victims.push_back(id);
+  ASSERT_TRUE(table.DeleteBatch(victims).ok());
+
+  const VersionedTable::Snapshot snapshot = table.snapshot();
+  size_t entities = 0;
+  for (const PartitionVersion* version : snapshot.view().partitions()) {
+    EXPECT_GT(version->entity_count(), 0u);
+    entities += version->entity_count();
+  }
+  EXPECT_EQ(entities, 24u);
+  EXPECT_EQ(snapshot.view().entity_count(), 24u);
+  CheckViewInvariants(snapshot.view());
+}
+
+TEST(VersionedTableTest, RefreshViewSkipsEmptyLivePartitions) {
+  // Regression for the publication guard itself: even if the live catalog
+  // holds an empty partition (created here directly, bypassing the
+  // facade), a full view rebuild must not publish a version for it.
+  VersionedTable table(MakePartitioner());
+  ASSERT_TRUE(table.InsertBatch(MakeRows(0, 8)).ok());
+  const size_t live_partitions =
+      table.partitioner().catalog().partition_count();
+
+  table.partitioner().catalog().CreatePartition();
+  table.RefreshView();
+
+  const VersionedTable::Snapshot snapshot = table.snapshot();
+  EXPECT_EQ(snapshot.view().partition_count(), live_partitions);
+  EXPECT_EQ(snapshot.view().entity_count(), 8u);
+  CheckViewInvariants(snapshot.view());
+}
+
+// -- Pooled snapshot storage -------------------------------------------------
+
+TEST(VersionedTableTest, SteadyStatePublicationRecyclesArenas) {
+  VersionedTable table(MakePartitioner());
+  ASSERT_TRUE(table.InsertBatch(MakeRows(0, 16)).ok());
+
+  // Warm-up churn establishes the pooled capacity (arena blocks, version
+  // shells, view objects). The warm-up runs the same churn pattern as the
+  // steady phase: the arena working set converges to the set of arenas the
+  // current view references plus the ones cycling through the pool.
+  auto churn = [&](int i) {
+    const EntityId target = 1 + static_cast<EntityId>(i % 2);
+    ASSERT_TRUE(table.Update(MakeRow(target, {0, 1, 2})).ok());
+  };
+  for (int i = 0; i < 12; ++i) churn(i);
+  const VersionedTable::MemoryStats warm = table.memory_stats();
+  ASSERT_GT(warm.arenas.blocks_allocated, 0u);
+
+  // Steady state: every further publication reuses a pooled arena, a
+  // pooled version shell, and a pooled view — zero new blocks, zero new
+  // arenas, zero new shells.
+  for (int i = 0; i < 32; ++i) churn(i);
+  const VersionedTable::MemoryStats steady = table.memory_stats();
+  EXPECT_EQ(steady.arenas.blocks_allocated, warm.arenas.blocks_allocated);
+  EXPECT_EQ(steady.arenas.arenas_created, warm.arenas.arenas_created);
+  EXPECT_EQ(steady.version_shells.created, warm.version_shells.created);
+  EXPECT_EQ(steady.views.created, warm.views.created);
+  EXPECT_GT(steady.arenas.arenas_reused, warm.arenas.arenas_reused);
+  EXPECT_GT(steady.version_shells.reused, warm.version_shells.reused);
+
+  // The queries still see exactly the right data.
+  auto row = table.Get(2);
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE(row->Has(2));
+  CheckViewInvariants(table.snapshot().view());
+}
+
+TEST(VersionedTableTest, MemoryStatsReportTheLiveFootprint) {
+  VersionedTable table(MakePartitioner(/*max_size=*/8));
+  ASSERT_TRUE(table.InsertBatch(MakeRows(0, 48)).ok());
+
+  const VersionedTable::MemoryStats stats = table.memory_stats();
+  EXPECT_EQ(stats.generation, table.published_generation());
+  EXPECT_EQ(stats.live_versions, table.partition_count());
+  EXPECT_GT(stats.view_bytes, 0u);
+  EXPECT_GT(stats.arenas.live_arenas, 0u);
+  // Shells in flight: every live version came from the shell pool.
+  EXPECT_GE(stats.version_shells.created + stats.version_shells.reused,
+            stats.live_versions);
 }
 
 // -- Journaled DeleteBatch (DurableTable) ------------------------------------

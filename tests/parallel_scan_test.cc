@@ -149,10 +149,11 @@ TEST(ParallelScanDeterminismTest, QueryExecutionIdenticalToSerial) {
     std::vector<EntityId> serial_matches;
     std::vector<EntityId> parallel_matches;
     const QueryResult s = serial.ScanMatches(
-        *predicate, [&](const Row& row) { serial_matches.push_back(row.id()); });
+        *predicate,
+        [&](const RowView& row) { serial_matches.push_back(row.id()); });
     const QueryResult p = parallel.ScanMatches(
         *predicate,
-        [&](const Row& row) { parallel_matches.push_back(row.id()); });
+        [&](const RowView& row) { parallel_matches.push_back(row.id()); });
     EXPECT_TRUE(MetricsEqual(s.metrics, p.metrics)) << "attribute " << a;
     EXPECT_DOUBLE_EQ(s.selectivity, p.selectivity);
     EXPECT_EQ(serial_matches, parallel_matches);

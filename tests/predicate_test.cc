@@ -179,7 +179,7 @@ TEST_F(PredicateExecutorTest, ScanMatchesDeliversRows) {
   auto predicate = IsNotNull(20);
   std::vector<EntityId> seen;
   executor.ScanMatches(*predicate,
-                       [&](const Row& row) { seen.push_back(row.id()); });
+                       [&](const RowView& row) { seen.push_back(row.id()); });
   EXPECT_EQ(seen.size(), BruteForceCount(*predicate));
   for (EntityId id : seen) {
     EXPECT_TRUE(rows_[id].Has(20));

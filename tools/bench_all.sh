@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs every trajectory bench (the BENCH_*.json emitters) and collects the
+# JSON points in the repo root. Each point carries host metadata (core
+# count, build flags, CINDERELLA_* env) written by bench::WriteHostMetadata,
+# so numbers from different machines and build flavors stay comparable.
+#
+# Usage: tools/bench_all.sh [jobs]   (defaults to nproc)
+# Knobs: every CINDERELLA_BENCH_* variable passes straight through to the
+#        benches (see the header comment of each bench/micro_*.cc).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+BENCHES=(micro_rating micro_insert micro_readers micro_scan)
+
+echo "== bench-all: build =="
+cmake -B build -S .
+cmake --build build -j "$JOBS" --target "${BENCHES[@]}"
+
+# Benches write BENCH_*.json into the working directory; run them from the
+# repo root so the trajectory points land next to ROADMAP.md.
+for bench in "${BENCHES[@]}"; do
+  echo "== bench-all: $bench =="
+  "./build/bench/$bench"
+done
+
+echo "== bench-all: points =="
+ls -l BENCH_*.json

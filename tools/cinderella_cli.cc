@@ -256,9 +256,35 @@ StatusOr<RestoredSnapshot> OpenSnapshot(const Args& args) {
 int Stats(const Args& args) {
   auto restored = OpenSnapshot(args);
   if (!restored.ok()) return Fail(restored.status());
-  const Cinderella& c = *restored->partitioner;
+  Cinderella& c = *restored->partitioner;
   std::printf("%s\n", c.name().c_str());
   std::printf("%s", AnalyzePartitioning(c.catalog()).ToString().c_str());
+
+  // Snapshot memory footprint: publish one MVCC view of the restored
+  // table and report what the read engine holds for it — how many
+  // immutable versions the current generation references, the arena
+  // bytes they pack, and what the pools would retain across
+  // republication (common/arena.h, DESIGN.md §10).
+  {
+    VersionedTable versioned(&c, nullptr);
+    const VersionedTable::MemoryStats m = versioned.memory_stats();
+    std::printf("mvcc snapshot footprint:\n");
+    std::printf("  generation          %llu\n",
+                static_cast<unsigned long long>(m.generation));
+    std::printf("  live versions       %zu (%.2f MiB packed)\n",
+                m.live_versions,
+                static_cast<double>(m.view_bytes) / (1024.0 * 1024.0));
+    std::printf("  arenas live/pooled  %zu/%zu (%.2f MiB retained idle)\n",
+                m.arenas.live_arenas, m.arenas.pooled_arenas,
+                static_cast<double>(m.arenas.bytes_retained) /
+                    (1024.0 * 1024.0));
+    std::printf("  version shells      %llu created, %zu pooled\n",
+                static_cast<unsigned long long>(m.version_shells.created),
+                m.version_shells.pooled);
+    std::printf("  retired awaiting gc %zu (reclaimed %llu)\n",
+                m.retired_objects,
+                static_cast<unsigned long long>(m.reclaimed_objects));
+  }
   if (args.flags.count("verify") > 0) {
     const Status integrity = c.VerifyIntegrity();
     std::printf("integrity: %s\n", integrity.ToString().c_str());

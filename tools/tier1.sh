@@ -3,36 +3,66 @@
 # thread-sanitized side build of the scan engine (thread pool, parallel
 # rating scan, parallel query executor) and the MVCC read engine to catch
 # data races the regular build cannot, then an address-sanitized build of
-# the MVCC tests with leak detection on — epoch-based deferred
-# reclamation must free every retired version exactly once.
+# the MVCC + arena tests with leak detection on — epoch-based deferred
+# reclamation must free every retired version exactly once, and pooled
+# arenas/shells must balance their create/recycle counts.
 #
-# Usage: tools/tier1.sh [jobs]   (defaults to nproc)
+# Usage: tools/tier1.sh [--fast] [jobs]   (jobs defaults to nproc)
+#   --fast   skip the multi-threaded stress binaries (the TSan/ASan
+#            builds still run the deterministic engine tests); for quick
+#            local iteration, not for sign-off.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-JOBS="${1:-$(nproc)}"
+
+FAST=0
+JOBS=""
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) JOBS="$arg" ;;
+  esac
+done
+JOBS="${JOBS:-$(nproc)}"
+
+# Every ctest/test invocation gets an explicit wall-clock cap so a hung
+# stress test fails the tier instead of wedging it.
+CTEST_TIMEOUT=300
 
 echo "== tier-1: standard build + ctest =="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
-(cd build && ctest --output-on-failure -j "$JOBS")
+(cd build && ctest --output-on-failure -j "$JOBS" --timeout "$CTEST_TIMEOUT")
 
 echo "== tier-1: TSan build of the scan + ingest engine tests =="
+TSAN_TARGETS=(thread_pool_test parallel_scan_test ingest_test mvcc_test)
+if [[ "$FAST" -eq 0 ]]; then
+  TSAN_TARGETS+=(ingest_concurrency_test mvcc_stress_test)
+fi
 cmake -B build-tsan -S . -DCINDERELLA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j "$JOBS" --target thread_pool_test parallel_scan_test \
-  ingest_test ingest_concurrency_test mvcc_test mvcc_stress_test
+cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
 # Force the pools to spawn real workers even on small machines.
-CINDERELLA_SCAN_THREADS=4 ./build-tsan/tests/thread_pool_test
-CINDERELLA_SCAN_THREADS=4 ./build-tsan/tests/parallel_scan_test
-CINDERELLA_INSERT_SHARDS=4 ./build-tsan/tests/ingest_test
-CINDERELLA_INSERT_SHARDS=4 ./build-tsan/tests/ingest_concurrency_test
-CINDERELLA_SCAN_THREADS=4 ./build-tsan/tests/mvcc_test
-CINDERELLA_STRESS_READERS=4 ./build-tsan/tests/mvcc_stress_test
+CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/thread_pool_test
+CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/parallel_scan_test
+CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/ingest_test
+CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/mvcc_test
+if [[ "$FAST" -eq 0 ]]; then
+  CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/ingest_concurrency_test
+  CINDERELLA_STRESS_READERS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/mvcc_stress_test
+fi
 
 echo "== tier-1: ASan+leak build of the MVCC read engine tests =="
+ASAN_TARGETS=(arena_test mvcc_test)
+if [[ "$FAST" -eq 0 ]]; then
+  ASAN_TARGETS+=(mvcc_stress_test)
+fi
 cmake -B build-asan -S . -DCINDERELLA_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-asan -j "$JOBS" --target mvcc_test mvcc_stress_test
-ASAN_OPTIONS=detect_leaks=1 ./build-asan/tests/mvcc_test
-ASAN_OPTIONS=detect_leaks=1 CINDERELLA_STRESS_READERS=4 ./build-asan/tests/mvcc_stress_test
+cmake --build build-asan -j "$JOBS" --target "${ASAN_TARGETS[@]}"
+ASAN_OPTIONS=detect_leaks=1 timeout "$CTEST_TIMEOUT" ./build-asan/tests/arena_test
+ASAN_OPTIONS=detect_leaks=1 timeout "$CTEST_TIMEOUT" ./build-asan/tests/mvcc_test
+if [[ "$FAST" -eq 0 ]]; then
+  ASAN_OPTIONS=detect_leaks=1 CINDERELLA_STRESS_READERS=4 \
+    timeout "$CTEST_TIMEOUT" ./build-asan/tests/mvcc_stress_test
+fi
 
 echo "tier-1 OK"
