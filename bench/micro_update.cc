@@ -1,0 +1,287 @@
+// Microbench for the batched update path of the unified mutation
+// pipeline (src/ingest/mutation_pipeline.h) and its group-commit
+// durability story (io/durable_table.h).
+//
+// Two experiments:
+//  1. update: steady-state update throughput against a DBpedia-shaped
+//     table whose catalog is large enough that the rating scan dominates
+//     — serial single-row Update vs UpdateBatch through the
+//     MutationPipeline at 1/2/4/8 shards, with a placement-identity
+//     check (batched placements must be bit-identical to serial, split
+//     and moved-update counts included);
+//  2. durability: DurableTable update throughput with fsync-per-row
+//     (sync_every_op) vs group-commit UpdateBatch (one kMutationBatch
+//     record + one fsync per batch), with the fsync counts that prove
+//     the coalescing.
+//
+// Emits BENCH_update.json in the working directory plus a human-readable
+// table on stdout.
+//
+// Knobs: CINDERELLA_BENCH_ENTITIES (default 40000),
+//        CINDERELLA_BENCH_TAIL_UPDATES (default 6000),
+//        CINDERELLA_BENCH_MAX_SIZE (default 50),
+//        CINDERELLA_BENCH_DURABLE_ROWS (default 512).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/env.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/cinderella.h"
+#include "ingest/mutation_pipeline.h"
+#include "io/durable_table.h"
+#include "workload/dbpedia_generator.h"
+
+namespace cinderella {
+namespace {
+
+/// Order-insensitive fingerprint of which entities share partitions.
+uint64_t GroupingFingerprint(const Cinderella& c) {
+  uint64_t fingerprint = 0;
+  c.catalog().ForEachPartition([&](const Partition& partition) {
+    uint64_t member_hash = 0;
+    for (const Row& row : partition.segment().rows()) {
+      member_hash += row.id() * 0x9e3779b97f4a7c15ULL + 1;
+    }
+    fingerprint ^= member_hash * 0xff51afd7ed558ccdULL;
+  });
+  return fingerprint;
+}
+
+/// An update stream over existing entities: each row re-randomizes its
+/// entity's attribute set, so most updates change the synopsis and must
+/// re-rate (the expensive path); a fraction moves partition.
+std::vector<Row> MakeUpdates(int count, size_t entities,
+                             size_t num_attributes) {
+  Rng rng(29);
+  std::vector<Row> updates;
+  updates.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Row row(static_cast<EntityId>(rng.Uniform(entities)));
+    const int attrs = 2 + static_cast<int>(rng.Uniform(8));
+    for (int a = 0; a < attrs; ++a) {
+      row.Set(static_cast<AttributeId>(rng.Uniform(num_attributes)),
+              Value(static_cast<int64_t>(rng.Uniform(1000))));
+    }
+    updates.push_back(std::move(row));
+  }
+  return updates;
+}
+
+struct UpdatePoint {
+  std::string mode;  // "serial" or "batched"
+  int shards = 0;    // 0 for the serial point.
+  double ops_per_second = 0.0;
+  double speedup = 0.0;  // vs the serial point.
+  bool identical = true;
+  uint64_t moved = 0;  // Updates that changed partition.
+};
+
+struct DurabilityPoint {
+  std::string mode;  // "fsync_per_row" or "group_commit"
+  uint64_t rows = 0;
+  uint64_t syncs = 0;
+  double ops_per_second = 0.0;
+};
+
+}  // namespace
+}  // namespace cinderella
+
+int main() {
+  using namespace cinderella;
+  using bench::PrintHeader;
+
+  const size_t entities = static_cast<size_t>(
+      Int64FromEnv("CINDERELLA_BENCH_ENTITIES", 40000));
+  const int tail_updates = static_cast<int>(
+      Int64FromEnv("CINDERELLA_BENCH_TAIL_UPDATES", 6000));
+  const uint64_t max_size = static_cast<uint64_t>(
+      Int64FromEnv("CINDERELLA_BENCH_MAX_SIZE", 50));
+  const int durable_rows = static_cast<int>(
+      Int64FromEnv("CINDERELLA_BENCH_DURABLE_ROWS", 512));
+
+  DbpediaConfig dbconfig;
+  dbconfig.num_entities = entities;
+  AttributeDictionary dictionary;
+  DbpediaGenerator generator(dbconfig, &dictionary);
+  const std::vector<Row> base_rows = generator.Generate();
+  const std::vector<Row> updates =
+      MakeUpdates(tail_updates, entities, dbconfig.num_attributes);
+
+  CinderellaConfig config;
+  config.weight = 0.3;
+  config.max_size = max_size;  // Many partitions: scan-dominated regime.
+
+  // ---- 1. Serial Update vs batched UpdateBatch at 1/2/4/8 shards. ----
+  PrintHeader("update: serial Update vs batched UpdateBatch");
+  std::vector<UpdatePoint> update_points;
+  uint64_t serial_fingerprint = 0;
+  uint64_t serial_splits = 0;
+  uint64_t serial_moved = 0;
+  const std::vector<int> shard_counts = {0, 1, 2, 4, 8};  // 0 = serial.
+  for (const int shards : shard_counts) {
+    auto partitioner = std::move(Cinderella::Create(config)).value();
+    {
+      // Build the identical base state quickly through the engine (the
+      // placement-determinism tests guarantee identity with serial).
+      MutationPipelineOptions options;
+      options.shards = shards > 0 ? shards : 1;
+      const std::unique_ptr<MutationPipeline> loader =
+          AttachMutationPipeline(partitioner.get(), options);
+      std::vector<Row> base = base_rows;
+      if (!partitioner->InsertBatch(std::move(base)).ok()) return 1;
+    }
+
+    UpdatePoint point;
+    point.shards = shards;
+    double seconds = 0.0;
+    if (shards == 0) {
+      point.mode = "serial";
+      std::vector<Row> pending = updates;
+      WallTimer timer;
+      for (Row& row : pending) {
+        if (!partitioner->Update(std::move(row)).ok()) return 1;
+      }
+      seconds = timer.ElapsedSeconds();
+    } else {
+      point.mode = "batched";
+      MutationPipelineOptions options;
+      options.shards = shards;
+      const std::unique_ptr<MutationPipeline> engine =
+          AttachMutationPipeline(partitioner.get(), options);
+      std::vector<Row> pending = updates;
+      WallTimer timer;
+      if (!partitioner->UpdateBatch(std::move(pending)).ok()) return 1;
+      seconds = timer.ElapsedSeconds();
+    }
+    point.ops_per_second = tail_updates / seconds;
+    point.moved = partitioner->stats().updates_moved;
+    if (shards == 0) {
+      serial_fingerprint = GroupingFingerprint(*partitioner);
+      serial_splits = partitioner->stats().splits;
+      serial_moved = point.moved;
+      point.speedup = 1.0;
+    } else {
+      point.identical =
+          GroupingFingerprint(*partitioner) == serial_fingerprint &&
+          partitioner->stats().splits == serial_splits &&
+          point.moved == serial_moved;
+      point.speedup =
+          point.ops_per_second / update_points[0].ops_per_second;
+    }
+    update_points.push_back(point);
+    std::printf("  %-7s shards %d: %9.0f updates/s  speedup %.2fx  %s  "
+                "(%llu moved)\n",
+                point.mode.c_str(), point.shards, point.ops_per_second,
+                point.speedup, point.identical ? "identical" : "MISMATCH",
+                static_cast<unsigned long long>(point.moved));
+  }
+
+  // ---- 2. fsync-per-row vs group-commit durability. ----
+  PrintHeader("durability: fsync per update vs group commit");
+  std::vector<DurabilityPoint> durability_points;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "cinderella_micro_update")
+          .string();
+  for (const bool group_commit : {false, true}) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    DurableTable::Options options;
+    options.directory = dir;
+    options.config = config;
+    options.sync_every_op = !group_commit;
+    options.group_commit_ops = group_commit ? 256 : 0;
+    auto table = DurableTable::Open(options);
+    if (!table.ok()) return 1;
+
+    // Durable base population (journaled inserts the updates hit).
+    {
+      std::vector<Row> base(base_rows.begin(),
+                            base_rows.begin() +
+                                std::min(base_rows.size(),
+                                         static_cast<size_t>(durable_rows)));
+      if (!(*table)->InsertBatch(std::move(base)).ok()) return 1;
+    }
+    const uint64_t syncs_before = (*table)->journal_syncs();
+    std::vector<Row> rows = MakeUpdates(
+        durable_rows, std::min(base_rows.size(),
+                               static_cast<size_t>(durable_rows)),
+        dbconfig.num_attributes);
+    WallTimer timer;
+    if (group_commit) {
+      const size_t batch_size = 128;
+      for (size_t begin = 0; begin < rows.size(); begin += batch_size) {
+        const size_t end = std::min(rows.size(), begin + batch_size);
+        std::vector<Row> batch(rows.begin() + begin, rows.begin() + end);
+        if (!(*table)->UpdateBatch(std::move(batch)).ok()) return 1;
+      }
+    } else {
+      for (Row& row : rows) {
+        if (!(*table)->UpdateRow(std::move(row)).ok()) return 1;
+      }
+    }
+    const double seconds = timer.ElapsedSeconds();
+
+    DurabilityPoint point;
+    point.mode = group_commit ? "group_commit" : "fsync_per_row";
+    point.rows = static_cast<uint64_t>(durable_rows);
+    point.syncs = (*table)->journal_syncs() - syncs_before;
+    point.ops_per_second = durable_rows / seconds;
+    durability_points.push_back(point);
+    std::printf("  %-14s %6.0f updates/s  %4llu fsyncs for %llu rows\n",
+                point.mode.c_str(), point.ops_per_second,
+                static_cast<unsigned long long>(point.syncs),
+                static_cast<unsigned long long>(point.rows));
+  }
+  std::filesystem::remove_all(dir);
+
+  // ---- Trajectory point. ----
+  FILE* json = std::fopen("BENCH_update.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_update.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"micro_update\",\n");
+  std::fprintf(json, "  \"entities\": %zu,\n", entities);
+  std::fprintf(json, "  \"tail_updates\": %d,\n", tail_updates);
+  std::fprintf(json, "  \"max_size\": %llu,\n",
+               static_cast<unsigned long long>(max_size));
+  // Shard speedups on a single-CPU host measure the packed sharded mirror
+  // and window amortization, not parallelism; record the core count so
+  // trajectory readers can tell the regimes apart.
+  bench::WriteHostMetadata(json);
+  std::fprintf(json, "  \"update\": [");
+  for (size_t i = 0; i < update_points.size(); ++i) {
+    const UpdatePoint& p = update_points[i];
+    std::fprintf(json,
+                 "%s\n    {\"mode\": \"%s\", \"shards\": %d, "
+                 "\"ops_per_second\": %.1f, \"speedup_vs_serial\": %.3f, "
+                 "\"identical\": %s, \"moved\": %llu}",
+                 i == 0 ? "" : ",", p.mode.c_str(), p.shards,
+                 p.ops_per_second, p.speedup,
+                 p.identical ? "true" : "false",
+                 static_cast<unsigned long long>(p.moved));
+  }
+  std::fprintf(json, "\n  ],\n  \"durability\": [");
+  for (size_t i = 0; i < durability_points.size(); ++i) {
+    const DurabilityPoint& p = durability_points[i];
+    std::fprintf(json,
+                 "%s\n    {\"mode\": \"%s\", \"rows\": %llu, "
+                 "\"syncs\": %llu, \"ops_per_second\": %.1f}",
+                 i == 0 ? "" : ",", p.mode.c_str(),
+                 static_cast<unsigned long long>(p.rows),
+                 static_cast<unsigned long long>(p.syncs),
+                 p.ops_per_second);
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_update.json\n");
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "common/arena.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace cinderella {
@@ -21,6 +23,7 @@ void* Arena::Allocate(size_t bytes, size_t align) {
       if (!large_used_[i] && large_[i].size >= bytes + align) {
         large_used_[i] = 1;
         bytes_used_ += bytes;
+        UpdateHighWater();
         return AlignUp(large_[i].data.get(), align);
       }
     }
@@ -30,9 +33,11 @@ void* Arena::Allocate(size_t bytes, size_t align) {
     lifetime_blocks_allocated_.fetch_add(1, std::memory_order_relaxed);
     bytes_retained_.fetch_add(block.size, std::memory_order_relaxed);
     bytes_used_ += bytes;
+    UpdateHighWater();
     char* result = AlignUp(block.data.get(), align);
     large_.push_back(std::move(block));
     large_used_.push_back(1);
+    large_idle_.push_back(0);
     return result;
   }
 
@@ -46,6 +51,7 @@ void* Arena::Allocate(size_t bytes, size_t align) {
       lifetime_blocks_allocated_.fetch_add(1, std::memory_order_relaxed);
       bytes_retained_.fetch_add(block.size, std::memory_order_relaxed);
       blocks_.push_back(std::move(block));
+      block_idle_.push_back(0);
     }
     Block& block = blocks_[next_block_++];
     cursor_ = block.data.get();
@@ -54,15 +60,56 @@ void* Arena::Allocate(size_t bytes, size_t align) {
   }
   bytes_used_ += static_cast<size_t>(aligned - cursor_) + bytes;
   cursor_ = aligned + bytes;
+  UpdateHighWater();
   return aligned;
 }
 
 void Arena::Reset() {
+  // Idle-trim: a block that served this cycle resets its streak; one that
+  // sat unused for the configured number of consecutive cycles is freed
+  // (swap-remove — uniform blocks are interchangeable and large blocks
+  // are matched first-fit, so order carries no meaning).
+  const uint32_t trim = trim_idle_recycles_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < blocks_.size();) {
+    if (i < next_block_) {  // Bumped into this cycle.
+      block_idle_[i] = 0;
+      ++i;
+    } else if (trim != 0 && ++block_idle_[i] >= trim) {
+      bytes_retained_.fetch_sub(blocks_[i].size, std::memory_order_relaxed);
+      blocks_trimmed_.fetch_add(1, std::memory_order_relaxed);
+      blocks_[i] = std::move(blocks_.back());
+      blocks_.pop_back();
+      block_idle_[i] = block_idle_.back();
+      block_idle_.pop_back();
+      // The swapped-in tail block was not visited yet; re-examine slot i.
+      // (It cannot be < next_block_: those slots were all passed already.)
+    } else {
+      ++i;
+    }
+  }
+  for (size_t i = 0; i < large_.size();) {
+    if (large_used_[i] != 0) {
+      large_used_[i] = 0;
+      large_idle_[i] = 0;
+      ++i;
+    } else if (trim != 0 && ++large_idle_[i] >= trim) {
+      bytes_retained_.fetch_sub(large_[i].size, std::memory_order_relaxed);
+      blocks_trimmed_.fetch_add(1, std::memory_order_relaxed);
+      large_[i] = std::move(large_.back());
+      large_.pop_back();
+      large_used_[i] = large_used_.back();
+      large_used_.pop_back();
+      large_idle_[i] = large_idle_.back();
+      large_idle_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
   cursor_ = nullptr;
   limit_ = nullptr;
   next_block_ = 0;
   bytes_used_ = 0;
-  for (size_t i = 0; i < large_used_.size(); ++i) large_used_[i] = 0;
 }
 
 void Arena::Unref() {
@@ -87,10 +134,17 @@ Arena* ArenaPool::Acquire() {
     all_.push_back(std::make_unique<Arena>());
     arena = all_.back().get();
     arena->pool_ = this;
+    arena->set_trim_idle_recycles(trim_idle_recycles_);
     ++arenas_created_;
   }
   arena->Ref();
   return arena;
+}
+
+void ArenaPool::set_trim_idle_recycles(uint32_t recycles) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trim_idle_recycles_ = recycles;
+  for (const auto& arena : all_) arena->set_trim_idle_recycles(recycles);
 }
 
 void ArenaPool::Recycle(Arena* arena) {
@@ -110,6 +164,9 @@ ArenaPool::Stats ArenaPool::stats() const {
   stats.live_arenas = all_.size() - free_.size();
   for (const auto& arena : all_) {
     stats.blocks_allocated += arena->lifetime_blocks_allocated();
+    stats.blocks_trimmed += arena->blocks_trimmed();
+    stats.bytes_high_water =
+        std::max(stats.bytes_high_water, arena->bytes_high_water());
   }
   for (const Arena* arena : free_) {
     stats.bytes_retained += arena->bytes_retained();

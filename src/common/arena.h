@@ -30,6 +30,12 @@ class ArenaPool;
 /// retained capacity is bounded by the worst generation seen and is
 /// observable through bytes_retained() / ArenaPool::Stats.
 ///
+/// Retention is bounded in time as well as size: a block that goes unused
+/// for trim_idle_recycles() consecutive fill cycles is freed at the next
+/// Reset (blocks_trimmed() counts them), so one anomalously large
+/// generation does not pin its worst-case footprint forever. The
+/// worst-case demand itself stays observable through bytes_high_water().
+///
 /// Thread-safety: allocation and Reset are single-threaded (the
 /// publisher's lock); only the reference count is atomic, because the
 /// last release can happen on the reclamation path. Readers only ever
@@ -56,8 +62,9 @@ class Arena {
     return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
   }
 
-  /// Rewinds to empty, keeping every block for reuse: refilling up to the
-  /// retained capacity performs no allocator calls.
+  /// Rewinds to empty, keeping blocks for reuse: refilling up to the
+  /// retained capacity performs no allocator calls. Blocks idle for
+  /// trim_idle_recycles() consecutive cycles are freed instead of kept.
   void Reset();
 
   /// Bytes handed out since the last Reset (alignment padding included).
@@ -67,6 +74,28 @@ class Arena {
   size_t bytes_retained() const {
     return bytes_retained_.load(std::memory_order_relaxed);
   }
+
+  /// Largest bytes_used() ever reached — the worst-case fill this arena
+  /// has served, stable across Resets and trims.
+  size_t bytes_high_water() const {
+    return bytes_high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks freed by the idle-trim policy over this arena's lifetime.
+  uint64_t blocks_trimmed() const {
+    return blocks_trimmed_.load(std::memory_order_relaxed);
+  }
+
+  /// Consecutive fill cycles a block may sit unused before Reset frees
+  /// it. 0 disables trimming (retain forever, the pre-trim behavior).
+  void set_trim_idle_recycles(uint32_t recycles) {
+    trim_idle_recycles_.store(recycles, std::memory_order_relaxed);
+  }
+  uint32_t trim_idle_recycles() const {
+    return trim_idle_recycles_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr uint32_t kDefaultTrimIdleRecycles = 16;
 
   /// Blocks ever obtained from the allocator over this arena's lifetime —
   /// monotonic across Resets. The steady-state "zero mallocs" claim in
@@ -97,23 +126,37 @@ class Arena {
     size_t size = 0;
   };
 
+  /// Tracks the peak live fill as it happens (bytes_used_ is monotonic
+  /// within a cycle), so the high-water mark is truthful even for an
+  /// arena that has never been Reset.
+  void UpdateHighWater() {
+    if (bytes_used_ > bytes_high_water_.load(std::memory_order_relaxed)) {
+      bytes_high_water_.store(bytes_used_, std::memory_order_relaxed);
+    }
+  }
+
   /// Bump state over the uniform kBlockSize blocks.
   char* cursor_ = nullptr;
   char* limit_ = nullptr;
   size_t next_block_ = 0;  // blocks_ index of the next block to bump into.
   std::vector<Block> blocks_;
+  std::vector<uint32_t> block_idle_;  // Unused-cycle streak per block.
 
   /// Dedicated blocks for requests > kBlockSize - alignment slack. Each
   /// serves at most one allocation per fill cycle (first fit by size);
   /// large_used_ flags are cleared by Reset.
   std::vector<Block> large_;
   std::vector<char> large_used_;
+  std::vector<uint32_t> large_idle_;
 
   size_t bytes_used_ = 0;
-  // Atomic (relaxed): mutated only by the single-threaded filler, but read
-  // by concurrent ArenaPool::stats() probes.
+  // Atomics (relaxed): mutated only by the single-threaded filler, but
+  // read by concurrent ArenaPool::stats() probes.
   std::atomic<size_t> bytes_retained_{0};
+  std::atomic<size_t> bytes_high_water_{0};
   std::atomic<uint64_t> lifetime_blocks_allocated_{0};
+  std::atomic<uint64_t> blocks_trimmed_{0};
+  std::atomic<uint32_t> trim_idle_recycles_{kDefaultTrimIdleRecycles};
 
   std::atomic<uint64_t> refs_{0};
   ArenaPool* pool_ = nullptr;  // Set once by the owning pool; never changes.
@@ -132,9 +175,11 @@ class ArenaPool {
     uint64_t arenas_reused = 0;     // Acquire() hits (from the free list).
     uint64_t arenas_recycled = 0;   // Last Unref returned an arena here.
     uint64_t blocks_allocated = 0;  // Lifetime blocks across all arenas.
+    uint64_t blocks_trimmed = 0;    // Blocks freed by the idle-trim policy.
     size_t pooled_arenas = 0;       // Currently idle in the free list.
     size_t live_arenas = 0;         // Handed out and not yet recycled.
     size_t bytes_retained = 0;      // Capacity held by idle pooled arenas.
+    size_t bytes_high_water = 0;    // Largest single-arena fill ever seen.
   };
 
   ArenaPool() = default;
@@ -145,6 +190,10 @@ class ArenaPool {
 
   /// An empty arena with one reference held by the caller.
   Arena* Acquire();
+
+  /// Applies the trim policy to every arena the pool has created and to
+  /// future ones. 0 disables trimming.
+  void set_trim_idle_recycles(uint32_t recycles);
 
   Stats stats() const;
 
@@ -160,6 +209,7 @@ class ArenaPool {
   uint64_t arenas_created_ = 0;
   uint64_t arenas_reused_ = 0;
   uint64_t arenas_recycled_ = 0;
+  uint32_t trim_idle_recycles_ = Arena::kDefaultTrimIdleRecycles;
 };
 
 }  // namespace cinderella

@@ -136,7 +136,8 @@ Status Cinderella::VerifyIntegrity() const {
   return Status::OK();
 }
 
-Status Cinderella::Reorganize() {
+StatusOr<std::vector<std::pair<Row, Synopsis>>>
+Cinderella::DrainForReorganize() {
   ++catalog_generation_;
   // Extract everything.
   std::vector<std::pair<Row, Synopsis>> all;
@@ -162,12 +163,27 @@ Status Cinderella::Reorganize() {
                    [](const auto& a, const auto& b) {
                      return a.second.Count() > b.second.Count();
                    });
-  for (auto& [row, synopsis] : all) {
+  return all;
+}
+
+Status Cinderella::Reorganize() {
+  if (batch_engine_ != nullptr) return batch_engine_->Reorganize();
+  StatusOr<std::vector<std::pair<Row, Synopsis>>> drained =
+      DrainForReorganize();
+  CINDERELLA_RETURN_IF_ERROR(drained.status());
+  for (auto& [row, synopsis] : drained.value()) {
     ++stats_.entities_reinserted;
     CINDERELLA_RETURN_IF_ERROR(
         InsertIntoCatalog(std::move(row), synopsis, nullptr, 0));
   }
   return Status::OK();
+}
+
+Status Cinderella::ReinsertResolved(Row row, const Synopsis& synopsis,
+                                    Partition* target) {
+  ++catalog_generation_;
+  ++stats_.entities_reinserted;
+  return PlaceRow(std::move(row), synopsis, target, nullptr, 0);
 }
 
 Status Cinderella::RestorePartition(std::vector<Row> rows) {
@@ -462,6 +478,27 @@ Status Cinderella::InsertBatch(std::vector<Row> rows) {
   return Partitioner::InsertBatch(std::move(rows));
 }
 
+Status Cinderella::UpdateBatch(std::vector<Row> rows) {
+  if (batch_engine_ != nullptr) {
+    return batch_engine_->UpdateBatch(std::move(rows));
+  }
+  return Partitioner::UpdateBatch(std::move(rows));
+}
+
+Status Cinderella::DeleteBatch(const std::vector<EntityId>& entities) {
+  if (batch_engine_ != nullptr) {
+    return batch_engine_->DeleteBatch(entities);
+  }
+  return Partitioner::DeleteBatch(entities);
+}
+
+Status Cinderella::ApplyMutations(std::vector<Mutation> ops, size_t* applied) {
+  if (batch_engine_ != nullptr) {
+    return batch_engine_->ApplyMutations(std::move(ops), applied);
+  }
+  return Partitioner::ApplyMutations(std::move(ops), applied);
+}
+
 Status Cinderella::InsertResolved(Row row, const Synopsis& synopsis,
                                   Partition* target) {
   ++catalog_generation_;
@@ -681,6 +718,24 @@ Status Cinderella::MaybeDissolve(Partition& partition) {
 }
 
 Status Cinderella::Update(Row row) {
+  const Synopsis new_synopsis = extractor_(row);
+  return UpdateResolved(
+      std::move(row), new_synopsis,
+      [this](const Synopsis& synopsis, double entity_size) {
+        const BestPartition best =
+            FindBestPartition(synopsis, entity_size, nullptr);
+        ResolvedScan scan;
+        if (best.partition != nullptr) {
+          scan.valid = true;
+          scan.id = best.partition->id();
+          scan.rating = best.rating;
+        }
+        return scan;
+      });
+}
+
+Status Cinderella::UpdateResolved(Row row, const Synopsis& new_synopsis,
+                                  const ScanResolver& resolve) {
   ++catalog_generation_;
   const std::optional<PartitionId> home = catalog_.FindEntity(row.id());
   if (!home.has_value()) {
@@ -693,7 +748,6 @@ Status Cinderella::Update(Row row) {
   const Row* old_row = current->segment().Find(row.id());
   CINDERELLA_CHECK(old_row != nullptr);
   const Synopsis old_synopsis = extractor_(*old_row);
-  const Synopsis new_synopsis = extractor_(row);
   const uint64_t old_size = RowSize(*old_row, config_.measure);
   const uint64_t new_size = RowSize(row, config_.measure);
 
@@ -702,10 +756,9 @@ Status Cinderella::Update(Row row) {
   // "Upon updates, Cinderella also runs the insert routine but without
   // actually inserting." (Section III). The entity is still resident, so
   // its current partition rates with the old row included.
-  BestPartition best =
-      FindBestPartition(new_synopsis, static_cast<double>(new_size), nullptr);
-  const bool stay = best.partition != nullptr &&
-                    best.partition->id() == *home && best.rating >= 0.0;
+  const ResolvedScan best =
+      resolve(new_synopsis, static_cast<double>(new_size));
+  const bool stay = best.valid && best.id == *home && best.rating >= 0.0;
   const bool fits =
       current->Size(config_.measure) - old_size + new_size <= config_.max_size;
 
@@ -732,19 +785,34 @@ Status Cinderella::Update(Row row) {
     return Status::OK();
   }
 
-  // Moved: take the row out and run the full insert routine (which may
+  // Moved: take the row out and re-place it under a fresh scan (which may
   // create a new partition or split).
   ++stats_.updates_moved;
   CINDERELLA_RETURN_IF_ERROR(
-      RemoveRowFromPartition(*current, row.id(), old_synopsis).status());
+      RemoveRowFromPartition(*current, entity, old_synopsis).status());
   if (current->entity_count() == 0) {
     // Drop before re-inserting so the empty husk is never a rating
     // candidate (it would tie at rating 0).
     DropEmptyPartition(*current);
-    return InsertIntoCatalog(std::move(row), new_synopsis, nullptr, 0);
+    current = nullptr;
+  } else {
+    // The moved entity may have been one of the source's split starters;
+    // RemoveRow vacated that slot, and an un-repaired pair would let the
+    // next split of the source seed a child from a stale singleton. Re-seed
+    // eagerly from the survivors (placement-neutral: starters only matter
+    // at the next split).
+    EnsureStarters(*current);
+  }
+
+  const ResolvedScan placement =
+      resolve(new_synopsis, static_cast<double>(new_size));
+  Partition* target = nullptr;
+  if (placement.valid && placement.rating >= 0.0) {
+    target = catalog_.GetPartition(placement.id);
+    CINDERELLA_CHECK(target != nullptr);
   }
   CINDERELLA_RETURN_IF_ERROR(
-      InsertIntoCatalog(std::move(row), new_synopsis, nullptr, 0));
+      PlaceRow(std::move(row), new_synopsis, target, nullptr, 0));
   // Dissolution runs only after the entity has its new home; the insert
   // may itself have split (and dropped) the source partition.
   Partition* source = catalog_.GetPartition(*home);

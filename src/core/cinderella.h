@@ -2,9 +2,11 @@
 #define CINDERELLA_CORE_CINDERELLA_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -38,28 +40,40 @@ struct CinderellaStats {
   uint64_t entities_reinserted = 0;    // Rows re-homed by dissolution.
 };
 
-/// Partition ids touched by catalog mutations, recorded for the batched
-/// insert engine (src/ingest): `touched` lists every partition that gained,
-/// lost or replaced a row (ids may repeat), `created` the partitions added
-/// to the catalog, and `dropped` the partitions removed from it. The engine
-/// uses the record to refresh its sharded packed mirror incrementally
-/// instead of rebuilding it after every commit.
+/// Partition ids touched by catalog mutations, recorded for mutation
+/// listeners: `touched` lists every partition that gained, lost or
+/// replaced a row (ids may repeat), `created` the partitions added to the
+/// catalog, and `dropped` the partitions removed from it. The batched
+/// mutation engine (src/ingest) uses the record to refresh its sharded
+/// packed mirror incrementally instead of rebuilding it after every
+/// commit; the MVCC publisher (src/mvcc) accumulates it into the pending
+/// snapshot delta.
 struct CatalogMutations {
   std::vector<PartitionId> touched;
   std::vector<PartitionId> created;
   std::vector<PartitionId> dropped;
 };
 
-/// Hook through which Cinderella::InsertBatch delegates to the batched
-/// insert engine (src/ingest/batch_inserter.h). Lives outside src/core so
-/// the core library carries no ingest dependency; the engine owns its
-/// thread pool and sharded catalog mirror and calls back into Cinderella
-/// via InsertResolved for each placement.
-class BatchInsertEngine {
+/// Hook through which Cinderella's batch entry points (InsertBatch,
+/// UpdateBatch, DeleteBatch, ApplyMutations, Reorganize) delegate to the
+/// batched mutation engine (src/ingest/mutation_pipeline.h). Lives outside
+/// src/core so the core library carries no ingest dependency; the engine
+/// owns its thread pool and sharded catalog mirror and calls back into
+/// Cinderella via the *Resolved hooks for each placement.
+class BatchMutationEngine {
  public:
-  virtual ~BatchInsertEngine() = default;
+  virtual ~BatchMutationEngine() = default;
   virtual Status InsertBatch(std::vector<Row> rows) = 0;
+  virtual Status UpdateBatch(std::vector<Row> rows) = 0;
+  virtual Status DeleteBatch(const std::vector<EntityId>& entities) = 0;
+  virtual Status ApplyMutations(std::vector<Mutation> ops,
+                                size_t* applied) = 0;
+  virtual Status Reorganize() = 0;
 };
+
+/// Historical name from the insert-only engine of PR 2; the interface now
+/// covers the full mutation stream.
+using BatchInsertEngine = BatchMutationEngine;
 
 /// The Cinderella online horizontal partitioner (Sections III-IV).
 ///
@@ -87,10 +101,15 @@ class Cinderella : public Partitioner {
   Status Insert(Row row) override;
   Status Delete(EntityId entity) override;
   Status Update(Row row) override;
-  /// Routes through the attached BatchInsertEngine when one is set, else
-  /// falls back to the validated serial loop of the base class. Either
-  /// way, placements are identical to serial single-row inserts.
+  /// The batch entry points route through the attached BatchMutationEngine
+  /// when one is set, else fall back to the validated serial loops of the
+  /// base class. Either way, placements are identical to serial
+  /// single-row operations.
   Status InsertBatch(std::vector<Row> rows) override;
+  Status UpdateBatch(std::vector<Row> rows) override;
+  Status DeleteBatch(const std::vector<EntityId>& entities) override;
+  Status ApplyMutations(std::vector<Mutation> ops,
+                        size_t* applied = nullptr) override;
   PartitionCatalog& catalog() override { return catalog_; }
   const PartitionCatalog& catalog() const override { return catalog_; }
   std::string name() const override;
@@ -116,8 +135,10 @@ class Cinderella : public Partitioner {
   /// re-inserts it through the normal routine, in descending synopsis
   /// cardinality so the most descriptive entities seed the partitions.
   /// Use to repair a partitioning degraded by adversarial arrival order
-  /// or heavy churn; cost is one full reload. Counted in stats() as
-  /// ordinary inserts plus one dissolution per prior partition.
+  /// or heavy churn; cost is one full reload. Counted in stats() as one
+  /// dissolution per prior partition plus one reinsertion per entity.
+  /// Routes through the attached engine when one is set (same final
+  /// catalog, amortized window scans, per-window MVCC publication).
   Status Reorganize();
 
   /// Snapshot support: materializes one partition with exactly `rows`,
@@ -130,7 +151,7 @@ class Cinderella : public Partitioner {
   /// snapshots persist it so a restored instance rates identically.
   const std::vector<Synopsis>& workload() const;
 
-  // -- Batched-insert engine hooks (src/ingest) -----------------------------
+  // -- Batched-mutation engine hooks (src/ingest) ---------------------------
 
   /// Inserts a row whose placement was already resolved externally:
   /// `target` must be the partition the serial rating scan would pick for
@@ -142,6 +163,45 @@ class Cinderella : public Partitioner {
   /// engine's revalidated top-2) produces the exact serial catalog state.
   Status InsertResolved(Row row, const Synopsis& synopsis, Partition* target);
 
+  /// Result of one externally-resolved rating scan: the argmax the serial
+  /// FindBestPartition would return for the same synopsis/size, or
+  /// `valid == false` for an empty catalog.
+  struct ResolvedScan {
+    bool valid = false;
+    PartitionId id = 0;
+    double rating = 0.0;
+  };
+
+  /// Callback supplying rating-scan results to UpdateResolved. Called up
+  /// to twice per update — once for the stay decision with the old row
+  /// still resident, once after the removal for the re-placement — and
+  /// must each time return the exact argmax (rating-desc, id-asc
+  /// tie-break) over the live catalog at that instant.
+  using ScanResolver =
+      std::function<ResolvedScan(const Synopsis& synopsis, double entity_size)>;
+
+  /// Updates a row whose rating scans are supplied by `resolve`: runs
+  /// everything of Update() except the scans themselves — home lookup,
+  /// stay-or-move decision, removal, starter repair, re-placement, source
+  /// dissolution — so a resolver that reproduces the serial argmax yields
+  /// the exact serial catalog state. `new_synopsis` must be the rating
+  /// synopsis of `row` under the active mode.
+  Status UpdateResolved(Row row, const Synopsis& new_synopsis,
+                        const ScanResolver& resolve);
+
+  /// Re-inserts a drained row during Reorganize with its placement already
+  /// resolved (the reorganize-side mirror of InsertResolved; counted as a
+  /// reinsertion, not an insert).
+  Status ReinsertResolved(Row row, const Synopsis& synopsis, Partition* target);
+
+  /// First half of Reorganize: drains every partition (dropping them all,
+  /// counted as dissolutions) and returns the rows paired with their
+  /// rating synopses, sorted by descending synopsis cardinality — the
+  /// reinsertion order of the serial pass. Exposed so the engine can drain
+  /// under its commit lock and re-place the rows through the windowed
+  /// pipeline.
+  StatusOr<std::vector<std::pair<Row, Synopsis>>> DrainForReorganize();
+
   /// Monotonic counter bumped at the start of every mutating operation
   /// (including InsertResolved and failed attempts). The batch engine
   /// compares it against the generation it last mirrored: a mismatch means
@@ -150,29 +210,35 @@ class Cinderella : public Partitioner {
   /// rebuilt before the next placement is resolved.
   uint64_t catalog_generation() const { return catalog_generation_; }
 
-  /// Registers `capture` to receive the partition ids every subsequent
-  /// mutation touches, creates or drops (nullptr unregisters). Used by the
-  /// batch engine around InsertResolved to learn which packed entries a
-  /// commit (and any split cascade it triggered) invalidated.
-  void set_mutation_capture(CatalogMutations* capture) {
-    mutation_capture_ = capture;
+  /// Registers `listener` to receive the partition ids every subsequent
+  /// mutation touches, creates or drops. One unified slot type serves all
+  /// observers: the batch engine registers transiently around each commit
+  /// to learn which packed entries the commit (and any split cascade it
+  /// triggered) invalidated, while the MVCC publisher stays registered for
+  /// the lifetime of the facade to accumulate its pending snapshot delta.
+  /// The listener must outlive its registration; duplicate registrations
+  /// are ignored.
+  void AddMutationListener(CatalogMutations* listener) {
+    if (listener == nullptr) return;
+    for (CatalogMutations* existing : mutation_listeners_) {
+      if (existing == listener) return;
+    }
+    mutation_listeners_.push_back(listener);
+  }
+  void RemoveMutationListener(CatalogMutations* listener) {
+    for (size_t i = 0; i < mutation_listeners_.size(); ++i) {
+      if (mutation_listeners_[i] == listener) {
+        mutation_listeners_.erase(mutation_listeners_.begin() + i);
+        return;
+      }
+    }
   }
 
-  /// Second, independent mutation-capture slot with identical semantics,
-  /// registered by the MVCC publisher (mvcc/versioned_table.h) for the
-  /// lifetime of the facade. Kept separate from set_mutation_capture
-  /// because the batch engine registers and clears its capture transiently
-  /// around each commit, while the publisher needs every mutation —
-  /// including the engine's own commits — to reach its pending delta.
-  void set_version_capture(CatalogMutations* capture) {
-    version_capture_ = capture;
-  }
-
-  /// Attaches the engine consulted by InsertBatch (nullptr detaches). The
-  /// engine is owned by the caller and must outlive the attachment; see
-  /// AttachBatchInserter in ingest/batch_inserter.h.
-  void set_batch_engine(BatchInsertEngine* engine) { batch_engine_ = engine; }
-  BatchInsertEngine* batch_engine() const { return batch_engine_; }
+  /// Attaches the engine consulted by the batch entry points (nullptr
+  /// detaches). The engine is owned by the caller and must outlive the
+  /// attachment; see AttachMutationPipeline in ingest/mutation_pipeline.h.
+  void set_batch_engine(BatchMutationEngine* engine) { batch_engine_ = engine; }
+  BatchMutationEngine* batch_engine() const { return batch_engine_; }
 
  private:
   Cinderella(CinderellaConfig config,
@@ -242,19 +308,22 @@ class Cinderella : public Partitioner {
                                        const Synopsis& synopsis);
   void DropEmptyPartition(Partition& partition);
 
-  // Fan a catalog mutation out to both capture slots (batch-engine and
-  // MVCC publisher); either may be null.
+  // Fan a catalog mutation out to every registered listener (batch
+  // engine, MVCC publisher, ...).
   void RecordTouched(PartitionId id) {
-    if (mutation_capture_ != nullptr) mutation_capture_->touched.push_back(id);
-    if (version_capture_ != nullptr) version_capture_->touched.push_back(id);
+    for (CatalogMutations* listener : mutation_listeners_) {
+      listener->touched.push_back(id);
+    }
   }
   void RecordCreated(PartitionId id) {
-    if (mutation_capture_ != nullptr) mutation_capture_->created.push_back(id);
-    if (version_capture_ != nullptr) version_capture_->created.push_back(id);
+    for (CatalogMutations* listener : mutation_listeners_) {
+      listener->created.push_back(id);
+    }
   }
   void RecordDropped(PartitionId id) {
-    if (mutation_capture_ != nullptr) mutation_capture_->dropped.push_back(id);
-    if (version_capture_ != nullptr) version_capture_->dropped.push_back(id);
+    for (CatalogMutations* listener : mutation_listeners_) {
+      listener->dropped.push_back(id);
+    }
   }
 
   bool index_enabled() const {
@@ -278,11 +347,10 @@ class Cinderella : public Partitioner {
   std::unordered_set<PartitionId> empty_synopsis_partitions_;
   CinderellaStats stats_;
   Rng rng_;
-  // Batched-insert engine state: see the public hooks above.
+  // Batched-mutation engine state: see the public hooks above.
   uint64_t catalog_generation_ = 0;
-  CatalogMutations* mutation_capture_ = nullptr;
-  CatalogMutations* version_capture_ = nullptr;
-  BatchInsertEngine* batch_engine_ = nullptr;
+  std::vector<CatalogMutations*> mutation_listeners_;
+  BatchMutationEngine* batch_engine_ = nullptr;
 };
 
 }  // namespace cinderella

@@ -1,7 +1,9 @@
 #ifndef CINDERELLA_CORE_PARTITIONER_H_
 #define CINDERELLA_CORE_PARTITIONER_H_
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -11,6 +13,40 @@
 #include "storage/row.h"
 
 namespace cinderella {
+
+/// One entry of a typed mutation batch: the three modification operations
+/// of the paper's online partitioning problem, expressed as data so a
+/// mixed stream can flow through one engine (src/ingest) and one journal
+/// record (JournalWriter::LogMutationBatch). Kinds match the journal's
+/// per-op wire tags.
+struct Mutation {
+  enum class Kind : uint8_t { kInsert = 1, kUpdate = 2, kDelete = 3 };
+
+  Kind kind = Kind::kInsert;
+  Row row;               // payload for kInsert/kUpdate; empty for kDelete
+  EntityId entity = 0;   // target id; equals row.id() for insert/update
+
+  static Mutation Insert(Row r) {
+    Mutation m;
+    m.kind = Kind::kInsert;
+    m.entity = r.id();
+    m.row = std::move(r);
+    return m;
+  }
+  static Mutation Update(Row r) {
+    Mutation m;
+    m.kind = Kind::kUpdate;
+    m.entity = r.id();
+    m.row = std::move(r);
+    return m;
+  }
+  static Mutation Delete(EntityId entity) {
+    Mutation m;
+    m.kind = Kind::kDelete;
+    m.entity = entity;
+    return m;
+  }
+};
 
 /// Strategy interface for maintaining a horizontal partitioning of a
 /// universal table under modifications (the paper's "modification
@@ -79,11 +115,102 @@ class Partitioner {
   /// fails with NotFound for unknown ids.
   virtual Status Update(Row row) = 0;
 
+  /// Updates a batch of entities in row order with placements identical to
+  /// updating them one by one. Fails with NotFound — before touching the
+  /// table — when a row names an unknown entity. Duplicate ids within the
+  /// batch are legal (each update is applied in turn, as in a serial
+  /// loop). The default validates and loops over Update(); Cinderella
+  /// routes this through the batched mutation engine when one is attached.
+  virtual Status UpdateBatch(std::vector<Row> rows) {
+    for (const Row& row : rows) {
+      if (!catalog().FindEntity(row.id()).has_value()) {
+        return Status::NotFound("entity " + std::to_string(row.id()) +
+                                " not in table");
+      }
+    }
+    for (Row& row : rows) {
+      CINDERELLA_RETURN_IF_ERROR(Update(std::move(row)));
+    }
+    return Status::OK();
+  }
+
+  /// Applies a mixed, ordered mutation batch with effects identical to
+  /// dispatching each op serially. Validate-first: liveness is simulated
+  /// across the batch before anything is applied (an insert may follow a
+  /// delete of the same id, an update must name an id live at its point in
+  /// the stream), so a rejected batch leaves the table unchanged. On
+  /// success or failure, *applied (when non-null) receives the number of
+  /// leading ops actually applied — durable layers journal exactly that
+  /// prefix.
+  virtual Status ApplyMutations(std::vector<Mutation> ops,
+                                size_t* applied = nullptr) {
+    if (applied != nullptr) *applied = 0;
+    CINDERELLA_RETURN_IF_ERROR(ValidateMutations(ops));
+    for (Mutation& op : ops) {
+      Status status;
+      switch (op.kind) {
+        case Mutation::Kind::kInsert:
+          status = Insert(std::move(op.row));
+          break;
+        case Mutation::Kind::kUpdate:
+          status = Update(std::move(op.row));
+          break;
+        case Mutation::Kind::kDelete:
+          status = Delete(op.entity);
+          break;
+      }
+      CINDERELLA_RETURN_IF_ERROR(status);
+      if (applied != nullptr) ++*applied;
+    }
+    return Status::OK();
+  }
+
   virtual PartitionCatalog& catalog() = 0;
   virtual const PartitionCatalog& catalog() const = 0;
 
   /// Display name for bench output (e.g. "cinderella(w=0.5,B=5000)").
   virtual std::string name() const = 0;
+
+  /// Simulates entity liveness across an ordered mutation batch against
+  /// the current catalog: inserts fail on ids live at their point in the
+  /// stream, updates and deletes fail on ids dead at theirs. Shared by the
+  /// default ApplyMutations and the batched engine so both reject exactly
+  /// the batches a serial loop would reject — before any op is applied.
+  Status ValidateMutations(const std::vector<Mutation>& ops) const {
+    std::unordered_map<EntityId, bool> liveness;  // overrides the catalog
+    liveness.reserve(ops.size());
+    auto live = [&](EntityId entity) {
+      auto it = liveness.find(entity);
+      if (it != liveness.end()) return it->second;
+      return catalog().FindEntity(entity).has_value();
+    };
+    for (const Mutation& op : ops) {
+      switch (op.kind) {
+        case Mutation::Kind::kInsert:
+          if (live(op.entity)) {
+            return Status::AlreadyExists(
+                "entity " + std::to_string(op.entity) +
+                " duplicated in batch or already in table");
+          }
+          liveness[op.entity] = true;
+          break;
+        case Mutation::Kind::kUpdate:
+          if (!live(op.entity)) {
+            return Status::NotFound("entity " + std::to_string(op.entity) +
+                                    " not in table");
+          }
+          break;
+        case Mutation::Kind::kDelete:
+          if (!live(op.entity)) {
+            return Status::NotFound("entity " + std::to_string(op.entity) +
+                                    " duplicated in batch or not in table");
+          }
+          liveness[op.entity] = false;
+          break;
+      }
+    }
+    return Status::OK();
+  }
 };
 
 }  // namespace cinderella

@@ -55,6 +55,15 @@ Status UniversalTable::UpdateRow(Row row) {
   return partitioner_->Update(std::move(row));
 }
 
+Status UniversalTable::UpdateBatch(std::vector<Row> rows) {
+  return partitioner_->UpdateBatch(std::move(rows));
+}
+
+Status UniversalTable::ApplyMutations(std::vector<Mutation> ops,
+                                      size_t* applied) {
+  return partitioner_->ApplyMutations(std::move(ops), applied);
+}
+
 StatusOr<Row> UniversalTable::Get(EntityId entity) const {
   const auto home = partitioner_->catalog().FindEntity(entity);
   if (!home.has_value()) {

@@ -63,6 +63,16 @@ class UniversalTable {
   /// Replaces an entity's row.
   Status UpdateRow(Row row);
 
+  /// Updates many pre-built rows through the partitioner's batch path.
+  /// Fails with NotFound before touching the table when a row names an
+  /// unknown entity.
+  Status UpdateBatch(std::vector<Row> rows);
+
+  /// Applies a mixed, ordered mutation list (inserts, updates, deletes)
+  /// through the partitioner's batch path, validate-first across the whole
+  /// list. *applied (when non-null) receives the committed op prefix.
+  Status ApplyMutations(std::vector<Mutation> ops, size_t* applied = nullptr);
+
   /// Returns a copy of the entity's row, or NotFound.
   StatusOr<Row> Get(EntityId entity) const;
 

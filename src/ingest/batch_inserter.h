@@ -1,194 +1,28 @@
 #ifndef CINDERELLA_INGEST_BATCH_INSERTER_H_
 #define CINDERELLA_INGEST_BATCH_INSERTER_H_
 
-#include <atomic>
-#include <cstdint>
-#include <functional>
-#include <memory>
-#include <mutex>
-#include <unordered_set>
-#include <vector>
+// Historical header from PR 2, when the engine batched inserts only. The
+// machinery now lives in ingest/mutation_pipeline.h as MutationPipeline,
+// one write path for the full mutation stream (insert, update, delete,
+// reorganize); these aliases keep the original names working for callers
+// and option structs layered on them (io/durable_table.h,
+// mvcc/versioned_table.h, tools, benches).
 
-#include "common/status.h"
-#include "common/thread_pool.h"
-#include "core/cinderella.h"
-#include "ingest/sharded_catalog.h"
-#include "storage/row.h"
-#include "synopsis/synopsis.h"
+#include <memory>
+
+#include "ingest/mutation_pipeline.h"
 
 namespace cinderella {
 
-/// Tuning knobs of the batched insert engine.
-struct BatchInserterOptions {
-  /// Catalog shards (= scan parallelism). Positive wins; 0 resolves from
-  /// CinderellaConfig::insert_shards, then the CINDERELLA_INSERT_SHARDS
-  /// environment variable, then the hardware concurrency.
-  int shards = 0;
+using BatchInserterOptions = MutationPipelineOptions;
+using BatchInserter = MutationPipeline;
 
-  /// Rows placed per rating pass. Larger windows amortize the scan over
-  /// more entities (duplicate synopses within a window rate once) but
-  /// grow the dirty set the commit phase must revalidate against.
-  size_t window = 128;
-};
-
-/// The batched insert engine (ISSUE 2 tentpole): amortizes the Algorithm 1
-/// rating scan over a window of pending entities and commits placements
-/// that are bit-identical to serial single-row inserts.
-///
-/// How a window is processed:
-///  1. Group: rows with identical (rating synopsis, SIZE(e)) collapse
-///     into one entity group — one rating per (group, partition) pair.
-///  2. Scan (no global lock): every shard of the packed ShardedCatalog
-///     mirror is rated against all groups in one partition-major pass
-///     (the packed kernel; RatingTermsFromCounts, i.e. the same inline
-///     the serial scan evaluates). Each (shard, group) slot keeps the
-///     top-2 candidates under the serial comparator (rating descending,
-///     partition id ascending — exactly the strict `>` ascending-id scan
-///     of Algorithm 1). Shards scan in parallel on the engine's pool and
-///     only contend with commits touching the same shard.
-///  3. Commit (serialized on one mutex): rows are placed in batch order
-///     through Cinderella::InsertResolved. Because commits mutate
-///     partitions the scan already rated, every commit logs the touched
-///     partition ids into a dirty log; a placement is resolved from the
-///     merged top-2 plus exact re-ratings of the dirty ids. The top-2
-///     invariant makes this exact (see DESIGN.md §8): if the best slot is
-///     clean it is the true argmax; if only the best is dirty, every
-///     clean partition is bounded by the second slot; if both are dirty
-///     (or the scan predates a mirror rebuild) the entity is fully
-///     re-scanned under the lock.
-///
-/// Determinism: placements, splits, partition ids and all catalog state
-/// equal a serial Insert() loop over the same rows in the same order, at
-/// any shard count and window size — the rating arithmetic is the shared
-/// inline of core/rating.h, so even floating-point ties break
-/// identically.
-///
-/// Concurrency: InsertBatch may be called from multiple threads; scans
-/// run concurrently, commits serialize. Each batch's rows commit in
-/// order, interleaved at window granularity with other batches. Serial
-/// mutations (Insert/Delete/Update/...) remain safe when not concurrent
-/// with InsertBatch: the engine detects them via catalog_generation() and
-/// rebuilds its mirror. A batch that loses an id race to a concurrent
-/// batch fails with AlreadyExists after committing a prefix.
-class BatchInserter : public BatchInsertEngine {
- public:
-  /// Operation counters (batched-side complement of CinderellaStats).
-  struct Stats {
-    uint64_t batches = 0;
-    uint64_t rows = 0;
-    uint64_t windows = 0;
-    uint64_t ratings = 0;     // (group, partition) rating evaluations.
-    uint64_t reratings = 0;   // Exact dirty re-ratings at commit time.
-    uint64_t rescans = 0;     // Entities fully re-scanned under the lock.
-    uint64_t rebuilds = 0;    // Mirror rebuilds after external mutations.
-  };
-
-  /// Does not attach itself; see AttachBatchInserter. The mirror is
-  /// built from the current catalog immediately.
-  BatchInserter(Cinderella* cinderella, BatchInserterOptions options);
-
-  /// Detaches from the Cinderella instance if still attached.
-  ~BatchInserter() override;
-
-  BatchInserter(const BatchInserter&) = delete;
-  BatchInserter& operator=(const BatchInserter&) = delete;
-
-  /// Inserts `rows` in order with serial-identical placements. Fails with
-  /// AlreadyExists — before touching the table — when a row duplicates an
-  /// existing entity or another row of the batch.
-  Status InsertBatch(std::vector<Row> rows) override;
-
-  size_t shard_count() const { return catalog_.shard_count(); }
-  const ShardedCatalog& sharded_catalog() const { return catalog_; }
-  Stats stats() const;
-
-  /// What one committed window changed — passed to the commit hook so the
-  /// MVCC publisher can size its publication (the arena-pooled snapshot
-  /// layer pre-sizes its fresh-version scratch from dirty_partitions).
-  struct WindowCommit {
-    size_t rows = 0;              // Rows this window applied.
-    size_t dirty_partitions = 0;  // Distinct partitions it touched.
-  };
-
-  /// Called at the end of every committed window, while the commit lock is
-  /// still held (the catalog is quiescent and exactly the window's rows
-  /// are applied). The MVCC publisher registers here so each window
-  /// becomes one consistent published snapshot. The hook must not call
-  /// back into the engine. nullptr clears.
-  using CommitHook = std::function<void(const WindowCommit&)>;
-  void set_commit_hook(CommitHook hook);
-
- private:
-  /// A scan/revalidation candidate under the serial comparator.
-  struct Candidate {
-    double rating = 0.0;
-    PartitionId id = 0;
-    bool valid = false;
-  };
-  struct Top2 {
-    Candidate best;
-    Candidate second;
-  };
-  /// One deduplicated (synopsis, size) entity class of a window.
-  struct EntityGroup {
-    size_t words_offset = 0;  // Into the window's packed entity arena.
-    uint32_t count = 0;       // |e|.
-    double size = 0.0;        // SIZE(e) under the engine's measure.
-  };
-  /// Window-scoped scratch shared by the scan and commit phases.
-  struct Window;
-
-  static void Consider(Candidate* c, double rating, PartitionId id);
-  static void Offer(Top2* top, double rating, PartitionId id);
-
-  /// Rates one packed entry against one group: the packed kernel. Exact
-  /// same expression as core/rating.h Rate().
-  double RateEntry(const ShardedCatalog::EntryView& entry,
-                   const uint64_t* entity_words, size_t entity_stride,
-                   const EntityGroup& group) const;
-
-  Status ProcessWindow(std::vector<Row>* rows,
-                       const std::vector<Synopsis>* synopses, size_t begin,
-                       size_t end);
-
-  // All *Locked methods require commit_mu_.
-  void SyncMirrorLocked();
-  void RebuildLocked();
-  void AppendMutationsLocked(const CatalogMutations& mutations,
-                             std::unordered_set<PartitionId>* dirty);
-  void PublishDirtyStateLocked();
-
-  // Dirty-state encoding: epoch in the high bits, log length in the low
-  // kSizeBits. A scanner snapshots this before rating; at commit time the
-  // log suffix past the snapshot is the dirty set, and an epoch mismatch
-  // (log trimmed, or mirror rebuilt) forces the full-rescan path.
-  static constexpr uint64_t kSizeBits = 40;
-  static constexpr size_t kDirtyLogTrim = 1 << 16;
-
-  Cinderella* const cinderella_;
-  const BatchInserterOptions options_;
-  const double weight_;
-  const bool normalize_;
-  const SizeMeasure measure_;
-  ShardedCatalog catalog_;
-  std::unique_ptr<ThreadPool> pool_;  // Null when shard_count() == 1.
-
-  // Serializes commit phases (and all mutations of the state below).
-  mutable std::mutex commit_mu_;
-  CommitHook commit_hook_;
-  uint64_t synced_generation_ = 0;
-  uint64_t dirty_epoch_ = 0;
-  std::vector<PartitionId> dirty_log_;
-  std::atomic<uint64_t> dirty_state_{0};
-  Stats stats_;
-};
-
-/// Creates a BatchInserter over `cinderella` and attaches it, so
-/// Cinderella::InsertBatch (and everything layered on it: UniversalTable,
-/// DurableTable, CSV import) routes through the batched engine. The
-/// returned engine must outlive the attachment; destroying it detaches.
-std::unique_ptr<BatchInserter> AttachBatchInserter(
-    Cinderella* cinderella, BatchInserterOptions options = {});
+/// Creates a MutationPipeline over `cinderella` and attaches it (the
+/// original insert-era entry point; identical to AttachMutationPipeline).
+inline std::unique_ptr<MutationPipeline> AttachBatchInserter(
+    Cinderella* cinderella, MutationPipelineOptions options = {}) {
+  return AttachMutationPipeline(cinderella, options);
+}
 
 }  // namespace cinderella
 

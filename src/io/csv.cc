@@ -105,15 +105,18 @@ Status ImportCsv(std::istream& in, UniversalTable* table,
     return Status::InvalidArgument("missing or malformed CSV header");
   }
   size_t id_column = header.size();
+  size_t op_column = header.size();
   for (size_t i = 0; i < header.size(); ++i) {
-    if (header[i] == options.id_column) {
-      id_column = i;
-      break;
+    if (header[i] == options.id_column) id_column = i;
+    if (!options.op_column.empty() && header[i] == options.op_column) {
+      op_column = i;
     }
   }
+  const bool has_ops = op_column < header.size();
 
   std::vector<std::string> fields;
   std::vector<Row> batch;
+  std::vector<Mutation> mutations;
   EntityId next_auto_id = 0;
   size_t line = 1;
   while (ReadRecord(in, &fields, &malformed)) {
@@ -127,8 +130,10 @@ Status ImportCsv(std::istream& in, UniversalTable* table,
       return Status::InvalidArgument("record " + std::to_string(line) +
                                      " has more fields than the header");
     }
+    const bool has_id =
+        id_column < fields.size() && !fields[id_column].empty();
     EntityId entity = next_auto_id;
-    if (id_column < fields.size() && !fields[id_column].empty()) {
+    if (has_id) {
       char* end = nullptr;
       const unsigned long long parsed =
           std::strtoull(fields[id_column].c_str(), &end, 10);
@@ -140,30 +145,77 @@ Status ImportCsv(std::istream& in, UniversalTable* table,
     }
     next_auto_id = std::max(next_auto_id, entity + 1);
 
-    if (options.batch_rows == 0) {
-      std::vector<UniversalTable::NamedValue> values;
-      for (size_t i = 0; i < fields.size(); ++i) {
-        if (i == id_column || fields[i].empty()) continue;
-        values.emplace_back(header[i],
-                            ParseValue(fields[i], options.infer_types));
+    Mutation::Kind kind = Mutation::Kind::kInsert;
+    if (has_ops && op_column < fields.size()) {
+      const std::string& op = fields[op_column];
+      if (op.empty() || op == "insert") {
+        kind = Mutation::Kind::kInsert;
+      } else if (op == "update") {
+        kind = Mutation::Kind::kUpdate;
+      } else if (op == "delete") {
+        kind = Mutation::Kind::kDelete;
+      } else {
+        return Status::InvalidArgument("record " + std::to_string(line) +
+                                       ": unknown op '" + op + "'");
       }
-      CINDERELLA_RETURN_IF_ERROR(table->Insert(entity, values));
-      continue;
     }
-    Row row(entity);
-    for (size_t i = 0; i < fields.size(); ++i) {
-      if (i == id_column || fields[i].empty()) continue;
-      row.Set(table->dictionary().GetOrCreate(header[i]),
-              ParseValue(fields[i], options.infer_types));
+    if (kind == Mutation::Kind::kDelete) {
+      if (!has_id) {
+        return Status::InvalidArgument("record " + std::to_string(line) +
+                                       ": delete needs an explicit id");
+      }
+      if (options.batch_rows == 0) {
+        CINDERELLA_RETURN_IF_ERROR(table->Delete(entity));
+        continue;
+      }
+      mutations.push_back(Mutation::Delete(entity));
+    } else {
+      if (options.batch_rows == 0 && !has_ops) {
+        // Historical trigger path: one Insert per record, by name.
+        std::vector<UniversalTable::NamedValue> values;
+        for (size_t i = 0; i < fields.size(); ++i) {
+          if (i == id_column || i == op_column || fields[i].empty()) continue;
+          values.emplace_back(header[i],
+                              ParseValue(fields[i], options.infer_types));
+        }
+        CINDERELLA_RETURN_IF_ERROR(table->Insert(entity, values));
+        continue;
+      }
+      Row row(entity);
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (i == id_column || i == op_column || fields[i].empty()) continue;
+        row.Set(table->dictionary().GetOrCreate(header[i]),
+                ParseValue(fields[i], options.infer_types));
+      }
+      if (options.batch_rows == 0) {
+        // Serial op-stream dispatch.
+        CINDERELLA_RETURN_IF_ERROR(kind == Mutation::Kind::kUpdate
+                                       ? table->UpdateRow(std::move(row))
+                                       : table->InsertRow(std::move(row)));
+        continue;
+      }
+      if (has_ops) {
+        mutations.push_back(kind == Mutation::Kind::kUpdate
+                                ? Mutation::Update(std::move(row))
+                                : Mutation::Insert(std::move(row)));
+      } else {
+        batch.push_back(std::move(row));
+      }
     }
-    batch.push_back(std::move(row));
-    if (batch.size() >= options.batch_rows) {
+    if (batch.size() >= options.batch_rows && !batch.empty()) {
       CINDERELLA_RETURN_IF_ERROR(table->InsertBatch(std::move(batch)));
       batch.clear();
+    }
+    if (mutations.size() >= options.batch_rows && !mutations.empty()) {
+      CINDERELLA_RETURN_IF_ERROR(table->ApplyMutations(std::move(mutations)));
+      mutations.clear();
     }
   }
   if (!batch.empty()) {
     CINDERELLA_RETURN_IF_ERROR(table->InsertBatch(std::move(batch)));
+  }
+  if (!mutations.empty()) {
+    CINDERELLA_RETURN_IF_ERROR(table->ApplyMutations(std::move(mutations)));
   }
   return Status::OK();
 }

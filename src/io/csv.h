@@ -20,11 +20,21 @@ struct CsvOptions {
   /// otherwise). Export always renders values with Value::ToString().
   bool infer_types = true;
 
-  /// Import: rows accumulated per UniversalTable::InsertBatch call. The
-  /// default 0 keeps the historical row-by-row trigger path; any positive
-  /// value routes the load through the batched ingest pipeline (identical
-  /// placements, amortized rating and durability cost).
+  /// Import: rows accumulated per UniversalTable::InsertBatch /
+  /// ApplyMutations call. The default 0 keeps the historical row-by-row
+  /// trigger path; any positive value routes the load through the batched
+  /// mutation pipeline (identical placements, amortized rating and
+  /// durability cost).
   size_t batch_rows = 0;
+
+  /// Import: name of an optional operation column. When non-empty and
+  /// present in the header, each record's cell selects its op — "insert"
+  /// (also the meaning of an empty cell), "update", or "delete" (which
+  /// reads only the id and requires an explicit one). The stream then
+  /// flows through UniversalTable::ApplyMutations as a mixed mutation
+  /// batch; with batch_rows == 0 each op dispatches serially. Ignored
+  /// when the header lacks the column.
+  std::string op_column;
 };
 
 /// Imports a *wide* CSV: the header names the attributes, an empty cell

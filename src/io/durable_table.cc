@@ -87,6 +87,9 @@ StatusOr<std::unique_ptr<DurableTable>> DurableTable::Open(Options options) {
             }
             break;
           }
+          case JournalEntry::Kind::kMutationBatch:
+            // Expanded by the reader; never surfaced.
+            return Status::Internal("unexpanded mutation batch entry");
         }
         ++replayed;
       }
@@ -158,26 +161,38 @@ Status DurableTable::InsertRow(Row row) {
                     });
 }
 
-Status DurableTable::InsertBatch(std::vector<Row> rows) {
-  if (rows.empty()) return Status::OK();
-  std::vector<Row> copies = rows;
-  const size_t before = table_->entity_count();
-  const Status applied = table_->InsertBatch(std::move(rows));
-  // Inserts are applied strictly in batch order and each adds exactly one
-  // entity, so the count delta is the length of the applied prefix — the
-  // part the journal must record even when the batch failed part-way.
-  const size_t applied_rows = table_->entity_count() - before;
+Status DurableTable::ApplyMutations(std::vector<Mutation> ops) {
+  if (ops.empty()) return Status::OK();
+  std::vector<Mutation> copies = ops;
+  size_t applied = 0;
+  const Status status = table_->ApplyMutations(std::move(ops), &applied);
   CINDERELLA_RETURN_IF_ERROR(LogDictionaryGrowth());
-  if (applied_rows > 0) {
-    copies.resize(applied_rows);
-    CINDERELLA_RETURN_IF_ERROR(journal_->LogBatch(copies));
-    // The group-commit payoff: one fsync for the whole batch.
+  if (applied > 0) {
+    // Journal exactly the committed prefix — the part the in-memory state
+    // reflects even when the batch failed part-way — as one batch record,
+    // made durable by a single fsync (the group-commit payoff).
+    copies.resize(applied);
+    CINDERELLA_RETURN_IF_ERROR(journal_->LogMutationBatch(copies));
     if (options_.sync_every_op || options_.group_commit_ops > 0) {
       CINDERELLA_RETURN_IF_ERROR(journal_->Sync());
       ops_since_sync_ = 0;
     }
   }
-  return applied;
+  return status;
+}
+
+Status DurableTable::InsertBatch(std::vector<Row> rows) {
+  std::vector<Mutation> ops;
+  ops.reserve(rows.size());
+  for (Row& row : rows) ops.push_back(Mutation::Insert(std::move(row)));
+  return ApplyMutations(std::move(ops));
+}
+
+Status DurableTable::UpdateBatch(std::vector<Row> rows) {
+  std::vector<Mutation> ops;
+  ops.reserve(rows.size());
+  for (Row& row : rows) ops.push_back(Mutation::Update(std::move(row)));
+  return ApplyMutations(std::move(ops));
 }
 
 Status DurableTable::Insert(
@@ -215,27 +230,10 @@ Status DurableTable::Delete(EntityId entity) {
 }
 
 Status DurableTable::DeleteBatch(const std::vector<EntityId>& entities) {
-  if (entities.empty()) return Status::OK();
-  const size_t before = table_->entity_count();
-  const Status applied = table_->DeleteBatch(entities);
-  // Deletes apply strictly in batch order and each removes exactly one
-  // entity, so the count delta is the length of the applied prefix — what
-  // the journal must record even when the batch failed part-way. (The
-  // validate-first contract makes a partial prefix an internal-error path,
-  // but the journal must stay consistent with memory regardless.)
-  const size_t applied_deletes = before - table_->entity_count();
-  if (applied_deletes > 0) {
-    std::vector<EntityId> prefix(entities.begin(),
-                                 entities.begin() +
-                                     static_cast<ptrdiff_t>(applied_deletes));
-    CINDERELLA_RETURN_IF_ERROR(journal_->LogDeleteBatch(prefix));
-    // One fsync for the whole batch, mirroring InsertBatch.
-    if (options_.sync_every_op || options_.group_commit_ops > 0) {
-      CINDERELLA_RETURN_IF_ERROR(journal_->Sync());
-      ops_since_sync_ = 0;
-    }
-  }
-  return applied;
+  std::vector<Mutation> ops;
+  ops.reserve(entities.size());
+  for (EntityId entity : entities) ops.push_back(Mutation::Delete(entity));
+  return ApplyMutations(std::move(ops));
 }
 
 Status DurableTable::Checkpoint() {

@@ -61,12 +61,23 @@ class DurableTable {
   Status Update(EntityId entity,
                 const std::vector<UniversalTable::NamedValue>& attributes);
   Status UpdateRow(Row row);
+  /// Group-commit update: same contract as InsertBatch — batched
+  /// placements identical to serial updates, one journal record, one
+  /// fsync.
+  Status UpdateBatch(std::vector<Row> rows);
   Status Delete(EntityId entity);
   /// Group-commit delete: validated before any mutation (NotFound leaves
   /// table and journal untouched), applied in order, journaled as one run
   /// of kDelete entries, then fsynced once (when syncing is configured).
   /// On failure the journal records exactly the applied prefix.
   Status DeleteBatch(const std::vector<EntityId>& entities);
+
+  /// Group-commit mixed batch: the unified mutation pipeline end to end.
+  /// Validate-first across the whole op list, applied in order, journaled
+  /// as one kMutationBatch record covering exactly the applied prefix,
+  /// then one fsync (when syncing is configured). All the batch entry
+  /// points above are adapters over this path.
+  Status ApplyMutations(std::vector<Mutation> ops);
 
   /// Writes a snapshot and truncates the journal.
   Status Checkpoint();

@@ -23,6 +23,13 @@ struct JournalEntry {
     /// `name`. Logged before the first row that uses the attribute, so a
     /// replay into an empty dictionary reproduces the same ids.
     kAttribute = 4,
+    /// Group-commit batch record: u32 op count, then per op a u8 sub-kind
+    /// (the kInsert/kUpdate/kDelete wire tags, = Mutation::Kind) and the
+    /// op's usual payload. The reader expands a batch into individual
+    /// entries, so replay is op-granular: a torn tail inside a batch
+    /// recovers exactly the decoded op prefix. Never surfaced from
+    /// JournalReader::Next.
+    kMutationBatch = 5,
   };
   Kind kind = Kind::kInsert;
   Row row;              // Payload of inserts and updates.
@@ -60,13 +67,18 @@ class JournalWriter {
   Status LogDelete(EntityId entity);
   Status LogAttribute(AttributeId attribute, const std::string& name);
 
-  /// Group-commit append: one kInsert entry per row, serialized into the
-  /// buffer in one pass. Pair with a single Sync() to make the whole
-  /// batch durable with one fsync.
+  /// Group-commit append: one kMutationBatch record covering the whole op
+  /// list (mixed kinds allowed), serialized into the buffer in one pass.
+  /// Pair with a single Sync() to make the whole batch durable with one
+  /// fsync. Ops replay in list order; entries_written() counts each op.
+  Status LogMutationBatch(const std::vector<Mutation>& ops);
+
+  /// Insert-only group commit: one kMutationBatch record of kInsert ops
+  /// (wire-identical to LogMutationBatch over Mutation::Insert of each
+  /// row, without copying the rows).
   Status LogBatch(const std::vector<Row>& rows);
 
-  /// Delete-side group commit: one kDelete entry per entity, buffered in
-  /// one pass; pair with a single Sync() like LogBatch.
+  /// Delete-side group commit: one kMutationBatch record of kDelete ops.
   Status LogDeleteBatch(const std::vector<EntityId>& entities);
 
   /// Writes buffered entries to the OS and fsyncs the file: everything
@@ -110,8 +122,13 @@ class JournalReader {
  private:
   explicit JournalReader(std::ifstream in);
 
+  /// Decodes the next op of the kMutationBatch record being expanded.
+  StatusOr<bool> NextBatchOp(JournalEntry* entry);
+
   std::ifstream in_;
   bool torn_tail_ = false;
+  // Ops left in the kMutationBatch record currently being expanded.
+  uint32_t batch_remaining_ = 0;
 };
 
 /// Replays every entry of the journal at `path` into `partitioner`.

@@ -30,7 +30,7 @@ VersionedTable::VersionedTable(Cinderella* table, BatchInserter* engine)
 }
 
 void VersionedTable::Hook() {
-  cinderella_->set_version_capture(&pending_);
+  cinderella_->AddMutationListener(&pending_);
   if (engine_ != nullptr) {
     engine_->set_commit_hook([this](const BatchInserter::WindowCommit& commit) {
       std::lock_guard<std::mutex> lock(publish_mu_);
@@ -45,7 +45,7 @@ void VersionedTable::Hook() {
 
 VersionedTable::~VersionedTable() {
   if (engine_ != nullptr) engine_->set_commit_hook(nullptr);
-  cinderella_->set_version_capture(nullptr);
+  cinderella_->RemoveMutationListener(&pending_);
 
   // The contract requires every Snapshot to be released before the table
   // dies — a pinned reader would otherwise scan freed memory no epoch can
@@ -154,6 +154,26 @@ Status VersionedTable::InsertBatch(std::vector<Row> rows) {
   // serial fallback path, and the committed prefix of a batch that failed
   // mid-window (whose hook never ran).
   const Status status = cinderella_->InsertBatch(std::move(rows));
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  PublishLocked();
+  return status;
+}
+
+Status VersionedTable::UpdateBatch(std::vector<Row> rows) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  // Same per-window publication story as InsertBatch: an update that moves
+  // an entity dirties both its old and new partitions, and the window's
+  // commit hook publishes them together as one consistent snapshot.
+  const Status status = cinderella_->UpdateBatch(std::move(rows));
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  PublishLocked();
+  return status;
+}
+
+Status VersionedTable::ApplyMutations(std::vector<Mutation> ops,
+                                      size_t* applied) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  const Status status = cinderella_->ApplyMutations(std::move(ops), applied);
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
   PublishLocked();
   return status;

@@ -153,8 +153,19 @@ class VersionedTable {
   /// serial), publishing a view per committed window.
   Status InsertBatch(std::vector<Row> rows);
 
-  /// Full reorganization pass (Cinderella::Reorganize) published as one
-  /// generation swap.
+  /// Batched update through the mutation pipeline, publishing a view per
+  /// committed window; placements identical to serial Update calls.
+  Status UpdateBatch(std::vector<Row> rows);
+
+  /// Mixed, ordered mutation batch (validate-first) through the pipeline,
+  /// publishing a view per committed window. *applied (when non-null)
+  /// receives the committed op prefix.
+  Status ApplyMutations(std::vector<Mutation> ops, size_t* applied = nullptr);
+
+  /// Full reorganization pass (Cinderella::Reorganize). With an engine
+  /// attached, the batched pass publishes a view per reinsertion window
+  /// (readers watch the catalog rebuild incrementally, including the
+  /// drained-empty state); a final full rebuild reconciles either way.
   Status Reorganize();
 
   /// Re-publishes a full view from the live catalog. Call after mutating

@@ -117,6 +117,94 @@ TEST(ArenaTest, MixedSizesStayMallocFreeAtSteadyState) {
   EXPECT_EQ(arena.lifetime_blocks_allocated(), blocks);
 }
 
+TEST(ArenaTest, IdleBlocksAreTrimmedAfterNRecycles) {
+  Arena arena;
+  arena.set_trim_idle_recycles(3);
+  // A burst cycle retains several blocks...
+  for (int i = 0; i < 40; ++i) ASSERT_NE(arena.Allocate(7000, 8), nullptr);
+  const uint64_t burst_retained = arena.bytes_retained();
+  const uint64_t burst_high_water = arena.bytes_used();
+  ASSERT_GT(arena.lifetime_blocks_allocated(), 1u);
+
+  // ...then the workload shrinks to a single-block footprint. The first
+  // post-burst Reset still sees every block used, the next trim-1 cycles
+  // keep everything (the blocks are merely idle), then the streak hits
+  // the threshold and the tail blocks are released.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    arena.Reset();
+    ASSERT_NE(arena.Allocate(1000, 8), nullptr);
+    EXPECT_EQ(arena.bytes_retained(), burst_retained);
+    EXPECT_EQ(arena.blocks_trimmed(), 0u);
+  }
+  arena.Reset();
+  ASSERT_NE(arena.Allocate(1000, 8), nullptr);
+  EXPECT_LT(arena.bytes_retained(), burst_retained);
+  EXPECT_GT(arena.blocks_trimmed(), 0u);
+  EXPECT_EQ(arena.bytes_retained(), Arena::kBlockSize);  // One block left.
+
+  // The high-water mark remembers the burst across the trims.
+  EXPECT_GE(arena.bytes_high_water(), burst_high_water);
+
+  // The surviving block still serves the steady state with no new
+  // allocations.
+  const uint64_t blocks = arena.lifetime_blocks_allocated();
+  arena.Reset();
+  ASSERT_NE(arena.Allocate(1000, 8), nullptr);
+  EXPECT_EQ(arena.lifetime_blocks_allocated(), blocks);
+}
+
+TEST(ArenaTest, LargeBlocksAreTrimmedIndependently) {
+  Arena arena;
+  arena.set_trim_idle_recycles(2);
+  ASSERT_NE(arena.Allocate(3 * Arena::kBlockSize, 8), nullptr);
+  ASSERT_NE(arena.Allocate(1000, 8), nullptr);
+  const uint64_t burst_retained = arena.bytes_retained();
+
+  // The large block goes unused for two recycles and is dropped; the
+  // normal block survives because every cycle touches it. (The first
+  // Reset closes the burst cycle where the large block *was* used.)
+  arena.Reset();
+  ASSERT_NE(arena.Allocate(1000, 8), nullptr);
+  arena.Reset();
+  ASSERT_NE(arena.Allocate(1000, 8), nullptr);
+  EXPECT_EQ(arena.bytes_retained(), burst_retained);
+  arena.Reset();
+  ASSERT_NE(arena.Allocate(1000, 8), nullptr);
+  EXPECT_EQ(arena.bytes_retained(), Arena::kBlockSize);
+  EXPECT_EQ(arena.blocks_trimmed(), 1u);
+}
+
+TEST(ArenaTest, TrimZeroDisablesTrimming) {
+  Arena arena;
+  arena.set_trim_idle_recycles(0);
+  for (int i = 0; i < 40; ++i) ASSERT_NE(arena.Allocate(7000, 8), nullptr);
+  const uint64_t burst_retained = arena.bytes_retained();
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    arena.Reset();
+    ASSERT_NE(arena.Allocate(1000, 8), nullptr);
+  }
+  EXPECT_EQ(arena.bytes_retained(), burst_retained);
+  EXPECT_EQ(arena.blocks_trimmed(), 0u);
+}
+
+TEST(ArenaTest, ActiveBlocksResetIdleStreaks) {
+  Arena arena;
+  arena.set_trim_idle_recycles(3);
+  for (int i = 0; i < 10; ++i) ASSERT_NE(arena.Allocate(7000, 8), nullptr);
+  const uint64_t burst_retained = arena.bytes_retained();
+  // Alternate small and full cycles: the full cycles touch every block
+  // before any streak reaches the threshold, so nothing is ever trimmed.
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    arena.Reset();
+    const int allocs = cycle % 2 == 0 ? 1 : 10;
+    for (int i = 0; i < allocs; ++i) {
+      ASSERT_NE(arena.Allocate(7000, 8), nullptr);
+    }
+  }
+  EXPECT_EQ(arena.bytes_retained(), burst_retained);
+  EXPECT_EQ(arena.blocks_trimmed(), 0u);
+}
+
 TEST(ArenaPoolTest, AcquireRecycleReuse) {
   ArenaPool pool;
   Arena* first = pool.Acquire();
@@ -176,6 +264,30 @@ TEST(ArenaPoolTest, SteadyStateCyclesAllocateNoBlocks) {
   EXPECT_EQ(stats.blocks_allocated, warm_blocks);
   EXPECT_EQ(stats.arenas_created, 1u);
   EXPECT_EQ(stats.arenas_reused, 20u);
+}
+
+TEST(ArenaPoolTest, TrimPolicyAndHighWaterFlowIntoStats) {
+  ArenaPool pool;
+  pool.set_trim_idle_recycles(2);
+  // One burst generation, then small steady-state generations through the
+  // recycling path (Unref -> Reset -> free list): the idle tail blocks are
+  // trimmed, the stats record both the trim count and the burst peak.
+  {
+    Arena* arena = pool.Acquire();
+    for (int i = 0; i < 40; ++i) ASSERT_NE(arena->Allocate(7000, 8), nullptr);
+    arena->Unref();
+  }
+  const uint64_t burst_retained = pool.stats().bytes_retained;
+  ASSERT_GT(burst_retained, Arena::kBlockSize);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    Arena* arena = pool.Acquire();
+    ASSERT_NE(arena->Allocate(1000, 8), nullptr);
+    arena->Unref();
+  }
+  const ArenaPool::Stats stats = pool.stats();
+  EXPECT_LT(stats.bytes_retained, burst_retained);
+  EXPECT_GT(stats.blocks_trimmed, 0u);
+  EXPECT_GE(stats.bytes_high_water, 40u * 7000u);
 }
 
 }  // namespace

@@ -231,6 +231,117 @@ TEST(MvccStressTest, PooledArenasAreNotReusedUnderPinnedReaders) {
   EXPECT_EQ(table.epochs().retired_count(), 0u);
 }
 
+TEST(MvccStressTest, ReadersNeverObserveTornViewsDuringUpdateBatch) {
+  // The unified-pipeline variant of the torn-view check: the writer runs
+  // batched updates (and occasional mixed update/delete/insert batches)
+  // through the MutationPipeline while readers pin snapshots. An update
+  // that moves an entity is a remove+place pair inside the engine; a
+  // reader must never see the in-between state (entity in zero or two
+  // partitions, totals off by one).
+  CinderellaConfig config;
+  config.weight = 0.4;
+  config.max_size = 16;
+  config.scan_threads = 1;
+  VersionedTable::Options options;
+  options.ingest.window = 16;
+  options.ingest.shards = 2;
+  VersionedTable table(std::move(Cinderella::Create(config)).value(),
+                       std::move(options));
+
+  constexpr EntityId kEntities = 512;
+  std::vector<Row> base;
+  base.reserve(kEntities);
+  for (EntityId id = 0; id < kEntities; ++id) base.push_back(MakeRow(id));
+  ASSERT_TRUE(table.InsertBatch(std::move(base)).ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> views_checked{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> readers;
+  const int num_readers = ReaderThreads();
+  readers.reserve(static_cast<size_t>(num_readers));
+  for (int r = 0; r < num_readers; ++r) {
+    readers.emplace_back([&] {
+      do {
+        const VersionedTable::Snapshot snapshot = table.snapshot();
+        const CatalogView& view = snapshot.view();
+        size_t entities = 0;
+        PartitionId last_id = 0;
+        bool first = true;
+        for (const PartitionVersion* version : view.partitions()) {
+          if (!first && version->id() <= last_id) {
+            failed.store(true);
+            return;
+          }
+          first = false;
+          last_id = version->id();
+          if (version->entity_count() == 0) {
+            failed.store(true);
+            return;
+          }
+          entities += version->entity_count();
+          // Every resident row must be self-consistent: MakeRow keeps
+          // Value(id) at base+2, and updates preserve that shape.
+          const RowView probe = version->row(version->entity_count() - 1);
+          const AttributeId attr =
+              static_cast<AttributeId>((probe.id() % 4) * 8 + 2);
+          const Value* value = probe.Get(attr);
+          if (value == nullptr ||
+              value->as_int64() != static_cast<int64_t>(probe.id())) {
+            failed.store(true);
+            return;
+          }
+        }
+        if (entities != view.entity_count()) {
+          failed.store(true);
+          return;
+        }
+        views_checked.fetch_add(1, std::memory_order_relaxed);
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+
+  // Writer: batched updates that rotate entities across the four
+  // attribute clusters (so many updates move partition), plus a mixed
+  // delete+reinsert batch every fourth round.
+  for (int round = 0; round < 30; ++round) {
+    std::vector<Row> updates;
+    updates.reserve(48);
+    for (EntityId i = 0; i < 48; ++i) {
+      const EntityId id = (static_cast<EntityId>(round) * 37 + i * 11) %
+                          kEntities;
+      // Re-home the entity into the cluster of (id + round), keeping the
+      // id -> Value(id) invariant the readers check.
+      Row row(id);
+      const AttributeId base_attr =
+          static_cast<AttributeId>(((id + static_cast<EntityId>(round)) % 4) *
+                                   8);
+      row.Set(base_attr, Value(int64_t{1}));
+      row.Set(base_attr + 1, Value(int64_t{1}));
+      row.Set(static_cast<AttributeId>((id % 4) * 8 + 2),
+              Value(static_cast<int64_t>(id)));
+      updates.push_back(std::move(row));
+    }
+    ASSERT_TRUE(table.UpdateBatch(std::move(updates)).ok());
+    if (round % 4 == 3) {
+      std::vector<Mutation> ops;
+      const EntityId victim = static_cast<EntityId>(round) % kEntities;
+      ops.push_back(Mutation::Delete(victim));
+      ops.push_back(Mutation::Insert(MakeRow(victim)));
+      ASSERT_TRUE(table.ApplyMutations(std::move(ops), nullptr).ok());
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(views_checked.load(), 0u);
+  ASSERT_TRUE(table.partitioner().VerifyIntegrity().ok());
+  ASSERT_TRUE(table.Insert(MakeRow(1000000)).ok());
+  EXPECT_EQ(table.epochs().retired_count(), 0u);
+}
+
 TEST(MvccStressTest, GetIsSafeDuringIngest) {
   CinderellaConfig config;
   config.weight = 0.4;

@@ -69,8 +69,10 @@ int Usage() {
       "            [--max-size B] [--dissolve T] [--index]\n"
       "            [--probe a,b,c]   (serve lock-free snapshot queries\n"
       "            on these attributes while the load runs)\n"
+      "            [--ops COLUMN]   (mixed op stream: the named CSV\n"
+      "            column selects insert/update/delete per record)\n"
       "            --snapshot FILE.snap   (bulk load via the batched\n"
-      "            ingest pipeline; placements match `partition`)\n"
+      "            mutation pipeline; placements match `partition`)\n"
       "  stats     --snapshot FILE.snap\n"
       "  query     --snapshot FILE.snap --attrs a,b,c\n"
       "  sql       --snapshot FILE.snap --query \"SELECT a WHERE b > 5\"\n"
@@ -207,6 +209,9 @@ int Load(const Args& args) {
   CsvOptions csv;
   csv.batch_rows = static_cast<size_t>(args.GetInt("batch", 1024));
   if (csv.batch_rows == 0) csv.batch_rows = 1;
+  // --ops COLUMN routes the file through the unified mutation pipeline as
+  // a mixed insert/update/delete stream.
+  csv.op_column = args.Get("ops");
   WallTimer timer;
   Status status = ImportCsvFromFile(in, &table, csv);
   const double load_seconds = timer.ElapsedSeconds();
@@ -228,6 +233,13 @@ int Load(const Args& args) {
       static_cast<unsigned long long>(ingest.ratings),
       static_cast<unsigned long long>(ingest.reratings),
       static_cast<unsigned long long>(ingest.rescans));
+  if (ingest.updates > 0 || ingest.deletes > 0) {
+    std::printf("ops: %llu updates (%llu moved), %llu deletes\n",
+                static_cast<unsigned long long>(ingest.updates),
+                static_cast<unsigned long long>(
+                    cinderella->stats().updates_moved),
+                static_cast<unsigned long long>(ingest.deletes));
+  }
   if (versioned != nullptr) {
     std::printf(
         "probe '%s': %llu snapshot queries during the load "
@@ -278,6 +290,10 @@ int Stats(const Args& args) {
                 m.arenas.live_arenas, m.arenas.pooled_arenas,
                 static_cast<double>(m.arenas.bytes_retained) /
                     (1024.0 * 1024.0));
+    std::printf("  arena high-water    %.2f MiB (%llu idle blocks trimmed)\n",
+                static_cast<double>(m.arenas.bytes_high_water) /
+                    (1024.0 * 1024.0),
+                static_cast<unsigned long long>(m.arenas.blocks_trimmed));
     std::printf("  version shells      %llu created, %zu pooled\n",
                 static_cast<unsigned long long>(m.version_shells.created),
                 m.version_shells.pooled);

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the standard build + full test suite, then a
+# Tier-1 verification: the standard build + full test suite, a smoke run
+# of every trajectory bench (tiny sizes — catches bitrot in the BENCH_*
+# emitters without paying for real numbers), then a
 # thread-sanitized side build of the scan engine (thread pool, parallel
 # rating scan, parallel query executor) and the MVCC read engine to catch
 # data races the regular build cannot, then an address-sanitized build of
@@ -34,8 +36,11 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS" --timeout "$CTEST_TIMEOUT")
 
+echo "== tier-1: bench smoke (tiny sizes, scratch dir) =="
+tools/bench_all.sh --smoke "$JOBS"
+
 echo "== tier-1: TSan build of the scan + ingest engine tests =="
-TSAN_TARGETS=(thread_pool_test parallel_scan_test ingest_test mvcc_test)
+TSAN_TARGETS=(thread_pool_test parallel_scan_test ingest_test mutation_pipeline_test mvcc_test)
 if [[ "$FAST" -eq 0 ]]; then
   TSAN_TARGETS+=(ingest_concurrency_test mvcc_stress_test)
 fi
@@ -45,6 +50,7 @@ cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
 CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/thread_pool_test
 CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/parallel_scan_test
 CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/ingest_test
+CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/mutation_pipeline_test
 CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/mvcc_test
 if [[ "$FAST" -eq 0 ]]; then
   CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/ingest_concurrency_test
