@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 extern char** environ;
@@ -142,6 +143,11 @@ void WriteHostMetadata(std::FILE* json) {
                JsonEscape(CINDERELLA_BENCH_BUILD_FLAGS).c_str());
   std::fprintf(json, "    \"sanitizer\": \"%s\",\n",
                JsonEscape(CINDERELLA_BENCH_SANITIZE).c_str());
+  // The effective scan morsel size (partitions per claimed chunk) —
+  // CINDERELLA_SCAN_CHUNK or the built-in default; recorded explicitly
+  // because it shifts every parallel-scan measurement.
+  std::fprintf(json, "    \"scan_chunk\": %zu,\n",
+               ThreadPool::ResolveScanChunk(0));
   // Every CINDERELLA_* knob in effect, sorted for stable diffs.
   std::vector<std::string> knobs;
   for (char** env = environ; *env != nullptr; ++env) {

@@ -1,10 +1,41 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
 
 #include "common/env.h"
 
 namespace cinderella {
+namespace {
+
+// Process-wide cache of environment/hardware resolutions, keyed by
+// variable name. Leaked on purpose (no destruction-order hazards for
+// pools that outlive main). Guarded by its own mutex; the lookup is a
+// handful of nanoseconds against the syscalls it replaces.
+std::mutex& ResolutionCacheMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, int64_t>& ResolutionCache() {
+  static auto* cache = new std::unordered_map<std::string, int64_t>();
+  return *cache;
+}
+
+template <typename FallbackFn>
+int64_t CachedEnvResolution(const char* env_var, FallbackFn fallback) {
+  std::lock_guard<std::mutex> lock(ResolutionCacheMutex());
+  auto& cache = ResolutionCache();
+  const auto it = cache.find(env_var);
+  if (it != cache.end()) return it->second;
+  int64_t resolved = Int64FromEnv(env_var, 0);
+  if (resolved <= 0) resolved = fallback();
+  cache.emplace(env_var, resolved);
+  return resolved;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int degree) : degree_(std::max(degree, 1)) {
   workers_.reserve(static_cast<size_t>(degree_ - 1));
@@ -24,13 +55,21 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::RunChunks(
     const std::function<void(size_t, size_t, size_t)>& fn, size_t items,
-    size_t chunk) {
-  const size_t num_chunks = NumChunks(items, chunk);
+    size_t chunk, const std::vector<size_t>* bounds) {
+  const size_t num_chunks =
+      bounds != nullptr ? bounds->size() : NumChunks(items, chunk);
   size_t c;
   while ((c = next_chunk_.fetch_add(1, std::memory_order_relaxed)) <
          num_chunks) {
-    const size_t begin = c * chunk;
-    const size_t end = std::min(items, begin + chunk);
+    size_t begin;
+    size_t end;
+    if (bounds != nullptr) {
+      begin = c == 0 ? 0 : (*bounds)[c - 1];
+      end = (*bounds)[c];
+    } else {
+      begin = c * chunk;
+      end = std::min(items, begin + chunk);
+    }
     fn(begin, end, c);
   }
 }
@@ -41,6 +80,7 @@ void ThreadPool::WorkerLoop() {
     const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
     size_t items = 0;
     size_t chunk = 0;
+    const std::vector<size_t>* bounds = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock,
@@ -50,13 +90,38 @@ void ThreadPool::WorkerLoop() {
       fn = fn_;
       items = items_;
       chunk = chunk_;
+      bounds = bounds_;
     }
-    RunChunks(*fn, items, chunk);
+    RunChunks(*fn, items, chunk, bounds);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_workers_ == 0) done_cv_.notify_all();
     }
   }
+}
+
+void ThreadPool::RunBatch(const std::function<void(size_t, size_t, size_t)>& fn,
+                          size_t items, size_t chunk,
+                          const std::vector<size_t>* bounds) {
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    items_ = items;
+    chunk_ = chunk;
+    bounds_ = bounds;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    pending_workers_ = workers_.size();
+    ++batch_seq_;
+  }
+  work_cv_.notify_all();
+  // The caller participates: even if every worker is slow to wake, the
+  // batch completes.
+  RunChunks(fn, items, chunk, bounds);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+  fn_ = nullptr;
+  bounds_ = nullptr;
 }
 
 void ThreadPool::ParallelFor(
@@ -74,24 +139,56 @@ void ThreadPool::ParallelFor(
     }
     return;
   }
+  RunBatch(fn, items, chunk, nullptr);
+}
 
-  std::lock_guard<std::mutex> run_lock(run_mu_);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    fn_ = &fn;
-    items_ = items;
-    chunk_ = chunk;
-    next_chunk_.store(0, std::memory_order_relaxed);
-    pending_workers_ = workers_.size();
-    ++batch_seq_;
+void ThreadPool::ParallelForDynamic(
+    size_t items, size_t min_chunk,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (items == 0) return;
+  if (workers_.empty()) {
+    // Degree 1: one chunk, inline — matches DynamicChunkBounds.
+    fn(0, items, 0);
+    return;
   }
-  work_cv_.notify_all();
-  // The caller participates: even if every worker is slow to wake, the
-  // batch completes.
-  RunChunks(fn, items, chunk);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
-  fn_ = nullptr;
+  const std::vector<size_t> bounds =
+      DynamicChunkBounds(items, min_chunk, degree_);
+  if (bounds.size() == 1) {
+    fn(0, items, 0);
+    return;
+  }
+  RunBatch(fn, items, 0, &bounds);
+}
+
+std::vector<size_t> ThreadPool::DynamicChunkBounds(size_t items,
+                                                   size_t min_chunk,
+                                                   int degree) {
+  std::vector<size_t> bounds;
+  if (items == 0) return bounds;
+  if (min_chunk == 0) min_chunk = 1;
+  if (degree <= 1) {
+    bounds.push_back(items);
+    return bounds;
+  }
+  // Guided self-scheduling: each chunk takes half an even share of what
+  // remains, floored at the morsel size. Early chunks are coarse (cheap
+  // dispatch), tail chunks shrink to min_chunk so a late straggler holds
+  // little work while the rest of the pool drains the queue.
+  const size_t streams = static_cast<size_t>(degree);
+  size_t offset = 0;
+  while (offset < items) {
+    const size_t remaining = items - offset;
+    const size_t guided = remaining / (2 * streams);
+    const size_t chunk = std::min(remaining, std::max(min_chunk, guided));
+    offset += chunk;
+    bounds.push_back(offset);
+  }
+  return bounds;
+}
+
+size_t ThreadPool::NumDynamicChunks(size_t items, size_t min_chunk,
+                                    int degree) {
+  return DynamicChunkBounds(items, min_chunk, degree).size();
 }
 
 int ThreadPool::ResolveDegree(int configured) {
@@ -100,10 +197,22 @@ int ThreadPool::ResolveDegree(int configured) {
 
 int ThreadPool::ResolveDegree(int configured, const char* env_var) {
   if (configured > 0) return configured;
-  const int64_t from_env = Int64FromEnv(env_var, 0);
-  if (from_env > 0) return static_cast<int>(from_env);
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  return static_cast<int>(CachedEnvResolution(env_var, [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int64_t>(hw) : int64_t{1};
+  }));
+}
+
+size_t ThreadPool::ResolveScanChunk(size_t configured) {
+  if (configured > 0) return configured;
+  return static_cast<size_t>(CachedEnvResolution(
+      "CINDERELLA_SCAN_CHUNK",
+      [] { return static_cast<int64_t>(kDefaultScanChunk); }));
+}
+
+void ThreadPool::ResetResolutionCacheForTesting() {
+  std::lock_guard<std::mutex> lock(ResolutionCacheMutex());
+  ResolutionCache().clear();
 }
 
 }  // namespace cinderella

@@ -12,9 +12,9 @@
 
 namespace cinderella {
 
-/// A fixed pool of worker threads driving the ParallelFor primitive used
+/// A fixed pool of worker threads driving the ParallelFor primitives used
 /// by the scan engine (rating scan of Algorithm 1, query-side partition
-/// scan).
+/// scan, GROUP BY aggregation).
 ///
 /// Design notes:
 ///  - `degree` counts execution streams *including* the calling thread,
@@ -22,16 +22,26 @@ namespace cinderella {
 ///    threads at all and ParallelFor degrades to an inline serial loop —
 ///    the serial build has zero threading overhead and needs no special
 ///    casing at call sites.
-///  - ParallelFor splits the range into contiguous chunks identified by a
-///    stable ascending chunk index. Callers write per-chunk outputs into
-///    pre-sized slots and merge them in chunk order after the call, which
-///    makes every result deterministic (bit-identical to the serial loop)
-///    regardless of thread scheduling.
-///  - One batch runs at a time; concurrent ParallelFor calls on the same
-///    pool serialize behind an internal lock. The caller participates in
+///  - Both scheduling primitives split the range into contiguous chunks
+///    identified by a stable ascending chunk index. Callers write
+///    per-chunk outputs into pre-sized slots and merge them in chunk
+///    order after the call, which makes every result deterministic
+///    (bit-identical to the serial loop) regardless of thread scheduling.
+///  - ParallelFor uses uniform chunks of a caller-chosen size;
+///    ParallelForDynamic uses a guided morsel schedule (large chunks up
+///    front, shrinking toward the tail) whose boundaries are a pure
+///    function of (items, min_chunk, degree) — dynamic *claiming* with
+///    deterministic *boundaries*, so stragglers no longer gate the batch
+///    while outputs still merge in a fixed order.
+///  - One batch runs at a time; concurrent calls on the same pool
+///    serialize behind an internal lock. The caller participates in
 ///    chunk execution, so even a heavily contended pool makes progress.
 class ThreadPool {
  public:
+  /// Default morsel granularity of the query scan paths (partitions per
+  /// claimed chunk); see ResolveScanChunk.
+  static constexpr size_t kDefaultScanChunk = 4;
+
   /// Spawns degree-1 workers (none for degree <= 1).
   explicit ThreadPool(int degree);
   ~ThreadPool();
@@ -50,26 +60,67 @@ class ThreadPool {
   void ParallelFor(size_t items, size_t chunk,
                    const std::function<void(size_t, size_t, size_t)>& fn);
 
+  /// Morsel-driven variant: chunks follow the guided schedule of
+  /// DynamicChunkBounds (early chunks of ~remaining/(2*degree) items,
+  /// never below `min_chunk`, so the tail is fine-grained and a straggler
+  /// holds at most `min_chunk` items while the rest of the pool drains
+  /// the queue). Chunks are claimed from an atomic ticket counter; the
+  /// chunk index passed to `fn` is the deterministic schedule position,
+  /// so per-chunk output slots merge in the same order at any degree.
+  void ParallelForDynamic(
+      size_t items, size_t min_chunk,
+      const std::function<void(size_t, size_t, size_t)>& fn);
+
   /// Number of chunks ParallelFor(items, chunk, ...) produces.
   static size_t NumChunks(size_t items, size_t chunk) {
     if (chunk == 0) chunk = 1;
     return items == 0 ? 0 : (items + chunk - 1) / chunk;
   }
 
+  /// The guided morsel schedule: exclusive end offsets of each chunk, a
+  /// pure function of the arguments (no scheduling state), ascending and
+  /// ending at `items`. Callers size per-chunk output slots from
+  /// .size(). Degree <= 1 yields a single chunk covering everything.
+  static std::vector<size_t> DynamicChunkBounds(size_t items,
+                                                size_t min_chunk, int degree);
+
+  /// DynamicChunkBounds(...).size() without materializing the vector.
+  static size_t NumDynamicChunks(size_t items, size_t min_chunk, int degree);
+
   /// Resolves a configured thread-count knob to an effective pool degree:
   /// a positive value wins, 0 falls back to the CINDERELLA_SCAN_THREADS
   /// environment variable, and an unset/invalid variable falls back to
   /// std::thread::hardware_concurrency(). Never returns less than 1.
+  /// The environment/hardware fallback is resolved once per process and
+  /// cached (thread-safe): hot-path constructors (e.g. QueryExecutor)
+  /// would otherwise pay getenv + hardware_concurrency per query.
   static int ResolveDegree(int configured);
 
   /// Same resolution rule with a caller-chosen environment variable
   /// (e.g. CINDERELLA_INSERT_SHARDS for the batched insert engine).
+  /// Cached per variable name.
   static int ResolveDegree(int configured, const char* env_var);
+
+  /// Resolves the scan morsel size shared by the query scan and
+  /// aggregation paths: a positive value wins, 0 falls back to the
+  /// CINDERELLA_SCAN_CHUNK environment variable, and an unset/invalid
+  /// variable falls back to kDefaultScanChunk. Cached like ResolveDegree.
+  static size_t ResolveScanChunk(size_t configured);
+
+  /// Drops every cached environment resolution so tests can change
+  /// CINDERELLA_* variables mid-process. Not for production use: the
+  /// cache exists precisely so the hot path never re-reads the
+  /// environment.
+  static void ResetResolutionCacheForTesting();
 
  private:
   void RunChunks(const std::function<void(size_t, size_t, size_t)>& fn,
-                 size_t items, size_t chunk);
+                 size_t items, size_t chunk,
+                 const std::vector<size_t>* bounds);
   void WorkerLoop();
+  void RunBatch(const std::function<void(size_t, size_t, size_t)>& fn,
+                size_t items, size_t chunk,
+                const std::vector<size_t>* bounds);
 
   const int degree_;
   std::vector<std::thread> workers_;
@@ -87,6 +138,8 @@ class ThreadPool {
   const std::function<void(size_t, size_t, size_t)>* fn_ = nullptr;
   size_t items_ = 0;
   size_t chunk_ = 0;
+  // Guided schedule of the current batch; nullptr for uniform chunks.
+  const std::vector<size_t>* bounds_ = nullptr;
   std::atomic<size_t> next_chunk_{0};
 };
 

@@ -22,6 +22,10 @@ Status CinderellaConfig::Validate() const {
     return Status::InvalidArgument(
         "insert_shards must be >= 0 (0 resolves from the environment)");
   }
+  if (scan_chunk < 0) {
+    return Status::InvalidArgument(
+        "scan_chunk must be >= 0 (0 resolves from the environment)");
+  }
   return Status::OK();
 }
 

@@ -82,6 +82,16 @@ struct CinderellaConfig {
   /// (mirrors the scan_threads convention). Negative values are invalid.
   int insert_shards = 0;
 
+  /// Morsel size, in partitions, for every chunked parallel scan (query
+  /// executor and the GROUP BY aggregator): workers claim `scan_chunk`
+  /// partitions (and larger chunks up front, guided schedule) from an
+  /// atomic ticket counter. Chunk boundaries depend only on the partition
+  /// count and degree — never on timing — so results stay bit-identical
+  /// to serial. 0 = resolve from the CINDERELLA_SCAN_CHUNK environment
+  /// variable, falling back to ThreadPool::kDefaultScanChunk. Negative
+  /// values are invalid.
+  int scan_chunk = 0;
+
   /// Extension (not in the paper): dissolve a partition whose size drops
   /// below this fraction of max_size after a delete, re-inserting its
   /// remaining entities through the normal insert routine. The paper only

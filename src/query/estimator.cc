@@ -42,6 +42,22 @@ SelectivityEstimate EstimateImpl(const Catalog& catalog, const Query& query) {
 }
 
 template <typename Catalog>
+GroupCardinalityEstimate GroupCardinalityImpl(const Catalog& catalog,
+                                              AttributeId attribute) {
+  GroupCardinalityEstimate estimate;
+  catalog.ForEachPartition([&](const auto& partition) {
+    estimate.table_entities += partition.entity_count();
+    const uint64_t carriers = partition.AttributeCarrierCount(attribute);
+    if (carriers == 0) return;
+    ++estimate.partitions_carrying;
+    estimate.carrier_rows += carriers;
+    estimate.max_partition_carriers =
+        std::max(estimate.max_partition_carriers, carriers);
+  });
+  return estimate;
+}
+
+template <typename Catalog>
 std::string ExplainImpl(const Catalog& catalog, const Query& query,
                         size_t max_partitions) {
   const SelectivityEstimate estimate = EstimateImpl(catalog, query);
@@ -105,6 +121,16 @@ SelectivityEstimate EstimateSelectivity(const PartitionCatalog& catalog,
 SelectivityEstimate EstimateSelectivity(const CatalogView& view,
                                         const Query& query) {
   return EstimateImpl(view, query);
+}
+
+GroupCardinalityEstimate EstimateGroupCardinality(
+    const PartitionCatalog& catalog, AttributeId attribute) {
+  return GroupCardinalityImpl(catalog, attribute);
+}
+
+GroupCardinalityEstimate EstimateGroupCardinality(const CatalogView& view,
+                                                  AttributeId attribute) {
+  return GroupCardinalityImpl(view, attribute);
 }
 
 std::string ExplainQuery(const PartitionCatalog& catalog, const Query& query,

@@ -32,7 +32,41 @@ struct SelectivityEstimate {
   }
 };
 
+/// Metadata-only bounds on the number of distinct groups a GROUP BY over
+/// one attribute can produce, derived from per-partition carrier counts.
+/// A partition with c carriers of the group attribute contributes at most
+/// c distinct keys, so Σ_p c_p upper-bounds the table-wide distinct
+/// count; it is also exactly the number of rows an aggregation will
+/// consume. The aggregation engine's strategy chooser refines the upper
+/// bound with a small row sample (see query/aggregator.h).
+struct GroupCardinalityEstimate {
+  uint64_t table_entities = 0;
+  /// Σ_p c_p: total carriers of the attribute == aggregation input rows
+  /// and an upper bound on the distinct group count.
+  uint64_t carrier_rows = 0;
+  /// max_p c_p: the heaviest partition's carrier count. A large value
+  /// relative to carrier_rows signals partition-level skew (one partition
+  /// dominates the scan).
+  uint64_t max_partition_carriers = 0;
+  /// Partitions with c_p > 0 (== partitions an aggregation scans after
+  /// synopsis pruning).
+  uint64_t partitions_carrying = 0;
+
+  /// Upper bound on the distinct group count (no lower bound is available
+  /// from synopses alone: all carriers could share one key).
+  uint64_t groups_upper_bound() const { return carrier_rows; }
+};
+
 class CatalogView;  // mvcc/partition_version.h
+
+/// Bounds the group cardinality of GROUP BY `attribute` from catalog
+/// metadata only — no data access.
+GroupCardinalityEstimate EstimateGroupCardinality(
+    const PartitionCatalog& catalog, AttributeId attribute);
+
+/// Same bounds over a pinned MVCC snapshot.
+GroupCardinalityEstimate EstimateGroupCardinality(const CatalogView& view,
+                                                  AttributeId attribute);
 
 /// Estimates how many entities match `query` without reading any row.
 SelectivityEstimate EstimateSelectivity(const PartitionCatalog& catalog,

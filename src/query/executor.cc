@@ -5,119 +5,9 @@
 
 #include "core/concurrent_table.h"
 #include "mvcc/partition_version.h"
+#include "query/scan_source.h"
 
 namespace cinderella {
-namespace {
-
-// Partitions per scan chunk: coarse enough to amortize chunk dispatch,
-// fine enough to rebalance irregular partition sizes across workers.
-constexpr size_t kScanChunk = 4;
-
-/// Uniform scan input: what one partition contributes to a scan, whether
-/// it comes from the live catalog (heap-backed Row objects) or from an
-/// arena-packed MVCC version (row headers plus one shared cell array).
-/// Either way the scan body sees RowViews, so predicate evaluation and
-/// projection are layout-agnostic.
-struct ScanSource {
-  SynopsisSpan synopsis;  // Pruning synopsis.
-  // Exactly one layout is set per source.
-  const std::vector<Row>* live_rows = nullptr;
-  const PartitionVersion::PackedRow* packed_rows = nullptr;
-  const Row::Cell* packed_cells = nullptr;
-  size_t entities = 0;
-  uint64_t cells = 0;
-  uint64_t bytes = 0;
-
-  template <typename Fn>
-  void ForEachRow(Fn&& fn) const {
-    if (live_rows != nullptr) {
-      for (const Row& row : *live_rows) fn(RowView(row));
-      return;
-    }
-    for (size_t i = 0; i < entities; ++i) {
-      const PartitionVersion::PackedRow& row = packed_rows[i];
-      fn(RowView(row.id, packed_cells + row.cell_begin, row.cell_count));
-    }
-  }
-};
-
-void AppendSources(const PartitionCatalog& catalog,
-                   std::vector<ScanSource>* sources) {
-  sources->reserve(catalog.partition_count());
-  catalog.ForEachPartition([&](const Partition& partition) {
-    ScanSource source;
-    source.synopsis = partition.attribute_synopsis().span();
-    source.live_rows = &partition.segment().rows();
-    source.entities = partition.entity_count();
-    source.cells = partition.segment().cell_count();
-    source.bytes = partition.segment().byte_size();
-    sources->push_back(source);
-  });
-}
-
-void AppendSources(const CatalogView& view, std::vector<ScanSource>* sources) {
-  sources->reserve(view.partition_count());
-  view.ForEachPartition([&](const PartitionVersion& version) {
-    ScanSource source;
-    source.synopsis = version.attribute_synopsis();
-    source.packed_rows = version.packed_rows();
-    source.packed_cells = version.cell_data();
-    source.entities = version.entity_count();
-    source.cells = version.cell_count();
-    source.bytes = version.byte_size();
-    sources->push_back(source);
-  });
-}
-
-std::vector<ScanSource> SnapshotSources(const PartitionCatalog* catalog,
-                                        const CatalogView* view) {
-  std::vector<ScanSource> sources;
-  if (catalog != nullptr) {
-    AppendSources(*catalog, &sources);
-  } else {
-    AppendSources(*view, &sources);
-  }
-  return sources;
-}
-
-void MergeMetrics(const ScanMetrics& from, ScanMetrics* into) {
-  into->partitions_total += from.partitions_total;
-  into->partitions_scanned += from.partitions_scanned;
-  into->partitions_pruned += from.partitions_pruned;
-  into->rows_scanned += from.rows_scanned;
-  into->rows_matched += from.rows_matched;
-  into->cells_read += from.cells_read;
-  into->bytes_read += from.bytes_read;
-}
-
-/// Runs `scan(source, &out)` over every partition source and feeds the
-/// per-chunk outputs to `merge` in ascending partition-id order — the
-/// merge sequence (and therefore every counter and buffer built from it)
-/// is identical to a serial left-to-right scan at any pool degree. The
-/// serial path produces one output for the whole range, so `merge` sees a
-/// single already-ordered aggregate and buffers move instead of copy.
-template <typename Out, typename Scan, typename Merge>
-void ChunkedScan(ThreadPool* pool, const std::vector<ScanSource>& sources,
-                 Scan&& scan, Merge&& merge) {
-  const size_t num_chunks = ThreadPool::NumChunks(sources.size(), kScanChunk);
-  if (pool == nullptr || num_chunks <= 1) {
-    Out out;
-    for (const ScanSource& source : sources) scan(source, &out);
-    merge(std::move(out));
-    return;
-  }
-  std::vector<Out> outs(num_chunks);
-  pool->ParallelFor(sources.size(), kScanChunk,
-                    [&](size_t begin, size_t end, size_t chunk_index) {
-                      Out& out = outs[chunk_index];
-                      for (size_t i = begin; i < end; ++i) {
-                        scan(sources[i], &out);
-                      }
-                    });
-  for (Out& out : outs) merge(std::move(out));
-}
-
-}  // namespace
 
 ThreadPool* QueryExecutor::pool() {
   if (degree_ <= 1) return nullptr;
@@ -156,7 +46,8 @@ QueryResult QueryExecutor::ScanMatchingRows(const Predicate& predicate) {
       }
     });
   };
-  ChunkedScan<Out>(pool(), sources, scan, [&](Out out) {
+  ChunkedScan<Out>(pool(), morsel_, /*fixed_chunks=*/false, sources, scan,
+                   [&](Out out) {
     MergeMetrics(out.metrics, &result.metrics);
     table_entities += out.entities;
     if (match_buffer_.empty()) {
@@ -241,7 +132,8 @@ QueryResult QueryExecutor::Execute(const Query& query) {
       if (matched) ++out->metrics.rows_matched;
     });
   };
-  ChunkedScan<Out>(pool(), sources, scan, [&](Out out) {
+  ChunkedScan<Out>(pool(), morsel_, /*fixed_chunks=*/false, sources, scan,
+                   [&](Out out) {
     MergeMetrics(out.metrics, &result.metrics);
     table_entities += out.entities;
     if (result_buffer_.empty()) {

@@ -68,25 +68,36 @@ struct QueryResult {
 /// synopsis-based pruning (the paper's rewrite to a UNION ALL over all
 /// partitions containing the requested attributes).
 ///
-/// Threading: with `scan_threads` != 1 the partition scan is chunked
-/// across a fixed thread pool. Per-chunk metrics, matched rows and
-/// materialized cells are merged in partition-id order, so every result —
-/// counters, selectivity, and the materialization buffer — is
-/// bit-identical to the serial scan. The default is 1 (serial, the exact
-/// pre-threading behavior); 0 resolves from CINDERELLA_SCAN_THREADS /
-/// hardware concurrency. The executor itself is not thread-safe; use one
-/// instance per querying thread.
+/// Threading: with `scan_threads` != 1 the partition scan is spread
+/// across a fixed thread pool with morsel-driven scheduling — workers
+/// claim chunks of `scan_chunk` partitions (and larger, up front) from an
+/// atomic ticket counter, so one oversized partition no longer gates the
+/// batch. Per-chunk metrics, matched rows and materialized cells are
+/// merged in deterministic chunk order, so every result — counters,
+/// selectivity, and the materialization buffer — is bit-identical to the
+/// serial scan. The default is 1 (serial, the exact pre-threading
+/// behavior); 0 resolves from CINDERELLA_SCAN_THREADS / hardware
+/// concurrency. `scan_chunk` is the morsel granularity in partitions;
+/// 0 resolves from CINDERELLA_SCAN_CHUNK, default
+/// ThreadPool::kDefaultScanChunk. The executor itself is not
+/// thread-safe; use one instance per querying thread.
 class QueryExecutor {
  public:
-  explicit QueryExecutor(const PartitionCatalog& catalog, int scan_threads = 1)
-      : catalog_(&catalog), degree_(ThreadPool::ResolveDegree(scan_threads)) {}
+  explicit QueryExecutor(const PartitionCatalog& catalog, int scan_threads = 1,
+                         size_t scan_chunk = 0)
+      : catalog_(&catalog),
+        degree_(ThreadPool::ResolveDegree(scan_threads)),
+        morsel_(ThreadPool::ResolveScanChunk(scan_chunk)) {}
 
   /// Executes against a pinned MVCC snapshot (mvcc/partition_version.h)
   /// instead of the live catalog: same pruning, same deterministic merge
   /// order, same counters — the view must stay pinned for the executor
   /// calls' duration. This is the lock-free read path of VersionedTable.
-  explicit QueryExecutor(const CatalogView& view, int scan_threads = 1)
-      : view_(&view), degree_(ThreadPool::ResolveDegree(scan_threads)) {}
+  explicit QueryExecutor(const CatalogView& view, int scan_threads = 1,
+                         size_t scan_chunk = 0)
+      : view_(&view),
+        degree_(ThreadPool::ResolveDegree(scan_threads)),
+        morsel_(ThreadPool::ResolveScanChunk(scan_chunk)) {}
 
   /// Scans all non-prunable partitions, materializing the projection of
   /// matching rows into an internal buffer (real work, so wall-clock
@@ -130,6 +141,7 @@ class QueryExecutor {
   const PartitionCatalog* catalog_ = nullptr;
   const CatalogView* view_ = nullptr;
   int degree_;
+  size_t morsel_;  // Morsel granularity, in partitions.
   std::unique_ptr<ThreadPool> pool_;
   // Reused scratch buffers (cleared per query).
   std::vector<RowView> match_buffer_;

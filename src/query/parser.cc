@@ -169,10 +169,23 @@ class Parser {
       CINDERELLA_RETURN_IF_ERROR(where.status());
       statement.where = std::move(where).value();
     }
+    if (IsKeyword("group")) {
+      ++pos_;
+      CINDERELLA_RETURN_IF_ERROR(ExpectKeyword("by"));
+      if (Current().kind != TokenKind::kIdentifier) {
+        return Status::InvalidArgument("expected attribute name in GROUP BY");
+      }
+      StatusOr<AttributeId> id = BindName(Current().text);
+      CINDERELLA_RETURN_IF_ERROR(id.status());
+      statement.has_group_by = true;
+      statement.group_by = *id;
+      ++pos_;
+    }
     if (Current().kind != TokenKind::kEnd) {
       return Status::InvalidArgument("trailing input after statement: '" +
                                      Current().text + "'");
     }
+    CINDERELLA_RETURN_IF_ERROR(ValidateAggregation(statement));
     return statement;
   }
 
@@ -204,6 +217,55 @@ class Parser {
     return *id;
   }
 
+  /// Returns the aggregate function named by the current token, if the
+  /// next token opens an argument list — COUNT/SUM/MIN/MAX stay ordinary
+  /// attribute names unless followed by '('.
+  bool PeekAggregate(AggregateFn* fn) const {
+    if (Current().kind != TokenKind::kIdentifier) return false;
+    const Token& next = tokens_[pos_ + 1];
+    if (next.kind != TokenKind::kSymbol || next.text != "(") return false;
+    const std::string name = Lower(Current().text);
+    if (name == "count") {
+      *fn = AggregateFn::kCount;
+    } else if (name == "sum") {
+      *fn = AggregateFn::kSum;
+    } else if (name == "min") {
+      *fn = AggregateFn::kMin;
+    } else if (name == "max") {
+      *fn = AggregateFn::kMax;
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  Status ParseAggregate(AggregateFn fn, SelectStatement* statement) {
+    pos_ += 2;  // Function name and '('.
+    AggregateItem item;
+    item.fn = fn;
+    if (IsSymbol("*")) {
+      if (fn != AggregateFn::kCount) {
+        return Status::InvalidArgument("'*' is only valid in COUNT(*)");
+      }
+      item.count_all = true;
+      ++pos_;
+    } else {
+      if (Current().kind != TokenKind::kIdentifier) {
+        return Status::InvalidArgument("expected attribute name in aggregate");
+      }
+      StatusOr<AttributeId> id = BindName(Current().text);
+      CINDERELLA_RETURN_IF_ERROR(id.status());
+      item.attribute = *id;
+      ++pos_;
+    }
+    if (!IsSymbol(")")) {
+      return Status::InvalidArgument("expected ')' after aggregate argument");
+    }
+    ++pos_;
+    statement->aggregates.push_back(item);
+    return Status::OK();
+  }
+
   Status ParseProjection(SelectStatement* statement) {
     if (IsSymbol("*")) {
       ++pos_;
@@ -211,15 +273,58 @@ class Parser {
       return Status::OK();
     }
     while (true) {
-      if (Current().kind != TokenKind::kIdentifier) {
+      AggregateFn fn;
+      if (PeekAggregate(&fn)) {
+        CINDERELLA_RETURN_IF_ERROR(ParseAggregate(fn, statement));
+      } else if (Current().kind == TokenKind::kIdentifier) {
+        StatusOr<AttributeId> id = BindName(Current().text);
+        CINDERELLA_RETURN_IF_ERROR(id.status());
+        statement->projection.push_back(*id);
+        ++pos_;
+      } else {
         return Status::InvalidArgument("expected attribute name in SELECT");
       }
-      StatusOr<AttributeId> id = BindName(Current().text);
-      CINDERELLA_RETURN_IF_ERROR(id.status());
-      statement->projection.push_back(*id);
-      ++pos_;
       if (!IsSymbol(",")) break;
       ++pos_;
+    }
+    return Status::OK();
+  }
+
+  /// GROUP BY shape checks: aggregates require GROUP BY; plain items in
+  /// an aggregate query must be the grouping attribute; attribute-taking
+  /// aggregates must share one value attribute (the engine aggregates a
+  /// single value column per query).
+  static Status ValidateAggregation(const SelectStatement& statement) {
+    if (!statement.has_group_by) {
+      if (!statement.aggregates.empty()) {
+        return Status::InvalidArgument(
+            "aggregate functions require a GROUP BY clause");
+      }
+      return Status::OK();
+    }
+    if (statement.select_all) {
+      return Status::InvalidArgument("SELECT * cannot be grouped");
+    }
+    if (statement.aggregates.empty()) {
+      return Status::InvalidArgument(
+          "GROUP BY requires at least one aggregate in SELECT");
+    }
+    for (AttributeId attribute : statement.projection) {
+      if (attribute != statement.group_by) {
+        return Status::InvalidArgument(
+            "non-aggregate SELECT item must be the GROUP BY attribute");
+      }
+    }
+    bool have_value = false;
+    AttributeId value = 0;
+    for (const AggregateItem& item : statement.aggregates) {
+      if (item.count_all) continue;
+      if (have_value && item.attribute != value) {
+        return Status::InvalidArgument(
+            "all aggregates must reference one common value attribute");
+      }
+      have_value = true;
+      value = item.attribute;
     }
     return Status::OK();
   }

@@ -10,13 +10,37 @@
 
 namespace cinderella {
 
+/// Aggregate function of one SELECT item (GROUP BY queries only).
+enum class AggregateFn { kCount, kSum, kMin, kMax };
+
+/// One aggregate in the SELECT list: COUNT(*), COUNT(a), SUM(a), MIN(a)
+/// or MAX(a).
+struct AggregateItem {
+  AggregateFn fn = AggregateFn::kCount;
+  /// Aggregated attribute (unused when count_all).
+  AttributeId attribute = 0;
+  /// COUNT(*): counts every participating row, no attribute involved.
+  bool count_all = false;
+};
+
 /// A parsed and bound SELECT statement.
 struct SelectStatement {
-  /// Projected attribute ids (empty when select_all).
+  /// Projected attribute ids (empty when select_all). For a GROUP BY
+  /// query this holds the plain (non-aggregate) SELECT items, which the
+  /// parser has validated to be the grouping attribute.
   std::vector<AttributeId> projection;
   bool select_all = false;
   /// Bound WHERE predicate; null = no WHERE clause (match every entity).
   PredicatePtr where;
+  /// Aggregate SELECT items, in SELECT-list order (empty for a plain
+  /// projection query). Non-empty implies has_group_by: the parser
+  /// rejects aggregates without a GROUP BY clause, and requires every
+  /// attribute-taking aggregate to reference one common value attribute
+  /// (the engine aggregates a single value column per query).
+  std::vector<AggregateItem> aggregates;
+  /// GROUP BY clause (single attribute).
+  bool has_group_by = false;
+  AttributeId group_by = 0;
 };
 
 /// Parses the mini query language used by the CLI and examples against
@@ -25,10 +49,13 @@ struct SelectStatement {
 ///   SELECT a, b WHERE a IS NOT NULL OR b IS NOT NULL     (the paper's shape)
 ///   SELECT * WHERE weight > 100 AND (tuner IS NULL OR screen >= 40)
 ///   SELECT name
+///   SELECT type, COUNT(*), SUM(price) WHERE price > 0 GROUP BY type
 ///
 /// Grammar (case-insensitive keywords):
-///   statement  := SELECT projection [WHERE or_expr]
-///   projection := '*' | name (',' name)*
+///   statement  := SELECT projection [WHERE or_expr] [GROUP BY name]
+///   projection := '*' | item (',' item)*
+///   item       := name | COUNT '(' '*' ')'
+///               | (COUNT|SUM|MIN|MAX) '(' name ')'
 ///   or_expr    := and_expr (OR and_expr)*
 ///   and_expr   := unary (AND unary)*
 ///   unary      := NOT unary | '(' or_expr ')' | comparison
@@ -36,6 +63,12 @@ struct SelectStatement {
 ///               | name ('='|'!='|'<>'|'<'|'<='|'>'|'>=') literal
 ///   literal    := integer | decimal | 'single-quoted string'
 ///   name       := [A-Za-z_][A-Za-z0-9_]* | "double-quoted name"
+///
+/// Aggregates are only legal with GROUP BY; a plain name in an aggregate
+/// query must be the grouping attribute, and every attribute-taking
+/// aggregate must reference the same value attribute. COUNT, SUM, MIN,
+/// MAX parse as aggregate functions only when followed by '(' — as bare
+/// names they stay ordinary attributes.
 ///
 /// Attribute names are bound against `dictionary`; unknown names are an
 /// InvalidArgument error (the table has never seen such an attribute).

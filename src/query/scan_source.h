@@ -1,0 +1,146 @@
+#ifndef CINDERELLA_QUERY_SCAN_SOURCE_H_
+#define CINDERELLA_QUERY_SCAN_SOURCE_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/catalog.h"
+#include "mvcc/partition_version.h"
+#include "query/executor.h"
+#include "storage/row.h"
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+
+/// Internal plumbing shared by the scan operators (query/executor.cc and
+/// query/aggregator.cc). Not part of the public query API: the types here
+/// borrow from a live catalog or a pinned MVCC view and die with it.
+
+/// Uniform scan input: what one partition contributes to a scan, whether
+/// it comes from the live catalog (heap-backed Row objects) or from an
+/// arena-packed MVCC version (row headers plus one shared cell array).
+/// Either way the scan body sees RowViews, so predicate evaluation,
+/// projection, and aggregation are layout-agnostic.
+struct ScanSource {
+  SynopsisSpan synopsis;  // Pruning synopsis.
+  // Exactly one layout is set per source.
+  const std::vector<Row>* live_rows = nullptr;
+  const PartitionVersion::PackedRow* packed_rows = nullptr;
+  const Row::Cell* packed_cells = nullptr;
+  size_t entities = 0;
+  uint64_t cells = 0;
+  uint64_t bytes = 0;
+
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    if (live_rows != nullptr) {
+      for (const Row& row : *live_rows) fn(RowView(row));
+      return;
+    }
+    for (size_t i = 0; i < entities; ++i) {
+      const PartitionVersion::PackedRow& row = packed_rows[i];
+      fn(RowView(row.id, packed_cells + row.cell_begin, row.cell_count));
+    }
+  }
+};
+
+inline void AppendSources(const PartitionCatalog& catalog,
+                          std::vector<ScanSource>* sources) {
+  sources->reserve(catalog.partition_count());
+  catalog.ForEachPartition([&](const Partition& partition) {
+    ScanSource source;
+    source.synopsis = partition.attribute_synopsis().span();
+    source.live_rows = &partition.segment().rows();
+    source.entities = partition.entity_count();
+    source.cells = partition.segment().cell_count();
+    source.bytes = partition.segment().byte_size();
+    sources->push_back(source);
+  });
+}
+
+inline void AppendSources(const CatalogView& view,
+                          std::vector<ScanSource>* sources) {
+  sources->reserve(view.partition_count());
+  view.ForEachPartition([&](const PartitionVersion& version) {
+    ScanSource source;
+    source.synopsis = version.attribute_synopsis();
+    source.packed_rows = version.packed_rows();
+    source.packed_cells = version.cell_data();
+    source.entities = version.entity_count();
+    source.cells = version.cell_count();
+    source.bytes = version.byte_size();
+    sources->push_back(source);
+  });
+}
+
+/// Snapshot of whichever source the operator was constructed over
+/// (exactly one of the two is non-null).
+inline std::vector<ScanSource> SnapshotSources(const PartitionCatalog* catalog,
+                                               const CatalogView* view) {
+  std::vector<ScanSource> sources;
+  if (catalog != nullptr) {
+    AppendSources(*catalog, &sources);
+  } else {
+    AppendSources(*view, &sources);
+  }
+  return sources;
+}
+
+inline void MergeMetrics(const ScanMetrics& from, ScanMetrics* into) {
+  into->partitions_total += from.partitions_total;
+  into->partitions_scanned += from.partitions_scanned;
+  into->partitions_pruned += from.partitions_pruned;
+  into->rows_scanned += from.rows_scanned;
+  into->rows_matched += from.rows_matched;
+  into->cells_read += from.cells_read;
+  into->bytes_read += from.bytes_read;
+}
+
+/// Runs `scan(source, &out)` over every partition source and feeds the
+/// per-chunk outputs to `merge` in ascending partition-id order — the
+/// merge sequence (and therefore every counter and buffer built from it)
+/// is identical to a serial left-to-right scan at any pool degree. The
+/// serial path produces one output for the whole range, so `merge` sees a
+/// single already-ordered aggregate and buffers move instead of copy.
+///
+/// `morsel` is the scheduling granularity in partitions (see
+/// ThreadPool::ResolveScanChunk). By default chunks follow the
+/// morsel-driven guided schedule (ParallelForDynamic), so one oversized
+/// partition no longer gates the batch; `fixed_chunks` selects the legacy
+/// uniform pre-split (kept for the scheduling bench's baseline).
+template <typename Out, typename Scan, typename Merge>
+void ChunkedScan(ThreadPool* pool, size_t morsel, bool fixed_chunks,
+                 const std::vector<ScanSource>& sources, Scan&& scan,
+                 Merge&& merge) {
+  const size_t num_chunks =
+      pool == nullptr
+          ? 1
+          : (fixed_chunks
+                 ? ThreadPool::NumChunks(sources.size(), morsel)
+                 : ThreadPool::NumDynamicChunks(sources.size(), morsel,
+                                                pool->degree()));
+  if (pool == nullptr || num_chunks <= 1) {
+    Out out;
+    for (const ScanSource& source : sources) scan(source, &out);
+    merge(std::move(out));
+    return;
+  }
+  std::vector<Out> outs(num_chunks);
+  const auto body = [&](size_t begin, size_t end, size_t chunk_index) {
+    Out& out = outs[chunk_index];
+    for (size_t i = begin; i < end; ++i) {
+      scan(sources[i], &out);
+    }
+  };
+  if (fixed_chunks) {
+    pool->ParallelFor(sources.size(), morsel, body);
+  } else {
+    pool->ParallelForDynamic(sources.size(), morsel, body);
+  }
+  for (Out& out : outs) merge(std::move(out));
+}
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_QUERY_SCAN_SOURCE_H_

@@ -4,6 +4,60 @@
 
 namespace cinderella {
 
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed 64-bit avalanche.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool ValueLess(const Value& a, const Value& b) {
+  if (a.type() != b.type()) {
+    return static_cast<int>(a.type()) < static_cast<int>(b.type());
+  }
+  switch (a.type()) {
+    case ValueType::kInt64:
+      return a.as_int64() < b.as_int64();
+    case ValueType::kDouble:
+      return a.as_double() < b.as_double();
+    case ValueType::kString:
+      return a.as_string() < b.as_string();
+  }
+  return false;
+}
+
+uint64_t ValueHash(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt64:
+      return Mix64(static_cast<uint64_t>(v.as_int64()));
+    case ValueType::kDouble: {
+      // Normalize -0.0 to +0.0: the two compare equal, so they must hash
+      // alike. (NaN never equals anything; its bits can hash as-is.)
+      double d = v.as_double();
+      if (d == 0.0) d = 0.0;
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits ^ 0x517cc1b727220a95ULL);
+    }
+    case ValueType::kString: {
+      // FNV-1a over the bytes, then one avalanche round.
+      uint64_t h = 0xcbf29ce484222325ULL;
+      for (const char c : v.as_string()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+      }
+      return Mix64(h ^ 0x2545f4914f6cdd1dULL);
+    }
+  }
+  return 0;
+}
+
 std::string Value::ToString() const {
   switch (type()) {
     case ValueType::kInt64:

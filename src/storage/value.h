@@ -55,6 +55,18 @@ class Value {
 
 inline bool operator!=(const Value& a, const Value& b) { return !(a == b); }
 
+/// Total order over values: by type tag first (int64 < double < string),
+/// then by value within a type. Consistent with operator== (equal values
+/// are never ordered), which makes it usable as the canonical result
+/// order of the GROUP BY engine: sorting by ValueLess yields the same
+/// sequence for any hash-table iteration order.
+bool ValueLess(const Value& a, const Value& b);
+
+/// 64-bit hash consistent with operator== (a == b implies equal hashes;
+/// in particular +0.0 and -0.0 hash alike). Drives group-key hash tables
+/// and the radix partitioner of the aggregation engine.
+uint64_t ValueHash(const Value& v);
+
 }  // namespace cinderella
 
 #endif  // CINDERELLA_STORAGE_VALUE_H_

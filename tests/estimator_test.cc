@@ -107,6 +107,41 @@ TEST(EstimatorTest, BoundsAlwaysHoldOnGeneratedWorkload) {
   EXPECT_LT(total_error / workload.size(), 0.05 * rows.size());
 }
 
+TEST(GroupCardinalityTest, BoundsHoldAndPruningMatches) {
+  CinderellaConfig config;
+  config.weight = 0.3;
+  config.max_size = 100;
+  auto c = std::move(Cinderella::Create(config)).value();
+  // 40 entities: even ids carry attribute 0 (20 carriers), odd ids a
+  // disjoint schema.
+  for (EntityId id = 0; id < 40; ++id) {
+    const AttributeId base = static_cast<AttributeId>((id % 2) * 10);
+    ASSERT_TRUE(c->Insert(MakeRow(id, {base, base + 1})).ok());
+  }
+  const GroupCardinalityEstimate estimate =
+      EstimateGroupCardinality(c->catalog(), /*attribute=*/0);
+  EXPECT_EQ(estimate.table_entities, 40u);
+  EXPECT_EQ(estimate.carrier_rows, 20u);  // Exactly the carriers.
+  EXPECT_EQ(estimate.groups_upper_bound(), 20u);
+  EXPECT_GT(estimate.partitions_carrying, 0u);
+  EXPECT_GE(estimate.carrier_rows, estimate.max_partition_carriers);
+}
+
+TEST(GroupCardinalityTest, AbsentAttributeHasZeroBound) {
+  CinderellaConfig config;
+  config.weight = 0.5;
+  config.max_size = 100;
+  auto c = std::move(Cinderella::Create(config)).value();
+  for (EntityId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(c->Insert(MakeRow(id, {1, 2})).ok());
+  }
+  const GroupCardinalityEstimate estimate =
+      EstimateGroupCardinality(c->catalog(), /*attribute=*/99);
+  EXPECT_EQ(estimate.carrier_rows, 0u);
+  EXPECT_EQ(estimate.partitions_carrying, 0u);
+  EXPECT_EQ(estimate.table_entities, 10u);
+}
+
 TEST(ExplainTest, RendersPlan) {
   CinderellaConfig config;
   config.weight = 0.3;

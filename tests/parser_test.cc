@@ -182,5 +182,66 @@ TEST_F(ParserTest, ExecuteSelectEndToEnd) {
   EXPECT_EQ(r2.cells_materialized, 30u * 2 + 10u);  // name+weight+screens.
 }
 
+TEST_F(ParserTest, GroupByWithAggregates) {
+  auto statement = ParseSelect(
+      "SELECT name, COUNT(*), SUM(weight), MIN(weight), MAX(weight) "
+      "WHERE weight > 0 GROUP BY name",
+      dictionary_);
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  EXPECT_TRUE(statement->has_group_by);
+  EXPECT_EQ(statement->group_by, name_);
+  EXPECT_EQ(statement->projection, (std::vector<AttributeId>{name_}));
+  ASSERT_EQ(statement->aggregates.size(), 4u);
+  EXPECT_EQ(statement->aggregates[0].fn, AggregateFn::kCount);
+  EXPECT_TRUE(statement->aggregates[0].count_all);
+  EXPECT_EQ(statement->aggregates[1].fn, AggregateFn::kSum);
+  EXPECT_EQ(statement->aggregates[1].attribute, weight_);
+  EXPECT_EQ(statement->aggregates[2].fn, AggregateFn::kMin);
+  EXPECT_EQ(statement->aggregates[3].fn, AggregateFn::kMax);
+  ASSERT_NE(statement->where, nullptr);
+}
+
+TEST_F(ParserTest, CountOfAttribute) {
+  auto statement =
+      ParseSelect("SELECT COUNT(weight) GROUP BY name", dictionary_);
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  ASSERT_EQ(statement->aggregates.size(), 1u);
+  EXPECT_EQ(statement->aggregates[0].fn, AggregateFn::kCount);
+  EXPECT_FALSE(statement->aggregates[0].count_all);
+  EXPECT_EQ(statement->aggregates[0].attribute, weight_);
+}
+
+TEST_F(ParserTest, AggregateKeywordsStayOrdinaryNamesWithoutParens) {
+  // COUNT/SUM/MIN/MAX only become functions when followed by '('.
+  const AttributeId count_attr = dictionary_.GetOrCreate("count");
+  auto statement = ParseSelect("SELECT count", dictionary_);
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  EXPECT_EQ(statement->projection, (std::vector<AttributeId>{count_attr}));
+  EXPECT_TRUE(statement->aggregates.empty());
+}
+
+TEST_F(ParserTest, GroupByRejectsMalformedShapes) {
+  // Aggregates need GROUP BY.
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(*)", dictionary_).ok());
+  // GROUP BY needs at least one aggregate.
+  EXPECT_FALSE(ParseSelect("SELECT name GROUP BY name", dictionary_).ok());
+  // Plain item must be the grouping attribute.
+  EXPECT_FALSE(
+      ParseSelect("SELECT weight, COUNT(*) GROUP BY name", dictionary_).ok());
+  // One common value attribute across aggregates.
+  EXPECT_FALSE(ParseSelect("SELECT SUM(weight), MIN(screen) GROUP BY name",
+                           dictionary_)
+                   .ok());
+  // SELECT * cannot be grouped.
+  EXPECT_FALSE(ParseSelect("SELECT * GROUP BY name", dictionary_).ok());
+  // '*' only inside COUNT.
+  EXPECT_FALSE(ParseSelect("SELECT SUM(*) GROUP BY name", dictionary_).ok());
+  // Unknown grouping attribute.
+  EXPECT_FALSE(
+      ParseSelect("SELECT COUNT(*) GROUP BY nonexistent", dictionary_).ok());
+  // Missing BY.
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(*) GROUP name", dictionary_).ok());
+}
+
 }  // namespace
 }  // namespace cinderella

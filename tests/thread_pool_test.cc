@@ -115,12 +115,134 @@ TEST(ThreadPoolTest, ResolveDegreeConfiguredWins) {
 }
 
 TEST(ThreadPoolTest, ResolveDegreeFromEnvironment) {
+  // Resolution is cached per process; drop the cache around every env
+  // change so this test sees fresh reads.
+  ThreadPool::ResetResolutionCacheForTesting();
   ASSERT_EQ(setenv("CINDERELLA_SCAN_THREADS", "5", /*overwrite=*/1), 0);
   EXPECT_EQ(ThreadPool::ResolveDegree(0), 5);
   // Explicit configuration still beats the environment.
   EXPECT_EQ(ThreadPool::ResolveDegree(2), 2);
   ASSERT_EQ(unsetenv("CINDERELLA_SCAN_THREADS"), 0);
+  ThreadPool::ResetResolutionCacheForTesting();
   EXPECT_GE(ThreadPool::ResolveDegree(0), 1);  // Falls back to hardware.
+}
+
+TEST(ThreadPoolTest, ResolveDegreeIsCachedUntilReset) {
+  ThreadPool::ResetResolutionCacheForTesting();
+  ASSERT_EQ(unsetenv("CINDERELLA_SCAN_THREADS"), 0);
+  const int resolved = ThreadPool::ResolveDegree(0);
+  // A later env change is invisible until the cache is dropped: the hot
+  // path (per-query executor construction) never re-reads the env.
+  ASSERT_EQ(setenv("CINDERELLA_SCAN_THREADS", "7", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::ResolveDegree(0), resolved);
+  ThreadPool::ResetResolutionCacheForTesting();
+  EXPECT_EQ(ThreadPool::ResolveDegree(0), 7);
+  ASSERT_EQ(unsetenv("CINDERELLA_SCAN_THREADS"), 0);
+  ThreadPool::ResetResolutionCacheForTesting();
+}
+
+TEST(ThreadPoolTest, ResolveScanChunk) {
+  ThreadPool::ResetResolutionCacheForTesting();
+  ASSERT_EQ(unsetenv("CINDERELLA_SCAN_CHUNK"), 0);
+  EXPECT_EQ(ThreadPool::ResolveScanChunk(9), 9u);  // Configured wins.
+  EXPECT_EQ(ThreadPool::ResolveScanChunk(0), ThreadPool::kDefaultScanChunk);
+  ASSERT_EQ(setenv("CINDERELLA_SCAN_CHUNK", "32", /*overwrite=*/1), 0);
+  ThreadPool::ResetResolutionCacheForTesting();
+  EXPECT_EQ(ThreadPool::ResolveScanChunk(0), 32u);
+  ASSERT_EQ(unsetenv("CINDERELLA_SCAN_CHUNK"), 0);
+  ThreadPool::ResetResolutionCacheForTesting();
+}
+
+TEST(ThreadPoolTest, DynamicChunkBoundsAreAGuidedSchedule) {
+  // Pure function of (items, min_chunk, degree): ascending, ends at
+  // items, early chunks large, no chunk below min_chunk except possibly
+  // the implicit tail remainder.
+  const std::vector<size_t> bounds =
+      ThreadPool::DynamicChunkBounds(1000, 4, 4);
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_EQ(bounds.back(), 1000u);
+  EXPECT_EQ(bounds.size(), ThreadPool::NumDynamicChunks(1000, 4, 4));
+  size_t prev = 0;
+  size_t prev_size = bounds[0];
+  for (const size_t b : bounds) {
+    ASSERT_GT(b, prev);
+    const size_t size = b - prev;
+    // Guided: chunk sizes never grow along the schedule.
+    EXPECT_LE(size, prev_size);
+    prev_size = size;
+    prev = b;
+  }
+  // First chunk is ~items / (2 * degree).
+  EXPECT_EQ(bounds[0], 1000u / 8);
+
+  // Degree 1 degenerates to one chunk; so does a tiny range.
+  EXPECT_EQ(ThreadPool::DynamicChunkBounds(1000, 4, 1).size(), 1u);
+  EXPECT_EQ(ThreadPool::DynamicChunkBounds(3, 4, 8).size(), 1u);
+  EXPECT_EQ(ThreadPool::DynamicChunkBounds(0, 4, 4).size(), 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicCoversEveryIndexExactlyOnce) {
+  for (int degree : {1, 2, 4, 8}) {
+    ThreadPool pool(degree);
+    const size_t items = 1237;
+    std::vector<std::atomic<int>> hits(items);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelForDynamic(items, 4,
+                            [&](size_t begin, size_t end, size_t) {
+                              for (size_t i = begin; i < end; ++i) {
+                                hits[i].fetch_add(1);
+                              }
+                            });
+    for (size_t i = 0; i < items; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " degree " << degree;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicChunkIndexMatchesSchedule) {
+  ThreadPool pool(4);
+  const size_t items = 511;
+  const std::vector<size_t> bounds =
+      ThreadPool::DynamicChunkBounds(items, 4, 4);
+  std::vector<std::pair<size_t, size_t>> ranges(bounds.size());
+  pool.ParallelForDynamic(items, 4,
+                          [&](size_t begin, size_t end, size_t c) {
+                            ASSERT_LT(c, ranges.size());
+                            ranges[c] = {begin, end};
+                          });
+  size_t prev = 0;
+  for (size_t c = 0; c < bounds.size(); ++c) {
+    EXPECT_EQ(ranges[c].first, prev);
+    EXPECT_EQ(ranges[c].second, bounds[c]);
+    prev = bounds[c];
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicReductionIsDeterministic) {
+  // The scan engine's merge pattern on the dynamic schedule: per-chunk
+  // slots keyed by the deterministic chunk index, merged in order, must
+  // equal the serial result at any degree.
+  const size_t items = 2000;
+  std::vector<uint64_t> expected;
+  for (size_t i = 0; i < items; ++i) expected.push_back(i * 31 + 7);
+
+  for (int degree : {2, 4, 8}) {
+    ThreadPool pool(degree);
+    const size_t num_chunks =
+        ThreadPool::NumDynamicChunks(items, 4, pool.degree());
+    std::vector<std::vector<uint64_t>> slots(num_chunks);
+    pool.ParallelForDynamic(items, 4,
+                            [&](size_t begin, size_t end, size_t c) {
+                              for (size_t i = begin; i < end; ++i) {
+                                slots[c].push_back(i * 31 + 7);
+                              }
+                            });
+    std::vector<uint64_t> merged;
+    for (const auto& slot : slots) {
+      merged.insert(merged.end(), slot.begin(), slot.end());
+    }
+    EXPECT_EQ(merged, expected) << "degree " << degree;
+  }
 }
 
 }  // namespace

@@ -25,7 +25,8 @@ for arg in "$@"; do
 done
 JOBS="${JOBS:-$(nproc)}"
 
-BENCHES=(micro_rating micro_insert micro_update micro_readers micro_scan)
+BENCHES=(micro_rating micro_insert micro_update micro_readers micro_scan
+         micro_groupby)
 
 echo "== bench-all: build =="
 cmake -B build -S .
@@ -45,6 +46,7 @@ if [[ "$SMOKE" -eq 1 ]]; then
   export CINDERELLA_BENCH_CHURN_ROUNDS=3
   export CINDERELLA_BENCH_SCAN_REPS=3
   export CINDERELLA_BENCH_IDENTITY_ENTITIES=2000
+  export CINDERELLA_BENCH_GROUPBY_REPS=1
   SCRATCH="$(mktemp -d)"
   trap 'rm -rf "$SCRATCH"' EXIT
   ROOT="$PWD"

@@ -31,6 +31,7 @@
 #include "ingest/batch_inserter.h"
 #include "io/csv.h"
 #include "mvcc/versioned_table.h"
+#include "query/aggregator.h"
 #include "query/estimator.h"
 #include "query/executor.h"
 #include "query/parser.h"
@@ -76,6 +77,9 @@ int Usage() {
       "  stats     --snapshot FILE.snap\n"
       "  query     --snapshot FILE.snap --attrs a,b,c\n"
       "  sql       --snapshot FILE.snap --query \"SELECT a WHERE b > 5\"\n"
+      "            GROUP BY form: --query \"SELECT type, COUNT(*),\n"
+      "            SUM(price) GROUP BY type\" [--limit N]\n"
+      "            [--strategy adaptive|two_phase|radix|shared_table]\n"
       "  explain   --snapshot FILE.snap --attrs a,b,c\n"
       "  export    --snapshot FILE.snap --out FILE.csv\n");
   return 2;
@@ -355,6 +359,79 @@ int Explain(const Args& args) {
   return 0;
 }
 
+/// Renders one aggregate column of a group row, in SELECT-list order.
+std::string AggregateColumn(const AggregateItem& item,
+                            const GroupResult& group) {
+  switch (item.fn) {
+    case AggregateFn::kCount:
+      return std::to_string(item.count_all ? group.count
+                                           : group.value_count);
+    case AggregateFn::kSum:
+      return std::to_string(group.sum);
+    case AggregateFn::kMin:
+      return group.value_count > 0 ? std::to_string(group.min) : "null";
+    case AggregateFn::kMax:
+      return group.value_count > 0 ? std::to_string(group.max) : "null";
+  }
+  return "";
+}
+
+int SqlGroupBy(const Args& args, const RestoredSnapshot& restored,
+               const SelectStatement& statement) {
+  AggregatorOptions options;
+  options.scan_threads = 0;  // CINDERELLA_SCAN_THREADS / hardware.
+  const std::string strategy = args.Get("strategy", "adaptive");
+  if (strategy == "two_phase") {
+    options.strategy = AggregateStrategy::kTwoPhase;
+  } else if (strategy == "radix") {
+    options.strategy = AggregateStrategy::kRadix;
+  } else if (strategy == "shared_table") {
+    options.strategy = AggregateStrategy::kSharedTable;
+  } else if (strategy != "adaptive") {
+    std::fprintf(stderr, "error: unknown --strategy '%s'\n",
+                 strategy.c_str());
+    return 2;
+  }
+  AggregateSpec spec;
+  spec.group_by = statement.group_by;
+  spec.where = statement.where.get();
+  for (const AggregateItem& item : statement.aggregates) {
+    if (!item.count_all) spec.value = item.attribute;
+  }
+  Aggregator aggregator(restored.partitioner->catalog(), options);
+  WallTimer timer;
+  const AggregationResult result = aggregator.Aggregate(spec);
+  const double elapsed_ms = timer.ElapsedMillis();
+  const size_t limit =
+      static_cast<size_t>(args.GetInt("limit", 20));
+  size_t printed = 0;
+  for (const GroupResult& group : result.groups) {
+    if (printed >= limit) break;
+    ++printed;
+    std::string line = group.key.ToString();
+    for (const AggregateItem& item : statement.aggregates) {
+      line += "  ";
+      line += AggregateColumn(item, group);
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  if (printed < result.groups.size()) {
+    std::printf("... %zu more groups\n", result.groups.size() - printed);
+  }
+  std::printf(
+      "%zu groups from %llu rows in %.3f ms; strategy %s (estimated %llu "
+      "groups%s); scanned %llu/%llu partitions (%llu pruned)\n",
+      result.groups.size(),
+      static_cast<unsigned long long>(result.metrics.rows_matched),
+      elapsed_ms, AggregateStrategyName(result.strategy_used),
+      static_cast<unsigned long long>(result.estimated_groups),
+      result.shared_table_overflow ? ", shared table overflowed" : "",
+      static_cast<unsigned long long>(result.metrics.partitions_scanned),
+      static_cast<unsigned long long>(result.metrics.partitions_total),
+      static_cast<unsigned long long>(result.metrics.partitions_pruned));
+  return 0;
+}
+
 int Sql(const Args& args) {
   auto restored = OpenSnapshot(args);
   if (!restored.ok()) return Fail(restored.status());
@@ -362,6 +439,9 @@ int Sql(const Args& args) {
   if (text.empty()) return Usage();
   auto statement = ParseSelect(text, *restored->dictionary);
   if (!statement.ok()) return Fail(statement.status());
+  if (statement->has_group_by) {
+    return SqlGroupBy(args, *restored, *statement);
+  }
   QueryExecutor executor(restored->partitioner->catalog(), 0);
   WallTimer timer;
   const QueryResult result = executor.ExecuteSelect(*statement);

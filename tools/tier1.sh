@@ -7,7 +7,9 @@
 # data races the regular build cannot, then an address-sanitized build of
 # the MVCC + arena tests with leak detection on — epoch-based deferred
 # reclamation must free every retired version exactly once, and pooled
-# arenas/shells must balance their create/recycle counts.
+# arenas/shells must balance their create/recycle counts. A final
+# UBSan side build (fatal, no recover) covers the aggregation engine's
+# atomics, hashing, and double->int64 truncation paths.
 #
 # Usage: tools/tier1.sh [--fast] [jobs]   (jobs defaults to nproc)
 #   --fast   skip the multi-threaded stress binaries (the TSan/ASan
@@ -40,7 +42,7 @@ echo "== tier-1: bench smoke (tiny sizes, scratch dir) =="
 tools/bench_all.sh --smoke "$JOBS"
 
 echo "== tier-1: TSan build of the scan + ingest engine tests =="
-TSAN_TARGETS=(thread_pool_test parallel_scan_test ingest_test mutation_pipeline_test mvcc_test)
+TSAN_TARGETS=(thread_pool_test parallel_scan_test aggregator_test ingest_test mutation_pipeline_test mvcc_test)
 if [[ "$FAST" -eq 0 ]]; then
   TSAN_TARGETS+=(ingest_concurrency_test mvcc_stress_test)
 fi
@@ -49,6 +51,7 @@ cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
 # Force the pools to spawn real workers even on small machines.
 CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/thread_pool_test
 CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/parallel_scan_test
+CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/aggregator_test
 CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/ingest_test
 CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/mutation_pipeline_test
 CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/mvcc_test
@@ -70,5 +73,16 @@ if [[ "$FAST" -eq 0 ]]; then
   ASAN_OPTIONS=detect_leaks=1 CINDERELLA_STRESS_READERS=4 \
     timeout "$CTEST_TIMEOUT" ./build-asan/tests/mvcc_stress_test
 fi
+
+echo "== tier-1: UBSan build of the aggregation + scan engine tests =="
+# The aggregator mixes atomics, hand-rolled hashing (splitmix64, FNV-1a),
+# and double->int64 truncation; UBSan (fatal, no recover) proves none of
+# it relies on undefined behavior at any strategy or thread count.
+UBSAN_TARGETS=(aggregator_test thread_pool_test parallel_scan_test)
+cmake -B build-ubsan -S . -DCINDERELLA_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-ubsan -j "$JOBS" --target "${UBSAN_TARGETS[@]}"
+CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-ubsan/tests/aggregator_test
+CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-ubsan/tests/thread_pool_test
+CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-ubsan/tests/parallel_scan_test
 
 echo "tier-1 OK"
