@@ -1,24 +1,95 @@
 #include "core/efficiency.h"
 
+// Inline-only use of the snapshot types (ForEachPartition / ForEachRow /
+// attribute_synopsis are all header-defined), so this adds no link
+// dependency from cinderella_core to the mvcc library.
+#include "mvcc/partition_version.h"
+
 namespace cinderella {
+namespace {
+
+/// True iff the row instantiates any attribute of `query` — the
+/// sgn(|e ∧ q|) test of Definition 1 evaluated on a borrowed view
+/// (packed snapshot rows carry no materialized synopsis; their cells are
+/// sorted by attribute id, so this walks at most |e| cells).
+bool RowIntersects(const RowView& row, const Synopsis& query) {
+  for (const Row::Cell& cell : row) {
+    if (query.Contains(cell.attribute)) return true;
+  }
+  return false;
+}
+
+uint64_t VersionSize(const PartitionVersion& version, SizeMeasure measure) {
+  switch (measure) {
+    case SizeMeasure::kEntityCount:
+      return version.entity_count();
+    case SizeMeasure::kAttributeCount:
+      return version.cell_count();
+    case SizeMeasure::kByteSize:
+      return version.byte_size();
+  }
+  return version.entity_count();
+}
+
+}  // namespace
 
 EfficiencyBreakdown ComputeEfficiency(const PartitionCatalog& catalog,
                                       const std::vector<Synopsis>& workload,
+                                      const std::vector<double>& weights,
                                       SizeMeasure measure) {
   EfficiencyBreakdown result;
-  for (const Synopsis& query : workload) {
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const Synopsis& query = workload[i];
+    const double weight = i < weights.size() ? weights[i] : 1.0;
     catalog.ForEachPartition([&](const Partition& partition) {
       if (!partition.attribute_synopsis().Intersects(query)) return;
-      result.read += static_cast<double>(partition.Size(measure));
+      result.read += weight * static_cast<double>(partition.Size(measure));
       for (const Row& row : partition.segment().rows()) {
         if (row.AttributeSynopsis().Intersects(query)) {
-          result.relevant += static_cast<double>(RowSize(row, measure));
+          result.relevant +=
+              weight * static_cast<double>(RowSize(row, measure));
         }
       }
     });
   }
   result.efficiency = result.read > 0.0 ? result.relevant / result.read : 1.0;
   return result;
+}
+
+EfficiencyBreakdown ComputeEfficiency(const PartitionCatalog& catalog,
+                                      const std::vector<Synopsis>& workload,
+                                      SizeMeasure measure) {
+  return ComputeEfficiency(catalog, workload, std::vector<double>(), measure);
+}
+
+EfficiencyBreakdown ComputeEfficiency(const CatalogView& view,
+                                      const std::vector<Synopsis>& workload,
+                                      const std::vector<double>& weights,
+                                      SizeMeasure measure) {
+  EfficiencyBreakdown result;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const Synopsis& query = workload[i];
+    const double weight = i < weights.size() ? weights[i] : 1.0;
+    view.ForEachPartition([&](const PartitionVersion& version) {
+      if (!version.attribute_synopsis().Intersects(query)) return;
+      result.read +=
+          weight * static_cast<double>(VersionSize(version, measure));
+      version.ForEachRow([&](const RowView& row) {
+        if (RowIntersects(row, query)) {
+          result.relevant +=
+              weight * static_cast<double>(RowViewSize(row, measure));
+        }
+      });
+    });
+  }
+  result.efficiency = result.read > 0.0 ? result.relevant / result.read : 1.0;
+  return result;
+}
+
+EfficiencyBreakdown ComputeEfficiency(const CatalogView& view,
+                                      const std::vector<Synopsis>& workload,
+                                      SizeMeasure measure) {
+  return ComputeEfficiency(view, workload, std::vector<double>(), measure);
 }
 
 }  // namespace cinderella

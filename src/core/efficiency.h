@@ -9,6 +9,8 @@
 
 namespace cinderella {
 
+class CatalogView;  // mvcc/partition_version.h
+
 /// Numerator/denominator of Definition 1, exposed for inspection.
 struct EfficiencyBreakdown {
   /// Σ_{q∈W, e∈T} sgn(|e∧q|)·SIZE(e): data relevant to the workload.
@@ -28,6 +30,28 @@ struct EfficiencyBreakdown {
 /// relevant.
 EfficiencyBreakdown ComputeEfficiency(const PartitionCatalog& catalog,
                                       const std::vector<Synopsis>& workload,
+                                      SizeMeasure measure);
+
+/// Weighted variant: query i contributes with multiplicity `weights[i]`
+/// (its decayed observation count in the tuner's tracked workload).
+/// `weights` must be the same length as `workload`; all-1.0 weights
+/// reproduce the unweighted overload exactly.
+EfficiencyBreakdown ComputeEfficiency(const PartitionCatalog& catalog,
+                                      const std::vector<Synopsis>& workload,
+                                      const std::vector<double>& weights,
+                                      SizeMeasure measure);
+
+/// EFFICIENCY of a pinned MVCC snapshot (mvcc/partition_version.h): same
+/// Definition 1 arithmetic over arena-packed partition versions. This is
+/// the accessor the background reorganizer plans with — it never touches
+/// the live catalog, so scoring holds no catalog locks. The view must
+/// stay pinned for the call's duration.
+EfficiencyBreakdown ComputeEfficiency(const CatalogView& view,
+                                      const std::vector<Synopsis>& workload,
+                                      SizeMeasure measure);
+EfficiencyBreakdown ComputeEfficiency(const CatalogView& view,
+                                      const std::vector<Synopsis>& workload,
+                                      const std::vector<double>& weights,
                                       SizeMeasure measure);
 
 }  // namespace cinderella

@@ -37,6 +37,20 @@ inline uint64_t RowSize(const Row& row, SizeMeasure measure) {
   return 1;
 }
 
+/// SIZE(e) for a borrowed row view (arena-packed snapshot rows take this
+/// path — same definition as RowSize).
+inline uint64_t RowViewSize(const RowView& row, SizeMeasure measure) {
+  switch (measure) {
+    case SizeMeasure::kEntityCount:
+      return 1;
+    case SizeMeasure::kAttributeCount:
+      return row.attribute_count();
+    case SizeMeasure::kByteSize:
+      return row.byte_size();
+  }
+  return 1;
+}
+
 }  // namespace cinderella
 
 #endif  // CINDERELLA_CORE_SIZE_MEASURE_H_

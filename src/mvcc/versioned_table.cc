@@ -179,6 +179,59 @@ Status VersionedTable::ApplyMutations(std::vector<Mutation> ops,
   return status;
 }
 
+Status VersionedTable::RepartitionEntities(
+    const std::vector<EntityId>& entities, RepartitionResult* result) {
+  RepartitionResult local;
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  // Capture the drain set from the live catalog under the writer lock:
+  // every row copied here is guaranteed live for the whole apply (no
+  // other writer can run until we release write_mu_).
+  const PartitionCatalog& catalog = cinderella_->catalog();
+  std::vector<Row> rows;
+  rows.reserve(entities.size());
+  std::unordered_set<EntityId> seen;
+  seen.reserve(entities.size());
+  for (EntityId entity : entities) {
+    if (!seen.insert(entity).second) continue;
+    ++local.requested;
+    const std::optional<PartitionId> home = catalog.FindEntity(entity);
+    const Partition* partition =
+        home.has_value() ? catalog.GetPartition(*home) : nullptr;
+    const Row* row =
+        partition != nullptr ? partition->segment().Find(entity) : nullptr;
+    if (row == nullptr) {
+      ++local.missing;
+      continue;
+    }
+    rows.push_back(*row);
+  }
+  if (rows.empty()) {
+    if (result != nullptr) *result = local;
+    return Status::OK();
+  }
+  // Reinsert most-descriptive rows first (DrainForReorganize's order):
+  // they seed partitions and split starters, so sparser rows join
+  // well-formed groups.
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.attribute_count() > b.attribute_count();
+  });
+  std::vector<Mutation> ops;
+  ops.reserve(rows.size() * 2);
+  for (const Row& row : rows) ops.push_back(Mutation::Delete(row.id()));
+  for (Row& row : rows) ops.push_back(Mutation::Insert(std::move(row)));
+  const size_t drained = ops.size() / 2;
+  size_t applied = 0;
+  const Status status = cinderella_->ApplyMutations(std::move(ops), &applied);
+  // moved = reinsertions committed; deletes occupy the first half of the
+  // op list, so a partial prefix beyond it counts applied inserts.
+  local.moved =
+      status.ok() ? drained : (applied > drained ? applied - drained : 0);
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  PublishLocked();
+  if (result != nullptr) *result = local;
+  return status;
+}
+
 Status VersionedTable::Reorganize() {
   std::lock_guard<std::mutex> write_lock(write_mu_);
   const Status status = cinderella_->Reorganize();

@@ -168,6 +168,32 @@ class VersionedTable {
   /// drained-empty state); a final full rebuild reconciles either way.
   Status Reorganize();
 
+  /// Outcome of a RepartitionEntities call.
+  struct RepartitionResult {
+    size_t requested = 0;  // Ids in the plan (after deduplication).
+    size_t moved = 0;      // Rows drained and reinserted.
+    size_t missing = 0;    // Ids no longer live (stale plan; skipped).
+  };
+
+  /// Targeted reorganization — the background tuner's apply path. Drains
+  /// the given entities and reinserts them as one ordered delete+insert
+  /// batch through ApplyMutations, i.e. through the same
+  /// Partitioner::ValidateMutations-checked, windowed pipeline as every
+  /// other write, with a view published per committed window. Reinsertion
+  /// re-rates each row against the *current* catalog (most-descriptive
+  /// rows first, mirroring Reorganize's drain order), which is what
+  /// repairs arrival-order damage in hot mixed partitions and coalesces
+  /// cold remnants.
+  ///
+  /// Plans are made on pinned snapshots, so ids may have been deleted by
+  /// the time the plan applies: those are skipped (counted in
+  /// result->missing), never failed — a stale plan degrades to a smaller
+  /// move. The whole drain set is captured under the writer lock before
+  /// any mutation, so a concurrent writer can never race a row into or
+  /// out of the batch (no lost updates, no duplicated rows).
+  Status RepartitionEntities(const std::vector<EntityId>& entities,
+                             RepartitionResult* result = nullptr);
+
   /// Re-publishes a full view from the live catalog. Call after mutating
   /// the underlying partitioner outside the facade.
   void RefreshView();

@@ -98,11 +98,17 @@ struct PruneSpec {
 };
 
 /// Shared per-source metrics prologue; returns false when pruned.
+/// `touches` (nullable — set only when a ScanObserver is attached)
+/// receives the pruned touch entry; the scanned entry is recorded by
+/// CloseSource after the row loop, when the matched delta is known.
 bool OpenSource(const ScanSource& source, const PruneSpec& prune,
-                ScanMetrics* metrics) {
+                ScanMetrics* metrics, std::vector<PartitionTouch>* touches) {
   ++metrics->partitions_total;
   if (!prune.Scans(source)) {
     ++metrics->partitions_pruned;
+    if (touches != nullptr) {
+      touches->push_back({source.partition, false, 0, 0});
+    }
     return false;
   }
   ++metrics->partitions_scanned;
@@ -110,6 +116,14 @@ bool OpenSource(const ScanSource& source, const PruneSpec& prune,
   metrics->cells_read += source.cells;
   metrics->bytes_read += source.bytes;
   return true;
+}
+
+void CloseSource(const ScanSource& source, uint64_t matched_before,
+                 const ScanMetrics& metrics,
+                 std::vector<PartitionTouch>* touches) {
+  if (touches == nullptr) return;
+  touches->push_back({source.partition, true, source.entities,
+                      metrics.rows_matched - matched_before});
 }
 
 void EmitSorted(GroupMap map, std::vector<GroupResult>* groups) {
@@ -132,24 +146,37 @@ void EmitSorted(GroupMap map, std::vector<GroupResult>* groups) {
 void RunTwoPhase(ThreadPool* pool, size_t morsel, bool fixed_chunks,
                  const std::vector<ScanSource>& sources,
                  const AggregateSpec& spec, const PruneSpec& prune,
-                 AggregationResult* result) {
+                 AggregationResult* result,
+                 std::vector<PartitionTouch>* touches) {
   struct Out {
     ScanMetrics metrics;
     GroupMap map;
+    std::vector<PartitionTouch> touches;
   };
+  const bool observe = touches != nullptr;
   GroupMap merged;
   ChunkedScan<Out>(pool, morsel, fixed_chunks, sources,
                    [&](const ScanSource& source, Out* out) {
-                     if (!OpenSource(source, prune, &out->metrics)) return;
+                     std::vector<PartitionTouch>* out_touches =
+                         observe ? &out->touches : nullptr;
+                     if (!OpenSource(source, prune, &out->metrics,
+                                     out_touches)) {
+                       return;
+                     }
+                     const uint64_t before = out->metrics.rows_matched;
                      source.ForEachRow([&](const RowView& row) {
                        const Value* key = ParticipatingKey(row, spec);
                        if (key == nullptr) return;
                        ++out->metrics.rows_matched;
                        AddRowValue(row, spec, &out->map[*key]);
                      });
+                     CloseSource(source, before, out->metrics, out_touches);
                    },
                    [&](Out out) {
                      MergeMetrics(out.metrics, &result->metrics);
+                     if (observe) {
+                       MergeTouches(std::move(out.touches), touches);
+                     }
                      if (merged.empty()) {
                        merged = std::move(out.map);
                        return;
@@ -175,7 +202,8 @@ size_t RadixBucket(uint64_t hash) { return hash >> (64 - kRadixBits); }
 void RunRadix(ThreadPool* pool, size_t morsel, bool fixed_chunks,
               const std::vector<ScanSource>& sources,
               const AggregateSpec& spec, const PruneSpec& prune,
-              AggregationResult* result) {
+              AggregationResult* result,
+              std::vector<PartitionTouch>* touches) {
   struct Entry {
     Value key;
     uint64_t hash;
@@ -185,12 +213,20 @@ void RunRadix(ThreadPool* pool, size_t morsel, bool fixed_chunks,
   struct Out {
     ScanMetrics metrics;
     std::vector<std::vector<Entry>> buckets;
+    std::vector<PartitionTouch> touches;
   };
+  const bool observe = touches != nullptr;
   // buckets[b] = concatenation of every chunk's bucket b, in chunk order.
   std::vector<std::vector<Entry>> buckets(kRadixBuckets);
   ChunkedScan<Out>(pool, morsel, fixed_chunks, sources,
                    [&](const ScanSource& source, Out* out) {
-                     if (!OpenSource(source, prune, &out->metrics)) return;
+                     std::vector<PartitionTouch>* out_touches =
+                         observe ? &out->touches : nullptr;
+                     if (!OpenSource(source, prune, &out->metrics,
+                                     out_touches)) {
+                       return;
+                     }
+                     const uint64_t before = out->metrics.rows_matched;
                      if (out->buckets.empty()) {
                        out->buckets.resize(kRadixBuckets);
                      }
@@ -212,9 +248,13 @@ void RunRadix(ThreadPool* pool, size_t morsel, bool fixed_chunks,
                        out->buckets[RadixBucket(entry.hash)].push_back(
                            std::move(entry));
                      });
+                     CloseSource(source, before, out->metrics, out_touches);
                    },
                    [&](Out out) {
                      MergeMetrics(out.metrics, &result->metrics);
+                     if (observe) {
+                       MergeTouches(std::move(out.touches), touches);
+                     }
                      for (size_t b = 0; b < out.buckets.size(); ++b) {
                        std::vector<Entry>& chunk_bucket = out.buckets[b];
                        if (chunk_bucket.empty()) continue;
@@ -352,7 +392,8 @@ bool RunShared(ThreadPool* pool, size_t morsel, bool fixed_chunks,
                const std::vector<ScanSource>& sources,
                const AggregateSpec& spec, const PruneSpec& prune,
                uint64_t estimated_groups, size_t capacity_override,
-               AggregationResult* result) {
+               AggregationResult* result,
+               std::vector<PartitionTouch>* touches) {
   size_t capacity = capacity_override;
   if (capacity == 0) {
     // <= 50% load factor at the estimate; the chooser only sends small
@@ -367,12 +408,23 @@ bool RunShared(ThreadPool* pool, size_t morsel, bool fixed_chunks,
 
   struct Out {
     ScanMetrics metrics;
+    std::vector<PartitionTouch> touches;
   };
+  const bool observe = touches != nullptr;
   ScanMetrics metrics;
   ChunkedScan<Out>(pool, morsel, fixed_chunks, sources,
                    [&](const ScanSource& source, Out* out) {
-                     if (!OpenSource(source, prune, &out->metrics)) return;
-                     if (overflow.load(std::memory_order_relaxed)) return;
+                     std::vector<PartitionTouch>* out_touches =
+                         observe ? &out->touches : nullptr;
+                     if (!OpenSource(source, prune, &out->metrics,
+                                     out_touches)) {
+                       return;
+                     }
+                     const uint64_t before = out->metrics.rows_matched;
+                     if (overflow.load(std::memory_order_relaxed)) {
+                       CloseSource(source, before, out->metrics, out_touches);
+                       return;
+                     }
                      source.ForEachRow([&](const RowView& row) {
                        const Value* key = ParticipatingKey(row, spec);
                        if (key == nullptr) return;
@@ -383,8 +435,14 @@ bool RunShared(ThreadPool* pool, size_t morsel, bool fixed_chunks,
                          overflow.store(true, std::memory_order_relaxed);
                        }
                      });
+                     CloseSource(source, before, out->metrics, out_touches);
                    },
-                   [&](Out out) { MergeMetrics(out.metrics, &metrics); });
+                   [&](Out out) {
+                     MergeMetrics(out.metrics, &metrics);
+                     if (observe) {
+                       MergeTouches(std::move(out.touches), touches);
+                     }
+                   });
   if (overflow.load(std::memory_order_relaxed)) return false;
 
   result->metrics = metrics;
@@ -567,14 +625,17 @@ AggregationResult Aggregator::Aggregate(const AggregateSpec& spec) {
     strategy = Choose(spec, &result.estimated_groups);
   }
   result.strategy_used = strategy;
+  const bool observe = observer_ != nullptr;
+  std::vector<PartitionTouch> touches;
+  std::vector<PartitionTouch>* touches_out = observe ? &touches : nullptr;
   switch (strategy) {
     case AggregateStrategy::kTwoPhase:
       RunTwoPhase(pool(), morsel_, options_.fixed_chunks, sources, spec,
-                  prune, &result);
+                  prune, &result, touches_out);
       break;
     case AggregateStrategy::kRadix:
       RunRadix(pool(), morsel_, options_.fixed_chunks, sources, spec, prune,
-               &result);
+               &result, touches_out);
       break;
     case AggregateStrategy::kSharedTable: {
       const uint64_t estimate = result.estimated_groups > 0
@@ -582,22 +643,29 @@ AggregationResult Aggregator::Aggregate(const AggregateSpec& spec) {
                                     : options_.shared_max_groups;
       if (!RunShared(pool(), morsel_, options_.fixed_chunks, sources, spec,
                      prune, estimate, options_.shared_table_capacity,
-                     &result)) {
+                     &result, touches_out)) {
         // Overflow: the estimate undershot. Rerun with the strategy that
         // cannot overflow; the determinism contract makes the results
-        // interchangeable.
+        // interchangeable. The overflow run's partial touches are dropped
+        // so the observer sees exactly one touch list per query.
+        touches.clear();
         const uint64_t estimated_groups = result.estimated_groups;
         result = AggregationResult();
         result.estimated_groups = estimated_groups;
         result.shared_table_overflow = true;
         result.strategy_used = AggregateStrategy::kTwoPhase;
         RunTwoPhase(pool(), morsel_, options_.fixed_chunks, sources, spec,
-                    prune, &result);
+                    prune, &result, touches_out);
       }
       break;
     }
     case AggregateStrategy::kAdaptive:
       break;  // Unreachable: resolved above.
+  }
+  if (observe) {
+    Synopsis query = prune.group;
+    if (prune.where_prunable) query.UnionWith(prune.where);
+    observer_->OnScan(query, touches);
   }
   return result;
 }

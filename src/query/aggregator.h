@@ -61,6 +61,16 @@ struct GroupResult {
   int64_t min = std::numeric_limits<int64_t>::max();
   int64_t max = std::numeric_limits<int64_t>::min();
 
+  /// Mean of the contributing values, derived from the exact integer
+  /// sum/value_count pair. Because both operands are bit-identical across
+  /// strategies and thread counts, so is the quotient. 0.0 when no row
+  /// contributed a value (callers should render SQL NULL in that case).
+  double avg() const {
+    return value_count > 0
+               ? static_cast<double>(sum) / static_cast<double>(value_count)
+               : 0.0;
+  }
+
   friend bool operator==(const GroupResult& a, const GroupResult& b) {
     return a.key == b.key && a.count == b.count &&
            a.value_count == b.value_count && a.sum == b.sum &&
@@ -138,6 +148,14 @@ class Aggregator {
   /// Effective scan parallelism (1 = serial).
   int scan_degree() const { return degree_; }
 
+  /// Attaches a per-partition scan observer (tuner workload tracking);
+  /// nullptr detaches. Same contract as QueryExecutor::set_observer: the
+  /// observer sees one OnScan per Aggregate call with the effective
+  /// pruning synopsis (group attribute ∪ WHERE pruning synopsis) and the
+  /// id-ordered partition touches; touch collection is skipped entirely
+  /// while no observer is attached.
+  void set_observer(ScanObserver* observer) { observer_ = observer; }
+
  private:
   ThreadPool* pool();
 
@@ -150,6 +168,7 @@ class Aggregator {
   AggregatorOptions options_;
   int degree_;
   size_t morsel_;
+  ScanObserver* observer_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
 };
 

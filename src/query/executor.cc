@@ -22,29 +22,38 @@ QueryResult QueryExecutor::ScanMatchingRows(const Predicate& predicate) {
   const bool prunable = predicate.PruningSynopsis(&pruning);
   const std::vector<ScanSource> sources = SnapshotSources(catalog_, view_);
   size_t table_entities = 0;
+  const bool observe = observer_ != nullptr;
+  std::vector<PartitionTouch> touches;
 
   struct Out {
     ScanMetrics metrics;
     size_t entities = 0;
     std::vector<RowView> matches;
+    std::vector<PartitionTouch> touches;
   };
   auto scan = [&](const ScanSource& source, Out* out) {
     ++out->metrics.partitions_total;
     out->entities += source.entities;
     if (prunable && !source.synopsis.Intersects(pruning)) {
       ++out->metrics.partitions_pruned;
+      if (observe) out->touches.push_back({source.partition, false, 0, 0});
       return;
     }
     ++out->metrics.partitions_scanned;
     out->metrics.rows_scanned += source.entities;
     out->metrics.cells_read += source.cells;
     out->metrics.bytes_read += source.bytes;
+    const uint64_t matched_before = out->metrics.rows_matched;
     source.ForEachRow([&](const RowView& row) {
       if (predicate.Matches(row)) {
         ++out->metrics.rows_matched;
         out->matches.push_back(row);
       }
     });
+    if (observe) {
+      out->touches.push_back({source.partition, true, source.entities,
+                              out->metrics.rows_matched - matched_before});
+    }
   };
   ChunkedScan<Out>(pool(), morsel_, /*fixed_chunks=*/false, sources, scan,
                    [&](Out out) {
@@ -56,7 +65,9 @@ QueryResult QueryExecutor::ScanMatchingRows(const Predicate& predicate) {
       match_buffer_.insert(match_buffer_.end(), out.matches.begin(),
                            out.matches.end());
     }
+    if (observe) MergeTouches(std::move(out.touches), &touches);
   });
+  if (observe) observer_->OnScan(pruning, touches);
   result.selectivity =
       table_entities > 0
           ? static_cast<double>(result.metrics.rows_matched) /
@@ -100,11 +111,14 @@ QueryResult QueryExecutor::Execute(const Query& query) {
   result_buffer_.clear();
   const std::vector<ScanSource> sources = SnapshotSources(catalog_, view_);
   size_t table_entities = 0;
+  const bool observe = observer_ != nullptr;
+  std::vector<PartitionTouch> touches;
 
   struct Out {
     ScanMetrics metrics;
     size_t entities = 0;
     std::vector<Value> values;
+    std::vector<PartitionTouch> touches;
   };
   auto scan = [&](const ScanSource& source, Out* out) {
     ++out->metrics.partitions_total;
@@ -112,12 +126,14 @@ QueryResult QueryExecutor::Execute(const Query& query) {
     // Definition 1 pruning: skip partitions with sgn(|p ∧ q|) = 0.
     if (!source.synopsis.Intersects(query.attributes())) {
       ++out->metrics.partitions_pruned;
+      if (observe) out->touches.push_back({source.partition, false, 0, 0});
       return;
     }
     ++out->metrics.partitions_scanned;
     out->metrics.rows_scanned += source.entities;
     out->metrics.cells_read += source.cells;
     out->metrics.bytes_read += source.bytes;
+    const uint64_t matched_before = out->metrics.rows_matched;
     source.ForEachRow([&](const RowView& row) {
       // OR-of-IS-NOT-NULL match; projection materializes the queried
       // attributes that are present.
@@ -131,6 +147,10 @@ QueryResult QueryExecutor::Execute(const Query& query) {
       }
       if (matched) ++out->metrics.rows_matched;
     });
+    if (observe) {
+      out->touches.push_back({source.partition, true, source.entities,
+                              out->metrics.rows_matched - matched_before});
+    }
   };
   ChunkedScan<Out>(pool(), morsel_, /*fixed_chunks=*/false, sources, scan,
                    [&](Out out) {
@@ -143,7 +163,9 @@ QueryResult QueryExecutor::Execute(const Query& query) {
                             std::make_move_iterator(out.values.begin()),
                             std::make_move_iterator(out.values.end()));
     }
+    if (observe) MergeTouches(std::move(out.touches), &touches);
   });
+  if (observe) observer_->OnScan(query.attributes(), touches);
 
   result.cells_materialized = result_buffer_.size();
   result.selectivity =

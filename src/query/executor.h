@@ -32,6 +32,34 @@ struct ScanMetrics {
   uint64_t bytes_read = 0;    // Byte footprint of scanned rows.
 };
 
+/// What one query did to one partition: pruned by the synopsis
+/// (scanned == false, the partition was considered but never read) or
+/// scanned, with the rows read and the rows that actually matched. A
+/// scanned partition with rows_matched == 0 is a synopsis false positive.
+/// Touches are reported in ascending partition-id order — the same
+/// deterministic merge order as every other scan counter.
+struct PartitionTouch {
+  PartitionId partition = 0;
+  bool scanned = false;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
+};
+
+/// Observer of per-partition scan outcomes, fed by QueryExecutor and
+/// Aggregator after each query. `query` is the pruning synopsis the scan
+/// used (empty when the predicate had no conservative synopsis); both
+/// arguments borrow from the call frame and die with it. Implementations
+/// must be thread-safe if the same observer is attached to executors on
+/// several querying threads (the tuner's WorkloadTracker is); OnScan runs
+/// once per query on the calling thread, never per row, so a mutex there
+/// is cheap.
+class ScanObserver {
+ public:
+  virtual ~ScanObserver() = default;
+  virtual void OnScan(const Synopsis& query,
+                      const std::vector<PartitionTouch>& touches) = 0;
+};
+
 /// Cost model for a scan, mirroring the paper's prototype where the query
 /// is rewritten to a UNION ALL over the matching partitions and "the
 /// database system has to project all tuples of every involved partition
@@ -129,6 +157,11 @@ class QueryExecutor {
   /// Effective scan parallelism (1 = serial).
   int scan_degree() const { return degree_; }
 
+  /// Attaches a per-partition scan observer (tuner workload tracking);
+  /// nullptr detaches. Touch collection is skipped entirely while no
+  /// observer is attached, so the hook costs nothing on the default path.
+  void set_observer(ScanObserver* observer) { observer_ = observer; }
+
  private:
   /// Prunes + scans, filling match_buffer_ with the matching rows in
   /// partition-id-then-row order and returning the filled-in metrics.
@@ -142,6 +175,7 @@ class QueryExecutor {
   const CatalogView* view_ = nullptr;
   int degree_;
   size_t morsel_;  // Morsel granularity, in partitions.
+  ScanObserver* observer_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   // Reused scratch buffers (cleared per query).
   std::vector<RowView> match_buffer_;

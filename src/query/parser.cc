@@ -218,8 +218,8 @@ class Parser {
   }
 
   /// Returns the aggregate function named by the current token, if the
-  /// next token opens an argument list — COUNT/SUM/MIN/MAX stay ordinary
-  /// attribute names unless followed by '('.
+  /// next token opens an argument list — COUNT/SUM/MIN/MAX/AVG stay
+  /// ordinary attribute names unless followed by '('.
   bool PeekAggregate(AggregateFn* fn) const {
     if (Current().kind != TokenKind::kIdentifier) return false;
     const Token& next = tokens_[pos_ + 1];
@@ -233,6 +233,8 @@ class Parser {
       *fn = AggregateFn::kMin;
     } else if (name == "max") {
       *fn = AggregateFn::kMax;
+    } else if (name == "avg") {
+      *fn = AggregateFn::kAvg;
     } else {
       return false;
     }

@@ -11,7 +11,10 @@
 namespace cinderella {
 
 /// Aggregate function of one SELECT item (GROUP BY queries only).
-enum class AggregateFn { kCount, kSum, kMin, kMax };
+/// AVG is derived exactly from the engine's SUM/COUNT pair at render
+/// time (GroupResult::avg()), so it inherits the bit-identical
+/// determinism of the integer accumulators across all strategies.
+enum class AggregateFn { kCount, kSum, kMin, kMax, kAvg };
 
 /// One aggregate in the SELECT list: COUNT(*), COUNT(a), SUM(a), MIN(a)
 /// or MAX(a).
@@ -55,7 +58,7 @@ struct SelectStatement {
 ///   statement  := SELECT projection [WHERE or_expr] [GROUP BY name]
 ///   projection := '*' | item (',' item)*
 ///   item       := name | COUNT '(' '*' ')'
-///               | (COUNT|SUM|MIN|MAX) '(' name ')'
+///               | (COUNT|SUM|MIN|MAX|AVG) '(' name ')'
 ///   or_expr    := and_expr (OR and_expr)*
 ///   and_expr   := unary (AND unary)*
 ///   unary      := NOT unary | '(' or_expr ')' | comparison
@@ -67,8 +70,8 @@ struct SelectStatement {
 /// Aggregates are only legal with GROUP BY; a plain name in an aggregate
 /// query must be the grouping attribute, and every attribute-taking
 /// aggregate must reference the same value attribute. COUNT, SUM, MIN,
-/// MAX parse as aggregate functions only when followed by '(' — as bare
-/// names they stay ordinary attributes.
+/// MAX, AVG parse as aggregate functions only when followed by '(' — as
+/// bare names they stay ordinary attributes.
 ///
 /// Attribute names are bound against `dictionary`; unknown names are an
 /// InvalidArgument error (the table has never seen such an attribute).

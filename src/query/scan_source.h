@@ -23,7 +23,8 @@ namespace cinderella {
 /// Either way the scan body sees RowViews, so predicate evaluation,
 /// projection, and aggregation are layout-agnostic.
 struct ScanSource {
-  SynopsisSpan synopsis;  // Pruning synopsis.
+  PartitionId partition = 0;  // Catalog partition id (tuner attribution).
+  SynopsisSpan synopsis;      // Pruning synopsis.
   // Exactly one layout is set per source.
   const std::vector<Row>* live_rows = nullptr;
   const PartitionVersion::PackedRow* packed_rows = nullptr;
@@ -50,6 +51,7 @@ inline void AppendSources(const PartitionCatalog& catalog,
   sources->reserve(catalog.partition_count());
   catalog.ForEachPartition([&](const Partition& partition) {
     ScanSource source;
+    source.partition = partition.id();
     source.synopsis = partition.attribute_synopsis().span();
     source.live_rows = &partition.segment().rows();
     source.entities = partition.entity_count();
@@ -64,6 +66,7 @@ inline void AppendSources(const CatalogView& view,
   sources->reserve(view.partition_count());
   view.ForEachPartition([&](const PartitionVersion& version) {
     ScanSource source;
+    source.partition = version.id();
     source.synopsis = version.attribute_synopsis();
     source.packed_rows = version.packed_rows();
     source.packed_cells = version.cell_data();
@@ -85,6 +88,19 @@ inline std::vector<ScanSource> SnapshotSources(const PartitionCatalog* catalog,
     AppendSources(*view, &sources);
   }
   return sources;
+}
+
+/// Appends one chunk's partition touches to the query-wide list. Chunks
+/// merge in ascending partition-id order (ChunkedScan's contract), so the
+/// concatenation is globally id-ordered — exactly what ScanObserver
+/// promises.
+inline void MergeTouches(std::vector<PartitionTouch>&& from,
+                         std::vector<PartitionTouch>* into) {
+  if (into->empty()) {
+    *into = std::move(from);
+    return;
+  }
+  into->insert(into->end(), from.begin(), from.end());
 }
 
 inline void MergeMetrics(const ScanMetrics& from, ScanMetrics* into) {

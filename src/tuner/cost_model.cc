@@ -1,0 +1,211 @@
+#include "tuner/cost_model.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/efficiency.h"
+#include "mvcc/partition_version.h"
+
+namespace cinderella {
+namespace {
+
+uint64_t VersionSize(const PartitionVersion& version, SizeMeasure measure) {
+  switch (measure) {
+    case SizeMeasure::kEntityCount:
+      return version.entity_count();
+    case SizeMeasure::kAttributeCount:
+      return version.cell_count();
+    case SizeMeasure::kByteSize:
+      return version.byte_size();
+  }
+  return version.entity_count();
+}
+
+void HarvestEntities(const PartitionVersion& version,
+                     std::vector<EntityId>* entities) {
+  version.ForEachRow(
+      [&](const RowView& row) { entities->push_back(row.id()); });
+}
+
+}  // namespace
+
+const char* PlanKindName(RepartitionPlan::Kind kind) {
+  switch (kind) {
+    case RepartitionPlan::Kind::kSplitHot:
+      return "split_hot";
+    case RepartitionPlan::Kind::kMergeCold:
+      return "merge_cold";
+    case RepartitionPlan::Kind::kEvictIdle:
+      return "evict_idle";
+  }
+  return "unknown";
+}
+
+TunerCostModel::TunerCostModel(CostModelOptions options, SizeMeasure measure,
+                               uint64_t max_size)
+    : options_(options), measure_(measure), max_size_(max_size) {}
+
+std::vector<RepartitionPlan> TunerCostModel::Score(
+    const CatalogView& view, const WorkloadTracker::Snapshot& tracked,
+    PlanningReport* report) const {
+  // Join the view's partitions (ascending id) with the tracker's stats
+  // (same order). Untracked partitions carry zero counters: never
+  // scanned, never pruned.
+  struct Candidate {
+    const PartitionVersion* version = nullptr;
+    WorkloadTracker::PartitionStats stats;
+    uint64_t size = 0;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(view.partition_count());
+  size_t cursor = 0;
+  view.ForEachPartition([&](const PartitionVersion& version) {
+    Candidate candidate;
+    candidate.version = &version;
+    candidate.size = VersionSize(version, measure_);
+    while (cursor < tracked.partitions.size() &&
+           tracked.partitions[cursor].first < version.id()) {
+      ++cursor;
+    }
+    if (cursor < tracked.partitions.size() &&
+        tracked.partitions[cursor].first == version.id()) {
+      candidate.stats = tracked.partitions[cursor].second;
+    }
+    candidates.push_back(candidate);
+  });
+
+  if (report != nullptr) {
+    *report = PlanningReport();
+    report->partitions = candidates.size();
+    if (!tracked.workload.empty()) {
+      std::vector<Synopsis> queries;
+      std::vector<double> weights;
+      queries.reserve(tracked.workload.size());
+      weights.reserve(tracked.workload.size());
+      for (const WorkloadTracker::TrackedQuery& q : tracked.workload) {
+        queries.push_back(q.synopsis);
+        weights.push_back(q.weight);
+      }
+      report->efficiency =
+          ComputeEfficiency(view, queries, weights, measure_).efficiency;
+    }
+  }
+
+  std::vector<RepartitionPlan> plans;
+  std::unordered_set<PartitionId> claimed;
+
+  // -- Split hot mixed partitions (one plan each). --------------------------
+  for (const Candidate& candidate : candidates) {
+    const WorkloadTracker::PartitionStats& stats = candidate.stats;
+    if (stats.queries_scanned < options_.hot_min_queries) continue;
+    if (stats.match_rate() > options_.mixed_match_threshold) continue;
+    if (candidate.version->entity_count() < 2) continue;  // Nothing to split.
+    if (candidate.version->entity_count() > options_.max_plan_rows) continue;
+    if (report != nullptr) ++report->hot_mixed;
+    RepartitionPlan plan;
+    plan.kind = RepartitionPlan::Kind::kSplitHot;
+    plan.partitions.push_back(candidate.version->id());
+    HarvestEntities(*candidate.version, &plan.entities);
+    // The waste is what every future decay window keeps paying while the
+    // mixed rows stay co-resident; separating them reclaims it.
+    plan.projected_gain = stats.waste();
+    plan.move_cost =
+        options_.move_cost_per_row * static_cast<double>(plan.entities.size());
+    plan.net_gain = plan.projected_gain - plan.move_cost;
+    if (plan.net_gain < options_.min_net_gain) continue;
+    claimed.insert(candidate.version->id());
+    plans.push_back(std::move(plan));
+  }
+
+  // -- Greedy id-order binning shared by merge-cold and evict-idle. ---------
+  const auto bin_group = [&](const std::vector<const Candidate*>& group,
+                             RepartitionPlan::Kind kind, double gain_factor) {
+    size_t begin = 0;
+    while (begin < group.size()) {
+      uint64_t bin_size = 0;
+      size_t bin_rows = 0;
+      size_t end = begin;
+      while (end < group.size()) {
+        const Candidate& candidate = *group[end];
+        const size_t rows = candidate.version->entity_count();
+        if (end > begin && (bin_size + candidate.size > max_size_ ||
+                            bin_rows + rows > options_.max_plan_rows)) {
+          break;
+        }
+        bin_size += candidate.size;
+        bin_rows += rows;
+        ++end;
+      }
+      if (end - begin >= 2) {
+        RepartitionPlan plan;
+        plan.kind = kind;
+        for (size_t i = begin; i < end; ++i) {
+          plan.partitions.push_back(group[i]->version->id());
+          HarvestEntities(*group[i]->version, &plan.entities);
+        }
+        // Coalescing k partitions into (ideally) one removes k-1 of them
+        // from every future query's consideration.
+        plan.projected_gain = gain_factor * options_.partition_overhead *
+                              static_cast<double>(end - begin - 1);
+        plan.move_cost = options_.move_cost_per_row *
+                         static_cast<double>(plan.entities.size());
+        plan.net_gain = plan.projected_gain - plan.move_cost;
+        if (plan.net_gain >= options_.min_net_gain) {
+          for (PartitionId id : plan.partitions) claimed.insert(id);
+          plans.push_back(std::move(plan));
+        }
+      }
+      begin = end;
+    }
+  };
+
+  // -- Merge cold under-filled partitions. ----------------------------------
+  // Like evict-idle below, coalescing needs table-wide workload evidence:
+  // with no traffic at all, "cold" is indistinguishable from "not yet
+  // queried", and a workload-driven tuner must not churn rows on zero
+  // signal. (A daemon running beside a pure-ingest phase would otherwise
+  // merge every young partition it sees, then re-merge the re-separated
+  // remnants forever — unbounded background writes for no query benefit.)
+  if (tracked.total_queries >= options_.idle_min_total_queries) {
+    const double cold_fill =
+        options_.cold_fill_fraction * static_cast<double>(max_size_);
+    std::vector<const Candidate*> cold;
+    for (const Candidate& candidate : candidates) {
+      if (claimed.count(candidate.version->id()) != 0) continue;
+      if (static_cast<double>(candidate.size) > cold_fill) continue;
+      if (candidate.stats.queries_scanned > options_.cold_max_queries) continue;
+      if (report != nullptr) ++report->cold;
+      cold.push_back(&candidate);
+    }
+    bin_group(cold, RepartitionPlan::Kind::kMergeCold, 1.0);
+  }
+
+  // -- Evict/demote never-queried partitions. -------------------------------
+  // Only meaningful when the table is actually serving queries; idle
+  // partitions keep paying their synopsis check on every one of them.
+  // Cold-merge already claimed the under-filled ones, so what remains
+  // here are well-filled partitions no query reads: coalescing them is
+  // less urgent (half the overhead credit) but still frees catalog slots.
+  if (tracked.total_queries >= options_.idle_min_total_queries) {
+    std::vector<const Candidate*> idle;
+    for (const Candidate& candidate : candidates) {
+      if (claimed.count(candidate.version->id()) != 0) continue;
+      if (candidate.stats.queries_scanned > 0.0) continue;
+      if (candidate.stats.queries_pruned <= 0.0) continue;  // Never considered.
+      if (report != nullptr) ++report->idle;
+      idle.push_back(&candidate);
+    }
+    bin_group(idle, RepartitionPlan::Kind::kEvictIdle, 0.5);
+  }
+
+  std::stable_sort(plans.begin(), plans.end(),
+                   [](const RepartitionPlan& a, const RepartitionPlan& b) {
+                     if (a.net_gain != b.net_gain) {
+                       return a.net_gain > b.net_gain;
+                     }
+                     return a.partitions.front() < b.partitions.front();
+                   });
+  return plans;
+}
+
+}  // namespace cinderella

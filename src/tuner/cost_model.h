@@ -1,0 +1,120 @@
+#ifndef CINDERELLA_TUNER_COST_MODEL_H_
+#define CINDERELLA_TUNER_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/size_measure.h"
+#include "storage/row.h"
+#include "tuner/workload_tracker.h"
+
+namespace cinderella {
+
+class CatalogView;  // mvcc/partition_version.h
+
+/// Knobs of the repartitioning cost model. All gains and costs are in
+/// decayed read-units (rows read per tracker decay window under
+/// kEntityCount; cells or bytes under the other measures), so
+/// `projected_gain − move_cost` compares what a plan saves future queries
+/// against what applying it costs now.
+struct CostModelOptions {
+  /// Cost of draining + reinserting one row, in read-units. Reinsertion
+  /// re-rates the row against every live partition, so this is the
+  /// knob that keeps the daemon from churning data for marginal wins.
+  double move_cost_per_row = 1.0;
+  /// Read-units saved per decay window by removing one partition from
+  /// the catalog: per-query synopsis checks, subplan startup, and the
+  /// false-positive scans an extra under-filled partition attracts.
+  double partition_overhead = 256.0;
+  /// A partition is *hot* when its decayed scan count reaches this.
+  double hot_min_queries = 2.0;
+  /// A hot partition is *mixed* (split candidate) when at most this
+  /// fraction of its scanned rows matched: the synopsis says relevant,
+  /// most resident rows say otherwise.
+  double mixed_match_threshold = 0.5;
+  /// A partition is under-filled (merge candidate) when its size is at
+  /// most this fraction of MAXSIZE.
+  double cold_fill_fraction = 0.25;
+  /// ... and *cold* when its decayed scan count is at most this.
+  double cold_max_queries = 0.5;
+  /// Merge-cold and evict-idle plans require this much decayed
+  /// table-wide query traffic: with no queries at all, "cold" and "never
+  /// queried" carry no signal, and a workload-driven tuner plans nothing.
+  double idle_min_total_queries = 8.0;
+  /// Plans whose net gain falls below this are discarded.
+  double min_net_gain = 1.0;
+  /// Upper bound on rows per plan (keeps each Reorganize batch bounded
+  /// regardless of the daemon's per-tick move budget).
+  size_t max_plan_rows = 4096;
+};
+
+/// One scored repartitioning candidate: drain `entities` (resident in
+/// `partitions` at planning time) and reinsert them through the mutation
+/// pipeline.
+struct RepartitionPlan {
+  enum class Kind {
+    /// A hot partition whose synopsis intersects the workload but whose
+    /// rows mostly don't match: reinsertion into the mature catalog
+    /// separates the mixed row population (arrival-order damage repair).
+    kSplitHot,
+    /// A group of cold under-filled partitions whose combined size fits
+    /// MAXSIZE: reinsertion coalesces them, shedding per-partition
+    /// overhead.
+    kMergeCold,
+    /// Partitions no query has touched while the table saw traffic:
+    /// demote by coalescing them out of the hot catalog's partition
+    /// count.
+    kEvictIdle,
+  };
+
+  Kind kind = Kind::kSplitHot;
+  std::vector<PartitionId> partitions;  // Ascending.
+  std::vector<EntityId> entities;       // Residents at planning time.
+  double projected_gain = 0.0;          // Read-units saved per decay window.
+  double move_cost = 0.0;               // entities × move_cost_per_row.
+  double net_gain = 0.0;                // projected_gain − move_cost.
+};
+
+/// Stable display name ("split_hot", "merge_cold", "evict_idle").
+const char* PlanKindName(RepartitionPlan::Kind kind);
+
+/// Classification summary of one scoring pass (CLI stats / bench JSON).
+struct PlanningReport {
+  size_t partitions = 0;
+  size_t hot_mixed = 0;
+  size_t cold = 0;
+  size_t idle = 0;
+  /// Weighted EFFICIENCY (Definition 1) of the planned-over snapshot
+  /// against the tracked workload; 1.0 when no workload is tracked.
+  double efficiency = 1.0;
+};
+
+/// Scores repartitioning candidates over a pinned MVCC snapshot and a
+/// tracker snapshot. Pure function of its inputs — no locks, no clocks,
+/// no randomness — so the same (view generation, tracker snapshot) pair
+/// always yields the same plan list in the same order: net gain
+/// descending, lowest leading partition id on ties.
+class TunerCostModel {
+ public:
+  TunerCostModel(CostModelOptions options, SizeMeasure measure,
+                 uint64_t max_size);
+
+  /// Plans worth applying (net_gain >= min_net_gain), best first. Each
+  /// partition appears in at most one plan per call. `report` (optional)
+  /// receives the classification summary; computing its EFFICIENCY term
+  /// costs one weighted Definition-1 pass over the view.
+  std::vector<RepartitionPlan> Score(const CatalogView& view,
+                                     const WorkloadTracker::Snapshot& tracked,
+                                     PlanningReport* report = nullptr) const;
+
+  const CostModelOptions& options() const { return options_; }
+
+ private:
+  CostModelOptions options_;
+  SizeMeasure measure_;
+  uint64_t max_size_;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_TUNER_COST_MODEL_H_

@@ -1,0 +1,186 @@
+#include "tuner/reorganizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+
+namespace cinderella {
+
+ReorganizerOptions ReorganizerOptions::FromEnv() {
+  ReorganizerOptions options;
+  options.interval_ms =
+      Int64FromEnv("CINDERELLA_TUNER_INTERVAL_MS", options.interval_ms);
+  options.move_budget =
+      Int64FromEnv("CINDERELLA_TUNER_MOVE_BUDGET", options.move_budget);
+  options.decay = DoubleFromEnv("CINDERELLA_TUNER_DECAY", options.decay);
+  options.cooldown_ticks =
+      Int64FromEnv("CINDERELLA_TUNER_COOLDOWN_TICKS", options.cooldown_ticks);
+  options.cost.move_cost_per_row =
+      DoubleFromEnv("CINDERELLA_TUNER_MOVE_COST", options.cost.move_cost_per_row);
+  options.cost.partition_overhead = DoubleFromEnv(
+      "CINDERELLA_TUNER_PARTITION_OVERHEAD", options.cost.partition_overhead);
+  options.cost.min_net_gain =
+      DoubleFromEnv("CINDERELLA_TUNER_MIN_GAIN", options.cost.min_net_gain);
+  options.cost.hot_min_queries =
+      DoubleFromEnv("CINDERELLA_TUNER_HOT_QUERIES", options.cost.hot_min_queries);
+  options.cost.mixed_match_threshold =
+      DoubleFromEnv("CINDERELLA_TUNER_MATCH_THRESHOLD",
+                    options.cost.mixed_match_threshold);
+  options.cost.cold_fill_fraction = DoubleFromEnv(
+      "CINDERELLA_TUNER_COLD_FILL", options.cost.cold_fill_fraction);
+  return options;
+}
+
+Reorganizer::Reorganizer(VersionedTable* table, WorkloadTracker* tracker,
+                         ReorganizerOptions options)
+    : table_(table),
+      tracker_(tracker),
+      options_(options),
+      model_(options.cost, table->partitioner().config().measure,
+             table->partitioner().config().max_size) {}
+
+Reorganizer::~Reorganizer() { Stop(); }
+
+void Reorganizer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void Reorganizer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool Reorganizer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void Reorganizer::ThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    Tick();
+    lock.lock();
+  }
+}
+
+uint64_t Reorganizer::PlanKey(const RepartitionPlan& plan) {
+  // FNV-1a over the sorted entity ids: the fingerprint names the row set
+  // being moved, not the (ephemeral) partition ids it lives in, so a
+  // re-created layout maps to the same cooldown slot.
+  std::vector<EntityId> sorted = plan.entities;
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t hash = 1469598103934665603ull;
+  for (EntityId id : sorted) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (id >> shift) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  }
+  return hash;
+}
+
+Reorganizer::TickReport Reorganizer::Tick() {
+  std::lock_guard<std::mutex> tick_lock(tick_mu_);
+  TickReport report;
+
+  // Plan on a pinned snapshot + a tracker copy: no catalog locks are held
+  // anywhere in this block, and the pin is released before any move.
+  std::vector<RepartitionPlan> plans;
+  PlanningReport planning;
+  const WorkloadTracker::Snapshot tracked = tracker_->snapshot();
+  uint64_t generation = 0;
+  {
+    const VersionedTable::Snapshot snapshot = table_->snapshot();
+    generation = snapshot.view().generation();
+    plans = model_.Score(snapshot.view(), tracked, &planning);
+  }
+  report.plans = plans.size();
+  report.efficiency = planning.efficiency;
+
+  uint64_t tick_number = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tick_number = ++stats_.ticks;
+    stats_.plans_considered += plans.size();
+    stats_.last_generation = generation;
+    stats_.last_efficiency = planning.efficiency;
+    stats_.tracked_partitions = tracked.partitions.size();
+    stats_.tracked_queries = tracked.total_queries;
+    // Age out expired cooldown entries.
+    for (auto it = cooldown_.begin(); it != cooldown_.end();) {
+      if (tick_number - it->second >
+          static_cast<uint64_t>(options_.cooldown_ticks)) {
+        it = cooldown_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  int64_t budget = options_.move_budget;
+  for (const RepartitionPlan& plan : plans) {
+    if (static_cast<int64_t>(plan.entities.size()) > budget) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.plans_deferred_budget;
+      continue;  // A smaller later plan may still fit this tick.
+    }
+    const uint64_t key = PlanKey(plan);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cooldown_.count(key) != 0) {
+        ++stats_.plans_skipped_cooldown;
+        continue;
+      }
+    }
+    VersionedTable::RepartitionResult moved;
+    const Status status = table_->RepartitionEntities(plan.entities, &moved);
+    budget -= static_cast<int64_t>(moved.moved);
+    ++report.applied;
+    report.rows_moved += moved.moved;
+    std::lock_guard<std::mutex> lock(mu_);
+    cooldown_[key] = tick_number;
+    ++stats_.plans_applied;
+    stats_.rows_moved += moved.moved;
+    stats_.rows_missing += moved.missing;
+    switch (plan.kind) {
+      case RepartitionPlan::Kind::kSplitHot:
+        ++stats_.splits_applied;
+        break;
+      case RepartitionPlan::Kind::kMergeCold:
+        ++stats_.merges_applied;
+        break;
+      case RepartitionPlan::Kind::kEvictIdle:
+        ++stats_.evictions_applied;
+        break;
+    }
+    (void)status;  // Stale-plan misses are counted, not errors.
+  }
+
+  tracker_->Decay(options_.decay);
+  return report;
+}
+
+TunerStats Reorganizer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cinderella

@@ -1,0 +1,152 @@
+#ifndef CINDERELLA_TUNER_REORGANIZER_H_
+#define CINDERELLA_TUNER_REORGANIZER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "mvcc/versioned_table.h"
+#include "tuner/cost_model.h"
+#include "tuner/workload_tracker.h"
+
+namespace cinderella {
+
+/// Daemon configuration. Every field resolves from a CINDERELLA_TUNER_*
+/// environment variable via FromEnv() (README "Tuner knobs").
+struct ReorganizerOptions {
+  /// Planning cadence (CINDERELLA_TUNER_INTERVAL_MS).
+  int64_t interval_ms = 200;
+  /// Rows moved per tick at most (CINDERELLA_TUNER_MOVE_BUDGET). The
+  /// throttle that keeps foreground p99 flat: each tick's accepted plans
+  /// must fit this budget; the rest wait for later ticks.
+  int64_t move_budget = 2048;
+  /// Per-tick tracker decay factor in (0, 1]
+  /// (CINDERELLA_TUNER_DECAY).
+  double decay = 0.8;
+  /// Ticks during which a just-applied plan's exact entity set is not
+  /// re-applied (CINDERELLA_TUNER_COOLDOWN_TICKS). Guards against
+  /// oscillation when a move does not change the layout (e.g. a merge
+  /// whose rows re-separate on reinsertion).
+  int64_t cooldown_ticks = 16;
+  /// Cost model knobs (CINDERELLA_TUNER_MOVE_COST, _PARTITION_OVERHEAD,
+  /// _MIN_GAIN, _HOT_QUERIES, _MATCH_THRESHOLD, _COLD_FILL).
+  CostModelOptions cost;
+
+  /// Resolves every knob from the environment over the defaults above.
+  static ReorganizerOptions FromEnv();
+};
+
+/// Lifetime counters of one Reorganizer (monotonic; read via stats()).
+struct TunerStats {
+  uint64_t ticks = 0;
+  uint64_t plans_considered = 0;
+  uint64_t plans_applied = 0;
+  uint64_t splits_applied = 0;
+  uint64_t merges_applied = 0;
+  uint64_t evictions_applied = 0;
+  uint64_t plans_deferred_budget = 0;   // Did not fit the tick's budget.
+  uint64_t plans_skipped_cooldown = 0;  // Identical set applied recently.
+  uint64_t rows_moved = 0;
+  uint64_t rows_missing = 0;  // Plan entries already deleted at apply time.
+  /// Last planning pass, for dashboards: snapshot generation planned
+  /// over, weighted EFFICIENCY of that snapshot against the tracked
+  /// workload, and the tracker's footprint.
+  uint64_t last_generation = 0;
+  double last_efficiency = 1.0;
+  size_t tracked_partitions = 0;
+  double tracked_queries = 0.0;
+};
+
+/// The workload-driven background reorganizer: a self-tuning daemon that
+/// repartitions under live traffic.
+///
+///   tracker  ── per-partition decayed traffic counters (fed by the
+///                query layer's ScanObserver hook)
+///   cost model ─ scores split-hot / merge-cold / evict-idle candidates
+///                as projected EFFICIENCY gain minus move cost
+///   daemon ───── this class: plans on pinned MVCC snapshots, applies
+///                accepted plans as bounded drain+reinsert batches
+///
+/// Concurrency contract:
+///  - Planning takes **no catalog locks**: the tick pins a snapshot
+///    (epoch pin, lock-free), copies the tracker state under the
+///    tracker's own mutex, scores, and unpins before applying anything.
+///  - Applying goes through VersionedTable::RepartitionEntities — the
+///    same writer-serialized, ValidateMutations-checked mutation
+///    pipeline as every foreground write, publishing MVCC views per
+///    committed window. Readers never block; foreground writers contend
+///    only on the writer mutex for the bounded batch, which is what the
+///    move budget bounds.
+///  - Decisions are deterministic: same snapshot generation + same
+///    tracker snapshot → same plans in the same order (see
+///    TunerCostModel). The daemon adds only the clock; TickForTesting
+///    removes it for tests.
+class Reorganizer {
+ public:
+  /// `table` and `tracker` must outlive the reorganizer. The tracker
+  /// should be attached (set_observer) to the executors/aggregators
+  /// serving queries; the reorganizer only reads it.
+  Reorganizer(VersionedTable* table, WorkloadTracker* tracker,
+              ReorganizerOptions options);
+
+  /// Stops the daemon if running.
+  ~Reorganizer();
+
+  Reorganizer(const Reorganizer&) = delete;
+  Reorganizer& operator=(const Reorganizer&) = delete;
+
+  /// Starts the background thread (idempotent).
+  void Start();
+
+  /// Stops and joins the background thread (idempotent). In-flight ticks
+  /// finish; no new tick starts.
+  void Stop();
+
+  bool running() const;
+
+  /// Outcome of one planning+apply pass.
+  struct TickReport {
+    size_t plans = 0;       // Scored above the gain threshold.
+    size_t applied = 0;     // Applied this tick (within budget+cooldown).
+    size_t rows_moved = 0;
+    double efficiency = 1.0;  // Of the planned-over snapshot.
+  };
+
+  /// Runs exactly one synchronous tick on the calling thread — the
+  /// deterministic test entry point (no daemon needed; safe alongside a
+  /// running daemon too, ticks serialize internally).
+  TickReport TickForTesting() { return Tick(); }
+
+  TunerStats stats() const;
+
+  const ReorganizerOptions& options() const { return options_; }
+
+ private:
+  void ThreadMain();
+  TickReport Tick();
+
+  /// Order-insensitive fingerprint of a plan's entity set (cooldown key).
+  static uint64_t PlanKey(const RepartitionPlan& plan);
+
+  VersionedTable* table_;
+  WorkloadTracker* tracker_;
+  ReorganizerOptions options_;
+  TunerCostModel model_;
+
+  mutable std::mutex mu_;  // Guards stats_, cooldown_, stop_/thread state.
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+  TunerStats stats_;
+  /// plan fingerprint -> tick it was applied at.
+  std::map<uint64_t, uint64_t> cooldown_;
+
+  std::mutex tick_mu_;  // Serializes Tick bodies (daemon + TickForTesting).
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_TUNER_REORGANIZER_H_

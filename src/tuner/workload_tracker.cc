@@ -1,0 +1,97 @@
+#include "tuner/workload_tracker.h"
+
+#include <algorithm>
+
+namespace cinderella {
+
+WorkloadTracker::WorkloadTracker() : WorkloadTracker(Options()) {}
+
+WorkloadTracker::WorkloadTracker(Options options) : options_(options) {}
+
+void WorkloadTracker::OnScan(const Synopsis& query,
+                             const std::vector<PartitionTouch>& touches) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++queries_observed_;
+  total_queries_ += 1.0;
+  for (const PartitionTouch& touch : touches) {
+    PartitionStats& stats = partitions_[touch.partition];
+    if (!touch.scanned) {
+      stats.queries_pruned += 1.0;
+      continue;
+    }
+    stats.queries_scanned += 1.0;
+    stats.rows_scanned += static_cast<double>(touch.rows_scanned);
+    stats.rows_matched += static_cast<double>(touch.rows_matched);
+    if (touch.rows_matched == 0) stats.zero_match_scans += 1.0;
+  }
+  if (query.Empty()) return;
+  auto it = workload_.find(query.words());
+  if (it != workload_.end()) {
+    it->second.weight += 1.0;
+    return;
+  }
+  if (workload_.size() >= options_.max_workload_queries) {
+    // Evict the lightest tracked query (first in key order on ties) to
+    // make room; a heavy recurring query can never be displaced by a
+    // burst of one-off synopses.
+    auto lightest = workload_.begin();
+    for (auto cand = workload_.begin(); cand != workload_.end(); ++cand) {
+      if (cand->second.weight < lightest->second.weight) lightest = cand;
+    }
+    if (lightest->second.weight > 1.0) return;  // All heavier than the newcomer.
+    workload_.erase(lightest);
+  }
+  workload_.emplace(query.words(), TrackedQuery{query, 1.0});
+}
+
+void WorkloadTracker::Decay(double factor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_queries_ *= factor;
+  for (auto it = partitions_.begin(); it != partitions_.end();) {
+    PartitionStats& stats = it->second;
+    stats.queries_scanned *= factor;
+    stats.queries_pruned *= factor;
+    stats.rows_scanned *= factor;
+    stats.rows_matched *= factor;
+    stats.zero_match_scans *= factor;
+    if (stats.queries_scanned + stats.queries_pruned < options_.min_weight) {
+      it = partitions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = workload_.begin(); it != workload_.end();) {
+    it->second.weight *= factor;
+    if (it->second.weight < options_.min_weight) {
+      it = workload_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+WorkloadTracker::Snapshot WorkloadTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.partitions.reserve(partitions_.size());
+  for (const auto& [id, stats] : partitions_) {
+    snap.partitions.emplace_back(id, stats);
+  }
+  snap.workload.reserve(workload_.size());
+  for (const auto& [words, query] : workload_) {
+    snap.workload.push_back(query);
+  }
+  snap.total_queries = total_queries_;
+  snap.queries_observed = queries_observed_;
+  return snap;
+}
+
+void WorkloadTracker::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.clear();
+  workload_.clear();
+  total_queries_ = 0.0;
+  queries_observed_ = 0;
+}
+
+}  // namespace cinderella

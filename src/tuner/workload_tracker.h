@@ -1,0 +1,117 @@
+#ifndef CINDERELLA_TUNER_WORKLOAD_TRACKER_H_
+#define CINDERELLA_TUNER_WORKLOAD_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/partition.h"
+#include "query/executor.h"
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+
+/// Decayed per-partition traffic statistics, fed by the query layer's
+/// ScanObserver hook and consumed by the tuner's cost model.
+///
+/// Lock-cheap by construction: OnScan runs once per query (never per
+/// row — the executor aggregates per-partition counts inside its scan
+/// chunks) and takes one mutex for O(#partitions touched) map updates.
+/// The same tracker instance may be attached to executors/aggregators on
+/// any number of querying threads.
+///
+/// All counters decay exponentially: the reorganizer daemon calls
+/// Decay(factor) once per tick, so a partition that stops being queried
+/// fades toward zero instead of being pinned hot by ancient history.
+/// Entries whose decayed evidence drops below Options::min_weight are
+/// erased, which bounds the maps under partition churn.
+class WorkloadTracker : public ScanObserver {
+ public:
+  struct Options {
+    /// Distinct query synopses retained as the observed workload W (the
+    /// cost model evaluates EFFICIENCY against exactly this set). When a
+    /// new synopsis arrives at capacity, the lightest tracked one is
+    /// evicted.
+    size_t max_workload_queries = 64;
+    /// Decayed entries below this weight are dropped.
+    double min_weight = 1e-3;
+  };
+
+  /// Decayed counters for one partition.
+  struct PartitionStats {
+    double queries_scanned = 0.0;  // Queries whose scan read this partition.
+    double queries_pruned = 0.0;   // Queries that pruned it via the synopsis.
+    double rows_scanned = 0.0;
+    double rows_matched = 0.0;
+    /// Scans that matched zero rows: the partition's synopsis intersected
+    /// the query but no resident row did — a pure synopsis false positive.
+    double zero_match_scans = 0.0;
+
+    /// Rows read but not matched (decayed) — the read waste the cost
+    /// model wants to eliminate.
+    double waste() const { return rows_scanned - rows_matched; }
+    double match_rate() const {
+      return rows_scanned > 0.0 ? rows_matched / rows_scanned : 1.0;
+    }
+    /// Fraction of scans that were synopsis false positives.
+    double false_positive_rate() const {
+      return queries_scanned > 0.0 ? zero_match_scans / queries_scanned : 0.0;
+    }
+  };
+
+  /// One distinct observed query synopsis with its decayed multiplicity.
+  struct TrackedQuery {
+    Synopsis synopsis;
+    double weight = 0.0;
+  };
+
+  /// A consistent copy of the tracker state, safe to score against
+  /// without holding the tracker lock. Partitions ascend by id and the
+  /// workload ascends by synopsis bit pattern, so two trackers fed the
+  /// same queries produce identical snapshots — the planner's determinism
+  /// rests on this.
+  struct Snapshot {
+    std::vector<std::pair<PartitionId, PartitionStats>> partitions;
+    std::vector<TrackedQuery> workload;
+    double total_queries = 0.0;     // Decayed query count.
+    uint64_t queries_observed = 0;  // Monotonic, never decayed.
+  };
+
+  /// The zero-argument overload uses default Options (GCC rejects
+  /// `Options options = {}` as a default argument when the nested struct
+  /// carries member initializers — same workaround as VersionedTable).
+  WorkloadTracker();
+  explicit WorkloadTracker(Options options);
+
+  /// ScanObserver hook (query layer). Queries with an empty pruning
+  /// synopsis (predicates with no conservative synopsis) update the
+  /// partition counters but are not tracked as workload queries — an
+  /// empty synopsis intersects nothing, so it cannot participate in
+  /// EFFICIENCY.
+  void OnScan(const Synopsis& query,
+              const std::vector<PartitionTouch>& touches) override;
+
+  /// Multiplies every counter by `factor` in (0, 1] and drops entries
+  /// that fall below Options::min_weight. Called once per daemon tick.
+  void Decay(double factor);
+
+  Snapshot snapshot() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  Options options_;
+  std::map<PartitionId, PartitionStats> partitions_;
+  /// Keyed by the synopsis bitset words: deterministic order, cheap
+  /// equality, no hashing of Synopsis needed.
+  std::map<std::vector<uint64_t>, TrackedQuery> workload_;
+  double total_queries_ = 0.0;
+  uint64_t queries_observed_ = 0;
+};
+
+}  // namespace cinderella
+
+#endif  // CINDERELLA_TUNER_WORKLOAD_TRACKER_H_

@@ -9,18 +9,25 @@
 namespace cinderella {
 namespace {
 
+/// Fraction of (row, query attribute) pairs that match: the number of
+/// query attributes each row carries, summed over all rows, normalized
+/// by rows × |query|. For a single-attribute query this is exactly the
+/// fraction of rows carrying that attribute; for multi-attribute queries
+/// it measures how much of the requested payload actually exists, unlike
+/// the earlier first-match-wins count, which saturated at 1.0 as soon as
+/// every row carried ANY one of the attributes and so collapsed wide
+/// disjunctive queries into one selectivity bin.
 double Selectivity(const std::vector<Row>& rows, const Synopsis& attributes) {
-  if (rows.empty()) return 0.0;
+  if (rows.empty() || attributes.Count() == 0) return 0.0;
   size_t matched = 0;
   for (const Row& row : rows) {
     for (const Row::Cell& cell : row.cells()) {
-      if (attributes.Contains(cell.attribute)) {
-        ++matched;
-        break;
-      }
+      if (attributes.Contains(cell.attribute)) ++matched;
     }
   }
-  return static_cast<double>(matched) / static_cast<double>(rows.size());
+  return static_cast<double>(matched) /
+         (static_cast<double>(rows.size()) *
+          static_cast<double>(attributes.Count()));
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 // chooser's decisions. The cross-strategy property test also runs under
 // TSan (tools/tier1.sh) to exercise the shared table's atomics.
 
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <random>
@@ -46,7 +47,12 @@ std::vector<Row> MakeRows(size_t count, uint64_t seed, int64_t groups) {
     Row row(static_cast<EntityId>(i));
     const int64_t g = static_cast<int64_t>(rng() % groups);
     if (g % 7 == 3) {
-      row.Set(kGroup, Value("g" + std::to_string(g)));
+      // snprintf instead of string concatenation: GCC 12's Release-mode
+      // string inlining misreports the "g" + to_string(...) form as
+      // -Werror=restrict.
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "g%lld", static_cast<long long>(g));
+      row.Set(kGroup, Value(std::string(buf)));
     } else {
       row.Set(kGroup, Value(g));
     }
@@ -166,6 +172,47 @@ TEST(AggregatorTest, MatchesHandBuiltAggregates) {
   EXPECT_EQ(result.groups[2].key, Value(std::string("one")));
   EXPECT_EQ(result.groups[2].count, 1u);
   EXPECT_EQ(result.groups[2].sum, 7);
+}
+
+// AVG is not a separate accumulator: GroupResult::avg() derives it from
+// the exact integer SUM/COUNT pair, so wherever those are bit-identical
+// (every strategy and thread count) the quotient is too.
+TEST(AggregatorTest, AvgDerivesExactlyFromSumAndCount) {
+  const std::vector<Row> rows = MakeRows(1200, /*seed=*/5, /*groups=*/11);
+  auto c = MakePartitioner();
+  for (const Row& row : rows) ASSERT_TRUE(c->Insert(row).ok());
+
+  AggregateSpec spec;
+  spec.group_by = kGroup;
+  spec.value = kValue;
+  Aggregator reference(c->catalog());
+  const AggregationResult base = reference.Aggregate(spec);
+  ASSERT_FALSE(base.groups.empty());
+  for (const GroupResult& g : base.groups) {
+    if (g.value_count == 0) {
+      EXPECT_EQ(g.avg(), 0.0);
+    } else {
+      EXPECT_EQ(g.avg(), static_cast<double>(g.sum) /
+                             static_cast<double>(g.value_count));
+    }
+  }
+
+  const AggregateStrategy strategies[] = {AggregateStrategy::kTwoPhase,
+                                          AggregateStrategy::kRadix,
+                                          AggregateStrategy::kSharedTable};
+  for (const AggregateStrategy strategy : strategies) {
+    AggregatorOptions options;
+    options.scan_threads = 4;
+    options.strategy = strategy;
+    Aggregator aggregator(c->catalog(), options);
+    const AggregationResult result = aggregator.Aggregate(spec);
+    ASSERT_EQ(result.groups.size(), base.groups.size());
+    for (size_t i = 0; i < base.groups.size(); ++i) {
+      // Exact double equality on purpose: the derivation contract is
+      // bit-identity, not approximation.
+      EXPECT_EQ(result.groups[i].avg(), base.groups[i].avg());
+    }
+  }
 }
 
 // The determinism contract, as a randomized property: every strategy,

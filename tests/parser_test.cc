@@ -201,6 +201,24 @@ TEST_F(ParserTest, GroupByWithAggregates) {
   ASSERT_NE(statement->where, nullptr);
 }
 
+TEST_F(ParserTest, AvgAggregate) {
+  auto statement = ParseSelect(
+      "SELECT name, AVG(weight), SUM(weight), COUNT(weight) GROUP BY name",
+      dictionary_);
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  ASSERT_EQ(statement->aggregates.size(), 3u);
+  EXPECT_EQ(statement->aggregates[0].fn, AggregateFn::kAvg);
+  EXPECT_EQ(statement->aggregates[0].attribute, weight_);
+  EXPECT_FALSE(statement->aggregates[0].count_all);
+  // AVG(*) is meaningless and rejected like SUM(*).
+  EXPECT_FALSE(ParseSelect("SELECT AVG(*) GROUP BY name", dictionary_).ok());
+  // Like the other aggregate keywords, a bare "avg" stays an attribute.
+  const AttributeId avg_attr = dictionary_.GetOrCreate("avg");
+  auto bare = ParseSelect("SELECT avg", dictionary_);
+  ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+  EXPECT_EQ(bare->projection, (std::vector<AttributeId>{avg_attr}));
+}
+
 TEST_F(ParserTest, CountOfAttribute) {
   auto statement =
       ParseSelect("SELECT COUNT(weight) GROUP BY name", dictionary_);

@@ -1,0 +1,388 @@
+// Tests for the workload-driven background reorganizer (src/tuner):
+// tracker counter/decay semantics, cost-model determinism and plan
+// shapes, RepartitionEntities row preservation, and the daemon's budget
+// and cooldown throttles.
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cinderella.h"
+#include "mvcc/partition_version.h"
+#include "mvcc/versioned_table.h"
+#include "query/executor.h"
+#include "query/query.h"
+#include "tuner/cost_model.h"
+#include "tuner/reorganizer.h"
+#include "tuner/workload_tracker.h"
+
+namespace cinderella {
+namespace {
+
+Row MakeRow(EntityId id, std::initializer_list<AttributeId> attrs) {
+  Row row(id);
+  for (AttributeId a : attrs) row.Set(a, Value(int64_t{1}));
+  return row;
+}
+
+std::unique_ptr<Cinderella> MakePartitioner(uint64_t max_size = 16) {
+  CinderellaConfig config;
+  config.weight = 0.4;
+  config.max_size = max_size;
+  config.scan_threads = 1;
+  return std::move(Cinderella::Create(config)).value();
+}
+
+/// Clustered rows (four disjoint attribute families) so the table forms
+/// several partitions.
+std::vector<Row> MakeRows(EntityId first, size_t count) {
+  std::vector<Row> rows;
+  rows.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const EntityId id = first + static_cast<EntityId>(i);
+    const AttributeId base = static_cast<AttributeId>((id % 4) * 8);
+    rows.push_back(MakeRow(id, {base, base + 1, base + 2}));
+  }
+  return rows;
+}
+
+std::set<EntityId> ResidentEntities(const CatalogView& view) {
+  std::set<EntityId> ids;
+  view.ForEachPartition([&](const PartitionVersion& version) {
+    version.ForEachRow([&](const RowView& row) { ids.insert(row.id()); });
+  });
+  return ids;
+}
+
+// -- Workload tracker --------------------------------------------------------
+
+TEST(WorkloadTrackerTest, RecordsScansAndPrunes) {
+  WorkloadTracker tracker;
+  const Synopsis query{1, 2};
+  tracker.OnScan(query, {{/*partition=*/1, /*scanned=*/true, 100, 25},
+                         {/*partition=*/2, /*scanned=*/false, 0, 0}});
+  tracker.OnScan(query, {{/*partition=*/1, /*scanned=*/true, 100, 0}});
+
+  const WorkloadTracker::Snapshot snap = tracker.snapshot();
+  ASSERT_EQ(snap.partitions.size(), 2u);
+  EXPECT_EQ(snap.partitions[0].first, 1u);
+  const WorkloadTracker::PartitionStats& hot = snap.partitions[0].second;
+  EXPECT_DOUBLE_EQ(hot.queries_scanned, 2.0);
+  EXPECT_DOUBLE_EQ(hot.rows_scanned, 200.0);
+  EXPECT_DOUBLE_EQ(hot.rows_matched, 25.0);
+  EXPECT_DOUBLE_EQ(hot.waste(), 175.0);
+  EXPECT_DOUBLE_EQ(hot.zero_match_scans, 1.0);
+  EXPECT_DOUBLE_EQ(hot.false_positive_rate(), 0.5);
+  const WorkloadTracker::PartitionStats& pruned = snap.partitions[1].second;
+  EXPECT_DOUBLE_EQ(pruned.queries_pruned, 1.0);
+  EXPECT_DOUBLE_EQ(pruned.queries_scanned, 0.0);
+  // The two identical queries collapse into one workload entry, weight 2.
+  ASSERT_EQ(snap.workload.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.workload[0].weight, 2.0);
+  EXPECT_EQ(snap.queries_observed, 2u);
+}
+
+TEST(WorkloadTrackerTest, DecayFadesAndDropsEntries) {
+  WorkloadTracker::Options options;
+  options.min_weight = 0.1;
+  WorkloadTracker tracker(options);
+  tracker.OnScan(Synopsis{1}, {{1, true, 10, 5}});
+  tracker.Decay(0.5);
+  WorkloadTracker::Snapshot snap = tracker.snapshot();
+  ASSERT_EQ(snap.partitions.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.partitions[0].second.rows_scanned, 5.0);
+  EXPECT_DOUBLE_EQ(snap.total_queries, 0.5);
+  // Three more halvings push the entry below min_weight: dropped.
+  tracker.Decay(0.5);
+  tracker.Decay(0.5);
+  tracker.Decay(0.5);
+  snap = tracker.snapshot();
+  EXPECT_TRUE(snap.partitions.empty());
+  EXPECT_TRUE(snap.workload.empty());
+  // The monotonic observation count never decays.
+  EXPECT_EQ(snap.queries_observed, 1u);
+}
+
+TEST(WorkloadTrackerTest, WorkloadEvictsLightestNotHeaviest) {
+  WorkloadTracker::Options options;
+  options.max_workload_queries = 2;
+  WorkloadTracker tracker(options);
+  // Query A seen three times, B once; C arrives at capacity.
+  tracker.OnScan(Synopsis{1}, {});
+  tracker.OnScan(Synopsis{1}, {});
+  tracker.OnScan(Synopsis{1}, {});
+  tracker.OnScan(Synopsis{2}, {});
+  tracker.OnScan(Synopsis{3}, {});
+  const WorkloadTracker::Snapshot snap = tracker.snapshot();
+  ASSERT_EQ(snap.workload.size(), 2u);
+  // A survives with its full weight; B (weight 1) was displaced by C.
+  bool has_a = false;
+  for (const auto& q : snap.workload) {
+    if (q.synopsis == Synopsis{1}) {
+      has_a = true;
+      EXPECT_DOUBLE_EQ(q.weight, 3.0);
+    }
+    EXPECT_FALSE(q.synopsis == Synopsis{2});
+  }
+  EXPECT_TRUE(has_a);
+}
+
+// -- Cost model --------------------------------------------------------------
+
+TEST(TunerCostModelTest, SameInputsYieldIdenticalPlans) {
+  VersionedTable table(MakePartitioner(/*max_size=*/8));
+  ASSERT_TRUE(table.InsertBatch(MakeRows(0, 96)).ok());
+  const VersionedTable::Snapshot snapshot = table.snapshot();
+
+  // Drive real queries through the hook so the tracker state is the one
+  // production planning sees.
+  WorkloadTracker tracker;
+  QueryExecutor executor(snapshot.view());
+  executor.set_observer(&tracker);
+  for (int round = 0; round < 4; ++round) {
+    for (AttributeId attr : {0u, 8u, 16u}) {
+      executor.Execute(Query(Synopsis{attr}));
+    }
+  }
+  const WorkloadTracker::Snapshot tracked = tracker.snapshot();
+
+  const TunerCostModel model(CostModelOptions(), SizeMeasure::kEntityCount, 8);
+  PlanningReport report_a;
+  PlanningReport report_b;
+  const std::vector<RepartitionPlan> a =
+      model.Score(snapshot.view(), tracked, &report_a);
+  // A second pass — and a freshly constructed model — must reproduce the
+  // plan list exactly: same kinds, partitions, entities, and scores.
+  const TunerCostModel again(CostModelOptions(), SizeMeasure::kEntityCount, 8);
+  const std::vector<RepartitionPlan> b =
+      again.Score(snapshot.view(), tracked, &report_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].partitions, b[i].partitions);
+    EXPECT_EQ(a[i].entities, b[i].entities);
+    EXPECT_DOUBLE_EQ(a[i].net_gain, b[i].net_gain);
+  }
+  EXPECT_EQ(report_a.partitions, report_b.partitions);
+  EXPECT_DOUBLE_EQ(report_a.efficiency, report_b.efficiency);
+  // Plans arrive best-first and never share a partition.
+  std::set<PartitionId> seen;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(a[i].net_gain, a[i - 1].net_gain);
+    }
+    for (PartitionId id : a[i].partitions) {
+      EXPECT_TRUE(seen.insert(id).second) << "partition in two plans";
+    }
+  }
+}
+
+TEST(TunerCostModelTest, PlansSplitForHotMixedPartition) {
+  VersionedTable table(MakePartitioner(/*max_size=*/64));
+  ASSERT_TRUE(table.InsertBatch(MakeRows(0, 16)).ok());
+  const VersionedTable::Snapshot snapshot = table.snapshot();
+  ASSERT_GE(snapshot->partition_count(), 2u);
+  const PartitionVersion* hot = snapshot->partitions().front();
+
+  // Synthetic traffic: the partition is scanned often but matches little.
+  WorkloadTracker tracker;
+  for (int i = 0; i < 3; ++i) {
+    tracker.OnScan(Synopsis{0}, {{hot->id(), true, 100, 10}});
+  }
+
+  const TunerCostModel model(CostModelOptions(), SizeMeasure::kEntityCount, 64);
+  PlanningReport report;
+  const std::vector<RepartitionPlan> plans =
+      model.Score(snapshot.view(), tracker.snapshot(), &report);
+  ASSERT_FALSE(plans.empty());
+  // Below the merge/evict traffic gate the split should be the only
+  // plan, but find it explicitly rather than assuming order.
+  const RepartitionPlan* split = nullptr;
+  for (const RepartitionPlan& p : plans) {
+    if (p.kind == RepartitionPlan::Kind::kSplitHot) {
+      split = &p;
+      break;
+    }
+  }
+  ASSERT_NE(split, nullptr);
+  const RepartitionPlan& plan = *split;
+  ASSERT_EQ(plan.partitions.size(), 1u);
+  EXPECT_EQ(plan.partitions[0], hot->id());
+  EXPECT_EQ(plan.entities.size(), hot->entity_count());
+  // waste = 300 scanned − 30 matched; cost = one unit per resident row.
+  EXPECT_DOUBLE_EQ(plan.projected_gain, 270.0);
+  EXPECT_DOUBLE_EQ(plan.move_cost,
+                   static_cast<double>(hot->entity_count()));
+  EXPECT_DOUBLE_EQ(plan.net_gain, plan.projected_gain - plan.move_cost);
+  EXPECT_GE(report.hot_mixed, 1u);
+}
+
+TEST(TunerCostModelTest, PlansMergeForColdUnderfilledPartitions) {
+  // Four clusters of 4 rows each with MAXSIZE 32: every partition sits
+  // well under the cold-fill threshold and none of them is ever scanned —
+  // the serving traffic prunes them all.
+  VersionedTable table(MakePartitioner(/*max_size=*/32));
+  ASSERT_TRUE(table.InsertBatch(MakeRows(0, 16)).ok());
+  const VersionedTable::Snapshot snapshot = table.snapshot();
+  ASSERT_GE(snapshot->partition_count(), 2u);
+
+  const TunerCostModel model(CostModelOptions(), SizeMeasure::kEntityCount, 32);
+
+  // Zero traffic -> zero signal: a workload-driven tuner plans nothing.
+  WorkloadTracker silent;
+  EXPECT_TRUE(model.Score(snapshot.view(), silent.snapshot()).empty());
+
+  WorkloadTracker tracker;
+  for (int i = 0; i < 8; ++i) tracker.OnScan(Synopsis{99}, {});
+  PlanningReport report;
+  const std::vector<RepartitionPlan> plans =
+      model.Score(snapshot.view(), tracker.snapshot(), &report);
+  ASSERT_FALSE(plans.empty());
+  for (const RepartitionPlan& plan : plans) {
+    EXPECT_EQ(plan.kind, RepartitionPlan::Kind::kMergeCold);
+    EXPECT_GE(plan.partitions.size(), 2u);
+    // A merge bin never exceeds MAXSIZE under the entity-count measure.
+    EXPECT_LE(plan.entities.size(), 32u);
+    EXPECT_TRUE(std::is_sorted(plan.partitions.begin(), plan.partitions.end()));
+  }
+  EXPECT_EQ(report.cold, snapshot->partition_count());
+  // No traffic at all: evict-idle must stay quiet (no signal).
+  EXPECT_EQ(report.idle, 0u);
+}
+
+// -- RepartitionEntities -----------------------------------------------------
+
+TEST(RepartitionEntitiesTest, PreservesRowsAndCountsStaleIds) {
+  VersionedTable table(MakePartitioner(/*max_size=*/8));
+  ASSERT_TRUE(table.InsertBatch(MakeRows(0, 48)).ok());
+  const std::set<EntityId> before = ResidentEntities(table.snapshot().view());
+  ASSERT_EQ(before.size(), 48u);
+
+  // Move a slice spanning several partitions; include one id that does
+  // not exist (a stale plan entry) and one duplicate.
+  std::vector<EntityId> plan = {0, 1, 2, 5, 9, 13, 13, 999999};
+  VersionedTable::RepartitionResult result;
+  ASSERT_TRUE(table.RepartitionEntities(plan, &result).ok());
+  EXPECT_EQ(result.requested, 7u);  // Distinct ids (the duplicate collapses).
+  EXPECT_EQ(result.moved, 6u);      // Live ids actually drained.
+  EXPECT_EQ(result.missing, 1u);    // The stale id was skipped, not an error.
+
+  const std::set<EntityId> after = ResidentEntities(table.snapshot().view());
+  EXPECT_EQ(before, after);
+  ASSERT_TRUE(table.partitioner().VerifyIntegrity().ok());
+
+  // Every moved row kept its cells: spot-check one.
+  StatusOr<Row> row = table.Get(5);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->cells().size(), 3u);
+}
+
+TEST(RepartitionEntitiesTest, EmptyAndAllStalePlansAreNoOps) {
+  VersionedTable table(MakePartitioner());
+  ASSERT_TRUE(table.InsertBatch(MakeRows(0, 8)).ok());
+  const uint64_t generation = table.published_generation();
+
+  VersionedTable::RepartitionResult result;
+  ASSERT_TRUE(table.RepartitionEntities({}, &result).ok());
+  EXPECT_EQ(result.moved, 0u);
+  ASSERT_TRUE(table.RepartitionEntities({777777, 888888}, &result).ok());
+  EXPECT_EQ(result.moved, 0u);
+  EXPECT_EQ(result.missing, 2u);
+  EXPECT_EQ(ResidentEntities(table.snapshot().view()).size(), 8u);
+  // No mutation happened, so nothing was published.
+  EXPECT_EQ(table.published_generation(), generation);
+}
+
+// -- Reorganizer ticks -------------------------------------------------------
+
+/// Enough decayed table-wide traffic that merge-cold and evict-idle
+/// clear their no-signal gate (the queries touch nothing, so every
+/// partition stays cold).
+void PrimeTraffic(WorkloadTracker& tracker) {
+  for (int i = 0; i < 16; ++i) tracker.OnScan(Synopsis{99}, {});
+}
+
+/// Two disjoint 2-row clusters under a roomy MAXSIZE: the planner sees
+/// two cold under-filled partitions and plans one merge; reinsertion
+/// re-separates the disjoint clusters, so the same plan re-emerges on the
+/// next tick and must be suppressed by the cooldown.
+std::unique_ptr<VersionedTable> MakeColdTable() {
+  auto table = std::make_unique<VersionedTable>(MakePartitioner(/*max_size=*/16));
+  std::vector<Row> rows;
+  rows.push_back(MakeRow(0, {0, 1, 2}));
+  rows.push_back(MakeRow(1, {0, 1, 2}));
+  rows.push_back(MakeRow(2, {8, 9, 10}));
+  rows.push_back(MakeRow(3, {8, 9, 10}));
+  EXPECT_TRUE(table->InsertBatch(std::move(rows)).ok());
+  EXPECT_EQ(table->snapshot()->partition_count(), 2u);
+  return table;
+}
+
+TEST(ReorganizerTest, BudgetDefersPlansThatDoNotFit) {
+  auto table = MakeColdTable();
+  WorkloadTracker tracker;
+  PrimeTraffic(tracker);
+  ReorganizerOptions options;
+  options.move_budget = 3;  // The 4-row merge cannot fit.
+  Reorganizer reorganizer(table.get(), &tracker, options);
+
+  const Reorganizer::TickReport report = reorganizer.TickForTesting();
+  EXPECT_GE(report.plans, 1u);
+  EXPECT_EQ(report.applied, 0u);
+  EXPECT_EQ(report.rows_moved, 0u);
+  const TunerStats stats = reorganizer.stats();
+  EXPECT_EQ(stats.ticks, 1u);
+  EXPECT_GE(stats.plans_deferred_budget, 1u);
+  EXPECT_EQ(stats.rows_moved, 0u);
+}
+
+TEST(ReorganizerTest, AppliesPlansThenCoolsDown) {
+  auto table = MakeColdTable();
+  WorkloadTracker tracker;
+  PrimeTraffic(tracker);
+  ReorganizerOptions options;
+  options.decay = 1.0;  // Keep tracker state identical across ticks.
+  Reorganizer reorganizer(table.get(), &tracker, options);
+
+  const std::set<EntityId> before = ResidentEntities(table->snapshot().view());
+  const Reorganizer::TickReport first = reorganizer.TickForTesting();
+  EXPECT_GE(first.applied, 1u);
+  EXPECT_EQ(first.rows_moved, 4u);
+  // Rows survive the move bit-for-bit.
+  EXPECT_EQ(ResidentEntities(table->snapshot().view()), before);
+  ASSERT_TRUE(table->partitioner().VerifyIntegrity().ok());
+
+  // The disjoint clusters re-separated, so the planner proposes the same
+  // entity set again — the content-keyed cooldown must block it.
+  const Reorganizer::TickReport second = reorganizer.TickForTesting();
+  EXPECT_EQ(second.applied, 0u);
+  const TunerStats stats = reorganizer.stats();
+  EXPECT_EQ(stats.ticks, 2u);
+  EXPECT_GE(stats.merges_applied, 1u);
+  EXPECT_GE(stats.plans_skipped_cooldown, 1u);
+  EXPECT_EQ(stats.rows_moved, 4u);
+  EXPECT_GT(stats.last_generation, 0u);
+}
+
+TEST(ReorganizerTest, StartAndStopAreIdempotent) {
+  auto table = MakeColdTable();
+  WorkloadTracker tracker;
+  ReorganizerOptions options;
+  options.interval_ms = 5;
+  Reorganizer reorganizer(table.get(), &tracker, options);
+  EXPECT_FALSE(reorganizer.running());
+  reorganizer.Start();
+  reorganizer.Start();
+  EXPECT_TRUE(reorganizer.running());
+  reorganizer.Stop();
+  reorganizer.Stop();
+  EXPECT_FALSE(reorganizer.running());
+  ASSERT_TRUE(table->partitioner().VerifyIntegrity().ok());
+}
+
+}  // namespace
+}  // namespace cinderella

@@ -188,15 +188,24 @@ TEST(QueryWorkloadTest, SelectivityMatchesManualCount) {
   QueryWorkloadConfig config;
   config.top_attributes = 2;
   const auto workload = GenerateQueryWorkload(rows, 2, config);
-  // Find the single-attribute query over attr 0.
-  bool found = false;
+  // Single-attribute query over attr 0: 3 of 10 rows carry it.
+  bool found_single = false;
+  // Pair query {0, 1}: per-attribute matching, (3 + 10) / (10 * 2).
+  // The old first-match-wins count reported 1.0 here (every row carries
+  // attr 1), hiding that attr 0 is rare.
+  bool found_pair = false;
   for (const auto& q : workload) {
     if (q.query.attributes() == Synopsis{0}) {
       EXPECT_DOUBLE_EQ(q.selectivity, 0.3);
-      found = true;
+      found_single = true;
+    }
+    if (q.query.attributes() == (Synopsis{0, 1})) {
+      EXPECT_DOUBLE_EQ(q.selectivity, 0.65);
+      found_pair = true;
     }
   }
-  EXPECT_TRUE(found);
+  EXPECT_TRUE(found_single);
+  EXPECT_TRUE(found_pair);
 }
 
 // -- TPC-H -----------------------------------------------------------------------------

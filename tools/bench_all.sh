@@ -26,7 +26,7 @@ done
 JOBS="${JOBS:-$(nproc)}"
 
 BENCHES=(micro_rating micro_insert micro_update micro_readers micro_scan
-         micro_groupby)
+         micro_groupby micro_tuner)
 
 echo "== bench-all: build =="
 cmake -B build -S .
@@ -47,6 +47,8 @@ if [[ "$SMOKE" -eq 1 ]]; then
   export CINDERELLA_BENCH_SCAN_REPS=3
   export CINDERELLA_BENCH_IDENTITY_ENTITIES=2000
   export CINDERELLA_BENCH_GROUPBY_REPS=1
+  export CINDERELLA_BENCH_TICKS=6
+  export CINDERELLA_BENCH_REPS=2
   SCRATCH="$(mktemp -d)"
   trap 'rm -rf "$SCRATCH"' EXIT
   ROOT="$PWD"

@@ -7,7 +7,7 @@
 //                            [--dissolve 0.2] --snapshot table.snap
 //   cinderella_cli load      --in data.csv [--batch 1024] [--shards N]
 //                            [--weight 0.3] [--max-size 5000]
-//                            [--probe a,b,c] --snapshot t.snap
+//                            [--probe a,b,c] [--tune] --snapshot t.snap
 //   cinderella_cli stats     --snapshot table.snap
 //   cinderella_cli query     --snapshot table.snap --attrs name,weight
 //   cinderella_cli export    --snapshot table.snap --out data.csv
@@ -35,6 +35,8 @@
 #include "query/estimator.h"
 #include "query/executor.h"
 #include "query/parser.h"
+#include "tuner/reorganizer.h"
+#include "tuner/workload_tracker.h"
 #include "workload/dbpedia_generator.h"
 
 namespace cinderella {
@@ -70,6 +72,9 @@ int Usage() {
       "            [--max-size B] [--dissolve T] [--index]\n"
       "            [--probe a,b,c]   (serve lock-free snapshot queries\n"
       "            on these attributes while the load runs)\n"
+      "            [--tune]   (run the background reorganizer during the\n"
+      "            load; probe traffic feeds its workload tracker, knobs\n"
+      "            come from CINDERELLA_TUNER_* env vars)\n"
       "            [--ops COLUMN]   (mixed op stream: the named CSV\n"
       "            column selects insert/update/delete per record)\n"
       "            --snapshot FILE.snap   (bulk load via the batched\n"
@@ -176,11 +181,22 @@ int Load(const Args& args) {
   // *placements* are unaffected (every rating cardinality and tie-break
   // is attribute-id-permutation-invariant).
   const std::string probe = args.Get("probe");
+  // --tune: run the workload-driven background reorganizer during the
+  // load. The probe executors feed the tracker (set_observer), so the
+  // daemon sees real per-partition traffic; without --probe it still
+  // consolidates cold under-filled partitions. Knobs resolve from the
+  // CINDERELLA_TUNER_* environment (README "Tuner knobs").
+  const bool tune = args.flags.count("tune") > 0;
   std::unique_ptr<VersionedTable> versioned;
+  WorkloadTracker tracker;
+  std::unique_ptr<Reorganizer> reorganizer;
   std::thread probe_thread;
   std::atomic<bool> load_done{false};
   std::atomic<uint64_t> probe_queries{0};
   std::atomic<uint64_t> probe_matched{0};
+  if (!probe.empty() || tune) {
+    versioned = std::make_unique<VersionedTable>(cinderella, engine.get());
+  }
   if (!probe.empty()) {
     std::vector<std::string> names;
     std::stringstream ss(probe);
@@ -192,12 +208,12 @@ int Load(const Args& args) {
       table.dictionary().GetOrCreate(attr);
     }
     const Query probe_query = Query::FromNames(table.dictionary(), names);
-    versioned = std::make_unique<VersionedTable>(cinderella, engine.get());
-    probe_thread = std::thread([&, probe_query] {
+    probe_thread = std::thread([&, probe_query, tune] {
       while (!load_done.load(std::memory_order_acquire)) {
         {
           const VersionedTable::Snapshot snapshot = versioned->snapshot();
           QueryExecutor executor(snapshot.view());
+          if (tune) executor.set_observer(&tracker);
           probe_matched.store(
               executor.Execute(probe_query).metrics.rows_matched,
               std::memory_order_relaxed);
@@ -208,6 +224,11 @@ int Load(const Args& args) {
         std::this_thread::sleep_for(std::chrono::microseconds(500));
       }
     });
+  }
+  if (tune) {
+    reorganizer = std::make_unique<Reorganizer>(versioned.get(), &tracker,
+                                                ReorganizerOptions::FromEnv());
+    reorganizer->Start();
   }
 
   CsvOptions csv;
@@ -223,6 +244,7 @@ int Load(const Args& args) {
     load_done.store(true, std::memory_order_release);
     probe_thread.join();
   }
+  if (reorganizer != nullptr) reorganizer->Stop();
   if (!status.ok()) return Fail(status);
   const BatchInserter::Stats ingest = engine->stats();
   std::printf(
@@ -254,6 +276,28 @@ int Load(const Args& args) {
         static_cast<double>(probe_queries.load()) / load_seconds,
         static_cast<unsigned long long>(versioned->published_generation()),
         static_cast<unsigned long long>(probe_matched.load()));
+  }
+  if (reorganizer != nullptr) {
+    const TunerStats tuner = reorganizer->stats();
+    std::printf(
+        "tuner: %llu ticks, %llu plans considered, %llu applied "
+        "(%llu splits, %llu merges, %llu evictions)\n"
+        "tuner: %llu rows moved, %llu plans deferred by budget, "
+        "%llu cooldown skips\n"
+        "tuner: EFFICIENCY %.3f at generation %llu, tracking %zu "
+        "partitions / %.0f decayed queries\n",
+        static_cast<unsigned long long>(tuner.ticks),
+        static_cast<unsigned long long>(tuner.plans_considered),
+        static_cast<unsigned long long>(tuner.plans_applied),
+        static_cast<unsigned long long>(tuner.splits_applied),
+        static_cast<unsigned long long>(tuner.merges_applied),
+        static_cast<unsigned long long>(tuner.evictions_applied),
+        static_cast<unsigned long long>(tuner.rows_moved),
+        static_cast<unsigned long long>(tuner.plans_deferred_budget),
+        static_cast<unsigned long long>(tuner.plans_skipped_cooldown),
+        tuner.last_efficiency,
+        static_cast<unsigned long long>(tuner.last_generation),
+        tuner.tracked_partitions, tuner.tracked_queries);
   }
   status = SaveSnapshotToFile(*cinderella, table.dictionary(), snapshot);
   if (!status.ok()) return Fail(status);
@@ -372,6 +416,12 @@ std::string AggregateColumn(const AggregateItem& item,
       return group.value_count > 0 ? std::to_string(group.min) : "null";
     case AggregateFn::kMax:
       return group.value_count > 0 ? std::to_string(group.max) : "null";
+    case AggregateFn::kAvg: {
+      if (group.value_count == 0) return "null";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", group.avg());
+      return buf;
+    }
   }
   return "";
 }

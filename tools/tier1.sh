@@ -42,9 +42,9 @@ echo "== tier-1: bench smoke (tiny sizes, scratch dir) =="
 tools/bench_all.sh --smoke "$JOBS"
 
 echo "== tier-1: TSan build of the scan + ingest engine tests =="
-TSAN_TARGETS=(thread_pool_test parallel_scan_test aggregator_test ingest_test mutation_pipeline_test mvcc_test)
+TSAN_TARGETS=(thread_pool_test parallel_scan_test aggregator_test ingest_test mutation_pipeline_test mvcc_test tuner_test)
 if [[ "$FAST" -eq 0 ]]; then
-  TSAN_TARGETS+=(ingest_concurrency_test mvcc_stress_test)
+  TSAN_TARGETS+=(ingest_concurrency_test mvcc_stress_test tuner_stress_test)
 fi
 cmake -B build-tsan -S . -DCINDERELLA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
@@ -55,23 +55,31 @@ CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/aggregator
 CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/ingest_test
 CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/mutation_pipeline_test
 CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/mvcc_test
+CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/tuner_test
 if [[ "$FAST" -eq 0 ]]; then
   CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/ingest_concurrency_test
   CINDERELLA_STRESS_READERS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/mvcc_stress_test
+  # The reorganizer daemon planning + applying while snapshot readers and
+  # batch writers run: the tuner's whole concurrency contract under TSan.
+  CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/tuner_stress_test
 fi
 
 echo "== tier-1: ASan+leak build of the MVCC read engine tests =="
-ASAN_TARGETS=(arena_test mvcc_test)
+ASAN_TARGETS=(arena_test mvcc_test tuner_test)
 if [[ "$FAST" -eq 0 ]]; then
-  ASAN_TARGETS+=(mvcc_stress_test)
+  ASAN_TARGETS+=(mvcc_stress_test tuner_stress_test)
 fi
 cmake -B build-asan -S . -DCINDERELLA_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS" --target "${ASAN_TARGETS[@]}"
 ASAN_OPTIONS=detect_leaks=1 timeout "$CTEST_TIMEOUT" ./build-asan/tests/arena_test
 ASAN_OPTIONS=detect_leaks=1 timeout "$CTEST_TIMEOUT" ./build-asan/tests/mvcc_test
+# Drain+reinsert batches recycle every drained row through the arena
+# pools; leak detection proves the daemon frees what it retires.
+ASAN_OPTIONS=detect_leaks=1 timeout "$CTEST_TIMEOUT" ./build-asan/tests/tuner_test
 if [[ "$FAST" -eq 0 ]]; then
   ASAN_OPTIONS=detect_leaks=1 CINDERELLA_STRESS_READERS=4 \
     timeout "$CTEST_TIMEOUT" ./build-asan/tests/mvcc_stress_test
+  ASAN_OPTIONS=detect_leaks=1 timeout "$CTEST_TIMEOUT" ./build-asan/tests/tuner_stress_test
 fi
 
 echo "== tier-1: UBSan build of the aggregation + scan engine tests =="
