@@ -20,6 +20,10 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  /// A network/IO operation missed its deadline (net/socket.h timeouts).
+  kDeadlineExceeded,
+  /// A remote peer is unreachable or hung up (connection refused, EOF).
+  kUnavailable,
 };
 
 /// Returns a stable, human-readable name for a status code (e.g. "NotFound").
@@ -59,6 +63,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

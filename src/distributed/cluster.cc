@@ -89,6 +89,97 @@ void Cluster::Place(const PartitionCatalog& catalog) {
   });
 }
 
+Cluster::PlacementDelta Cluster::PlaceIncremental(
+    const PartitionCatalog& catalog) {
+  PlacementDelta delta;
+
+  // Forget assignments whose partition is gone.
+  std::unordered_map<PartitionId, const Partition*> live;
+  catalog.ForEachPartition(
+      [&](const Partition& partition) { live[partition.id()] = &partition; });
+  for (auto it = assignment_.begin(); it != assignment_.end();) {
+    if (live.find(it->first) == live.end()) {
+      it = assignment_.erase(it);
+      ++delta.removed;
+    } else {
+      ++it;
+    }
+  }
+  delta.kept = assignment_.size();
+
+  // Loads and node synopses implied by the pinned assignments.
+  std::vector<uint64_t> load(num_nodes_, 0);
+  std::vector<Synopsis> node_synopsis(num_nodes_);
+  uint64_t total_entities = 0;
+  std::vector<const Partition*> fresh;
+  for (const auto& [id, partition] : live) {
+    total_entities += partition->entity_count();
+    auto it = assignment_.find(id);
+    if (it == assignment_.end()) {
+      fresh.push_back(partition);
+      continue;
+    }
+    load[it->second] += partition->entity_count();
+    node_synopsis[it->second].UnionWith(partition->attribute_synopsis());
+  }
+  // Deterministic placement order: largest first (the schema-aware greedy
+  // order), ties by id; round-robin/least-loaded just follow it too.
+  std::sort(fresh.begin(), fresh.end(),
+            [](const Partition* a, const Partition* b) {
+              if (a->entity_count() != b->entity_count()) {
+                return a->entity_count() > b->entity_count();
+              }
+              return a->id() < b->id();
+            });
+
+  const double cap = 1.25 * static_cast<double>(total_entities) /
+                     static_cast<double>(num_nodes_);
+  size_t next = assignment_.size();
+  for (const Partition* partition : fresh) {
+    NodeId best = 0;
+    switch (policy_) {
+      case PlacementPolicy::kRoundRobin:
+        best = static_cast<NodeId>(next++ % num_nodes_);
+        break;
+      case PlacementPolicy::kLeastLoaded:
+        best = static_cast<NodeId>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        break;
+      case PlacementPolicy::kSchemaAware: {
+        double best_score = -1.0;
+        for (size_t n = 0; n < num_nodes_; ++n) {
+          if (static_cast<double>(load[n] + partition->entity_count()) > cap &&
+              load[n] > 0) {
+            continue;  // Soft cap (always allow an empty node).
+          }
+          const Synopsis& mine = partition->attribute_synopsis();
+          const size_t union_count = mine.UnionCount(node_synopsis[n]);
+          const double jaccard =
+              union_count == 0
+                  ? 1.0
+                  : static_cast<double>(mine.IntersectCount(node_synopsis[n])) /
+                        static_cast<double>(union_count);
+          const double score = jaccard - 1e-9 * static_cast<double>(load[n]);
+          if (score > best_score) {
+            best_score = score;
+            best = static_cast<NodeId>(n);
+          }
+        }
+        if (best_score < 0.0) {
+          best = static_cast<NodeId>(
+              std::min_element(load.begin(), load.end()) - load.begin());
+        }
+        break;
+      }
+    }
+    assignment_[partition->id()] = best;
+    load[best] += partition->entity_count();
+    node_synopsis[best].UnionWith(partition->attribute_synopsis());
+    ++delta.placed;
+  }
+  return delta;
+}
+
 StatusOr<NodeId> Cluster::NodeOf(PartitionId partition) const {
   auto it = assignment_.find(partition);
   if (it == assignment_.end()) {

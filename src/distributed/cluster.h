@@ -72,6 +72,21 @@ class Cluster {
   /// again after the catalog changes (re-places everything).
   void Place(const PartitionCatalog& catalog);
 
+  /// What one PlaceIncremental call changed.
+  struct PlacementDelta {
+    size_t placed = 0;   // New partitions assigned this call.
+    size_t removed = 0;  // Assignments dropped (partition no longer live).
+    size_t kept = 0;     // Existing assignments left untouched.
+  };
+
+  /// Stable re-placement after the catalog changed: partitions already
+  /// assigned keep their node (no data movement in a real deployment),
+  /// assignments of dropped partitions are forgotten, and only partitions
+  /// new since the last placement are assigned — per the policy, against
+  /// the loads and (for kSchemaAware) node synopses implied by the kept
+  /// assignments. First call on an empty cluster behaves like Place.
+  PlacementDelta PlaceIncremental(const PartitionCatalog& catalog);
+
   /// Node owning a partition; NotFound before Place() or for unknown ids.
   StatusOr<NodeId> NodeOf(PartitionId partition) const;
 

@@ -153,6 +153,23 @@ RowView CatalogView::Find(EntityId entity) const {
   return RowView();
 }
 
+Synopsis CatalogView::UnionSynopsis() const {
+  Synopsis digest;
+  for (const PartitionVersion* version : partitions_) {
+    const SynopsisSpan span = version->attribute_synopsis();
+    digest.UnionWithWords(span.words, span.num_words);
+  }
+  return digest;
+}
+
+uint64_t CatalogView::byte_size() const {
+  uint64_t total = 0;
+  for (const PartitionVersion* version : partitions_) {
+    total += version->byte_size();
+  }
+  return total;
+}
+
 // -- ViewPool -----------------------------------------------------------------
 
 ViewPool::~ViewPool() {

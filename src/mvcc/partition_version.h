@@ -209,6 +209,17 @@ class CatalogView {
   /// view when the entity is absent.
   RowView Find(EntityId entity) const;
 
+  /// Union of every partition's attribute synopsis: the attributes any
+  /// resident of this generation instantiates. This is the per-node
+  /// pruning digest the networked coordinator caches — a query whose
+  /// synopsis misses the union cannot match anything this node hosts
+  /// (Definition 1 lifted from partitions to whole nodes).
+  Synopsis UnionSynopsis() const;
+
+  /// Total byte footprint of the generation's rows (sum of version
+  /// byte_size()), shipped in node-stats frames.
+  uint64_t byte_size() const;
+
  private:
   friend class VersionedTable;
   friend class ViewPool;

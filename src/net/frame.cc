@@ -1,0 +1,87 @@
+#include "net/frame.h"
+
+#include <algorithm>
+
+namespace cinderella {
+namespace net {
+
+uint32_t FrameChecksum(std::string_view data) {
+  uint32_t hash = 2166136261u;  // FNV offset basis.
+  for (const char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 16777619u;  // FNV prime.
+  }
+  return hash;
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  WirePod<uint32_t>(&out, kFrameMagic);
+  WirePod<uint8_t>(&out, kWireVersion);
+  WirePod<uint8_t>(&out, static_cast<uint8_t>(type));
+  WirePod<uint16_t>(&out, 0);  // Reserved.
+  WirePod<uint32_t>(&out, static_cast<uint32_t>(payload.size()));
+  WirePod<uint32_t>(&out, FrameChecksum(payload));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+StatusOr<bool> DecodeFrame(std::string_view buffer, Frame* frame,
+                           size_t* consumed) {
+  *consumed = 0;
+  if (buffer.size() < kFrameHeaderBytes) {
+    // A short buffer can still be rejected early: whatever is present of
+    // the magic must match, else no amount of further bytes helps.
+    const size_t check = std::min(buffer.size(), sizeof(uint32_t));
+    uint32_t magic = kFrameMagic;
+    if (std::memcmp(buffer.data(), &magic, check) != 0) {
+      return Status::InvalidArgument("bad frame magic");
+    }
+    return false;
+  }
+  WireReader reader(buffer);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t type = 0;
+  uint16_t reserved = 0;
+  uint32_t length = 0;
+  uint32_t checksum = 0;
+  reader.Read(&magic);
+  reader.Read(&version);
+  reader.Read(&type);
+  reader.Read(&reserved);
+  reader.Read(&length);
+  reader.Read(&checksum);
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " +
+                                   std::to_string(version));
+  }
+  if (type == 0 || type > kMaxFrameType) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(type));
+  }
+  if (reserved != 0) {
+    return Status::InvalidArgument("nonzero reserved frame bits");
+  }
+  if (length > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload length " +
+                                   std::to_string(length) + " exceeds cap");
+  }
+  if (reader.remaining() < length) return false;  // Incomplete payload.
+  frame->type = static_cast<FrameType>(type);
+  if (!reader.ReadBytes(&frame->payload, length)) {
+    return Status::Internal("frame payload read failed");  // Unreachable.
+  }
+  if (FrameChecksum(frame->payload) != checksum) {
+    return Status::InvalidArgument("frame checksum mismatch");
+  }
+  *consumed = kFrameHeaderBytes + length;
+  return true;
+}
+
+}  // namespace net
+}  // namespace cinderella

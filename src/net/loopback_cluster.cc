@@ -1,0 +1,97 @@
+#include "net/loopback_cluster.h"
+
+#include <utility>
+
+#include "common/env.h"
+#include "core/cinderella.h"
+
+namespace cinderella {
+namespace net {
+
+LoopbackClusterOptions LoopbackClusterOptions::FromEnv() {
+  LoopbackClusterOptions options;
+  options.port_base = static_cast<uint16_t>(
+      Int64FromEnv("CINDERELLA_NET_PORT_BASE", 0));
+  return options;
+}
+
+LoopbackCluster::LoopbackCluster(LoopbackClusterOptions options)
+    : options_(std::move(options)) {
+  if (options_.nodes == 0) options_.nodes = 1;
+}
+
+LoopbackCluster::~LoopbackCluster() {
+  for (auto& server : servers_) {
+    if (server != nullptr) server->Stop();
+  }
+}
+
+Status LoopbackCluster::Load(const std::vector<Row>& rows) {
+  if (coordinator_ != nullptr) {
+    return Status::FailedPrecondition("cluster already loaded");
+  }
+
+  // Stage the dataset through one partitioner so the placement policy
+  // sees the same partition synopses the simulation benchmarks do.
+  StatusOr<std::unique_ptr<Cinderella>> staging =
+      Cinderella::Create(options_.config);
+  CINDERELLA_RETURN_IF_ERROR(staging.status());
+  CINDERELLA_RETURN_IF_ERROR((*staging)->InsertBatch(rows));
+
+  placement_ = std::make_unique<Cluster>(options_.nodes, options_.policy);
+  placement_->Place((*staging)->catalog());
+
+  // Shard: every staged partition's rows go whole to its assigned node.
+  std::vector<std::vector<Row>> shards(options_.nodes);
+  Status shard_error = Status::OK();
+  (*staging)->catalog().ForEachPartition([&](const Partition& partition) {
+    if (!shard_error.ok()) return;
+    StatusOr<NodeId> node = placement_->NodeOf(partition.id());
+    if (!node.ok()) {
+      shard_error = node.status();
+      return;
+    }
+    std::vector<Row>& shard = shards[*node];
+    for (const Row& row : partition.segment().rows()) {
+      shard.push_back(row);
+    }
+  });
+  CINDERELLA_RETURN_IF_ERROR(shard_error);
+
+  // Boot each node: its own partitioner + MVCC facade + server.
+  std::vector<Endpoint> endpoints;
+  endpoints.reserve(options_.nodes);
+  for (size_t n = 0; n < options_.nodes; ++n) {
+    StatusOr<std::unique_ptr<Cinderella>> partitioner =
+        Cinderella::Create(options_.config);
+    CINDERELLA_RETURN_IF_ERROR(partitioner.status());
+    auto table = std::make_unique<VersionedTable>(std::move(*partitioner));
+    if (!shards[n].empty()) {
+      CINDERELLA_RETURN_IF_ERROR(table->InsertBatch(std::move(shards[n])));
+    }
+    NodeServerOptions server_options = options_.server;
+    if (options_.port_base != 0) {
+      server_options.port = static_cast<uint16_t>(options_.port_base + n);
+    }
+    auto server = std::make_unique<NodeServer>(table.get(), server_options);
+    CINDERELLA_RETURN_IF_ERROR(server->Start());
+    endpoints.push_back(Endpoint{"127.0.0.1", server->port()});
+    tables_.push_back(std::move(table));
+    servers_.push_back(std::move(server));
+  }
+
+  coordinator_ =
+      std::make_unique<Coordinator>(std::move(endpoints), options_.coordinator);
+  return coordinator_->RefreshDigests();
+}
+
+Status LoopbackCluster::StopNode(size_t node) {
+  if (node >= servers_.size()) {
+    return Status::InvalidArgument("node index out of range");
+  }
+  servers_[node]->Stop();
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace cinderella

@@ -1,0 +1,83 @@
+#ifndef CINDERELLA_NET_LOOPBACK_CLUSTER_H_
+#define CINDERELLA_NET_LOOPBACK_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "distributed/cluster.h"
+#include "mvcc/versioned_table.h"
+#include "net/coordinator.h"
+#include "net/node_server.h"
+
+namespace cinderella {
+namespace net {
+
+struct LoopbackClusterOptions {
+  /// Number of node servers (>= 1).
+  size_t nodes = 2;
+  /// Placement policy the partitions are sharded with.
+  PlacementPolicy policy = PlacementPolicy::kSchemaAware;
+  /// Partitioner config for the staging partitioner and every node table.
+  CinderellaConfig config;
+  NodeServerOptions server = NodeServerOptions::FromEnv();
+  CoordinatorOptions coordinator = CoordinatorOptions::FromEnv();
+  /// First port: node i listens on port_base + i; 0 lets every node pick
+  /// an ephemeral port. Resolved from CINDERELLA_NET_PORT_BASE by
+  /// FromEnv.
+  uint16_t port_base = 0;
+
+  static LoopbackClusterOptions FromEnv();
+};
+
+/// A real (if local) deployment of the paper's distributed scenario: N
+/// node servers on loopback TCP, each hosting one shard of the table
+/// behind its own VersionedTable, plus a wired Coordinator.
+///
+/// Load() stages the whole dataset through one Cinderella partitioner,
+/// places the resulting partitions onto nodes with the chosen policy
+/// (distributed/cluster.h — the same Place the simulation uses), ships
+/// each partition's rows to its node's table, starts the servers, and
+/// refreshes the coordinator's synopsis digests. Each node re-partitions
+/// its shard locally; results stay bit-identical to single-node execution
+/// because the gather merge orders by globally unique entity id, not by
+/// partition.
+class LoopbackCluster {
+ public:
+  explicit LoopbackCluster(
+      LoopbackClusterOptions options = LoopbackClusterOptions());
+
+  /// Stops every server.
+  ~LoopbackCluster();
+
+  LoopbackCluster(const LoopbackCluster&) = delete;
+  LoopbackCluster& operator=(const LoopbackCluster&) = delete;
+
+  /// Shards `rows` across the nodes, starts the servers, wires the
+  /// coordinator, refreshes digests. Call once.
+  Status Load(const std::vector<Row>& rows);
+
+  /// Stops one node's server (its port then refuses connections) — the
+  /// failure-injection hook for partial-result tests.
+  Status StopNode(size_t node);
+
+  Coordinator& coordinator() { return *coordinator_; }
+  VersionedTable& node_table(size_t node) { return *tables_[node]; }
+  NodeServer& node_server(size_t node) { return *servers_[node]; }
+  const Cluster& placement() const { return *placement_; }
+  size_t num_nodes() const { return options_.nodes; }
+
+ private:
+  LoopbackClusterOptions options_;
+  std::unique_ptr<Cluster> placement_;
+  std::vector<std::unique_ptr<VersionedTable>> tables_;
+  std::vector<std::unique_ptr<NodeServer>> servers_;
+  std::unique_ptr<Coordinator> coordinator_;
+};
+
+}  // namespace net
+}  // namespace cinderella
+
+#endif  // CINDERELLA_NET_LOOPBACK_CLUSTER_H_

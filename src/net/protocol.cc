@@ -1,0 +1,268 @@
+#include "net/protocol.h"
+
+namespace cinderella {
+namespace net {
+namespace {
+
+// Sanity caps mirroring the journal codec's: a corrupt count field must
+// fail fast instead of driving a giant allocation loop.
+constexpr uint32_t kMaxAttributes = 1u << 20;
+constexpr uint32_t kMaxRowsPerBatch = 1u << 20;
+constexpr uint32_t kMaxCellsPerRow = 1u << 24;
+constexpr uint32_t kMaxStringBytes = 1u << 28;
+constexpr uint32_t kMaxSynopsisWords = 1u << 20;
+constexpr uint32_t kMaxErrorBytes = 1u << 16;
+
+Status Corrupt(const char* what) {
+  return Status::InvalidArgument(std::string("corrupt ") + what + " payload");
+}
+
+}  // namespace
+
+void EncodeRowPayload(std::string* out, const Row& row) {
+  WirePod<uint64_t>(out, row.id());
+  WirePod<uint32_t>(out, static_cast<uint32_t>(row.attribute_count()));
+  for (const Row::Cell& cell : row.cells()) {
+    WirePod<uint32_t>(out, cell.attribute);
+    WirePod<uint8_t>(out, static_cast<uint8_t>(cell.value.type()));
+    switch (cell.value.type()) {
+      case ValueType::kInt64:
+        WirePod<int64_t>(out, cell.value.as_int64());
+        break;
+      case ValueType::kDouble:
+        WirePod<double>(out, cell.value.as_double());
+        break;
+      case ValueType::kString: {
+        const std::string& s = cell.value.as_string();
+        WirePod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+        out->append(s.data(), s.size());
+        break;
+      }
+    }
+  }
+}
+
+bool DecodeRowPayload(WireReader* reader, Row* row) {
+  uint64_t id = 0;
+  uint32_t cells = 0;
+  if (!reader->Read(&id) || !reader->Read(&cells)) return false;
+  if (cells > kMaxCellsPerRow) return false;
+  *row = Row(id);
+  for (uint32_t c = 0; c < cells; ++c) {
+    uint32_t attribute = 0;
+    uint8_t type = 0;
+    if (!reader->Read(&attribute) || !reader->Read(&type)) return false;
+    switch (static_cast<ValueType>(type)) {
+      case ValueType::kInt64: {
+        int64_t v = 0;
+        if (!reader->Read(&v)) return false;
+        row->Set(attribute, Value(v));
+        break;
+      }
+      case ValueType::kDouble: {
+        double v = 0;
+        if (!reader->Read(&v)) return false;
+        row->Set(attribute, Value(v));
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t size = 0;
+        if (!reader->Read(&size) || size > kMaxStringBytes) return false;
+        std::string s;
+        if (!reader->ReadBytes(&s, size)) return false;
+        row->Set(attribute, Value(std::move(s)));
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+// -- QueryRequest -------------------------------------------------------------
+
+std::string EncodeQueryRequest(const QueryRequestMsg& msg) {
+  std::string out;
+  WirePod<uint64_t>(&out, msg.request_id);
+  WirePod<uint32_t>(&out, static_cast<uint32_t>(msg.attributes.size()));
+  for (const AttributeId id : msg.attributes) WirePod<uint32_t>(&out, id);
+  return out;
+}
+
+Status DecodeQueryRequest(std::string_view payload, QueryRequestMsg* msg) {
+  WireReader reader(payload);
+  uint32_t count = 0;
+  if (!reader.Read(&msg->request_id) || !reader.Read(&count) ||
+      count > kMaxAttributes) {
+    return Corrupt("query request");
+  }
+  msg->attributes.clear();
+  msg->attributes.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    AttributeId id = 0;
+    if (!reader.Read(&id)) return Corrupt("query request");
+    msg->attributes.push_back(id);
+  }
+  if (!reader.done()) return Corrupt("query request");
+  return Status::OK();
+}
+
+// -- RowBatch -----------------------------------------------------------------
+
+std::string EncodeRowBatch(const RowBatchMsg& msg) {
+  std::string out;
+  WirePod<uint64_t>(&out, msg.request_id);
+  WirePod<uint32_t>(&out, msg.sequence);
+  WirePod<uint32_t>(&out, static_cast<uint32_t>(msg.rows.size()));
+  for (const Row& row : msg.rows) EncodeRowPayload(&out, row);
+  return out;
+}
+
+Status DecodeRowBatch(std::string_view payload, RowBatchMsg* msg) {
+  WireReader reader(payload);
+  uint32_t count = 0;
+  if (!reader.Read(&msg->request_id) || !reader.Read(&msg->sequence) ||
+      !reader.Read(&count) || count > kMaxRowsPerBatch) {
+    return Corrupt("row batch");
+  }
+  msg->rows.clear();
+  msg->rows.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Row row;
+    if (!DecodeRowPayload(&reader, &row)) return Corrupt("row batch");
+    msg->rows.push_back(std::move(row));
+  }
+  if (!reader.done()) return Corrupt("row batch");
+  return Status::OK();
+}
+
+// -- QueryDone ----------------------------------------------------------------
+
+std::string EncodeQueryDone(const QueryDoneMsg& msg) {
+  std::string out;
+  WirePod<uint64_t>(&out, msg.request_id);
+  WirePod<uint32_t>(&out, msg.batches);
+  WirePod<uint64_t>(&out, msg.partitions_total);
+  WirePod<uint64_t>(&out, msg.partitions_scanned);
+  WirePod<uint64_t>(&out, msg.partitions_pruned);
+  WirePod<uint64_t>(&out, msg.rows_scanned);
+  WirePod<uint64_t>(&out, msg.rows_matched);
+  WirePod<uint64_t>(&out, msg.cells_shipped);
+  return out;
+}
+
+Status DecodeQueryDone(std::string_view payload, QueryDoneMsg* msg) {
+  WireReader reader(payload);
+  if (!reader.Read(&msg->request_id) || !reader.Read(&msg->batches) ||
+      !reader.Read(&msg->partitions_total) ||
+      !reader.Read(&msg->partitions_scanned) ||
+      !reader.Read(&msg->partitions_pruned) ||
+      !reader.Read(&msg->rows_scanned) || !reader.Read(&msg->rows_matched) ||
+      !reader.Read(&msg->cells_shipped) || !reader.done()) {
+    return Corrupt("query done");
+  }
+  return Status::OK();
+}
+
+// -- SynopsisDigest -----------------------------------------------------------
+
+std::string EncodeSynopsisDigest(const SynopsisDigestMsg& msg) {
+  std::string out;
+  WirePod<uint64_t>(&out, msg.generation);
+  WirePod<uint64_t>(&out, msg.partitions);
+  WirePod<uint64_t>(&out, msg.entities);
+  WirePod<uint32_t>(&out, static_cast<uint32_t>(msg.union_words.size()));
+  for (const uint64_t word : msg.union_words) WirePod<uint64_t>(&out, word);
+  return out;
+}
+
+Status DecodeSynopsisDigest(std::string_view payload, SynopsisDigestMsg* msg) {
+  WireReader reader(payload);
+  uint32_t words = 0;
+  if (!reader.Read(&msg->generation) || !reader.Read(&msg->partitions) ||
+      !reader.Read(&msg->entities) || !reader.Read(&words) ||
+      words > kMaxSynopsisWords) {
+    return Corrupt("synopsis digest");
+  }
+  msg->union_words.clear();
+  msg->union_words.reserve(words);
+  for (uint32_t i = 0; i < words; ++i) {
+    uint64_t word = 0;
+    if (!reader.Read(&word)) return Corrupt("synopsis digest");
+    msg->union_words.push_back(word);
+  }
+  if (!reader.done()) return Corrupt("synopsis digest");
+  return Status::OK();
+}
+
+// -- NodeStats ----------------------------------------------------------------
+
+std::string EncodeNodeStats(const NodeStatsMsg& msg) {
+  std::string out;
+  WirePod<uint64_t>(&out, msg.generation);
+  WirePod<uint64_t>(&out, msg.partitions);
+  WirePod<uint64_t>(&out, msg.entities);
+  WirePod<uint64_t>(&out, msg.bytes);
+  WirePod<uint64_t>(&out, msg.queries_served);
+  WirePod<uint64_t>(&out, msg.rows_shipped);
+  return out;
+}
+
+Status DecodeNodeStats(std::string_view payload, NodeStatsMsg* msg) {
+  WireReader reader(payload);
+  if (!reader.Read(&msg->generation) || !reader.Read(&msg->partitions) ||
+      !reader.Read(&msg->entities) || !reader.Read(&msg->bytes) ||
+      !reader.Read(&msg->queries_served) || !reader.Read(&msg->rows_shipped) ||
+      !reader.done()) {
+    return Corrupt("node stats");
+  }
+  return Status::OK();
+}
+
+// -- Error --------------------------------------------------------------------
+
+std::string EncodeError(const Status& status) {
+  std::string out;
+  WirePod<uint8_t>(&out, static_cast<uint8_t>(status.code()));
+  const std::string& message = status.message();
+  const uint32_t size = message.size() > kMaxErrorBytes
+                            ? kMaxErrorBytes
+                            : static_cast<uint32_t>(message.size());
+  WirePod<uint32_t>(&out, size);
+  out.append(message.data(), size);
+  return out;
+}
+
+Status DecodeError(std::string_view payload, ErrorMsg* msg) {
+  WireReader reader(payload);
+  uint32_t size = 0;
+  if (!reader.Read(&msg->code) || !reader.Read(&size) ||
+      size > kMaxErrorBytes || !reader.ReadBytes(&msg->message, size) ||
+      !reader.done()) {
+    return Corrupt("error");
+  }
+  return Status::OK();
+}
+
+Status ErrorToStatus(const ErrorMsg& msg) {
+  const StatusCode code = static_cast<StatusCode>(msg.code);
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kInternal:
+    case StatusCode::kUnimplemented:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+      return Status(code, msg.message);
+  }
+  return Status::Internal("remote error with unknown code: " + msg.message);
+}
+
+}  // namespace net
+}  // namespace cinderella

@@ -1,0 +1,111 @@
+#ifndef CINDERELLA_NET_PROTOCOL_H_
+#define CINDERELLA_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "storage/row.h"
+#include "synopsis/synopsis.h"
+
+namespace cinderella {
+namespace net {
+
+/// Payload serializers for every frame type (net/frame.h). Encoding is
+/// little-endian host order (the snapshot format's convention); every
+/// decoder is bounds-checked through WireReader and returns
+/// InvalidArgument — never crashes or over-reads — on torn or corrupt
+/// payloads, which the frame fuzz tests exercise byte by byte.
+
+/// kQueryRequest: an attribute-set query (the paper's workload shape).
+/// Attribute ids are the coordinator's dictionary ids; nodes host rows
+/// that carry the same ids, so no name resolution happens server-side.
+struct QueryRequestMsg {
+  uint64_t request_id = 0;
+  std::vector<AttributeId> attributes;
+};
+
+/// kRowBatch: one slice of a query's matched rows, in the node's
+/// deterministic scan order. `sequence` numbers the batches of one
+/// response 0,1,2,... so a gather can detect a dropped batch.
+struct RowBatchMsg {
+  uint64_t request_id = 0;
+  uint32_t sequence = 0;
+  std::vector<Row> rows;
+};
+
+/// kQueryDone: terminates a query response with the node's measured scan
+/// counters and the number of row batches that preceded it.
+struct QueryDoneMsg {
+  uint64_t request_id = 0;
+  uint32_t batches = 0;
+  uint64_t partitions_total = 0;
+  uint64_t partitions_scanned = 0;
+  uint64_t partitions_pruned = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
+  uint64_t cells_shipped = 0;
+};
+
+/// kSynopsisResponse: the node's pruning digest — the union synopsis of
+/// every partition it hosts at `generation`, plus per-partition count.
+/// The coordinator caches this and skips contacting the node entirely
+/// when a query's synopsis misses the union (Definition 1 lifted to
+/// nodes).
+struct SynopsisDigestMsg {
+  uint64_t generation = 0;
+  uint64_t partitions = 0;
+  uint64_t entities = 0;
+  std::vector<uint64_t> union_words;
+};
+
+/// kStatsResponse: static load and service counters of one node, the
+/// per-node section of `cinderella_cli stats`.
+struct NodeStatsMsg {
+  uint64_t generation = 0;
+  uint64_t partitions = 0;
+  uint64_t entities = 0;
+  uint64_t bytes = 0;
+  uint64_t queries_served = 0;
+  uint64_t rows_shipped = 0;
+};
+
+/// kError: a Status shipped back to the client.
+struct ErrorMsg {
+  uint8_t code = 0;  // StatusCode cast.
+  std::string message;
+};
+
+std::string EncodeQueryRequest(const QueryRequestMsg& msg);
+Status DecodeQueryRequest(std::string_view payload, QueryRequestMsg* msg);
+
+std::string EncodeRowBatch(const RowBatchMsg& msg);
+Status DecodeRowBatch(std::string_view payload, RowBatchMsg* msg);
+
+std::string EncodeQueryDone(const QueryDoneMsg& msg);
+Status DecodeQueryDone(std::string_view payload, QueryDoneMsg* msg);
+
+std::string EncodeSynopsisDigest(const SynopsisDigestMsg& msg);
+Status DecodeSynopsisDigest(std::string_view payload, SynopsisDigestMsg* msg);
+
+std::string EncodeNodeStats(const NodeStatsMsg& msg);
+Status DecodeNodeStats(std::string_view payload, NodeStatsMsg* msg);
+
+std::string EncodeError(const Status& status);
+Status DecodeError(std::string_view payload, ErrorMsg* msg);
+
+/// Reconstructs the Status an ErrorMsg carries.
+Status ErrorToStatus(const ErrorMsg& msg);
+
+/// Row wire helpers shared by the batch codec (format identical in shape
+/// to the journal's row payload: u64 id, u32 cell count, then per cell
+/// u32 attribute, u8 type tag, payload).
+void EncodeRowPayload(std::string* out, const Row& row);
+bool DecodeRowPayload(WireReader* reader, Row* row);
+
+}  // namespace net
+}  // namespace cinderella
+
+#endif  // CINDERELLA_NET_PROTOCOL_H_

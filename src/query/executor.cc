@@ -176,6 +176,61 @@ QueryResult QueryExecutor::Execute(const Query& query) {
   return result;
 }
 
+QueryResult QueryExecutor::ExecuteGather(const Query& query,
+                                         std::vector<Row>* rows) {
+  QueryResult result;
+  rows->clear();
+  const std::vector<ScanSource> sources = SnapshotSources(catalog_, view_);
+  size_t table_entities = 0;
+
+  struct Out {
+    ScanMetrics metrics;
+    size_t entities = 0;
+    std::vector<Row> rows;
+  };
+  auto scan = [&](const ScanSource& source, Out* out) {
+    ++out->metrics.partitions_total;
+    out->entities += source.entities;
+    if (!source.synopsis.Intersects(query.attributes())) {
+      ++out->metrics.partitions_pruned;
+      return;
+    }
+    ++out->metrics.partitions_scanned;
+    out->metrics.rows_scanned += source.entities;
+    out->metrics.cells_read += source.cells;
+    out->metrics.bytes_read += source.bytes;
+    source.ForEachRow([&](const RowView& row) {
+      Row projected(row.id());
+      for (AttributeId attribute : query.projection()) {
+        const Value* value = row.Get(attribute);
+        if (value != nullptr) projected.Set(attribute, *value);
+      }
+      if (projected.attribute_count() > 0) {
+        ++out->metrics.rows_matched;
+        out->rows.push_back(std::move(projected));
+      }
+    });
+  };
+  ChunkedScan<Out>(pool(), morsel_, /*fixed_chunks=*/false, sources, scan,
+                   [&](Out out) {
+    MergeMetrics(out.metrics, &result.metrics);
+    table_entities += out.entities;
+    if (rows->empty()) {
+      *rows = std::move(out.rows);
+    } else {
+      rows->insert(rows->end(), std::make_move_iterator(out.rows.begin()),
+                   std::make_move_iterator(out.rows.end()));
+    }
+  });
+  for (const Row& row : *rows) result.cells_materialized += row.attribute_count();
+  result.selectivity =
+      table_entities > 0
+          ? static_cast<double>(result.metrics.rows_matched) /
+                static_cast<double>(table_entities)
+          : 0.0;
+  return result;
+}
+
 OwnedQueryResult QueryOwnedRows(const ConcurrentTable& table,
                                 const Predicate& predicate, int scan_threads) {
   OwnedQueryResult owned;

@@ -142,6 +142,15 @@ class QueryExecutor {
   /// materialization of the projected attributes.
   QueryResult ExecuteSelect(const SelectStatement& statement);
 
+  /// Gather form of Execute: same pruning, same deterministic scan order,
+  /// but every matched row is materialized as an owned Row holding
+  /// exactly the projected cells that are present, filling `*rows`
+  /// (cleared first) in partition-id-then-row order. This is the shippable result a
+  /// networked node serves to the scatter/gather coordinator (net/): the
+  /// rows survive the scan (and the snapshot pin) because they own their
+  /// cells.
+  QueryResult ExecuteGather(const Query& query, std::vector<Row>* rows);
+
   /// Like ExecutePredicate, invoking `fn(const RowView&)` for every match
   /// in partition-id-then-row order. Predicate evaluation may run on the
   /// scan pool; `fn` always runs on the calling thread, after the scan.

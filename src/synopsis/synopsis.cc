@@ -67,6 +67,22 @@ void Synopsis::UnionWith(const Synopsis& other) {
   count_ = total;
 }
 
+void Synopsis::UnionWithWords(const uint64_t* words, size_t num_words) {
+  // Ignore trailing zero words so the no-trailing-zero-words invariant
+  // survives arbitrary spans.
+  while (num_words > 0 && words[num_words - 1] == 0) --num_words;
+  if (num_words > words_.size()) words_.resize(num_words, 0);
+  size_t total = 0;
+  for (size_t i = 0; i < num_words; ++i) {
+    words_[i] |= words[i];
+    total += static_cast<size_t>(std::popcount(words_[i]));
+  }
+  for (size_t i = num_words; i < words_.size(); ++i) {
+    total += static_cast<size_t>(std::popcount(words_[i]));
+  }
+  count_ = total;
+}
+
 size_t Synopsis::IntersectCount(const Synopsis& other) const {
   const size_t n = std::min(words_.size(), other.words_.size());
   size_t total = 0;

@@ -93,6 +93,12 @@ class Synopsis {
   /// Adds every id of `other` to this synopsis (set union in place).
   void UnionWith(const Synopsis& other);
 
+  /// Unions raw bitset words (64 ids per word, little-endian) into this
+  /// synopsis. Lets consumers of packed word arrays — MVCC version spans
+  /// and the wire protocol's synopsis digests — build union synopses
+  /// without materializing intermediate Synopsis objects.
+  void UnionWithWords(const uint64_t* words, size_t num_words);
+
   /// |this ∧ other|
   size_t IntersectCount(const Synopsis& other) const;
 

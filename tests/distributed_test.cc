@@ -1,7 +1,9 @@
 // Tests for the distributed-cluster simulation: placement policies, node
 // loads, and scatter-gather query execution with pruning.
 
+#include <map>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -184,6 +186,77 @@ TEST(ClusterTest, EmptyCatalog) {
   const DistributedQueryResult result =
       cluster.Execute(Query(Synopsis{0}), catalog);
   EXPECT_EQ(result.nodes_contacted, 0u);
+}
+
+TEST(ClusterTest, PlaceIncrementalKeepsExistingAssignmentsPinned) {
+  auto c = MakeFamilies();
+  Cluster cluster(2, PlacementPolicy::kLeastLoaded);
+  cluster.Place(c->catalog());
+
+  // Remember every assignment, then grow the catalog.
+  std::map<PartitionId, NodeId> before;
+  for (PartitionId id : c->catalog().LivePartitionIds()) {
+    before[id] = *cluster.NodeOf(id);
+  }
+  for (EntityId id = 2000; id < 2015; ++id) {
+    ASSERT_TRUE(c->Insert(MakeRow(id, {70, 71})).ok());  // New family.
+  }
+
+  const Cluster::PlacementDelta delta = cluster.PlaceIncremental(c->catalog());
+  EXPECT_EQ(delta.kept, before.size());
+  EXPECT_GE(delta.placed, 1u);
+  EXPECT_EQ(delta.removed, 0u);
+
+  // Old partitions stay exactly where they were (no data movement);
+  // every new partition got a node.
+  for (PartitionId id : c->catalog().LivePartitionIds()) {
+    auto it = before.find(id);
+    if (it != before.end()) {
+      EXPECT_EQ(*cluster.NodeOf(id), it->second) << "partition " << id;
+    } else {
+      EXPECT_TRUE(cluster.NodeOf(id).ok()) << "partition " << id;
+    }
+  }
+}
+
+TEST(ClusterTest, PlaceIncrementalForgetsDroppedPartitions) {
+  auto c = MakeFamilies();
+  Cluster cluster(2, PlacementPolicy::kRoundRobin);
+  cluster.Place(c->catalog());
+  const auto ids = c->catalog().LivePartitionIds();
+
+  // Drain one whole family so its partition is dropped.
+  std::vector<EntityId> victims;
+  for (EntityId id = 0; id < 40; ++id) victims.push_back(id);
+  ASSERT_TRUE(c->DeleteBatch(victims).ok());
+  ASSERT_LT(c->catalog().partition_count(), ids.size());
+
+  const Cluster::PlacementDelta delta = cluster.PlaceIncremental(c->catalog());
+  EXPECT_GE(delta.removed, 1u);
+  EXPECT_EQ(delta.placed, 0u);
+  EXPECT_EQ(delta.kept, c->catalog().partition_count());
+  size_t unplaced = 0;
+  for (PartitionId id : ids) {
+    if (!cluster.NodeOf(id).ok()) ++unplaced;
+  }
+  EXPECT_EQ(unplaced, ids.size() - c->catalog().partition_count());
+}
+
+TEST(ClusterTest, PlaceIncrementalOnEmptyClusterMatchesPolicyShape) {
+  auto c = MakeFamilies();
+  Cluster cluster(2, PlacementPolicy::kSchemaAware);
+  const Cluster::PlacementDelta delta = cluster.PlaceIncremental(c->catalog());
+  EXPECT_EQ(delta.placed, c->catalog().partition_count());
+  EXPECT_EQ(delta.kept, 0u);
+  for (PartitionId id : c->catalog().LivePartitionIds()) {
+    EXPECT_TRUE(cluster.NodeOf(id).ok());
+  }
+  // Schema-aware incremental placement still respects the soft load cap:
+  // with four single-family partitions on two nodes, nothing lands all on
+  // one node.
+  const auto loads = cluster.node_loads(c->catalog());
+  EXPECT_GT(loads[0].entities, 0u);
+  EXPECT_GT(loads[1].entities, 0u);
 }
 
 }  // namespace

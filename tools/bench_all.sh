@@ -26,7 +26,7 @@ done
 JOBS="${JOBS:-$(nproc)}"
 
 BENCHES=(micro_rating micro_insert micro_update micro_readers micro_scan
-         micro_groupby micro_tuner)
+         micro_groupby micro_tuner micro_net)
 
 echo "== bench-all: build =="
 cmake -B build -S .
@@ -49,6 +49,7 @@ if [[ "$SMOKE" -eq 1 ]]; then
   export CINDERELLA_BENCH_GROUPBY_REPS=1
   export CINDERELLA_BENCH_TICKS=6
   export CINDERELLA_BENCH_REPS=2
+  export CINDERELLA_BENCH_NET_REPS=2
   SCRATCH="$(mktemp -d)"
   trap 'rm -rf "$SCRATCH"' EXIT
   ROOT="$PWD"

@@ -8,8 +8,10 @@
 //   cinderella_cli load      --in data.csv [--batch 1024] [--shards N]
 //                            [--weight 0.3] [--max-size 5000]
 //                            [--probe a,b,c] [--tune] --snapshot t.snap
-//   cinderella_cli stats     --snapshot table.snap
+//   cinderella_cli stats     --snapshot table.snap [--nodes N]
 //   cinderella_cli query     --snapshot table.snap --attrs name,weight
+//   cinderella_cli serve     --snapshot table.snap [--port P]
+//   cinderella_cli cluster   --snapshot table.snap --nodes N --attrs a,b
 //   cinderella_cli export    --snapshot table.snap --out data.csv
 
 #include <atomic>
@@ -31,6 +33,9 @@
 #include "ingest/batch_inserter.h"
 #include "io/csv.h"
 #include "mvcc/versioned_table.h"
+#include "net/coordinator.h"
+#include "net/loopback_cluster.h"
+#include "net/node_server.h"
 #include "query/aggregator.h"
 #include "query/estimator.h"
 #include "query/executor.h"
@@ -79,8 +84,18 @@ int Usage() {
       "            column selects insert/update/delete per record)\n"
       "            --snapshot FILE.snap   (bulk load via the batched\n"
       "            mutation pipeline; placements match `partition`)\n"
-      "  stats     --snapshot FILE.snap\n"
+      "  stats     --snapshot FILE.snap [--nodes N]   (with --nodes,\n"
+      "            also boot N loopback node servers and print the\n"
+      "            per-node stats the coordinator fetches over TCP)\n"
       "  query     --snapshot FILE.snap --attrs a,b,c\n"
+      "  serve     --snapshot FILE.snap [--port P] [--threads N]\n"
+      "            [--duration-ms T]   (host the table as one node\n"
+      "            server on loopback TCP; with T=0, serve until stdin\n"
+      "            closes; CINDERELLA_NET_* env vars supply defaults)\n"
+      "  cluster   --snapshot FILE.snap --nodes N --attrs a,b,c\n"
+      "            [--policy schema|rr|least] [--no-prune]\n"
+      "            (shard the table over N real node servers, run one\n"
+      "            scatter/gather query, print per-node outcomes)\n"
       "  sql       --snapshot FILE.snap --query \"SELECT a WHERE b > 5\"\n"
       "            GROUP BY form: --query \"SELECT type, COUNT(*),\n"
       "            SUM(price) GROUP BY type\" [--limit N]\n"
@@ -313,6 +328,46 @@ StatusOr<RestoredSnapshot> OpenSnapshot(const Args& args) {
   return LoadSnapshotFromFile(snapshot);
 }
 
+/// Copies every live row out of a catalog (to shard a restored table
+/// across loopback nodes).
+std::vector<Row> CollectRows(const PartitionCatalog& catalog) {
+  std::vector<Row> rows;
+  catalog.ForEachPartition([&](const Partition& partition) {
+    for (const Row& row : partition.segment().rows()) rows.push_back(row);
+  });
+  return rows;
+}
+
+PlacementPolicy ParsePolicy(const std::string& name) {
+  if (name == "rr" || name == "round-robin") {
+    return PlacementPolicy::kRoundRobin;
+  }
+  if (name == "least" || name == "least-loaded") {
+    return PlacementPolicy::kLeastLoaded;
+  }
+  return PlacementPolicy::kSchemaAware;
+}
+
+/// Prints one per-node stats table by round-tripping kStatsRequest frames
+/// through the coordinator — the same wire path a remote operator uses.
+int PrintNodeStats(net::Coordinator& coordinator) {
+  std::printf("per-node stats (over loopback TCP):\n");
+  std::printf("  %-5s %-6s %-10s %-10s %-10s %-12s %-8s\n", "node", "port",
+              "generation", "partitions", "entities", "bytes", "served");
+  for (size_t n = 0; n < coordinator.num_nodes(); ++n) {
+    StatusOr<net::NodeStatsMsg> stats = coordinator.FetchStats(n);
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("  %-5zu %-6u %-10llu %-10llu %-10llu %-12llu %-8llu\n", n,
+                coordinator.endpoints()[n].port,
+                static_cast<unsigned long long>(stats->generation),
+                static_cast<unsigned long long>(stats->partitions),
+                static_cast<unsigned long long>(stats->entities),
+                static_cast<unsigned long long>(stats->bytes),
+                static_cast<unsigned long long>(stats->queries_served));
+  }
+  return 0;
+}
+
 int Stats(const Args& args) {
   auto restored = OpenSnapshot(args);
   if (!restored.ok()) return Fail(restored.status());
@@ -354,7 +409,112 @@ int Stats(const Args& args) {
     std::printf("integrity: %s\n", integrity.ToString().c_str());
     if (!integrity.ok()) return 1;
   }
+
+  // --nodes N: shard the restored table over N real loopback node
+  // servers and print what each reports over the wire.
+  const int64_t nodes = args.GetInt("nodes", 0);
+  if (nodes > 0) {
+    net::LoopbackClusterOptions options = net::LoopbackClusterOptions::FromEnv();
+    options.nodes = static_cast<size_t>(nodes);
+    options.config = c.config();
+    net::LoopbackCluster cluster(std::move(options));
+    const Status status = cluster.Load(CollectRows(c.catalog()));
+    if (!status.ok()) return Fail(status);
+    return PrintNodeStats(cluster.coordinator());
+  }
   return 0;
+}
+
+int Serve(const Args& args) {
+  auto restored = OpenSnapshot(args);
+  if (!restored.ok()) return Fail(restored.status());
+  Cinderella& c = *restored->partitioner;
+  VersionedTable table(&c, nullptr);
+
+  net::NodeServerOptions options = net::NodeServerOptions::FromEnv();
+  options.port = static_cast<uint16_t>(args.GetInt("port", options.port));
+  const int64_t threads = args.GetInt("threads", 0);
+  if (threads > 0) options.threads = static_cast<int>(threads);
+  net::NodeServer server(&table, options);
+  Status status = server.Start();
+  if (!status.ok()) return Fail(status);
+
+  std::printf("serving %zu partitions on 127.0.0.1:%u\n",
+              c.catalog().partition_count(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  const int64_t duration_ms = args.GetInt("duration-ms", 0);
+  if (duration_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  } else {
+    // Serve until stdin closes (Ctrl-D, or the driving pipe ends).
+    while (std::getchar() != EOF) {
+    }
+  }
+  server.Stop();
+  const net::NodeServer::Stats stats = server.stats();
+  std::printf(
+      "served %llu queries (%llu rows shipped) over %llu connections, "
+      "%llu bad frames rejected\n",
+      static_cast<unsigned long long>(stats.queries_served),
+      static_cast<unsigned long long>(stats.rows_shipped),
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.frames_rejected));
+  return 0;
+}
+
+int ClusterCommand(const Args& args) {
+  auto restored = OpenSnapshot(args);
+  if (!restored.ok()) return Fail(restored.status());
+  const std::string attrs = args.Get("attrs");
+  if (attrs.empty()) return Usage();
+  std::vector<std::string> names;
+  std::stringstream ss(attrs);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (!name.empty()) names.push_back(name);
+  }
+  const Query query = Query::FromNames(*restored->dictionary, names);
+
+  Cinderella& c = *restored->partitioner;
+  net::LoopbackClusterOptions options = net::LoopbackClusterOptions::FromEnv();
+  options.nodes = static_cast<size_t>(args.GetInt("nodes", 2));
+  options.policy = ParsePolicy(args.Get("policy", "schema"));
+  options.config = c.config();
+  if (args.flags.count("no-prune") > 0) options.coordinator.prune = false;
+  net::LoopbackCluster cluster(std::move(options));
+  const Status status = cluster.Load(CollectRows(c.catalog()));
+  if (!status.ok()) return Fail(status);
+
+  const net::GatherResult result = cluster.coordinator().Execute(query);
+  std::printf(
+      "%s: %llu rows gathered in %.3f ms from %llu/%llu nodes "
+      "(%llu pruned by digest, %llu failed)\n",
+      result.complete ? "complete" : "PARTIAL",
+      static_cast<unsigned long long>(result.rows.size()), result.wall_ms,
+      static_cast<unsigned long long>(result.nodes_contacted),
+      static_cast<unsigned long long>(result.nodes_total),
+      static_cast<unsigned long long>(result.nodes_pruned),
+      static_cast<unsigned long long>(result.nodes_failed));
+  std::printf(
+      "scanned %llu/%llu partitions (%llu pruned node-side), "
+      "%llu cells shipped, slowest node %.3f ms\n",
+      static_cast<unsigned long long>(result.partitions_scanned),
+      static_cast<unsigned long long>(result.partitions_total),
+      static_cast<unsigned long long>(result.partitions_pruned),
+      static_cast<unsigned long long>(result.cells_shipped),
+      result.max_node_ms);
+  for (const net::NodeOutcome& outcome : result.nodes) {
+    std::printf("  node %zu: %s, %llu rows, %d attempt(s), %.3f ms%s%s\n",
+                outcome.node,
+                outcome.pruned ? "pruned" : (outcome.ok ? "ok" : "FAILED"),
+                static_cast<unsigned long long>(outcome.rows),
+                outcome.attempts, outcome.wall_ms,
+                outcome.error.empty() ? "" : " — ",
+                outcome.error.c_str());
+  }
+  return PrintNodeStats(cluster.coordinator());
 }
 
 int QueryCommand(const Args& args) {
@@ -540,6 +700,8 @@ int Main(int argc, char** argv) {
   if (args.command == "load") return Load(args);
   if (args.command == "stats") return Stats(args);
   if (args.command == "query") return QueryCommand(args);
+  if (args.command == "serve") return Serve(args);
+  if (args.command == "cluster") return ClusterCommand(args);
   if (args.command == "sql") return Sql(args);
   if (args.command == "explain") return Explain(args);
   if (args.command == "export") return Export(args);

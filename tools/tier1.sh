@@ -3,7 +3,9 @@
 # of every trajectory bench (tiny sizes — catches bitrot in the BENCH_*
 # emitters without paying for real numbers), then a
 # thread-sanitized side build of the scan engine (thread pool, parallel
-# rating scan, parallel query executor) and the MVCC read engine to catch
+# rating scan, parallel query executor), the MVCC read engine, and the
+# networked node-server path (loopback TCP clients vs the acceptor/worker
+# pool while snapshots republish) to catch
 # data races the regular build cannot, then an address-sanitized build of
 # the MVCC + arena tests with leak detection on — epoch-based deferred
 # reclamation must free every retired version exactly once, and pooled
@@ -42,9 +44,9 @@ echo "== tier-1: bench smoke (tiny sizes, scratch dir) =="
 tools/bench_all.sh --smoke "$JOBS"
 
 echo "== tier-1: TSan build of the scan + ingest engine tests =="
-TSAN_TARGETS=(thread_pool_test parallel_scan_test aggregator_test ingest_test mutation_pipeline_test mvcc_test tuner_test)
+TSAN_TARGETS=(thread_pool_test parallel_scan_test aggregator_test ingest_test mutation_pipeline_test mvcc_test tuner_test net_cluster_test)
 if [[ "$FAST" -eq 0 ]]; then
-  TSAN_TARGETS+=(ingest_concurrency_test mvcc_stress_test tuner_stress_test)
+  TSAN_TARGETS+=(ingest_concurrency_test mvcc_stress_test tuner_stress_test net_stress_test)
 fi
 cmake -B build-tsan -S . -DCINDERELLA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
@@ -56,12 +58,18 @@ CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/ingest_te
 CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/mutation_pipeline_test
 CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/mvcc_test
 CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/tuner_test
+# Coordinator/server round trips over loopback TCP under TSan: the
+# acceptor, worker pool, and per-query snapshot pinning race-free.
+CINDERELLA_NET_SERVER_THREADS=3 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/net_cluster_test
 if [[ "$FAST" -eq 0 ]]; then
   CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/ingest_concurrency_test
   CINDERELLA_STRESS_READERS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/mvcc_stress_test
   # The reorganizer daemon planning + applying while snapshot readers and
   # batch writers run: the tuner's whole concurrency contract under TSan.
   CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/tuner_stress_test
+  # Concurrent clients vs one NodeServer while a writer republishes MVCC
+  # snapshots: the whole server path under TSan.
+  CINDERELLA_NET_SERVER_THREADS=3 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/net_stress_test
 fi
 
 echo "== tier-1: ASan+leak build of the MVCC read engine tests =="
