@@ -19,6 +19,7 @@
 #include "core/synopsis_index.h"
 #include "storage/row.h"
 #include "synopsis/synopsis.h"
+#include "synopsis/synopsis_tree.h"
 
 namespace cinderella {
 
@@ -116,6 +117,20 @@ class Cinderella : public Partitioner {
 
   const CinderellaConfig& config() const { return config_; }
   const CinderellaStats& stats() const { return stats_; }
+
+  /// True when the insert-time rating may restrict its scan to the
+  /// synopsis tree's candidate set. At w == 1 every partition rates >= 0,
+  /// so the overlap-only descent would diverge from the full scan (the
+  /// same gate as the inverted index); the tree itself is still
+  /// maintained whenever use_synopsis_tree is set.
+  bool tree_enabled() const {
+    return config_.use_synopsis_tree && config_.weight < 1.0;
+  }
+
+  /// The catalog's synopsis tree (leaves keyed by partition id over the
+  /// rating synopses). Meaningful only with use_synopsis_tree; exposed
+  /// for stats reporting and the benches.
+  const SynopsisTree& synopsis_tree() const { return tree_; }
 
   /// Rating synopsis of a row under the active mode (attribute set, or
   /// relevant-query set in workload-based mode).
@@ -341,9 +356,13 @@ class Cinderella : public Partitioner {
   std::unique_ptr<WorkloadSynopsisBuilder> workload_;
   SynopsisExtractor extractor_;
   SynopsisIndex index_;
+  // Synopsis tree over the live partitions' rating synopses (leaf key =
+  // partition id); maintained by the row-movement helpers whenever
+  // use_synopsis_tree is set.
+  SynopsisTree tree_;
   // Live partitions whose rating synopsis is empty (entities without
-  // attributes); they have no postings but must stay rateable when the
-  // index is on.
+  // attributes); they have no postings / tree candidates but must stay
+  // rateable when the index or tree restricts the scan.
   std::unordered_set<PartitionId> empty_synopsis_partitions_;
   CinderellaStats stats_;
   Rng rng_;

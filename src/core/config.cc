@@ -26,6 +26,10 @@ Status CinderellaConfig::Validate() const {
     return Status::InvalidArgument(
         "scan_chunk must be >= 0 (0 resolves from the environment)");
   }
+  if (tree_fanout < 0) {
+    return Status::InvalidArgument(
+        "tree_fanout must be >= 0 (0 resolves from the environment)");
+  }
   return Status::OK();
 }
 

@@ -60,6 +60,22 @@ struct CinderellaConfig {
   /// with specialized data structures".
   bool use_synopsis_index = false;
 
+  /// Maintains a fixed-fanout synopsis tree over the partition catalog
+  /// (internal nodes hold the word-wise OR of their leaves) so the
+  /// insert-time rating and query-time pruning descend only subtrees
+  /// whose union can still match — O(log n) instead of the flat
+  /// O(#partitions) scan. Exact like the inverted index (a
+  /// non-overlapping partition never rates >= 0 while weight < 1), so
+  /// placements and query results are bit-identical to the flat path.
+  /// On by default; the tree takes precedence over use_synopsis_index
+  /// when both are enabled.
+  bool use_synopsis_tree = true;
+
+  /// Fanout of the synopsis tree's internal nodes. 0 = resolve from the
+  /// CINDERELLA_TREE_FANOUT environment variable (default 16, clamped to
+  /// [2, 256]).
+  int tree_fanout = 0;
+
   /// Seed for StarterPolicy::kRandom.
   uint64_t starter_seed = 42;
 

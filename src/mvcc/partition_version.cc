@@ -154,6 +154,12 @@ RowView CatalogView::Find(EntityId entity) const {
 }
 
 Synopsis CatalogView::UnionSynopsis() const {
+  // The tree root already holds the OR over every partition; the digest
+  // falls out of the incremental maintenance for free.
+  if (tree_.valid()) {
+    const Synopsis* root = tree_.root_union();
+    return root != nullptr ? *root : Synopsis();
+  }
   Synopsis digest;
   for (const PartitionVersion* version : partitions_) {
     const SynopsisSpan span = version->attribute_synopsis();
@@ -194,6 +200,7 @@ void ViewPool::Return(CatalogView* view) {
   view->partitions_.clear();  // Keeps capacity for the next generation.
   view->generation_ = 0;
   view->entity_count_ = 0;
+  view->tree_ = SynopsisTreeSnapshot();  // Drop the tree-root reference.
   std::lock_guard<std::mutex> lock(mu_);
   free_.push_back(view);
   ++recycled_;

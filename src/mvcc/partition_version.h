@@ -9,6 +9,7 @@
 #include "core/partition.h"
 #include "storage/row.h"
 #include "synopsis/synopsis.h"
+#include "synopsis/synopsis_tree.h"
 
 namespace cinderella {
 
@@ -213,8 +214,17 @@ class CatalogView {
   /// resident of this generation instantiates. This is the per-node
   /// pruning digest the networked coordinator caches — a query whose
   /// synopsis misses the union cannot match anything this node hosts
-  /// (Definition 1 lifted from partitions to whole nodes).
+  /// (Definition 1 lifted from partitions to whole nodes). When the
+  /// publisher attached a synopsis tree, this is the tree root's union
+  /// (already maintained — no per-partition OR pass).
   Synopsis UnionSynopsis() const;
+
+  /// Immutable synopsis tree over this generation's attribute synopses
+  /// (leaf key = partition id), frozen at publication. Invalid (valid()
+  /// == false) when the table runs without use_synopsis_tree. Readers
+  /// descend it lock-free to skip whole subtrees whose union cannot
+  /// intersect a query.
+  const SynopsisTreeSnapshot& tree() const { return tree_; }
 
   /// Total byte footprint of the generation's rows (sum of version
   /// byte_size()), shipped in node-stats frames.
@@ -227,6 +237,7 @@ class CatalogView {
   std::vector<const PartitionVersion*> partitions_;
   uint64_t generation_ = 0;
   size_t entity_count_ = 0;
+  SynopsisTreeSnapshot tree_;
   /// Recycle target on reclamation; nullptr when plain-new'ed. The
   /// pointer doubles as the free-list link owner — see
   /// VersionedTable::ReclaimView.

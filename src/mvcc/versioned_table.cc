@@ -31,6 +31,13 @@ VersionedTable::VersionedTable(Cinderella* table, BatchInserter* engine)
 
 void VersionedTable::Hook() {
   cinderella_->AddMutationListener(&pending_);
+  if (cinderella_->config().use_synopsis_tree) {
+    // Unlike the insert-rating tree this one indexes *attribute* synopses
+    // (what queries probe), so it is useful at any rating weight — no
+    // weight < 1 gate.
+    query_tree_ = std::make_unique<SynopsisTree>(
+        static_cast<size_t>(cinderella_->config().tree_fanout));
+  }
   if (engine_ != nullptr) {
     engine_->set_commit_hook([this](const BatchInserter::WindowCommit& commit) {
       std::lock_guard<std::mutex> lock(publish_mu_);
@@ -114,6 +121,21 @@ VersionedTable::MemoryStats VersionedTable::memory_stats() const {
   stats.arenas = arena_pool_.stats();
   stats.version_shells = version_pool_.stats();
   stats.views = view_pool_.stats();
+  if (query_tree_ != nullptr) {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    const SynopsisTree::Stats& tree = query_tree_->stats();
+    stats.tree.enabled = true;
+    stats.tree.depth = query_tree_->depth();
+    stats.tree.fanout = query_tree_->fanout();
+    stats.tree.internal_nodes = query_tree_->internal_node_count();
+    stats.tree.live_leaves = query_tree_->live_count();
+    stats.tree.upserts = tree.upserts;
+    stats.tree.removes = tree.removes;
+    stats.tree.fast_merges = tree.fast_merges;
+    stats.tree.node_reors = tree.node_reors;
+    stats.tree.nodes_copied = tree.nodes_copied;
+    stats.tree.collapses = tree.collapses;
+  }
   return stats;
 }
 
@@ -326,6 +348,19 @@ void VersionedTable::PublishLocked(size_t delta_hint) {
   for (PartitionId id : delta.touched) consider(id);
   for (PartitionId id : delta.created) consider(id);
 
+  // Incremental tree maintenance: the delta's drops and fresh versions
+  // are exactly the leaves that changed. Must run while `fresh` is still
+  // intact (the splice loop below erases from it). Remove is a no-op for
+  // ids never published (created-then-dropped), so the dropped set can be
+  // applied wholesale.
+  if (query_tree_ != nullptr) {
+    for (PartitionId id : dropped) query_tree_->Remove(id);
+    for (const auto& [id, version] : fresh) {
+      const SynopsisSpan span = version->attribute_synopsis();
+      query_tree_->UpsertWords(id, span.words, span.num_words);
+    }
+  }
+
   const CatalogView* old_view = current_.load(std::memory_order_seq_cst);
   CatalogView* view = view_pool_.Acquire();
   superseded_scratch_.clear();
@@ -364,6 +399,7 @@ void VersionedTable::PublishLocked(size_t delta_hint) {
     entities += version->entity_count();
   }
   view->entity_count_ = entities;
+  if (query_tree_ != nullptr) view->tree_ = query_tree_->Share();
 
   InstallLocked(view, superseded);
   // Drop the publisher's arena reference; the versions built above hold
@@ -381,13 +417,20 @@ void VersionedTable::RebuildViewLocked() {
   const PartitionCatalog& catalog = cinderella_->catalog();
   view->partitions_.reserve(catalog.partition_count());
   Arena* arena = nullptr;
+  if (query_tree_ != nullptr) query_tree_->Clear();
   catalog.ForEachPartition([&](const Partition& partition) {
     // Same invariant as PublishLocked: views never carry empty versions.
     if (partition.entity_count() == 0) return;
     if (arena == nullptr) arena = arena_pool_.Acquire();
-    view->partitions_.push_back(MakeVersionLocked(partition, arena));
+    const PartitionVersion* version = MakeVersionLocked(partition, arena);
+    view->partitions_.push_back(version);
+    if (query_tree_ != nullptr) {
+      const SynopsisSpan span = version->attribute_synopsis();
+      query_tree_->UpsertWords(partition.id(), span.words, span.num_words);
+    }
   });
   view->entity_count_ = catalog.entity_count();
+  if (query_tree_ != nullptr) view->tree_ = query_tree_->Share();
 
   const CatalogView* old_view = current_.load(std::memory_order_seq_cst);
   std::vector<const PartitionVersion*> superseded;

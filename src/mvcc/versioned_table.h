@@ -216,6 +216,22 @@ class VersionedTable {
     ArenaPool::Stats arenas;
     ShellPool::Stats version_shells;
     ViewPool::Stats views;
+    /// Publisher-side synopsis tree (the one frozen into each view);
+    /// counters are cumulative since construction.
+    struct TreeStats {
+      bool enabled = false;
+      size_t depth = 0;
+      size_t fanout = 0;
+      size_t internal_nodes = 0;
+      uint64_t live_leaves = 0;
+      uint64_t upserts = 0;
+      uint64_t removes = 0;
+      uint64_t fast_merges = 0;
+      uint64_t node_reors = 0;
+      uint64_t nodes_copied = 0;
+      uint64_t collapses = 0;
+    };
+    TreeStats tree;
   };
   MemoryStats memory_stats() const;
 
@@ -270,12 +286,19 @@ class VersionedTable {
   std::mutex write_mu_;
   /// Serializes view publication (facade writes and the engine's window
   /// commit hook reach PublishLocked under different outer locks).
-  std::mutex publish_mu_;
+  /// Mutable so memory_stats() can read the publisher tree.
+  mutable std::mutex publish_mu_;
   /// Mutation delta since the last publication; registered as the
   /// partitioner's version capture, drained by PublishLocked.
   CatalogMutations pending_;
   std::atomic<const CatalogView*> current_{nullptr};
   uint64_t view_generation_ = 0;  // Guarded by publish_mu_.
+  /// Read-side synopsis tree over attribute synopses (leaf key =
+  /// partition id), maintained incrementally per publication and frozen
+  /// into every view via Share() — snapshot readers descend it lock-free
+  /// to prune scans. Null when the partitioner runs without
+  /// use_synopsis_tree. Guarded by publish_mu_.
+  std::unique_ptr<SynopsisTree> query_tree_;
 
   // Publication scratch, guarded by publish_mu_. Reused so steady-state
   // publication allocates nothing: the delta ping-pongs its vector

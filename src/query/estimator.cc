@@ -57,10 +57,32 @@ GroupCardinalityEstimate GroupCardinalityImpl(const Catalog& catalog,
   return estimate;
 }
 
+/// Catalog adapter that walks only the partitions the view's synopsis
+/// tree keeps as candidates for `probe` — non-candidates cannot
+/// intersect the probe (union soundness), so every estimator loop that
+/// prunes on Intersects produces identical per-partition contributions;
+/// only the table-wide totals need patching by the caller.
+struct TreePrunedView {
+  const CatalogView& view;
+  const Synopsis& probe;
+
+  template <typename Fn>
+  void ForEachPartition(Fn&& fn) const {
+    const std::vector<const PartitionVersion*>& parts = view.partitions();
+    const std::vector<uint64_t>& words = probe.words();
+    size_t i = 0;
+    view.tree().ForEachCandidate(
+        words.data(), words.size(), [&](uint64_t key) {
+          while (i < parts.size() && parts[i]->id() < key) ++i;
+          if (i < parts.size() && parts[i]->id() == key) fn(*parts[i++]);
+        });
+  }
+};
+
 template <typename Catalog>
 std::string ExplainImpl(const Catalog& catalog, const Query& query,
-                        size_t max_partitions) {
-  const SelectivityEstimate estimate = EstimateImpl(catalog, query);
+                        size_t max_partitions,
+                        const SelectivityEstimate& estimate) {
   char line[256];
   std::string out;
   std::snprintf(line, sizeof(line),
@@ -120,7 +142,16 @@ SelectivityEstimate EstimateSelectivity(const PartitionCatalog& catalog,
 
 SelectivityEstimate EstimateSelectivity(const CatalogView& view,
                                         const Query& query) {
-  return EstimateImpl(view, query);
+  if (!view.tree().valid()) return EstimateImpl(view, query);
+  SelectivityEstimate estimate =
+      EstimateImpl(TreePrunedView{view, query.attributes()}, query);
+  // Tree-skipped partitions would all have counted as pruned; their
+  // entities still belong in the table total.
+  estimate.partitions_pruned += view.partition_count() -
+                                (estimate.partitions_scanned +
+                                 estimate.partitions_pruned);
+  estimate.table_entities = view.entity_count();
+  return estimate;
 }
 
 GroupCardinalityEstimate EstimateGroupCardinality(
@@ -135,12 +166,21 @@ GroupCardinalityEstimate EstimateGroupCardinality(const CatalogView& view,
 
 std::string ExplainQuery(const PartitionCatalog& catalog, const Query& query,
                          size_t max_partitions) {
-  return ExplainImpl(catalog, query, max_partitions);
+  return ExplainImpl(catalog, query, max_partitions,
+                     EstimateImpl(catalog, query));
 }
 
 std::string ExplainQuery(const CatalogView& view, const Query& query,
                          size_t max_partitions) {
-  return ExplainImpl(view, query, max_partitions);
+  // The partition listing only prints intersecting partitions, so the
+  // tree-pruned walk renders the same text; the header totals come from
+  // the (already patched) estimate.
+  const SelectivityEstimate estimate = EstimateSelectivity(view, query);
+  if (!view.tree().valid()) {
+    return ExplainImpl(view, query, max_partitions, estimate);
+  }
+  return ExplainImpl(TreePrunedView{view, query.attributes()}, query,
+                     max_partitions, estimate);
 }
 
 }  // namespace cinderella

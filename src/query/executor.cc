@@ -8,6 +8,74 @@
 #include "query/scan_source.h"
 
 namespace cinderella {
+namespace {
+
+/// Tree-pruned scan plan over a pinned view: builds sources for exactly
+/// the partitions whose subtree union intersects the probe (ascending
+/// id), recording the skipped ids when the caller collects touches.
+/// Union soundness makes the skip exact — a partition under a
+/// non-intersecting subtree cannot itself intersect the probe, so the
+/// flat path would have pruned it one-by-one. The caller bulk-counts the
+/// skipped partitions as pruned, keeping every counter bit-identical to
+/// the flat scan while the descent inspects only matching subtrees.
+/// Returns false (sources untouched) when no tree is attached.
+bool TryTreePrune(const CatalogView* view, const Synopsis& probe,
+                  std::vector<ScanSource>* sources,
+                  std::vector<PartitionId>* skipped) {
+  if (view == nullptr || !view->tree().valid()) return false;
+  const std::vector<const PartitionVersion*>& parts = view->partitions();
+  const std::vector<uint64_t>& words = probe.words();
+  size_t i = 0;
+  auto skip_until = [&](uint64_t key) {
+    while (i < parts.size() && parts[i]->id() < key) {
+      if (skipped != nullptr) skipped->push_back(parts[i]->id());
+      ++i;
+    }
+  };
+  view->tree().ForEachCandidate(
+      words.data(), words.size(), [&](uint64_t key) {
+        // Candidate keys ascend, so one forward pass aligns the
+        // (ascending) version array.
+        skip_until(key);
+        if (i < parts.size() && parts[i]->id() == key) {
+          const PartitionVersion& version = *parts[i++];
+          ScanSource source;
+          source.partition = version.id();
+          source.synopsis = version.attribute_synopsis();
+          source.packed_rows = version.packed_rows();
+          source.packed_cells = version.cell_data();
+          source.entities = version.entity_count();
+          source.cells = version.cell_count();
+          source.bytes = version.byte_size();
+          sources->push_back(source);
+        }
+      });
+  skip_until(UINT64_MAX);
+  return true;
+}
+
+/// Reinstates a pruned touch for every tree-skipped partition so the
+/// observer sees the same ascending, complete touch stream as a flat
+/// scan. Both inputs are id-ascending; classic two-list merge.
+void MergeSkippedTouches(const std::vector<PartitionId>& skipped,
+                         std::vector<PartitionTouch>* touches) {
+  if (skipped.empty()) return;
+  std::vector<PartitionTouch> merged;
+  merged.reserve(touches->size() + skipped.size());
+  size_t a = 0;
+  size_t b = 0;
+  while (a < touches->size() || b < skipped.size()) {
+    if (b == skipped.size() ||
+        (a < touches->size() && (*touches)[a].partition < skipped[b])) {
+      merged.push_back((*touches)[a++]);
+    } else {
+      merged.push_back({skipped[b++], false, 0, 0});
+    }
+  }
+  *touches = std::move(merged);
+}
+
+}  // namespace
 
 ThreadPool* QueryExecutor::pool() {
   if (degree_ <= 1) return nullptr;
@@ -20,9 +88,14 @@ QueryResult QueryExecutor::ScanMatchingRows(const Predicate& predicate) {
   match_buffer_.clear();
   Synopsis pruning;
   const bool prunable = predicate.PruningSynopsis(&pruning);
-  const std::vector<ScanSource> sources = SnapshotSources(catalog_, view_);
-  size_t table_entities = 0;
   const bool observe = observer_ != nullptr;
+  std::vector<ScanSource> sources;
+  std::vector<PartitionId> tree_skipped;
+  const bool tree_pruned =
+      prunable && TryTreePrune(view_, pruning, &sources,
+                               observe ? &tree_skipped : nullptr);
+  if (!tree_pruned) sources = SnapshotSources(catalog_, view_);
+  size_t table_entities = 0;
   std::vector<PartitionTouch> touches;
 
   struct Out {
@@ -67,7 +140,19 @@ QueryResult QueryExecutor::ScanMatchingRows(const Predicate& predicate) {
     }
     if (observe) MergeTouches(std::move(out.touches), &touches);
   });
-  if (observe) observer_->OnScan(pruning, touches);
+  if (observe) {
+    MergeSkippedTouches(tree_skipped, &touches);
+    observer_->OnScan(pruning, touches);
+  }
+  if (tree_pruned) {
+    // Every tree-skipped partition would have been pruned one-by-one by
+    // the flat scan; counters and selectivity denominator stay identical.
+    const uint64_t skipped_count =
+        static_cast<uint64_t>(view_->partition_count() - sources.size());
+    result.metrics.partitions_total += skipped_count;
+    result.metrics.partitions_pruned += skipped_count;
+    table_entities = view_->entity_count();
+  }
   result.selectivity =
       table_entities > 0
           ? static_cast<double>(result.metrics.rows_matched) /
@@ -109,9 +194,13 @@ QueryResult QueryExecutor::ExecuteSelect(const SelectStatement& statement) {
 QueryResult QueryExecutor::Execute(const Query& query) {
   QueryResult result;
   result_buffer_.clear();
-  const std::vector<ScanSource> sources = SnapshotSources(catalog_, view_);
-  size_t table_entities = 0;
   const bool observe = observer_ != nullptr;
+  std::vector<ScanSource> sources;
+  std::vector<PartitionId> tree_skipped;
+  const bool tree_pruned = TryTreePrune(
+      view_, query.attributes(), &sources, observe ? &tree_skipped : nullptr);
+  if (!tree_pruned) sources = SnapshotSources(catalog_, view_);
+  size_t table_entities = 0;
   std::vector<PartitionTouch> touches;
 
   struct Out {
@@ -165,7 +254,17 @@ QueryResult QueryExecutor::Execute(const Query& query) {
     }
     if (observe) MergeTouches(std::move(out.touches), &touches);
   });
-  if (observe) observer_->OnScan(query.attributes(), touches);
+  if (observe) {
+    MergeSkippedTouches(tree_skipped, &touches);
+    observer_->OnScan(query.attributes(), touches);
+  }
+  if (tree_pruned) {
+    const uint64_t skipped_count =
+        static_cast<uint64_t>(view_->partition_count() - sources.size());
+    result.metrics.partitions_total += skipped_count;
+    result.metrics.partitions_pruned += skipped_count;
+    table_entities = view_->entity_count();
+  }
 
   result.cells_materialized = result_buffer_.size();
   result.selectivity =
@@ -180,7 +279,10 @@ QueryResult QueryExecutor::ExecuteGather(const Query& query,
                                          std::vector<Row>* rows) {
   QueryResult result;
   rows->clear();
-  const std::vector<ScanSource> sources = SnapshotSources(catalog_, view_);
+  std::vector<ScanSource> sources;
+  const bool tree_pruned =
+      TryTreePrune(view_, query.attributes(), &sources, nullptr);
+  if (!tree_pruned) sources = SnapshotSources(catalog_, view_);
   size_t table_entities = 0;
 
   struct Out {
@@ -222,6 +324,13 @@ QueryResult QueryExecutor::ExecuteGather(const Query& query,
                    std::make_move_iterator(out.rows.end()));
     }
   });
+  if (tree_pruned) {
+    const uint64_t skipped_count =
+        static_cast<uint64_t>(view_->partition_count() - sources.size());
+    result.metrics.partitions_total += skipped_count;
+    result.metrics.partitions_pruned += skipped_count;
+    table_entities = view_->entity_count();
+  }
   for (const Row& row : *rows) result.cells_materialized += row.attribute_count();
   result.selectivity =
       table_entities > 0

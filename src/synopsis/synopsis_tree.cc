@@ -1,0 +1,339 @@
+#include "synopsis/synopsis_tree.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace cinderella {
+namespace {
+
+constexpr size_t kDefaultFanout = 16;
+constexpr size_t kMinFanout = 2;
+constexpr size_t kMaxFanout = 256;
+
+// fanout^exp without overflow surprises; callers only ask for exponents
+// below the current height, where the product is known to fit.
+uint64_t Pow(size_t fanout, size_t exp) {
+  uint64_t result = 1;
+  for (size_t i = 0; i < exp; ++i) result *= fanout;
+  return result;
+}
+
+}  // namespace
+
+size_t SynopsisTree::ResolveFanout(size_t fanout) {
+  if (fanout == 0) {
+    if (const char* env = std::getenv("CINDERELLA_TREE_FANOUT")) {
+      char* end = nullptr;
+      const long value = std::strtol(env, &end, 10);
+      if (end != env && value > 0) fanout = static_cast<size_t>(value);
+    }
+    if (fanout == 0) fanout = kDefaultFanout;
+  }
+  if (fanout < kMinFanout) fanout = kMinFanout;
+  if (fanout > kMaxFanout) fanout = kMaxFanout;
+  return fanout;
+}
+
+SynopsisTree::SynopsisTree(size_t fanout) : fanout_(ResolveFanout(fanout)) {}
+
+uint64_t SynopsisTree::Capacity() const {
+  uint64_t capacity = 1;
+  for (size_t h = 0; h < height_; ++h) {
+    if (capacity > UINT64_MAX / fanout_) return UINT64_MAX;
+    capacity *= fanout_;
+  }
+  return capacity;
+}
+
+void SynopsisTree::EnsureRootCovers(uint64_t key) {
+  if (root_ == nullptr) {
+    root_ = std::make_shared<SynopsisTreeNode>();
+    root_->children.resize(fanout_);
+    height_ = 1;
+  }
+  // Grow by wrapping the old root as child 0 of a fresh root: the old
+  // root keeps covering [0, fanout^height) and is never mutated here, so
+  // growth is snapshot-safe without a clone.
+  while (key >= Capacity()) {
+    if (root_->live == 0) {
+      // A freshly created (still empty) root covers any span by just
+      // raising the height — wrapping it would pin a zero-live child 0
+      // that no Remove ever collapses. Happens when the first key after
+      // an empty state is large (partition ids grow monotonically, so a
+      // reorganize drain restarts the tree at a high id).
+      ++height_;
+      continue;
+    }
+    NodePtr wrap = std::make_shared<SynopsisTreeNode>();
+    wrap->children.resize(fanout_);
+    wrap->set = root_->set;
+    wrap->live = root_->live;
+    wrap->children[0] = root_;
+    root_ = std::move(wrap);
+    ++height_;
+  }
+}
+
+SynopsisTree::NodePtr SynopsisTree::Exclusive(const NodePtr& node) {
+  // A node referenced only through the writer's exclusive parent chain
+  // (use_count == 1) cannot be reachable from any snapshot, so it may be
+  // mutated in place. Anything shared gets cloned; the clone shares the
+  // child pointers, which are themselves cloned on the way down if the
+  // descent continues through them.
+  if (node.use_count() == 1) return node;
+  ++stats_.nodes_copied;
+  return std::make_shared<SynopsisTreeNode>(*node);
+}
+
+void SynopsisTree::ReOr(SynopsisTreeNode* node) {
+  node->set.Clear();
+  for (const NodePtr& child : node->children) {
+    if (child) node->set.UnionWith(child->set);
+  }
+  ++stats_.node_reors;
+}
+
+void SynopsisTree::Upsert(uint64_t key, const Synopsis& synopsis) {
+  const std::vector<uint64_t>& words = synopsis.words();
+  UpsertWords(key, words.data(), words.size());
+}
+
+void SynopsisTree::UpsertWords(uint64_t key, const uint64_t* words,
+                               size_t num_words) {
+  while (num_words > 0 && words[num_words - 1] == 0) --num_words;
+  ++stats_.upserts;
+  EnsureRootCovers(key);
+
+  // Read-only pre-check: an identical replacement must not clone the COW
+  // spine (the common case under re-publication is "nothing changed").
+  {
+    const SynopsisTreeNode* node = root_.get();
+    uint64_t rel = key;
+    for (size_t h = height_; h >= 1 && node != nullptr; --h) {
+      const uint64_t span = Pow(fanout_, h - 1);
+      node = node->children[static_cast<size_t>(rel / span)].get();
+      rel %= span;
+    }
+    if (node != nullptr) {
+      const std::vector<uint64_t>& old = node->set.words();
+      if (old.size() == num_words) {
+        bool same = true;
+        for (size_t i = 0; i < num_words; ++i) {
+          if (old[i] != words[i]) {
+            same = false;
+            break;
+          }
+        }
+        if (same) return;
+      }
+    }
+  }
+
+  root_ = Exclusive(root_);
+  std::vector<SynopsisTreeNode*> path;
+  path.reserve(height_);
+  SynopsisTreeNode* node = root_.get();
+  uint64_t rel = key;
+  for (size_t h = height_; h >= 2; --h) {
+    path.push_back(node);
+    const uint64_t span = Pow(fanout_, h - 1);
+    NodePtr& slot = node->children[static_cast<size_t>(rel / span)];
+    rel %= span;
+    if (slot == nullptr) {
+      slot = std::make_shared<SynopsisTreeNode>();
+      slot->children.resize(fanout_);
+    } else {
+      slot = Exclusive(slot);
+    }
+    node = slot.get();
+  }
+  path.push_back(node);  // Height-1 parent of the leaf.
+
+  NodePtr& leaf_slot = node->children[static_cast<size_t>(rel)];
+  const bool created = (leaf_slot == nullptr);
+  bool superset = true;
+  if (created) {
+    leaf_slot = std::make_shared<SynopsisTreeNode>();
+  } else {
+    leaf_slot = Exclusive(leaf_slot);
+    const std::vector<uint64_t>& old = leaf_slot->set.words();
+    if (old.size() > num_words) {
+      superset = false;
+    } else {
+      for (size_t i = 0; i < old.size(); ++i) {
+        if ((old[i] & ~words[i]) != 0) {
+          superset = false;
+          break;
+        }
+      }
+    }
+  }
+  SynopsisTreeNode* leaf = leaf_slot.get();
+  leaf->set.Clear();
+  leaf->set.UnionWithWords(words, num_words);
+  leaf->live = 1;
+
+  if (created) {
+    for (SynopsisTreeNode* ancestor : path) {
+      ancestor->live += 1;
+      ancestor->set.UnionWithWords(words, num_words);
+    }
+    ++stats_.fast_merges;
+  } else if (superset) {
+    // The old leaf set is already OR-ed into every ancestor; OR-ing the
+    // (super)set on top yields the exact new union without a rebuild.
+    for (SynopsisTreeNode* ancestor : path) {
+      ancestor->set.UnionWithWords(words, num_words);
+    }
+    ++stats_.fast_merges;
+  } else {
+    // Shrinking replace: ancestors may carry bits no live leaf still has;
+    // rebuild each one from its children, bottom-up (dirty re-OR).
+    for (size_t i = path.size(); i-- > 0;) ReOr(path[i]);
+  }
+}
+
+void SynopsisTree::Remove(uint64_t key) {
+  if (root_ == nullptr || key >= Capacity()) return;
+  // Read-only presence check so removing an absent key never clones.
+  {
+    const SynopsisTreeNode* node = root_.get();
+    uint64_t rel = key;
+    for (size_t h = height_; h >= 1; --h) {
+      const uint64_t span = Pow(fanout_, h - 1);
+      node = node->children[static_cast<size_t>(rel / span)].get();
+      rel %= span;
+      if (node == nullptr) return;
+    }
+  }
+  ++stats_.removes;
+
+  root_ = Exclusive(root_);
+  // (node, index of the child the descent took) for every internal level.
+  std::vector<std::pair<SynopsisTreeNode*, size_t>> path;
+  path.reserve(height_);
+  SynopsisTreeNode* node = root_.get();
+  uint64_t rel = key;
+  for (size_t h = height_; h >= 2; --h) {
+    const uint64_t span = Pow(fanout_, h - 1);
+    const size_t index = static_cast<size_t>(rel / span);
+    rel %= span;
+    path.emplace_back(node, index);
+    NodePtr& slot = node->children[index];
+    slot = Exclusive(slot);
+    node = slot.get();
+  }
+  path.emplace_back(node, static_cast<size_t>(rel));
+  node->children[static_cast<size_t>(rel)] = nullptr;
+
+  // Bottom-up repair: a subtree left with zero live leaves is collapsed
+  // (its slot nulled) so no descent ever visits it — the guard for the
+  // split-cascade case where an eager empty-partition sweep empties a
+  // whole internal node. Survivors are re-OR-ed from their children.
+  for (size_t i = path.size(); i-- > 0;) {
+    SynopsisTreeNode* ancestor = path[i].first;
+    ancestor->live -= 1;
+    if (ancestor->live == 0) {
+      ++stats_.collapses;
+      if (i == 0) {
+        root_ = nullptr;
+        height_ = 0;
+      } else {
+        path[i - 1].first->children[path[i - 1].second] = nullptr;
+      }
+    } else {
+      ReOr(ancestor);
+    }
+  }
+}
+
+void SynopsisTree::Clear() {
+  root_ = nullptr;
+  height_ = 0;
+}
+
+SynopsisTreeSnapshot SynopsisTree::Share() {
+  return SynopsisTreeSnapshot(root_, fanout_, height_, live_count());
+}
+
+namespace {
+
+size_t CountInternal(const SynopsisTreeNode* node) {
+  if (node == nullptr || node->is_leaf()) return 0;
+  size_t count = 1;
+  for (const std::shared_ptr<SynopsisTreeNode>& child : node->children) {
+    count += CountInternal(child.get());
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t SynopsisTree::internal_node_count() const {
+  return CountInternal(root_.get());
+}
+
+bool SynopsisTree::CheckNode(const SynopsisTreeNode* node, size_t height,
+                             std::string* error) const {
+  if (height == 0) {
+    if (!node->is_leaf()) {
+      if (error) *error = "internal node at leaf height";
+      return false;
+    }
+    if (node->live != 1) {
+      if (error) *error = "leaf live != 1";
+      return false;
+    }
+    return true;
+  }
+  if (node->is_leaf()) {
+    if (error) *error = "leaf above height 0";
+    return false;
+  }
+  if (node->children.size() != fanout_) {
+    if (error) *error = "internal node child vector != fanout";
+    return false;
+  }
+  uint64_t live = 0;
+  Synopsis expected;
+  for (const NodePtr& child : node->children) {
+    if (child == nullptr) continue;
+    if (child->live == 0) {
+      if (error) *error = "zero-live child not collapsed";
+      return false;
+    }
+    if (!CheckNode(child.get(), height - 1, error)) return false;
+    live += child->live;
+    expected.UnionWith(child->set);
+  }
+  if (live == 0) {
+    if (error) *error = "zero-live internal node not collapsed";
+    return false;
+  }
+  if (live != node->live) {
+    if (error) *error = "live count mismatch";
+    return false;
+  }
+  if (expected != node->set) {
+    if (error) *error = "internal set is not the OR of its children";
+    return false;
+  }
+  return true;
+}
+
+bool SynopsisTree::CheckInvariants(std::string* error) const {
+  if (root_ == nullptr) {
+    if (height_ != 0) {
+      if (error) *error = "empty tree with nonzero height";
+      return false;
+    }
+    return true;
+  }
+  if (height_ == 0) {
+    if (error) *error = "non-empty tree with zero height";
+    return false;
+  }
+  return CheckNode(root_.get(), height_, error);
+}
+
+}  // namespace cinderella

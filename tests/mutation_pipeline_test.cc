@@ -110,7 +110,7 @@ TEST_P(PipelineDeterminismTest, UpdateBatchMatchesSerial) {
   EXPECT_EQ(batched->stats().partitions_dissolved,
             serial->stats().partitions_dissolved);
   EXPECT_EQ(engine->stats().updates, updates.size());
-  EXPECT_TRUE(batched->VerifyIntegrity().ok());
+  { auto vs = batched->VerifyIntegrity(); EXPECT_TRUE(vs.ok()) << vs.ToString(); }
   EXPECT_TRUE(serial->VerifyIntegrity().ok());
 }
 
@@ -185,7 +185,7 @@ TEST_P(PipelineDeterminismTest, MixedBatchMatchesSerialDispatch) {
   EXPECT_EQ(batched->stats().splits, serial->stats().splits);
   EXPECT_EQ(batched->stats().updates_moved, serial->stats().updates_moved);
   EXPECT_EQ(engine->stats().deletes, 50u);
-  EXPECT_TRUE(batched->VerifyIntegrity().ok());
+  { auto vs = batched->VerifyIntegrity(); EXPECT_TRUE(vs.ok()) << vs.ToString(); }
 }
 
 TEST_P(PipelineDeterminismTest, ReorganizeMatchesSerial) {
@@ -221,7 +221,7 @@ TEST_P(PipelineDeterminismTest, ReorganizeMatchesSerial) {
   EXPECT_EQ(batched->stats().entities_reinserted,
             serial->stats().entities_reinserted);
   EXPECT_EQ(engine->stats().reinserts, base.size());
-  EXPECT_TRUE(batched->VerifyIntegrity().ok());
+  { auto vs = batched->VerifyIntegrity(); EXPECT_TRUE(vs.ok()) << vs.ToString(); }
 }
 
 INSTANTIATE_TEST_SUITE_P(

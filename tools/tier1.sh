@@ -44,7 +44,7 @@ echo "== tier-1: bench smoke (tiny sizes, scratch dir) =="
 tools/bench_all.sh --smoke "$JOBS"
 
 echo "== tier-1: TSan build of the scan + ingest engine tests =="
-TSAN_TARGETS=(thread_pool_test parallel_scan_test aggregator_test ingest_test mutation_pipeline_test mvcc_test tuner_test net_cluster_test)
+TSAN_TARGETS=(thread_pool_test parallel_scan_test aggregator_test ingest_test mutation_pipeline_test synopsis_tree_test mvcc_test tuner_test net_cluster_test)
 if [[ "$FAST" -eq 0 ]]; then
   TSAN_TARGETS+=(ingest_concurrency_test mvcc_stress_test tuner_stress_test net_stress_test)
 fi
@@ -56,6 +56,9 @@ CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/parallel_s
 CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/aggregator_test
 CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/ingest_test
 CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/mutation_pipeline_test
+# COW snapshot trees: readers descend frozen roots while the publisher
+# clones the shared spine — the tree's whole concurrency contract.
+CINDERELLA_INSERT_SHARDS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/synopsis_tree_test
 CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/mvcc_test
 CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/tuner_test
 # Coordinator/server round trips over loopback TCP under TSan: the
