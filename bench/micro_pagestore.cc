@@ -1,8 +1,10 @@
 // Google-benchmark microbenchmarks for the persistence substrates: the
 // slotted-page codec, the file-backed pager, the buffer-pool hit path,
-// journal append throughput, and snapshot save/load.
+// journal append throughput, snapshot save/load, and the tiered cold
+// store at out-of-core scale (chains far exceeding the pool).
 
 #include <cstdio>
+#include <memory>
 #include <sstream>
 
 #include <benchmark/benchmark.h>
@@ -14,6 +16,7 @@
 #include "pagestore/buffer_pool.h"
 #include "pagestore/page_codec.h"
 #include "pagestore/pager.h"
+#include "storage/tiered_store.h"
 
 namespace cinderella {
 namespace {
@@ -127,6 +130,104 @@ void BM_SnapshotSaveLoad(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_SnapshotSaveLoad)->Arg(1000)->Arg(10000);
+
+// Out-of-core chain reads: state.range(0) chains of 64 rows each behind a
+// 4-frame pool, so round-robin reads churn through evictions the way a
+// cold scan over a spilled data set does.
+void BM_TieredChainReadOutOfCore(benchmark::State& state) {
+  TieredStoreOptions options;
+  options.path = "/tmp/bench_tiered_chains.pages";
+  options.page_size = 4096;
+  options.pool_frames = 4;
+  auto opened = TieredStore::Open(options);
+  if (!opened.ok()) {
+    state.SkipWithError("cannot open tiered store");
+    return;
+  }
+  auto tier = std::move(opened).value();
+  Rng rng(5);
+  std::vector<std::shared_ptr<const ColdChain>> chains;
+  EntityId next = 0;
+  for (int64_t c = 0; c < state.range(0); ++c) {
+    std::vector<Row> rows;
+    rows.reserve(64);
+    for (int i = 0; i < 64; ++i) rows.push_back(SampleRow(next++, rng));
+    auto chain = tier->WriteChain(rows);
+    if (!chain.ok()) {
+      state.SkipWithError("chain write failed");
+      return;
+    }
+    chains.push_back(std::move(chain).value());
+  }
+  size_t cursor = 0;
+  uint64_t rows_read = 0;
+  for (auto _ : state) {
+    const auto& chain = chains[cursor];
+    cursor = (cursor + 1) % chains.size();
+    auto status = tier->ReadChain(*chain, [&](const Row& row) {
+      benchmark::DoNotOptimize(row.id());
+      ++rows_read;
+    });
+    benchmark::DoNotOptimize(status);
+  }
+  const TieredStoreStats stats = tier->stats();
+  state.counters["pool_hit_rate"] = benchmark::Counter(
+      stats.pool.hits + stats.pool.misses > 0
+          ? static_cast<double>(stats.pool.hits) /
+                static_cast<double>(stats.pool.hits + stats.pool.misses)
+          : 0.0);
+  state.counters["cold_pages"] =
+      benchmark::Counter(static_cast<double>(stats.cold_pages));
+  state.SetItemsProcessed(static_cast<int64_t>(rows_read));
+}
+BENCHMARK(BM_TieredChainReadOutOfCore)->Arg(8)->Arg(64);
+
+// Full demote/promote round trip through the live engine: spill one
+// partition to the cold tier, then fault it back hot.
+void BM_SpillFaultRoundTrip(benchmark::State& state) {
+  CinderellaConfig config;
+  config.weight = 0.3;
+  config.max_size = 500;
+  auto engine = std::move(Cinderella::Create(config)).value();
+  Rng rng(6);
+  for (EntityId id = 0; id < 512; ++id) {
+    benchmark::DoNotOptimize(engine->Insert(SampleRow(id, rng)));
+  }
+  TieredStoreOptions options;
+  options.path = "/tmp/bench_tiered_roundtrip.pages";
+  options.page_size = 4096;
+  options.pool_frames = 8;
+  auto opened = TieredStore::Open(options);
+  if (!opened.ok()) {
+    state.SkipWithError("cannot open tiered store");
+    return;
+  }
+  auto tier = std::move(opened).value();
+  engine->set_cold_tier(tier.get());
+  PartitionId victim = 0;
+  size_t victim_rows = 0;
+  engine->catalog().ForEachPartition([&](const Partition& partition) {
+    const size_t rows = partition.Size(SizeMeasure::kEntityCount);
+    if (rows > victim_rows) {
+      victim_rows = rows;
+      victim = partition.id();
+    }
+  });
+  for (auto _ : state) {
+    if (!engine->SpillPartition(victim).ok()) {
+      state.SkipWithError("spill failed");
+      return;
+    }
+    Partition* partition = engine->catalog().GetPartition(victim);
+    if (partition == nullptr || !engine->EnsureHot(*partition).ok()) {
+      state.SkipWithError("fault-in failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(victim_rows));
+}
+BENCHMARK(BM_SpillFaultRoundTrip);
 
 }  // namespace
 }  // namespace cinderella

@@ -79,11 +79,34 @@ Status Cinderella::VerifyIntegrity() const {
       violation = fail(where + " exceeds MAXSIZE");
       return;
     }
+    // Cold partitions are verified against the rows read back from their
+    // page chain (exercising the tier's read path as a side effect).
+    std::vector<Row> cold_rows;
+    const std::vector<Row>* rows = &partition.segment().rows();
+    if (partition.cold()) {
+      if (cold_tier_ == nullptr) {
+        violation = fail(where + " is cold but no tier is attached");
+        return;
+      }
+      cold_rows.reserve(partition.cold_chain()->entities);
+      const Status read = cold_tier_->ReadChain(
+          *partition.cold_chain(),
+          [&](Row&& row) { cold_rows.push_back(std::move(row)); });
+      if (!read.ok()) {
+        violation = read;
+        return;
+      }
+      if (cold_rows.size() != partition.cold_chain()->entities) {
+        violation = fail(where + " chain row count drift");
+        return;
+      }
+      rows = &cold_rows;
+    }
     Synopsis attribute_union;
     Synopsis rating_union;
     uint64_t cells = 0;
     uint64_t bytes = 0;
-    for (const Row& row : partition.segment().rows()) {
+    for (const Row& row : *rows) {
       ++resident_rows;
       attribute_union.UnionWith(row.AttributeSynopsis());
       rating_union.UnionWith(extractor_(row));
@@ -112,7 +135,17 @@ Status Cinderella::VerifyIntegrity() const {
     for (const auto& starter :
          {partition.starter_a(), partition.starter_b()}) {
       if (!starter.has_value()) continue;
-      const Row* row = partition.segment().Find(starter->entity);
+      const Row* row = nullptr;
+      if (partition.cold()) {
+        for (const Row& candidate : cold_rows) {
+          if (candidate.id() == starter->entity) {
+            row = &candidate;
+            break;
+          }
+        }
+      } else {
+        row = partition.segment().Find(starter->entity);
+      }
       if (row == nullptr) {
         violation = fail(where + " starter not resident");
         return;
@@ -174,6 +207,7 @@ Cinderella::DrainForReorganize() {
   for (PartitionId id : partitions) {
     Partition* partition = catalog_.GetPartition(id);
     CINDERELLA_CHECK(partition != nullptr);
+    CINDERELLA_RETURN_IF_ERROR(EnsureHot(*partition));
     ++stats_.partitions_dissolved;
     while (partition->entity_count() > 0) {
       const Row& next = partition->segment().rows().front();
@@ -214,6 +248,17 @@ Status Cinderella::ReinsertResolved(Row row, const Synopsis& synopsis,
   return PlaceRow(std::move(row), synopsis, target, nullptr, 0);
 }
 
+void Cinderella::EndBulkRestore() {
+  bulk_restore_ = false;
+  if (!config_.use_synopsis_tree) return;
+  std::vector<std::pair<uint64_t, const Synopsis*>> leaves;
+  leaves.reserve(catalog_.partition_count());
+  catalog_.ForEachPartition([&](const Partition& partition) {
+    leaves.emplace_back(partition.id(), &partition.rating_synopsis());
+  });
+  tree_.BulkBuild(std::move(leaves));
+}
+
 Status Cinderella::RestorePartition(std::vector<Row> rows) {
   ++catalog_generation_;
   if (rows.empty()) {
@@ -250,6 +295,62 @@ const std::vector<Synopsis>& Cinderella::workload() const {
 }
 
 // ---------------------------------------------------------------------------
+// Cold tier.
+// ---------------------------------------------------------------------------
+
+Status Cinderella::SpillPartition(PartitionId id) {
+  if (cold_tier_ == nullptr) {
+    return Status::FailedPrecondition("no cold tier attached");
+  }
+  Partition* partition = catalog_.GetPartition(id);
+  if (partition == nullptr) {
+    return Status::NotFound("no partition " + std::to_string(id));
+  }
+  if (partition->cold()) return Status::OK();
+  if (partition->entity_count() == 0) {
+    return Status::FailedPrecondition("partition " + std::to_string(id) +
+                                      " is empty");
+  }
+  // Write first, switch after: a failed write leaves the partition hot
+  // and untouched.
+  StatusOr<std::shared_ptr<const ColdChain>> chain =
+      cold_tier_->WriteChain(partition->segment().rows());
+  CINDERELLA_RETURN_IF_ERROR(chain.status());
+  partition->SetCold(std::move(chain).value());
+  ++stats_.spills;
+  RecordTouched(id);
+  return Status::OK();
+}
+
+Status Cinderella::EnsureHot(Partition& partition) {
+  if (!partition.cold()) return Status::OK();
+  CINDERELLA_CHECK(cold_tier_ != nullptr);
+  std::vector<Row> rows;
+  rows.reserve(partition.cold_chain()->entities);
+  CINDERELLA_RETURN_IF_ERROR(cold_tier_->ReadChain(
+      *partition.cold_chain(),
+      [&](Row&& row) { rows.push_back(std::move(row)); }));
+  CINDERELLA_RETURN_IF_ERROR(partition.FaultIn(std::move(rows)));
+  ++stats_.faults;
+  RecordTouched(partition.id());
+  return Status::OK();
+}
+
+Status Cinderella::ForEachRowOf(
+    const Partition& partition,
+    const std::function<void(const Row&)>& fn) const {
+  if (!partition.cold()) {
+    for (const Row& row : partition.segment().rows()) fn(row);
+    return Status::OK();
+  }
+  if (cold_tier_ == nullptr) {
+    return Status::FailedPrecondition("cold partition without a tier");
+  }
+  return cold_tier_->ReadChain(*partition.cold_chain(),
+                               [&](Row&& row) { fn(row); });
+}
+
+// ---------------------------------------------------------------------------
 // Row movement helpers.
 // ---------------------------------------------------------------------------
 
@@ -263,7 +364,7 @@ Status Cinderella::AddRowToPartition(Partition& partition, Row row,
   if (config_.use_synopsis_index) {
     for (AttributeId id : added) index_.AddPosting(id, partition.id());
   }
-  if (config_.use_synopsis_tree) {
+  if (config_.use_synopsis_tree && !bulk_restore_) {
     tree_.Upsert(partition.id(), partition.rating_synopsis());
   }
   if (config_.use_synopsis_index || config_.use_synopsis_tree) {
@@ -609,6 +710,10 @@ Status Cinderella::PlaceRow(Row row, const Synopsis& synopsis,
     return AddRowToPartition(fresh, std::move(row), synopsis);
   }
 
+  // A cold target faults back before any row-touching work (starter
+  // re-seeding scans rows; splits drain them).
+  CINDERELLA_RETURN_IF_ERROR(EnsureHot(*target));
+
   // Lines 14-24: starter maintenance happens before the capacity check so
   // the incoming entity can seed one of the split halves.
   EnsureStarters(*target);
@@ -744,6 +849,7 @@ Status Cinderella::Delete(EntityId entity) {
   }
   Partition* partition = catalog_.GetPartition(*home);
   CINDERELLA_CHECK(partition != nullptr);
+  CINDERELLA_RETURN_IF_ERROR(EnsureHot(*partition));
   const Row* row = partition->segment().Find(entity);
   CINDERELLA_CHECK(row != nullptr);
   const Synopsis synopsis = extractor_(*row);
@@ -813,6 +919,7 @@ Status Cinderella::UpdateResolved(Row row, const Synopsis& new_synopsis,
   const EntityId entity = row.id();
   Partition* current = catalog_.GetPartition(*home);
   CINDERELLA_CHECK(current != nullptr);
+  CINDERELLA_RETURN_IF_ERROR(EnsureHot(*current));
   const Row* old_row = current->segment().Find(row.id());
   CINDERELLA_CHECK(old_row != nullptr);
   const Synopsis old_synopsis = extractor_(*old_row);

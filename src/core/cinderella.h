@@ -17,6 +17,7 @@
 #include "core/partitioner.h"
 #include "core/synopsis_extractor.h"
 #include "core/synopsis_index.h"
+#include "storage/cold_tier.h"
 #include "storage/row.h"
 #include "synopsis/synopsis.h"
 #include "synopsis/synopsis_tree.h"
@@ -39,6 +40,8 @@ struct CinderellaStats {
   uint64_t partitions_rated = 0;       // Rating evaluations performed.
   uint64_t partitions_dissolved = 0;   // Under-filled partitions dissolved.
   uint64_t entities_reinserted = 0;    // Rows re-homed by dissolution.
+  uint64_t spills = 0;                 // Partitions evicted to the cold tier.
+  uint64_t faults = 0;                 // Cold partitions faulted back hot.
 };
 
 /// Partition ids touched by catalog mutations, recorded for mutation
@@ -162,6 +165,14 @@ class Cinderella : public Partitioner {
   /// are re-seeded lazily on the next structural operation.
   Status RestorePartition(std::vector<Row> rows);
 
+  /// Snapshot-load bracket: between Begin and End, incremental synopsis
+  /// tree maintenance is suppressed; End rebuilds the tree in one bulk
+  /// bottom-up pass over the restored catalog (the identical tree, at
+  /// O(total synopsis words) instead of one leaf upsert per row). The
+  /// loader wraps its RestorePartition loop in this.
+  void BeginBulkRestore() { bulk_restore_ = true; }
+  void EndBulkRestore();
+
   /// The query set W of workload-based mode (empty in entity-based mode);
   /// snapshots persist it so a restored instance rates identically.
   const std::vector<Synopsis>& workload() const;
@@ -254,6 +265,35 @@ class Cinderella : public Partitioner {
   /// attachment; see AttachMutationPipeline in ingest/mutation_pipeline.h.
   void set_batch_engine(BatchMutationEngine* engine) { batch_engine_ = engine; }
   BatchMutationEngine* batch_engine() const { return batch_engine_; }
+
+  // -- Cold tier (two-tier storage) -----------------------------------------
+
+  /// Attaches the cold tier partitions spill to (nullptr detaches; owned
+  /// by the caller, must outlive the attachment). Attaching a tier does
+  /// not by itself spill anything — see SpillPartition and the
+  /// TierController policy driver (storage/tiered_store.h).
+  void set_cold_tier(ColdTier* tier) { cold_tier_ = tier; }
+  ColdTier* cold_tier() const { return cold_tier_; }
+
+  /// Evicts partition `id` to the cold tier: its rows are written out as
+  /// one page chain and the segment is emptied. Synopses, refcounts, size
+  /// totals and split starters stay memory-resident, so ratings, pruning
+  /// and placements are bit-identical to the all-hot engine; the spill is
+  /// invisible except to row access, which faults the partition back.
+  /// No-op on an already-cold partition.
+  Status SpillPartition(PartitionId id);
+
+  /// Faults `partition` back to the hot tier if cold: reads the chain's
+  /// rows back into the segment in chain order (the spill-time scan
+  /// order) and drops the chain reference. Every row-touching path calls
+  /// this first; no-op on a hot partition.
+  Status EnsureHot(Partition& partition);
+
+  /// Streams the partition's rows regardless of residency (hot: segment
+  /// scan order; cold: chain order, read through the tier). Snapshot save
+  /// and integrity checking use this.
+  Status ForEachRowOf(const Partition& partition,
+                      const std::function<void(const Row&)>& fn) const;
 
  private:
   Cinderella(CinderellaConfig config,
@@ -370,6 +410,8 @@ class Cinderella : public Partitioner {
   uint64_t catalog_generation_ = 0;
   std::vector<CatalogMutations*> mutation_listeners_;
   BatchMutationEngine* batch_engine_ = nullptr;
+  ColdTier* cold_tier_ = nullptr;
+  bool bulk_restore_ = false;  // Tree maintenance suppressed (snapshot load).
 };
 
 }  // namespace cinderella

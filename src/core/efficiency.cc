@@ -71,6 +71,9 @@ EfficiencyBreakdown ComputeEfficiency(const CatalogView& view,
     const Synopsis& query = workload[i];
     const double weight = i < weights.size() ? weights[i] : 1.0;
     view.ForEachPartition([&](const PartitionVersion& version) {
+      // Cold versions carry no packed rows; a diagnostic must not pay
+      // chain I/O, so efficiency is computed over the hot residents only.
+      if (version.cold()) return;
       if (!version.attribute_synopsis().Intersects(query)) return;
       result.read +=
           weight * static_cast<double>(VersionSize(version, measure));

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/logging.h"
+
 namespace cinderella {
 
 Partition::Partition(PartitionId id, bool separate_rating_synopsis)
@@ -9,6 +11,7 @@ Partition::Partition(PartitionId id, bool separate_rating_synopsis)
 
 Status Partition::AddRow(Row row, const Synopsis& rating_synopsis,
                          std::vector<AttributeId>* rating_ids_added) {
+  CINDERELLA_DCHECK(!cold());
   const Synopsis attributes = row.AttributeSynopsis();
   CINDERELLA_RETURN_IF_ERROR(segment_.Insert(std::move(row)));
   if (separate_rating_) {
@@ -23,6 +26,7 @@ Status Partition::AddRow(Row row, const Synopsis& rating_synopsis,
 StatusOr<Row> Partition::RemoveRow(EntityId entity,
                                    const Synopsis& rating_synopsis,
                                    std::vector<AttributeId>* rating_ids_removed) {
+  CINDERELLA_DCHECK(!cold());
   StatusOr<Row> removed = segment_.Remove(entity);
   if (!removed.ok()) return removed;
   const Synopsis attributes = removed.value().AttributeSynopsis();
@@ -45,6 +49,7 @@ Status Partition::ReplaceRow(Row row, const Synopsis& old_rating_synopsis,
                              const Synopsis& new_rating_synopsis,
                              std::vector<AttributeId>* rating_ids_added,
                              std::vector<AttributeId>* rating_ids_removed) {
+  CINDERELLA_DCHECK(!cold());
   const EntityId entity = row.id();
   const Row* old_row = segment_.Find(entity);
   if (old_row == nullptr) {
@@ -74,6 +79,17 @@ Status Partition::ReplaceRow(Row row, const Synopsis& old_rating_synopsis,
 }
 
 uint64_t Partition::Size(SizeMeasure measure) const {
+  if (cold_chain_ != nullptr) {
+    switch (measure) {
+      case SizeMeasure::kEntityCount:
+        return cold_chain_->entities;
+      case SizeMeasure::kAttributeCount:
+        return cold_chain_->cells;
+      case SizeMeasure::kByteSize:
+        return cold_chain_->bytes;
+    }
+    return 0;
+  }
   switch (measure) {
     case SizeMeasure::kEntityCount:
       return segment_.entity_count();
@@ -86,12 +102,38 @@ uint64_t Partition::Size(SizeMeasure measure) const {
 }
 
 double Partition::Sparseness() const {
-  const size_t entities = segment_.entity_count();
+  const size_t entities = entity_count();
   const size_t attributes = attribute_synopsis().Count();
   if (entities == 0 || attributes == 0) return 0.0;
+  const uint64_t cells = cold_chain_ != nullptr ? cold_chain_->cells
+                                                : segment_.cell_count();
   const double capacity =
       static_cast<double>(entities) * static_cast<double>(attributes);
-  return 1.0 - static_cast<double>(segment_.cell_count()) / capacity;
+  return 1.0 - static_cast<double>(cells) / capacity;
+}
+
+void Partition::SetCold(std::shared_ptr<const ColdChain> chain) {
+  CINDERELLA_CHECK(cold_chain_ == nullptr && chain != nullptr);
+  CINDERELLA_CHECK(chain->entities == segment_.entity_count() &&
+                   chain->cells == segment_.cell_count() &&
+                   chain->bytes == segment_.byte_size());
+  (void)segment_.TakeAll();  // Rows live in the chain now.
+  cold_chain_ = std::move(chain);
+}
+
+Status Partition::FaultIn(std::vector<Row> rows) {
+  CINDERELLA_CHECK(cold_chain_ != nullptr);
+  if (rows.size() != cold_chain_->entities) {
+    return Status::Internal(
+        "fault-in of partition " + std::to_string(id_) + " read " +
+        std::to_string(rows.size()) + " rows, chain has " +
+        std::to_string(cold_chain_->entities));
+  }
+  for (Row& row : rows) {
+    CINDERELLA_RETURN_IF_ERROR(segment_.Insert(std::move(row)));
+  }
+  cold_chain_.reset();
+  return Status::OK();
 }
 
 void Partition::ClearStarters() {

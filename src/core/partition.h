@@ -2,12 +2,14 @@
 #define CINDERELLA_CORE_PARTITION_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/status.h"
 #include "core/refcounted_synopsis.h"
 #include "core/size_measure.h"
+#include "storage/cold_tier.h"
 #include "storage/segment.h"
 #include "synopsis/synopsis.h"
 
@@ -84,10 +86,42 @@ class Partition {
   /// partition versions by the MVCC publisher (mvcc/partition_version.h).
   const RefcountedSynopsis& attribute_refcounts() const { return attributes_; }
 
-  /// SIZE(p) under the given measure.
+  /// SIZE(p) under the given measure. Answered from the cold chain's
+  /// stored totals while the partition is cold (identical values — the
+  /// chain carries the segment's counts at spill time), so the rating
+  /// never touches a page.
   uint64_t Size(SizeMeasure measure) const;
 
-  size_t entity_count() const { return segment_.entity_count(); }
+  size_t entity_count() const {
+    return cold_chain_ != nullptr ? static_cast<size_t>(cold_chain_->entities)
+                                  : segment_.entity_count();
+  }
+
+  // -- Cold residency (two-tier storage) ------------------------------------
+
+  /// True while the partition's rows live in a cold-tier page chain
+  /// instead of the segment. Synopses, refcounts, starters and size
+  /// totals stay memory-resident, so rating and pruning are unaffected;
+  /// only row access (mutations, drains, scans) requires a fault-in.
+  bool cold() const { return cold_chain_ != nullptr; }
+
+  /// The chain descriptor while cold, nullptr otherwise. Shared with the
+  /// MVCC versions published during the cold span; the chain's pages are
+  /// freed when the last holder releases it.
+  const std::shared_ptr<const ColdChain>& cold_chain() const {
+    return cold_chain_;
+  }
+
+  /// Marks the partition cold: discards the segment's rows (they were
+  /// just written to `chain`, whose totals must match) and remembers the
+  /// chain. Synopsis refcounts and starters are untouched.
+  void SetCold(std::shared_ptr<const ColdChain> chain);
+
+  /// Faults the partition back hot: re-inserts `rows` (the chain's rows,
+  /// in chain order — the segment's scan order at spill time, so
+  /// subsequent behaviour is bit-identical to never having spilled) and
+  /// releases the chain reference.
+  Status FaultIn(std::vector<Row> rows);
 
   /// Sparseness of the partition: 1 − cells / (entities · |synopsis|);
   /// 0 for an empty partition or an empty synopsis.
@@ -107,6 +141,7 @@ class Partition {
   Segment segment_;
   RefcountedSynopsis attributes_;
   RefcountedSynopsis rating_;  // Used only when separate_rating_.
+  std::shared_ptr<const ColdChain> cold_chain_;  // Non-null while cold.
   std::optional<Starter> starter_a_;
   std::optional<Starter> starter_b_;
 };

@@ -135,20 +135,28 @@ Status SaveSnapshot(const Cinderella& partitioner,
     WriteString(out, name.value());
   }
 
-  // Partitions.
+  // Partitions. Rows are streamed residency-agnostically: a cold
+  // partition's rows come back from its page chain (in chain order), so a
+  // snapshot of a tiered table is identical in meaning to one of an
+  // all-hot table — restore always starts hot.
   WritePod<uint32_t>(
       out, static_cast<uint32_t>(partitioner.catalog().partition_count()));
+  Status row_error;
   partitioner.catalog().ForEachPartition([&](const Partition& partition) {
+    if (!row_error.ok()) return;
     WritePod<uint64_t>(out, partition.entity_count());
-    for (const Row& row : partition.segment().rows()) {
-      WritePod<uint64_t>(out, row.id());
-      WritePod<uint32_t>(out, static_cast<uint32_t>(row.attribute_count()));
-      for (const Row::Cell& cell : row.cells()) {
-        WritePod<uint32_t>(out, cell.attribute);
-        WriteValue(out, cell.value);
-      }
-    }
+    const Status streamed =
+        partitioner.ForEachRowOf(partition, [&](const Row& row) {
+          WritePod<uint64_t>(out, row.id());
+          WritePod<uint32_t>(out, static_cast<uint32_t>(row.attribute_count()));
+          for (const Row::Cell& cell : row.cells()) {
+            WritePod<uint32_t>(out, cell.attribute);
+            WriteValue(out, cell.value);
+          }
+        });
+    if (!streamed.ok()) row_error = streamed;
   });
+  CINDERELLA_RETURN_IF_ERROR(row_error);
 
   if (!out.good()) return Status::Internal("write failure");
   return Status::OK();
@@ -219,6 +227,9 @@ StatusOr<RestoredSnapshot> LoadSnapshot(std::istream& in) {
 
   uint32_t partition_count = 0;
   CINDERELLA_RETURN_IF_ERROR(ReadPod(in, &partition_count));
+  // Bulk-restore bracket: per-row synopsis tree upserts are suppressed
+  // during the load and the tree is rebuilt bottom-up once at the end.
+  restored.partitioner->BeginBulkRestore();
   for (uint32_t p = 0; p < partition_count; ++p) {
     uint64_t row_count = 0;
     CINDERELLA_RETURN_IF_ERROR(ReadPod(in, &row_count));
@@ -243,6 +254,7 @@ StatusOr<RestoredSnapshot> LoadSnapshot(std::istream& in) {
     CINDERELLA_RETURN_IF_ERROR(
         restored.partitioner->RestorePartition(std::move(rows)));
   }
+  restored.partitioner->EndBulkRestore();
   return restored;
 }
 

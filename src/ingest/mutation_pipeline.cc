@@ -70,6 +70,11 @@ void MutationPipeline::set_commit_hook(CommitHook hook) {
   commit_hook_ = std::move(hook);
 }
 
+void MutationPipeline::set_spill_hook(SpillHook hook) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  spill_hook_ = std::move(hook);
+}
+
 void MutationPipeline::Consider(Candidate* c, double rating, PartitionId id) {
   if (!c->valid || rating > c->rating ||
       (rating == c->rating && id < c->id)) {
@@ -496,9 +501,12 @@ Status MutationPipeline::ProcessWindow(std::vector<Mutation>* ops,
     synced_generation_ = cinderella_->catalog_generation();
     if (applied != nullptr) ++*applied;
   }
-  // Window committed in full; let the MVCC publisher snapshot it while the
-  // catalog is still quiescent under the commit lock. (The failure return
-  // above skips this — the facade publishes the partial prefix itself.)
+  // Window committed in full: first the spill boundary (cold-partition
+  // eviction, whose residency changes land in the same pending delta),
+  // then the MVCC publisher snapshots it while the catalog is still
+  // quiescent under the commit lock. (The failure return above skips
+  // both — the facade publishes the partial prefix itself.)
+  if (spill_hook_) spill_hook_();
   if (commit_hook_) {
     WindowCommit commit;
     commit.rows = end - begin;
@@ -584,6 +592,7 @@ Status MutationPipeline::ReinsertWindowLocked(
     AppendMutationsLocked(capture, &dirty);
     synced_generation_ = cinderella_->catalog_generation();
   }
+  if (spill_hook_) spill_hook_();
   if (commit_hook_) {
     WindowCommit commit;
     commit.rows = end - begin;

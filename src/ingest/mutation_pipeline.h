@@ -161,6 +161,17 @@ class MutationPipeline : public BatchMutationEngine {
   using CommitHook = std::function<void(const WindowCommit&)>;
   void set_commit_hook(CommitHook hook);
 
+  /// Called at the end of every committed window, while the commit lock
+  /// is still held, immediately BEFORE the commit hook — the window
+  /// commit is the tiered-storage spill boundary. A registered spill
+  /// policy (TierController) evicts cold partitions here; the residency
+  /// changes it makes are captured by the same mutation listeners as the
+  /// window's ops, so the commit hook's publication already reflects
+  /// them. The hook may mutate partition residency through the engine's
+  /// spill entry points but must not add/remove rows. nullptr clears.
+  using SpillHook = std::function<void()>;
+  void set_spill_hook(SpillHook hook);
+
  private:
   /// A scan/revalidation candidate under the serial comparator.
   struct Candidate {
@@ -251,6 +262,7 @@ class MutationPipeline : public BatchMutationEngine {
   // Serializes commit phases (and all mutations of the state below).
   mutable std::mutex commit_mu_;
   CommitHook commit_hook_;
+  SpillHook spill_hook_;
   uint64_t synced_generation_ = 0;
   uint64_t dirty_epoch_ = 0;
   std::vector<PartitionId> dirty_log_;

@@ -39,6 +39,20 @@ StatusOr<std::unique_ptr<DurableTable>> DurableTable::Open(Options options) {
   const std::string snapshot_file = options.directory + "/snapshot.bin";
   const std::string journal_file = options.directory + "/journal.log";
 
+  // Cold tier: resolve the spill knobs and create the page store when a
+  // budget is configured. The page file is always truncated — recovery
+  // re-establishes tier placement from the journal's kSpill records, it
+  // never reuses old pages.
+  options.spill.path = options.directory + "/pages.bin";
+  options.spill = TieredStoreOptions::FromEnv(options.spill);
+  std::unique_ptr<TieredStore> tier;
+  if (options.spill.budget_bytes > 0) {
+    StatusOr<std::unique_ptr<TieredStore>> opened =
+        TieredStore::Open(options.spill);
+    CINDERELLA_RETURN_IF_ERROR(opened.status());
+    tier = std::move(opened).value();
+  }
+
   std::unique_ptr<UniversalTable> table;
   Cinderella* cinderella = nullptr;
   if (FileExists(snapshot_file)) {
@@ -55,9 +69,15 @@ StatusOr<std::unique_ptr<DurableTable>> DurableTable::Open(Options options) {
     table = std::make_unique<UniversalTable>(std::move(fresh).value());
   }
 
-  // Replay the journal tail; tolerate a torn final entry.
+  if (tier != nullptr) cinderella->set_cold_tier(tier.get());
+
+  // Replay the journal tail; tolerate a torn final entry. kSpill records
+  // carry the complete cold set, so only the last one matters; it is
+  // applied after the whole tail so partitions faulted hot by later ops
+  // are not re-spilled.
   uint64_t replayed = 0;
   bool torn_tail = false;
+  std::vector<EntityId> cold_set;
   {
     auto reader = JournalReader::Open(journal_file);
     if (reader.ok()) {
@@ -87,6 +107,9 @@ StatusOr<std::unique_ptr<DurableTable>> DurableTable::Open(Options options) {
             }
             break;
           }
+          case JournalEntry::Kind::kSpill:
+            cold_set = std::move(entry.cold_set);
+            break;
           case JournalEntry::Kind::kMutationBatch:
             // Expanded by the reader; never surfaced.
             return Status::Internal("unexpanded mutation batch entry");
@@ -99,6 +122,19 @@ StatusOr<std::unique_ptr<DurableTable>> DurableTable::Open(Options options) {
     }
   }
 
+  // Re-establish tier placement. Representatives that no longer resolve
+  // (possible only behind a torn tail, where the last complete record is
+  // slightly stale) are skipped — residency is a performance property,
+  // the data itself is already recovered.
+  if (tier != nullptr) {
+    for (const EntityId representative : cold_set) {
+      const std::optional<PartitionId> home =
+          cinderella->catalog().FindEntity(representative);
+      if (!home.has_value()) continue;
+      CINDERELLA_RETURN_IF_ERROR(cinderella->SpillPartition(*home));
+    }
+  }
+
   // Re-open for append; a torn tail is truncated away by rewriting the
   // journal from the recovered state via an immediate checkpoint below.
   StatusOr<std::unique_ptr<JournalWriter>> journal =
@@ -108,10 +144,18 @@ StatusOr<std::unique_ptr<DurableTable>> DurableTable::Open(Options options) {
   std::unique_ptr<DurableTable> durable(new DurableTable(
       std::move(options), std::move(table), cinderella,
       std::move(journal).value(), replayed, torn_tail));
+  durable->tier_ = std::move(tier);
   durable->logged_attributes_ = durable->table_->dictionary().size();
   // Attach the ingest pipeline after replay so its catalog mirror is
   // built once, from the fully recovered state.
   durable->ingest_ = AttachBatchInserter(cinderella, durable->options_.ingest);
+  if (durable->tier_ != nullptr) {
+    const CinderellaStats& stats = cinderella->stats();
+    durable->tier_epoch_ = stats.spills + stats.faults;
+    durable->tier_controller_ = std::make_unique<TierController>(
+        cinderella, TierControllerOptions{durable->options_.spill.budget_bytes,
+                                          durable->options_.spill.min_idle});
+  }
   if (torn_tail) {
     // The torn bytes would corrupt future replays; checkpoint now so the
     // journal restarts clean.
@@ -145,11 +189,36 @@ Status DurableTable::MaybeSync(uint64_t ops) {
   return Status::OK();
 }
 
+Status DurableTable::MaybeLogTierPlacement() {
+  if (tier_ == nullptr) return Status::OK();
+  const CinderellaStats& stats = cinderella_->stats();
+  const uint64_t epoch = stats.spills + stats.faults;
+  if (epoch == tier_epoch_) return Status::OK();
+  tier_epoch_ = epoch;
+  std::vector<EntityId> cold;
+  cinderella_->catalog().ForEachPartition([&](const Partition& partition) {
+    if (partition.cold()) {
+      cold.push_back(partition.cold_chain()->representative);
+    }
+  });
+  return journal_->LogSpillSet(cold);
+}
+
+Status DurableTable::EvaluateTier() {
+  if (tier_controller_ != nullptr) {
+    CINDERELLA_RETURN_IF_ERROR(tier_controller_->EvaluateAndSpill().status());
+  }
+  // Faults (ops that targeted a cold partition) move the epoch even when
+  // the evaluation itself spilled nothing.
+  return MaybeLogTierPlacement();
+}
+
 Status DurableTable::AfterApply(
     Status status, const std::function<Status(JournalWriter&)>& log) {
   CINDERELLA_RETURN_IF_ERROR(status);
   CINDERELLA_RETURN_IF_ERROR(LogDictionaryGrowth());
   CINDERELLA_RETURN_IF_ERROR(log(*journal_));
+  CINDERELLA_RETURN_IF_ERROR(EvaluateTier());
   return MaybeSync(1);
 }
 
@@ -173,6 +242,7 @@ Status DurableTable::ApplyMutations(std::vector<Mutation> ops) {
     // made durable by a single fsync (the group-commit payoff).
     copies.resize(applied);
     CINDERELLA_RETURN_IF_ERROR(journal_->LogMutationBatch(copies));
+    CINDERELLA_RETURN_IF_ERROR(EvaluateTier());
     if (options_.sync_every_op || options_.group_commit_ops > 0) {
       CINDERELLA_RETURN_IF_ERROR(journal_->Sync());
       ops_since_sync_ = 0;
@@ -255,6 +325,21 @@ Status DurableTable::Checkpoint() {
   CINDERELLA_RETURN_IF_ERROR(journal.status());
   journal_ = std::move(journal).value();
   ops_since_sync_ = 0;
+  // The snapshot is residency-agnostic (restore starts all-hot), so the
+  // fresh journal must re-assert the current cold set for the next
+  // recovery; the tier itself is flushed as part of the checkpoint.
+  if (tier_ != nullptr) {
+    std::vector<EntityId> cold;
+    cinderella_->catalog().ForEachPartition([&](const Partition& partition) {
+      if (partition.cold()) {
+        cold.push_back(partition.cold_chain()->representative);
+      }
+    });
+    if (!cold.empty()) {
+      CINDERELLA_RETURN_IF_ERROR(journal_->LogSpillSet(cold));
+    }
+    CINDERELLA_RETURN_IF_ERROR(tier_->Flush());
+  }
   return Status::OK();
 }
 

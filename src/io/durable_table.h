@@ -11,6 +11,7 @@
 #include "core/universal_table.h"
 #include "ingest/batch_inserter.h"
 #include "io/journal.h"
+#include "storage/tiered_store.h"
 
 namespace cinderella {
 
@@ -43,6 +44,11 @@ class DurableTable {
     /// Batched-insert engine tuning (shard count, rating window) for the
     /// BatchInserter attached to the recovered partitioner.
     BatchInserterOptions ingest;
+    /// Cold-tier knobs. Zero-valued fields resolve from the
+    /// CINDERELLA_SPILL_* environment (see TieredStoreOptions); `path` is
+    /// ignored — the page file always lives at <directory>/pages.bin.
+    /// When the resolved budget_bytes is 0, tiering is disabled entirely.
+    TieredStoreOptions spill;
   };
 
   /// Opens or creates the table in `options.directory` (the directory
@@ -99,6 +105,15 @@ class DurableTable {
   /// The batched-insert engine attached to the table's partitioner.
   const BatchInserter& batch_inserter() const { return *ingest_; }
 
+  /// True when a cold tier is attached (resolved spill budget > 0).
+  bool tiering_enabled() const { return tier_ != nullptr; }
+
+  /// The cold tier, or nullptr when tiering is disabled.
+  const TieredStore* tier() const { return tier_.get(); }
+
+  /// The spill policy driver, or nullptr when tiering is disabled.
+  TierController* tier_controller() { return tier_controller_.get(); }
+
  private:
   DurableTable(Options options, std::unique_ptr<UniversalTable> table,
                Cinderella* cinderella,
@@ -116,16 +131,33 @@ class DurableTable {
   /// operations just completed.
   Status MaybeSync(uint64_t ops);
 
+  /// Runs one spill-policy evaluation (no-op without a tier) and journals
+  /// the cold set when residency changed since the last record.
+  Status EvaluateTier();
+
+  /// Appends a kSpill record with the complete current cold set when the
+  /// engine's spill+fault epoch moved since the last record.
+  Status MaybeLogTierPlacement();
+
   std::string snapshot_path() const;
   std::string journal_path() const;
 
   Options options_;
+  /// Cold tier; declared before the table so every chain released during
+  /// the engine's destruction drops into a live tier.
+  std::unique_ptr<TieredStore> tier_;
   std::unique_ptr<UniversalTable> table_;
   Cinderella* cinderella_;  // Owned by table_'s partitioner slot.
   /// Batched-insert engine attached to cinderella_; must outlive the
   /// attachment and is therefore owned here, next to the partitioner.
   std::unique_ptr<BatchInserter> ingest_;
+  /// Spill policy; listens on the engine's catalog mutations, so it is
+  /// declared after table_ (destroyed first, while the engine is alive).
+  std::unique_ptr<TierController> tier_controller_;
   std::unique_ptr<JournalWriter> journal_;
+  /// Engine spills+faults at the last kSpill record; any movement means
+  /// the cold set changed and must be re-journaled.
+  uint64_t tier_epoch_ = 0;
   /// Journaled ops since the last fsync (group-commit accounting).
   uint64_t ops_since_sync_ = 0;
   uint64_t replayed_ = 0;

@@ -199,6 +199,19 @@ Status JournalWriter::LogDeleteBatch(const std::vector<EntityId>& entities) {
   return Status::OK();
 }
 
+Status JournalWriter::LogSpillSet(const std::vector<EntityId>& representatives) {
+  WritePod<uint8_t>(&buffer_,
+                    static_cast<uint8_t>(JournalEntry::Kind::kSpill));
+  WritePod<uint32_t>(&buffer_,
+                     static_cast<uint32_t>(representatives.size()));
+  for (const EntityId entity : representatives) {
+    WritePod<uint64_t>(&buffer_, entity);
+  }
+  ++entries_;
+  if (buffer_.size() >= kWriterFlushBytes) return FlushBuffer();
+  return Status::OK();
+}
+
 Status JournalWriter::LogDelete(EntityId entity) {
   WritePod<uint8_t>(&buffer_,
                     static_cast<uint8_t>(JournalEntry::Kind::kDelete));
@@ -303,6 +316,26 @@ StatusOr<bool> JournalReader::Next(JournalEntry* entry) {
       entry->row = Row();
       return true;
     }
+    case JournalEntry::Kind::kSpill: {
+      entry->kind = JournalEntry::Kind::kSpill;
+      uint32_t count = 0;
+      if (!ReadPod(in_, &count) || count > (1u << 24)) {
+        torn_tail_ = true;
+        return false;
+      }
+      entry->cold_set.clear();
+      entry->cold_set.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint64_t entity = 0;
+        if (!ReadPod(in_, &entity)) {
+          torn_tail_ = true;
+          return false;
+        }
+        entry->cold_set.push_back(entity);
+      }
+      entry->row = Row();
+      return true;
+    }
     default:
       return Status::OutOfRange("corrupt journal entry kind " +
                                 std::to_string(kind));
@@ -387,6 +420,9 @@ StatusOr<uint64_t> ReplayJournal(const std::string& path,
                 std::to_string(entry.attribute));
           }
         }
+        break;
+      case JournalEntry::Kind::kSpill:
+        // Tier placement needs a cold tier; standalone replay has none.
         break;
       case JournalEntry::Kind::kMutationBatch:
         // The reader expands batch records into their constituent ops and

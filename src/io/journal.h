@@ -30,12 +30,21 @@ struct JournalEntry {
     /// recovers exactly the decoded op prefix. Never surfaced from
     /// JournalReader::Next.
     kMutationBatch = 5,
+    /// Tier placement record: u32 count, then count u64 representative
+    /// entity ids — one per *cold* partition, the lowest entity id the
+    /// partition held when it was spilled. Each record carries the
+    /// COMPLETE current cold set (not a delta), so replay applies only
+    /// the last one seen; entity ids are used because partition ids are
+    /// not stable across a snapshot restore. A torn record is ignored
+    /// (residency is a performance property, never a correctness one).
+    kSpill = 6,
   };
   Kind kind = Kind::kInsert;
   Row row;              // Payload of inserts and updates.
   EntityId entity = 0;  // Target of deletes.
   AttributeId attribute = 0;  // Payload of kAttribute...
   std::string name;           // ...with its interned name.
+  std::vector<EntityId> cold_set;  // kSpill: representative entity ids.
 };
 
 /// Append-only journal of modification operations.
@@ -80,6 +89,10 @@ class JournalWriter {
 
   /// Delete-side group commit: one kMutationBatch record of kDelete ops.
   Status LogDeleteBatch(const std::vector<EntityId>& entities);
+
+  /// Logs the complete cold set (kSpill): one representative entity id
+  /// per cold partition. Later records supersede earlier ones on replay.
+  Status LogSpillSet(const std::vector<EntityId>& representatives);
 
   /// Writes buffered entries to the OS and fsyncs the file: everything
   /// logged so far is durable when this returns OK.
@@ -135,6 +148,8 @@ class JournalReader {
 /// Returns the number of entries applied. A missing file counts as an
 /// empty journal. kAttribute entries are interned into `*dictionary` when
 /// non-null (they must reproduce the recorded ids) and skipped otherwise.
+/// kSpill entries are skipped: standalone replay has no cold tier to
+/// place partitions on (DurableTable handles them during its recovery).
 StatusOr<uint64_t> ReplayJournal(const std::string& path,
                                  Partitioner* partitioner,
                                  AttributeDictionary* dictionary = nullptr);

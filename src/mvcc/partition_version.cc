@@ -54,45 +54,60 @@ ShellPool::Stats ShellPool::stats() const {
 
 // -- PartitionVersion ---------------------------------------------------------
 
-PartitionVersion::PartitionVersion(const Partition& partition, Arena* arena)
+PartitionVersion::PartitionVersion(const Partition& partition, Arena* arena,
+                                   const ColdTier* tier)
     : id_(partition.id()), arena_(arena) {
   arena_->Ref();
   const size_t used_before = arena_->bytes_used();
-  const std::vector<Row>& src = partition.segment().rows();
-  row_count_ = static_cast<uint32_t>(src.size());
 
-  size_t total_cells = 0;
-  for (const Row& row : src) total_cells += row.cells().size();
-  cell_total_ = static_cast<uint32_t>(total_cells);
+  if (partition.cold()) {
+    // Cold capture: share the page chain, pack only the memory-resident
+    // digests (below). Counts come from the chain — identical to what the
+    // rows would sum to, since SetCold checked them at eviction.
+    cold_chain_ = partition.cold_chain();
+    tier_ = tier;
+    row_count_ = static_cast<uint32_t>(cold_chain_->entities);
+    cell_total_ = 0;  // No packed cells; the destructor's destroy pass skips.
+    rows_ = nullptr;
+    cells_ = nullptr;
+    index_ = nullptr;
+  } else {
+    const std::vector<Row>& src = partition.segment().rows();
+    row_count_ = static_cast<uint32_t>(src.size());
 
-  // Row headers, then the shared cell array: one pass copy-constructs
-  // every cell in scan order, so a sequential scan of this version reads
-  // monotonically increasing addresses.
-  PackedRow* rows = arena_->AllocateArrayOf<PackedRow>(row_count_);
-  cells_ = arena_->AllocateArrayOf<Row::Cell>(total_cells);
-  uint32_t cursor = 0;
-  for (uint32_t i = 0; i < row_count_; ++i) {
-    const std::vector<Row::Cell>& cells = src[i].cells();
-    rows[i] = PackedRow{src[i].id(), cursor,
-                        static_cast<uint32_t>(cells.size())};
-    for (const Row::Cell& cell : cells) {
-      new (&cells_[cursor++]) Row::Cell{cell.attribute, cell.value};
+    size_t total_cells = 0;
+    for (const Row& row : src) total_cells += row.cells().size();
+    cell_total_ = static_cast<uint32_t>(total_cells);
+
+    // Row headers, then the shared cell array: one pass copy-constructs
+    // every cell in scan order, so a sequential scan of this version reads
+    // monotonically increasing addresses.
+    PackedRow* rows = arena_->AllocateArrayOf<PackedRow>(row_count_);
+    cells_ = arena_->AllocateArrayOf<Row::Cell>(total_cells);
+    uint32_t cursor = 0;
+    for (uint32_t i = 0; i < row_count_; ++i) {
+      const std::vector<Row::Cell>& cells = src[i].cells();
+      rows[i] = PackedRow{src[i].id(), cursor,
+                          static_cast<uint32_t>(cells.size())};
+      for (const Row::Cell& cell : cells) {
+        new (&cells_[cursor++]) Row::Cell{cell.attribute, cell.value};
+      }
     }
-  }
-  rows_ = rows;
+    rows_ = rows;
 
-  // Open-addressing point index at load factor <= 0.5.
-  size_t capacity = 2;
-  while (capacity < size_t{2} * row_count_) capacity <<= 1;
-  index_mask_ = static_cast<uint32_t>(capacity - 1);
-  IndexSlot* slots = arena_->AllocateArrayOf<IndexSlot>(capacity);
-  for (size_t i = 0; i < capacity; ++i) slots[i].row = kEmptySlot;
-  for (uint32_t i = 0; i < row_count_; ++i) {
-    uint32_t h = static_cast<uint32_t>(MixEntity(rows[i].id)) & index_mask_;
-    while (slots[h].row != kEmptySlot) h = (h + 1) & index_mask_;
-    slots[h] = IndexSlot{rows[i].id, i};
+    // Open-addressing point index at load factor <= 0.5.
+    size_t capacity = 2;
+    while (capacity < size_t{2} * row_count_) capacity <<= 1;
+    index_mask_ = static_cast<uint32_t>(capacity - 1);
+    IndexSlot* slots = arena_->AllocateArrayOf<IndexSlot>(capacity);
+    for (size_t i = 0; i < capacity; ++i) slots[i].row = kEmptySlot;
+    for (uint32_t i = 0; i < row_count_; ++i) {
+      uint32_t h = static_cast<uint32_t>(MixEntity(rows[i].id)) & index_mask_;
+      while (slots[h].row != kEmptySlot) h = (h + 1) & index_mask_;
+      slots[h] = IndexSlot{rows[i].id, i};
+    }
+    index_ = slots;
   }
-  index_ = slots;
 
   // Synopsis words plus the dense carrier-count table (one uint32 per
   // attribute id covered by the words).
@@ -121,18 +136,22 @@ PartitionVersion::PartitionVersion(const Partition& partition, Arena* arena)
   }
   carrier_counts_ = counts;
 
-  byte_size_ = partition.segment().byte_size();
+  byte_size_ = cold_chain_ != nullptr ? cold_chain_->bytes
+                                      : partition.segment().byte_size();
   arena_bytes_ = arena_->bytes_used() - used_before;
 }
 
 PartitionVersion::~PartitionVersion() {
   // Cell Values may own heap strings; destroy them before the arena's
-  // storage is recycled.
-  std::destroy_n(cells_, cell_total_);
+  // storage is recycled. (Cold versions packed none.)
+  if (cells_ != nullptr) std::destroy_n(cells_, cell_total_);
   arena_->Unref();
 }
 
 RowView PartitionVersion::Find(EntityId entity) const {
+  // Cold versions carry no point index; VersionedTable::Get falls back to
+  // a chain scan for them.
+  if (cold_chain_ != nullptr) return RowView();
   if (row_count_ == 0) return RowView();
   uint32_t h = static_cast<uint32_t>(MixEntity(entity)) & index_mask_;
   for (;;) {

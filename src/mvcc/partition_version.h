@@ -2,11 +2,13 @@
 #define CINDERELLA_MVCC_PARTITION_VERSION_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "common/arena.h"
 #include "core/partition.h"
+#include "storage/cold_tier.h"
 #include "storage/row.h"
 #include "synopsis/synopsis.h"
 #include "synopsis/synopsis_tree.h"
@@ -89,7 +91,16 @@ class PartitionVersion {
   /// Packs the partition's current state into `arena` and takes one
   /// arena reference. Must be called while the catalog is quiescent (the
   /// publisher's lock).
-  PartitionVersion(const Partition& partition, Arena* arena);
+  ///
+  /// A *cold* partition (rows evicted to a page chain) yields a cold
+  /// version: the synopsis, carrier counts, and size totals are packed
+  /// into the arena as usual — pruning and estimation stay I/O-free —
+  /// but no rows, cells, or point index are materialized. The version
+  /// instead shares ownership of the partition's ColdChain (keeping its
+  /// pages alive for snapshot readers even across a later fault-in or
+  /// re-spill) and remembers `tier` so scans can fetch the chain.
+  PartitionVersion(const Partition& partition, Arena* arena,
+                   const ColdTier* tier = nullptr);
 
   ~PartitionVersion();
 
@@ -99,8 +110,25 @@ class PartitionVersion {
   PartitionId id() const { return id_; }
 
   size_t entity_count() const { return row_count_; }
-  uint64_t cell_count() const { return cell_total_; }
+  uint64_t cell_count() const {
+    // Cold versions pack no cells; the logical count lives in the chain.
+    return cold_chain_ != nullptr ? cold_chain_->cells : cell_total_;
+  }
   uint64_t byte_size() const { return byte_size_; }
+
+  /// True when this version's rows live in a cold page chain. Cold
+  /// versions answer entity_count/byte_size/synopsis/carrier queries from
+  /// memory; packed_rows/cell_data/row/ForEachRow must not be called on
+  /// them (scan through cold_tier()->ReadChain(*cold_chain(), ...)), and
+  /// Find returns an invalid view (no point index — the table facade
+  /// falls back to a chain scan).
+  bool cold() const { return cold_chain_ != nullptr; }
+
+  /// The shared page chain backing a cold version (nullptr when hot).
+  const ColdChain* cold_chain() const { return cold_chain_.get(); }
+
+  /// The tier to read the chain through (nullptr when hot).
+  const ColdTier* cold_tier() const { return tier_; }
 
   /// Row headers in the segment's scan order at capture time.
   const PackedRow* packed_rows() const { return rows_; }
@@ -168,6 +196,8 @@ class PartitionVersion {
   uint64_t byte_size_ = 0;
   size_t arena_bytes_ = 0;
   ShellPool* shell_pool_ = nullptr;
+  std::shared_ptr<const ColdChain> cold_chain_;  // Null when hot.
+  const ColdTier* tier_ = nullptr;
 };
 
 /// One immutable generation of the whole catalog: an ascending-id array

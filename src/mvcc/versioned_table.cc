@@ -87,11 +87,27 @@ VersionedTable::Snapshot VersionedTable::snapshot() const {
 StatusOr<Row> VersionedTable::Get(EntityId entity) const {
   Snapshot snap = snapshot();
   const RowView row = snap.view().Find(entity);
-  if (!row.valid()) {
-    return Status::NotFound("entity " + std::to_string(entity) +
-                            " not in table");
+  if (row.valid()) {
+    return row.ToRow();  // Copy before the snapshot (and its pin) is released.
   }
-  return row.ToRow();  // Copy before the snapshot (and its pin) is released.
+  // Cold versions carry no point index; scan their (snapshot-pinned) page
+  // chains. The shared chain keeps the pages alive even if the live
+  // partition was faulted hot or re-spilled since this view published.
+  for (const PartitionVersion* version : snap.view().partitions()) {
+    if (!version->cold()) continue;
+    Row found;
+    bool hit = false;
+    CINDERELLA_RETURN_IF_ERROR(version->cold_tier()->ReadChain(
+        *version->cold_chain(), [&](Row&& candidate) {
+          if (candidate.id() == entity) {
+            found = std::move(candidate);
+            hit = true;
+          }
+        }));
+    if (hit) return found;
+  }
+  return Status::NotFound("entity " + std::to_string(entity) +
+                          " not in table");
 }
 
 size_t VersionedTable::entity_count() const {
@@ -114,6 +130,13 @@ VersionedTable::MemoryStats VersionedTable::memory_stats() const {
     stats.live_versions = snap.view().partition_count();
     for (const PartitionVersion* version : snap.view().partitions()) {
       stats.view_bytes += version->arena_bytes();
+      if (version->cold()) {
+        ++stats.cold_versions;
+        stats.cold_bytes += version->cold_chain()->bytes;
+        stats.cold_pages += version->cold_chain()->pages;
+      } else {
+        ++stats.hot_versions;
+      }
     }
   }
   stats.retired_objects = epochs_.retired_count();
@@ -270,12 +293,40 @@ void VersionedTable::RefreshView() {
   RebuildViewLocked();
 }
 
+Status VersionedTable::SpillPartitions(const std::vector<PartitionId>& ids,
+                                       size_t* spilled) {
+  if (spilled != nullptr) *spilled = 0;
+  if (cinderella_->cold_tier() == nullptr) {
+    return Status::FailedPrecondition("no cold tier attached");
+  }
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  size_t count = 0;
+  Status status = Status::OK();
+  for (const PartitionId id : ids) {
+    // Plans are made on pinned snapshots; a partition may have been
+    // dropped, emptied, or already spilled since — skip, never fail.
+    const Partition* partition = cinderella_->catalog().GetPartition(id);
+    if (partition == nullptr || partition->cold() ||
+        partition->entity_count() == 0) {
+      continue;
+    }
+    status = cinderella_->SpillPartition(id);
+    if (!status.ok()) break;
+    ++count;
+  }
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  PublishLocked();
+  if (spilled != nullptr) *spilled = count;
+  return status;
+}
+
 // -- Publication --------------------------------------------------------------
 
 const PartitionVersion* VersionedTable::MakeVersionLocked(
     const Partition& partition, Arena* arena) {
   void* storage = version_pool_.Acquire(sizeof(PartitionVersion));
-  auto* version = new (storage) PartitionVersion(partition, arena);
+  auto* version =
+      new (storage) PartitionVersion(partition, arena, cinderella_->cold_tier());
   version->shell_pool_ = &version_pool_;
   return version;
 }
@@ -417,7 +468,11 @@ void VersionedTable::RebuildViewLocked() {
   const PartitionCatalog& catalog = cinderella_->catalog();
   view->partitions_.reserve(catalog.partition_count());
   Arena* arena = nullptr;
-  if (query_tree_ != nullptr) query_tree_->Clear();
+  // Full rebuilds regenerate the tree bulk-bottom-up: one union per
+  // internal node instead of a re-OR spine per leaf. The leaf synopsis
+  // pointers reference the live partitions, valid for the whole pass.
+  std::vector<std::pair<uint64_t, const Synopsis*>> leaves;
+  if (query_tree_ != nullptr) leaves.reserve(catalog.partition_count());
   catalog.ForEachPartition([&](const Partition& partition) {
     // Same invariant as PublishLocked: views never carry empty versions.
     if (partition.entity_count() == 0) return;
@@ -425,10 +480,11 @@ void VersionedTable::RebuildViewLocked() {
     const PartitionVersion* version = MakeVersionLocked(partition, arena);
     view->partitions_.push_back(version);
     if (query_tree_ != nullptr) {
-      const SynopsisSpan span = version->attribute_synopsis();
-      query_tree_->UpsertWords(partition.id(), span.words, span.num_words);
+      leaves.emplace_back(partition.id(),
+                          &partition.attribute_refcounts().synopsis());
     }
   });
+  if (query_tree_ != nullptr) query_tree_->BulkBuild(std::move(leaves));
   view->entity_count_ = catalog.entity_count();
   if (query_tree_ != nullptr) view->tree_ = query_tree_->Share();
 

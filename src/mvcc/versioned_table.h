@@ -198,6 +198,14 @@ class VersionedTable {
   /// the underlying partitioner outside the facade.
   void RefreshView();
 
+  /// Spills the given partitions to the partitioner's cold tier and
+  /// publishes the residency change as one view (the tuner's evict-idle
+  /// apply path). Already-cold, since-dropped, and empty partitions are
+  /// skipped; *spilled (when non-null) receives the number evicted.
+  /// FailedPrecondition when no cold tier is attached.
+  Status SpillPartitions(const std::vector<PartitionId>& ids,
+                         size_t* spilled = nullptr);
+
   // -- Introspection --------------------------------------------------------
 
   Cinderella& partitioner() { return *cinderella_; }
@@ -211,6 +219,10 @@ class VersionedTable {
     uint64_t generation = 0;
     size_t live_versions = 0;    // Versions in the current view.
     size_t view_bytes = 0;       // Arena bytes those versions consume.
+    size_t hot_versions = 0;     // Versions with arena-packed rows.
+    size_t cold_versions = 0;    // Versions backed by cold page chains.
+    uint64_t cold_bytes = 0;     // Logical row bytes resident in chains.
+    uint64_t cold_pages = 0;     // Pages those chains occupy.
     size_t retired_objects = 0;  // Awaiting epoch reclamation.
     uint64_t reclaimed_objects = 0;
     ArenaPool::Stats arenas;

@@ -2,6 +2,7 @@
 #define CINDERELLA_PAGESTORE_PAGED_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -35,8 +36,12 @@ class PagedStore {
  public:
   /// `pool` must be constructed over `pager`; the store allocates and
   /// frees pages through the pager and reads/writes them through the
-  /// pool.
-  PagedStore(Pager* pager, BufferPool* pool);
+  /// pool. With `track_entities` false the per-entity index is not
+  /// maintained: Insert skips the duplicate-id check (the same entity may
+  /// appear in several chains) and Delete/Lookup are unavailable — the
+  /// mode the cold tier uses, where chains are dropped wholesale and the
+  /// hot engine owns entity identity.
+  PagedStore(Pager* pager, BufferPool* pool, bool track_entities = true);
 
   PagedStore(const PagedStore&) = delete;
   PagedStore& operator=(const PagedStore&) = delete;
@@ -46,9 +51,14 @@ class PagedStore {
   /// Returns the store-local partition index.
   StatusOr<size_t> AddPartition(const Partition& partition);
 
-  /// Creates an empty partition with an explicit synopsis (for direct
-  /// use without an in-memory catalog).
+  /// Creates an empty partition, reusing the slot of a dropped partition
+  /// when one exists.
   size_t AddEmptyPartition();
+
+  /// Frees every page of partition `index` and retires its slot for reuse
+  /// by AddEmptyPartition. Entity-index entries pointing into the chain
+  /// are erased.
+  Status DropPartition(size_t index);
 
   /// Appends a row to partition `index`, growing its chain as needed and
   /// updating its synopsis.
@@ -56,24 +66,48 @@ class PagedStore {
 
   /// Tombstones an entity's row. The synopsis is *not* shrunk (a
   /// conservative over-approximation, like real systems' stale catalog
-  /// stats); call Vacuum() to compact pages and rebuild synopses.
+  /// stats); once the chain's tombstone ratio reaches vacuum_threshold()
+  /// the chain is compacted and its synopsis rebuilt automatically.
   Status Delete(EntityId entity);
 
   /// Point lookup via the in-memory entity index.
   StatusOr<Row> Lookup(EntityId entity);
 
+  /// Streams the live rows of partition `index`, in chain order, into
+  /// `fn`.
+  Status ForEachRow(size_t index, const std::function<void(Row&&)>& fn);
+
   /// Executes an attribute-set query with synopsis pruning; rows of
   /// non-pruned partitions are decoded and matched.
   StatusOr<PagedScanResult> ExecuteQuery(const Query& query);
 
+  /// Compacts one chain (dropping tombstones), frees its surplus pages,
+  /// and recomputes its synopsis.
+  Status VacuumChain(size_t index);
+
   /// Compacts every page (dropping tombstones) and recomputes synopses.
   Status Vacuum();
 
+  /// Tombstone ratio (tombstones / stored slots, per chain) at which
+  /// Delete triggers an automatic VacuumChain. <= 0 disables the
+  /// trigger. Default 0.5.
+  double vacuum_threshold() const { return vacuum_threshold_; }
+  void set_vacuum_threshold(double ratio) { vacuum_threshold_ = ratio; }
+
+  /// Partition slots, including dropped ones awaiting reuse.
   size_t partition_count() const { return partitions_.size(); }
   uint64_t entity_count() const { return entity_index_.size(); }
 
+  bool PartitionDropped(size_t index) const;
+
   /// Pages used by partition `index`.
   size_t PartitionPageCount(size_t index) const;
+
+  /// Live (non-tombstoned) rows stored in partition `index`.
+  uint64_t PartitionRowCount(size_t index) const;
+
+  /// Tombstoned slots in partition `index` (reset by vacuum).
+  uint64_t PartitionTombstoneCount(size_t index) const;
 
   const Synopsis& PartitionSynopsis(size_t index) const;
 
@@ -81,6 +115,9 @@ class PagedStore {
   struct PartitionChain {
     std::vector<PageId> pages;
     Synopsis synopsis;
+    uint64_t live_rows = 0;
+    uint64_t tombstones = 0;
+    bool dropped = false;
   };
   struct RowLocation {
     size_t partition;
@@ -90,11 +127,15 @@ class PagedStore {
 
   Status AppendToChain(PartitionChain& chain, size_t partition_index,
                        const Row& row);
+  Status FreeChainPages(PartitionChain& chain);
 
   Pager* pager_;
   BufferPool* pool_;
   PageCodec codec_;
+  bool track_entities_;
+  double vacuum_threshold_ = 0.5;
   std::vector<PartitionChain> partitions_;
+  std::vector<size_t> free_slots_;
   std::unordered_map<EntityId, RowLocation> entity_index_;
 };
 

@@ -38,16 +38,7 @@ bool TryTreePrune(const CatalogView* view, const Synopsis& probe,
         // (ascending) version array.
         skip_until(key);
         if (i < parts.size() && parts[i]->id() == key) {
-          const PartitionVersion& version = *parts[i++];
-          ScanSource source;
-          source.partition = version.id();
-          source.synopsis = version.attribute_synopsis();
-          source.packed_rows = version.packed_rows();
-          source.packed_cells = version.cell_data();
-          source.entities = version.entity_count();
-          source.cells = version.cell_count();
-          source.bytes = version.byte_size();
-          sources->push_back(source);
+          sources->push_back(MakeVersionSource(*parts[i++]));
         }
       });
   skip_until(UINT64_MAX);
@@ -86,6 +77,7 @@ ThreadPool* QueryExecutor::pool() {
 QueryResult QueryExecutor::ScanMatchingRows(const Predicate& predicate) {
   QueryResult result;
   match_buffer_.clear();
+  cold_keepalive_.clear();
   Synopsis pruning;
   const bool prunable = predicate.PruningSynopsis(&pruning);
   const bool observe = observer_ != nullptr;
@@ -140,6 +132,14 @@ QueryResult QueryExecutor::ScanMatchingRows(const Predicate& predicate) {
     }
     if (observe) MergeTouches(std::move(out.touches), &touches);
   });
+  // match_buffer_ views into chain-fetched cold rows must outlive the
+  // sources (ScanMatches consumes the buffer after this returns); keep
+  // the fetched deques until the next scan.
+  for (ScanSource& source : sources) {
+    if (source.cold_rows != nullptr) {
+      cold_keepalive_.push_back(std::move(source.cold_rows));
+    }
+  }
   if (observe) {
     MergeSkippedTouches(tree_skipped, &touches);
     observer_->OnScan(pruning, touches);

@@ -2,6 +2,7 @@
 #define CINDERELLA_QUERY_EXECUTOR_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "query/parser.h"
 #include "query/predicate.h"
 #include "query/query.h"
+#include "storage/row.h"
 #include "storage/value.h"
 
 namespace cinderella {
@@ -189,6 +191,10 @@ class QueryExecutor {
   // Reused scratch buffers (cleared per query).
   std::vector<RowView> match_buffer_;
   std::vector<Value> result_buffer_;
+  // Rows fetched from cold page chains during the last predicate scan;
+  // match_buffer_ views borrow from them, so they live until the next
+  // scan clears both.
+  std::vector<std::shared_ptr<std::deque<Row>>> cold_keepalive_;
 };
 
 /// A predicate query result whose matched rows are owned copies, safe to

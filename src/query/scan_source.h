@@ -1,13 +1,17 @@
 #ifndef CINDERELLA_QUERY_SCAN_SOURCE_H_
 #define CINDERELLA_QUERY_SCAN_SOURCE_H_
 
+#include <deque>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/thread_pool.h"
 #include "core/catalog.h"
 #include "mvcc/partition_version.h"
 #include "query/executor.h"
+#include "storage/cold_tier.h"
 #include "storage/row.h"
 #include "synopsis/synopsis.h"
 
@@ -25,10 +29,20 @@ namespace cinderella {
 struct ScanSource {
   PartitionId partition = 0;  // Catalog partition id (tuner attribution).
   SynopsisSpan synopsis;      // Pruning synopsis.
-  // Exactly one layout is set per source.
+  // Exactly one layout is set per source: live catalog rows, packed MVCC
+  // rows, or a cold page chain.
   const std::vector<Row>* live_rows = nullptr;
   const PartitionVersion::PackedRow* packed_rows = nullptr;
   const Row::Cell* packed_cells = nullptr;
+  // Cold source: rows live in a page chain and are only fetched when the
+  // scan actually reads them — a pruned cold partition costs zero I/O.
+  // Fetched rows park in *cold_rows (deque: stable addresses), so the
+  // RowViews the scan yields stay valid for as long as the deque is kept
+  // alive; consumers that hold views past the scan retain the shared_ptr
+  // (see QueryExecutor::cold_keepalive_).
+  const ColdChain* cold_chain = nullptr;
+  const ColdTier* cold_tier = nullptr;
+  std::shared_ptr<std::deque<Row>> cold_rows;
   size_t entities = 0;
   uint64_t cells = 0;
   uint64_t bytes = 0;
@@ -39,12 +53,45 @@ struct ScanSource {
       for (const Row& row : *live_rows) fn(RowView(row));
       return;
     }
+    if (cold_chain != nullptr) {
+      if (cold_rows->empty()) {
+        // A chain read can only fail on store corruption; scans have no
+        // status channel, so treat that as fatal rather than silently
+        // returning a truncated result.
+        const Status read = cold_tier->ReadChain(
+            *cold_chain,
+            [&](Row&& row) { cold_rows->push_back(std::move(row)); });
+        CINDERELLA_CHECK(read.ok());
+      }
+      for (const Row& row : *cold_rows) fn(RowView(row));
+      return;
+    }
     for (size_t i = 0; i < entities; ++i) {
       const PartitionVersion::PackedRow& row = packed_rows[i];
       fn(RowView(row.id, packed_cells + row.cell_begin, row.cell_count));
     }
   }
 };
+
+/// Builds the scan source for one MVCC version. A cold version's source
+/// carries its page chain instead of packed rows.
+inline ScanSource MakeVersionSource(const PartitionVersion& version) {
+  ScanSource source;
+  source.partition = version.id();
+  source.synopsis = version.attribute_synopsis();
+  source.entities = version.entity_count();
+  source.cells = version.cell_count();
+  source.bytes = version.byte_size();
+  if (version.cold()) {
+    source.cold_chain = version.cold_chain();
+    source.cold_tier = version.cold_tier();
+    source.cold_rows = std::make_shared<std::deque<Row>>();
+  } else {
+    source.packed_rows = version.packed_rows();
+    source.packed_cells = version.cell_data();
+  }
+  return source;
+}
 
 inline void AppendSources(const PartitionCatalog& catalog,
                           std::vector<ScanSource>* sources) {
@@ -53,10 +100,22 @@ inline void AppendSources(const PartitionCatalog& catalog,
     ScanSource source;
     source.partition = partition.id();
     source.synopsis = partition.attribute_synopsis().span();
-    source.live_rows = &partition.segment().rows();
     source.entities = partition.entity_count();
-    source.cells = partition.segment().cell_count();
-    source.bytes = partition.segment().byte_size();
+    if (partition.cold()) {
+      // Cold live partition: segment is empty; scan through the chain.
+      // Live-catalog scans run under the table's external serialization,
+      // so the partition cannot fault in mid-scan.
+      const ColdChain& chain = *partition.cold_chain();
+      source.cold_chain = &chain;
+      source.cold_tier = chain.tier;
+      source.cold_rows = std::make_shared<std::deque<Row>>();
+      source.cells = chain.cells;
+      source.bytes = chain.bytes;
+    } else {
+      source.live_rows = &partition.segment().rows();
+      source.cells = partition.segment().cell_count();
+      source.bytes = partition.segment().byte_size();
+    }
     sources->push_back(source);
   });
 }
@@ -65,15 +124,7 @@ inline void AppendSources(const CatalogView& view,
                           std::vector<ScanSource>* sources) {
   sources->reserve(view.partition_count());
   view.ForEachPartition([&](const PartitionVersion& version) {
-    ScanSource source;
-    source.partition = version.id();
-    source.synopsis = version.attribute_synopsis();
-    source.packed_rows = version.packed_rows();
-    source.packed_cells = version.cell_data();
-    source.entities = version.entity_count();
-    source.cells = version.cell_count();
-    source.bytes = version.byte_size();
-    sources->push_back(source);
+    sources->push_back(MakeVersionSource(version));
   });
 }
 

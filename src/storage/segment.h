@@ -50,6 +50,18 @@ class Segment {
   /// Live rows in scan order.
   const std::vector<Row>& rows() const { return rows_; }
 
+  /// Moves every row out and resets the segment to empty (index and size
+  /// totals cleared). The spill path uses this to discard a partition's
+  /// hot storage after its rows were written to a cold page chain.
+  std::vector<Row> TakeAll() {
+    std::vector<Row> rows = std::move(rows_);
+    rows_.clear();
+    index_.clear();
+    cell_count_ = 0;
+    byte_size_ = 0;
+    return rows;
+  }
+
  private:
   std::vector<Row> rows_;
   std::unordered_map<EntityId, size_t> index_;

@@ -1,0 +1,252 @@
+#include "storage/tiered_store.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace cinderella {
+
+TieredStoreOptions TieredStoreOptions::FromEnv(TieredStoreOptions base) {
+  if (base.page_size == 0) {
+    base.page_size = static_cast<size_t>(
+        Int64FromEnv("CINDERELLA_SPILL_PAGE_SIZE", 8192));
+  }
+  if (base.pool_frames == 0) {
+    base.pool_frames = static_cast<size_t>(
+        Int64FromEnv("CINDERELLA_SPILL_POOL_FRAMES", 64));
+  }
+  if (base.budget_bytes == 0) {
+    base.budget_bytes = static_cast<uint64_t>(
+        Int64FromEnv("CINDERELLA_SPILL_BUDGET_BYTES", 0));
+  }
+  if (base.min_idle == 0) {
+    base.min_idle =
+        static_cast<uint64_t>(Int64FromEnv("CINDERELLA_SPILL_MIN_IDLE", 2));
+  }
+  return base;
+}
+
+TieredStore::TieredStore(TieredStoreOptions options,
+                         std::unique_ptr<Pager> pager)
+    : options_(std::move(options)),
+      registry_(std::make_shared<Registry>()),
+      pager_(std::move(pager)),
+      pool_(std::make_unique<BufferPool>(pager_.get(), options_.pool_frames)),
+      store_(std::make_unique<PagedStore>(pager_.get(), pool_.get(),
+                                          /*track_entities=*/false)) {
+  registry_->store = this;
+}
+
+StatusOr<std::unique_ptr<TieredStore>> TieredStore::Open(
+    TieredStoreOptions options) {
+  options = TieredStoreOptions::FromEnv(std::move(options));
+  if (options.path.empty()) {
+    return Status::InvalidArgument("tiered store needs a backing path");
+  }
+  if (options.pool_frames < 2) {
+    return Status::InvalidArgument("pool_frames must be >= 2");
+  }
+  StatusOr<std::unique_ptr<Pager>> pager =
+      Pager::Open(options.path, options.page_size, /*truncate=*/true);
+  CINDERELLA_RETURN_IF_ERROR(pager.status());
+  return std::unique_ptr<TieredStore>(
+      new TieredStore(std::move(options), std::move(pager).value()));
+}
+
+TieredStore::~TieredStore() {
+  // Chains released after this point must not touch the dead store.
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  registry_->store = nullptr;
+}
+
+StatusOr<std::shared_ptr<const ColdChain>> TieredStore::WriteChain(
+    const std::vector<Row>& rows) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("cannot spill an empty partition");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t index = store_->AddEmptyPartition();
+  uint64_t cells = 0;
+  uint64_t bytes = 0;
+  EntityId representative = std::numeric_limits<EntityId>::max();
+  for (const Row& row : rows) {
+    const Status inserted = store_->Insert(index, row);
+    if (!inserted.ok()) {
+      // Roll the half-written chain back; the partition stays hot.
+      (void)store_->DropPartition(index);
+      return inserted;
+    }
+    cells += row.attribute_count();
+    bytes += row.byte_size();
+    representative = std::min(representative, row.id());
+  }
+  auto* chain = new ColdChain;
+  chain->store_index = index;
+  chain->representative = representative;
+  chain->entities = rows.size();
+  chain->cells = cells;
+  chain->bytes = bytes;
+  chain->pages = static_cast<uint32_t>(store_->PartitionPageCount(index));
+  chain->tier = this;
+  ++chains_;
+  ++chains_written_;
+  cold_entities_ += chain->entities;
+  cold_bytes_ += chain->bytes;
+  cold_pages_ += chain->pages;
+  // The deleter holds the registry weakly through shared ownership of the
+  // registry object itself: if the tier died first, `store` is null and
+  // only the descriptor is freed (its pages died with the tier's file).
+  std::shared_ptr<Registry> registry = registry_;
+  return std::shared_ptr<const ColdChain>(
+      chain, [registry](const ColdChain* dead) {
+        {
+          std::lock_guard<std::mutex> lock(registry->mu);
+          if (registry->store != nullptr) registry->store->DropChain(*dead);
+        }
+        delete dead;
+      });
+}
+
+Status TieredStore::ReadChain(const ColdChain& chain,
+                              const std::function<void(Row&&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->ForEachRow(chain.store_index, fn);
+}
+
+void TieredStore::DropChain(const ColdChain& chain) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Status dropped = store_->DropPartition(chain.store_index);
+  CINDERELLA_CHECK(dropped.ok());
+  CINDERELLA_CHECK(chains_ > 0);
+  --chains_;
+  ++chains_dropped_;
+  cold_entities_ -= chain.entities;
+  cold_bytes_ -= chain.bytes;
+  cold_pages_ -= chain.pages;
+}
+
+Status TieredStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CINDERELLA_RETURN_IF_ERROR(pool_->FlushAll());
+  return pager_->Flush();
+}
+
+TieredStoreStats TieredStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TieredStoreStats stats;
+  stats.chains = chains_;
+  stats.cold_entities = cold_entities_;
+  stats.cold_bytes = cold_bytes_;
+  stats.cold_pages = cold_pages_;
+  stats.chains_written = chains_written_;
+  stats.chains_dropped = chains_dropped_;
+  stats.pool = pool_->stats();
+  stats.pager_pages_read = pager_->pages_read();
+  stats.pager_pages_written = pager_->pages_written();
+  stats.file_pages = pager_->page_count();
+  stats.free_pages = pager_->free_page_count();
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// TierController.
+// ---------------------------------------------------------------------------
+
+TierController::TierController(Cinderella* engine,
+                               TierControllerOptions options)
+    : engine_(engine), options_(options) {
+  CINDERELLA_CHECK(engine_ != nullptr);
+  engine_->AddMutationListener(&listener_);
+}
+
+TierController::~TierController() {
+  engine_->RemoveMutationListener(&listener_);
+}
+
+void TierController::AbsorbMutations() {
+  for (PartitionId id : listener_.touched) last_touch_[id] = tick_;
+  for (PartitionId id : listener_.created) last_touch_[id] = tick_;
+  for (PartitionId id : listener_.dropped) last_touch_.erase(id);
+  listener_.touched.clear();
+  listener_.created.clear();
+  listener_.dropped.clear();
+}
+
+uint64_t TierController::HotBytes() const {
+  uint64_t bytes = 0;
+  engine_->catalog().ForEachPartition([&](const Partition& partition) {
+    if (!partition.cold()) bytes += partition.Size(SizeMeasure::kByteSize);
+  });
+  return bytes;
+}
+
+StatusOr<size_t> TierController::EvaluateAndSpill() {
+  ++tick_;
+  AbsorbMutations();
+  if (options_.budget_bytes == 0 || engine_->cold_tier() == nullptr) {
+    return static_cast<size_t>(0);
+  }
+  uint64_t hot_bytes = HotBytes();
+  if (hot_bytes <= options_.budget_bytes) return static_cast<size_t>(0);
+
+  // Victim order: least query activity first, then least-recently touched,
+  // then lowest id (deterministic across runs).
+  struct Victim {
+    PartitionId id;
+    double activity;
+    uint64_t last_touch;
+    uint64_t bytes;
+  };
+  std::vector<Victim> victims;
+  engine_->catalog().ForEachPartition([&](const Partition& partition) {
+    if (partition.cold() || partition.entity_count() == 0) return;
+    const auto it = last_touch_.find(partition.id());
+    // Untracked partitions predate the controller: maximally idle.
+    const uint64_t touched = it == last_touch_.end() ? 0 : it->second;
+    if (tick_ - touched < options_.min_idle) return;
+    victims.push_back(Victim{
+        partition.id(),
+        probe_ ? probe_(partition.id()) : 0.0,
+        touched,
+        partition.Size(SizeMeasure::kByteSize),
+    });
+  });
+  std::sort(victims.begin(), victims.end(), [](const Victim& a,
+                                               const Victim& b) {
+    if (a.activity != b.activity) return a.activity < b.activity;
+    if (a.last_touch != b.last_touch) return a.last_touch < b.last_touch;
+    return a.id < b.id;
+  });
+
+  size_t spilled = 0;
+  for (const Victim& victim : victims) {
+    if (hot_bytes <= options_.budget_bytes) break;
+    CINDERELLA_RETURN_IF_ERROR(engine_->SpillPartition(victim.id));
+    hot_bytes -= std::min(hot_bytes, victim.bytes);
+    ++spilled;
+  }
+  return spilled;
+}
+
+StatusOr<size_t> TierController::SpillPartitions(
+    const std::vector<PartitionId>& ids) {
+  if (engine_->cold_tier() == nullptr) {
+    return Status::FailedPrecondition("no cold tier attached");
+  }
+  size_t spilled = 0;
+  for (PartitionId id : ids) {
+    const Partition* partition = engine_->catalog().GetPartition(id);
+    if (partition == nullptr || partition->cold() ||
+        partition->entity_count() == 0) {
+      continue;
+    }
+    CINDERELLA_RETURN_IF_ERROR(engine_->SpillPartition(id));
+    ++spilled;
+  }
+  return spilled;
+}
+
+}  // namespace cinderella

@@ -1,5 +1,6 @@
 #include "synopsis/synopsis_tree.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <utility>
 
@@ -250,6 +251,48 @@ void SynopsisTree::Remove(uint64_t key) {
 void SynopsisTree::Clear() {
   root_ = nullptr;
   height_ = 0;
+}
+
+SynopsisTree::NodePtr SynopsisTree::BuildSubtree(
+    size_t height, uint64_t base,
+    const std::vector<std::pair<uint64_t, const Synopsis*>>& leaves,
+    size_t* pos) {
+  if (*pos >= leaves.size()) return nullptr;
+  if (height == 0) {
+    if (leaves[*pos].first != base) return nullptr;
+    NodePtr leaf = std::make_shared<SynopsisTreeNode>();
+    leaf->set = *leaves[*pos].second;
+    leaf->live = 1;
+    ++*pos;
+    return leaf;
+  }
+  const uint64_t span = Pow(fanout_, height - 1);
+  const uint64_t limit = base + span * fanout_;
+  NodePtr node = std::make_shared<SynopsisTreeNode>();
+  node->children.resize(fanout_);
+  while (*pos < leaves.size() && leaves[*pos].first < limit) {
+    const size_t index = static_cast<size_t>((leaves[*pos].first - base) / span);
+    NodePtr child =
+        BuildSubtree(height - 1, base + index * span, leaves, pos);
+    if (child == nullptr) break;  // Defensive; cannot happen on sorted keys.
+    node->live += child->live;
+    node->set.UnionWith(child->set);
+    node->children[index] = std::move(child);
+  }
+  return node->live > 0 ? node : nullptr;
+}
+
+void SynopsisTree::BulkBuild(
+    std::vector<std::pair<uint64_t, const Synopsis*>> leaves) {
+  Clear();
+  if (leaves.empty()) return;
+  std::sort(leaves.begin(), leaves.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  stats_.upserts += leaves.size();
+  height_ = 1;
+  while (leaves.back().first >= Capacity()) ++height_;
+  size_t pos = 0;
+  root_ = BuildSubtree(height_, 0, leaves, &pos);
 }
 
 SynopsisTreeSnapshot SynopsisTree::Share() {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "synopsis/synopsis.h"
@@ -170,6 +171,15 @@ class SynopsisTree {
   /// re-OR-ed. An emptied tree resets to the empty state.
   void Remove(uint64_t key);
 
+  /// Replaces the whole tree in one bottom-up pass from (key, synopsis)
+  /// leaf pairs (keys must be distinct; the pointers must stay valid for
+  /// the duration of the call). Produces the identical tree a Clear()
+  /// followed by one Upsert per pair would, but computes each internal
+  /// union once instead of re-OR-ing per leaf — O(total leaf words)
+  /// instead of O(leaves · height). Snapshot load and full view rebuilds
+  /// use this.
+  void BulkBuild(std::vector<std::pair<uint64_t, const Synopsis*>> leaves);
+
   /// Drops every leaf and resets to the empty state. Counters survive.
   void Clear();
 
@@ -223,6 +233,15 @@ class SynopsisTree {
   /// Returns an exclusively-owned clone-or-self of `node` (clones when the
   /// node is shared with a snapshot).
   NodePtr Exclusive(const NodePtr& node);
+
+  /// Recursive worker of BulkBuild: builds the subtree at `height`
+  /// covering keys [base, base + fanout^height), consuming the sorted
+  /// leaves at *pos that fall inside the range. Returns nullptr for an
+  /// empty range.
+  NodePtr BuildSubtree(
+      size_t height, uint64_t base,
+      const std::vector<std::pair<uint64_t, const Synopsis*>>& leaves,
+      size_t* pos);
 
   /// Rebuilds an internal node's set as the OR of its children.
   void ReOr(SynopsisTreeNode* node);

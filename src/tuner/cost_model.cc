@@ -60,6 +60,10 @@ std::vector<RepartitionPlan> TunerCostModel::Score(
   candidates.reserve(view.partition_count());
   size_t cursor = 0;
   view.ForEachPartition([&](const PartitionVersion& version) {
+    // Cold (spilled) partitions are not repartitioning candidates: their
+    // rows already left the hot path, and harvesting their entities would
+    // cost chain I/O. They rejoin planning if a mutation faults them hot.
+    if (version.cold()) return;
     Candidate candidate;
     candidate.version = &version;
     candidate.size = VersionSize(version, measure_);

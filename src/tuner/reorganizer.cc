@@ -69,6 +69,11 @@ bool Reorganizer::running() const {
   return running_;
 }
 
+void Reorganizer::set_spill_hook(SpillHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spill_hook_ = std::move(hook);
+}
+
 void Reorganizer::ThreadMain() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
@@ -116,8 +121,10 @@ Reorganizer::TickReport Reorganizer::Tick() {
   report.efficiency = planning.efficiency;
 
   uint64_t tick_number = 0;
+  SpillHook spill;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    spill = spill_hook_;
     tick_number = ++stats_.ticks;
     stats_.plans_considered += plans.size();
     stats_.last_generation = generation;
@@ -149,6 +156,20 @@ Reorganizer::TickReport Reorganizer::Tick() {
         ++stats_.plans_skipped_cooldown;
         continue;
       }
+    }
+    if (plan.kind == RepartitionPlan::Kind::kEvictIdle && spill) {
+      // Tiered mode: demote the idle partitions instead of coalescing
+      // them — the rows leave memory for the cold tier. The plan's rows
+      // are written out once, so they charge the tick budget like a move.
+      const size_t spilled = spill(plan.partitions);
+      budget -= static_cast<int64_t>(plan.entities.size());
+      ++report.applied;
+      std::lock_guard<std::mutex> lock(mu_);
+      cooldown_[key] = tick_number;
+      ++stats_.plans_applied;
+      ++stats_.evictions_applied;
+      stats_.spills_applied += spilled;
+      continue;
     }
     VersionedTable::RepartitionResult moved;
     const Status status = table_->RepartitionEntities(plan.entities, &moved);

@@ -3,9 +3,11 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "mvcc/versioned_table.h"
 #include "tuner/cost_model.h"
@@ -46,6 +48,7 @@ struct TunerStats {
   uint64_t splits_applied = 0;
   uint64_t merges_applied = 0;
   uint64_t evictions_applied = 0;
+  uint64_t spills_applied = 0;  // Partitions spilled via the spill hook.
   uint64_t plans_deferred_budget = 0;   // Did not fit the tick's budget.
   uint64_t plans_skipped_cooldown = 0;  // Identical set applied recently.
   uint64_t rows_moved = 0;
@@ -123,6 +126,17 @@ class Reorganizer {
 
   const ReorganizerOptions& options() const { return options_; }
 
+  /// Tiered-storage bridge. When set, evict-idle plans demote their
+  /// partitions to the cold tier through this hook (typically
+  /// VersionedTable::SpillPartitions) instead of coalescing their rows
+  /// via drain+reinsert — the rows leave memory entirely rather than
+  /// being repacked into fewer hot partitions. The hook receives the
+  /// plan's partition ids and returns how many it actually spilled
+  /// (already-cold or vanished ids don't count). nullptr restores the
+  /// coalescing behavior.
+  using SpillHook = std::function<size_t(const std::vector<PartitionId>&)>;
+  void set_spill_hook(SpillHook hook);
+
  private:
   void ThreadMain();
   TickReport Tick();
@@ -141,6 +155,7 @@ class Reorganizer {
   bool running_ = false;
   bool stop_ = false;
   TunerStats stats_;
+  SpillHook spill_hook_;  // Guarded by mu_; copied per tick.
   /// plan fingerprint -> tick it was applied at.
   std::map<uint64_t, uint64_t> cooldown_;
 

@@ -70,6 +70,12 @@ void WorkloadTracker::Decay(double factor) {
   }
 }
 
+double WorkloadTracker::ActivityOf(PartitionId partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = partitions_.find(partition);
+  return it != partitions_.end() ? it->second.queries_scanned : 0.0;
+}
+
 WorkloadTracker::Snapshot WorkloadTracker::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;

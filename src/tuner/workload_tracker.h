@@ -99,6 +99,12 @@ class WorkloadTracker : public ScanObserver {
 
   Snapshot snapshot() const;
 
+  /// Decayed scan evidence for one partition — queries whose scan
+  /// actually read it; 0.0 when untracked. This is the tiering
+  /// controller's activity probe: lower values spill to the cold tier
+  /// first (see TierController::set_activity_probe).
+  double ActivityOf(PartitionId partition) const;
+
   void Clear();
 
  private:

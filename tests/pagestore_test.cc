@@ -362,6 +362,9 @@ TEST_F(PagedStoreTest, BuildFromCinderellaCatalog) {
 }
 
 TEST_F(PagedStoreTest, VacuumCompactsAndShrinksSynopsis) {
+  // Exercises the manual Vacuum() path: park the auto-vacuum threshold
+  // above any reachable tombstone ratio so deletes alone never compact.
+  store_->set_vacuum_threshold(1.5);
   const size_t p = store_->AddEmptyPartition();
   for (EntityId id = 0; id < 300; ++id) {
     ASSERT_TRUE(store_->Insert(p, MakeRow(id, {id % 2 == 0
@@ -383,6 +386,42 @@ TEST_F(PagedStoreTest, VacuumCompactsAndShrinksSynopsis) {
   auto row = store_->Lookup(2);
   ASSERT_TRUE(row.ok());  // Index rebuilt.
   EXPECT_GT(pager_->free_page_count(), 0u);
+}
+
+TEST_F(PagedStoreTest, AutoVacuumKeepsPruningExact) {
+  // Deletes must trigger compaction on their own once the tombstone ratio
+  // reaches the threshold — no manual Vacuum() — and the rebuilt synopsis
+  // must prune exactly: attribute 9 lives only on odd entities, so after
+  // the last odd delete (which tips the ratio to exactly 0.5) a query for
+  // it must prune the chain without fetching a single page.
+  store_->set_vacuum_threshold(0.5);
+  const size_t p = store_->AddEmptyPartition();
+  for (EntityId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(store_->Insert(p, MakeRow(id, {id % 2 == 0
+                                                   ? AttributeId{0}
+                                                   : AttributeId{9}}))
+                    .ok());
+  }
+  for (EntityId id = 1; id < 100; id += 2) {
+    ASSERT_TRUE(store_->Delete(id).ok());
+  }
+  // The 50th delete crossed the threshold and compacted automatically.
+  EXPECT_EQ(store_->PartitionTombstoneCount(p), 0u);
+  EXPECT_FALSE(store_->PartitionSynopsis(p).Contains(9));
+  EXPECT_GT(pager_->free_page_count(), 0u);
+
+  auto pruned = store_->ExecuteQuery(Query(Synopsis{9}));
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->partitions_pruned, 1u);
+  EXPECT_EQ(pruned->pages_fetched, 0u);
+  EXPECT_EQ(pruned->rows_matched, 0u);
+
+  // No live row was lost to compaction.
+  auto kept = store_->ExecuteQuery(Query(Synopsis{0}));
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->rows_matched, 50u);
+  EXPECT_TRUE(store_->Lookup(2).ok());
+  EXPECT_FALSE(store_->Lookup(1).ok());
 }
 
 TEST_F(PagedStoreTest, OversizedRowRejectedCleanly) {

@@ -26,7 +26,7 @@ done
 JOBS="${JOBS:-$(nproc)}"
 
 BENCHES=(micro_rating micro_insert micro_update micro_readers micro_scan
-         micro_groupby micro_tuner micro_net)
+         micro_groupby micro_tuner micro_net pagestore_pruning)
 
 echo "== bench-all: build =="
 cmake -B build -S .

@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -40,6 +41,7 @@
 #include "query/estimator.h"
 #include "query/executor.h"
 #include "query/parser.h"
+#include "storage/tiered_store.h"
 #include "tuner/reorganizer.h"
 #include "tuner/workload_tracker.h"
 #include "workload/dbpedia_generator.h"
@@ -82,11 +84,16 @@ int Usage() {
       "            come from CINDERELLA_TUNER_* env vars)\n"
       "            [--ops COLUMN]   (mixed op stream: the named CSV\n"
       "            column selects insert/update/delete per record)\n"
+      "            CINDERELLA_SPILL_BUDGET_BYTES>0 attaches a cold page\n"
+      "            tier; committed windows spill idle partitions to it\n"
       "            --snapshot FILE.snap   (bulk load via the batched\n"
       "            mutation pipeline; placements match `partition`)\n"
       "  stats     --snapshot FILE.snap [--nodes N]   (with --nodes,\n"
       "            also boot N loopback node servers and print the\n"
-      "            per-node stats the coordinator fetches over TCP)\n"
+      "            per-node stats the coordinator fetches over TCP;\n"
+      "            with CINDERELLA_SPILL_BUDGET_BYTES set, demote the\n"
+      "            idle tail to a cold page tier and report residency\n"
+      "            and buffer-pool hit rate)\n"
       "  query     --snapshot FILE.snap --attrs a,b,c\n"
       "  serve     --snapshot FILE.snap [--port P] [--threads N]\n"
       "            [--duration-ms T]   (host the table as one node\n"
@@ -246,6 +253,55 @@ int Load(const Args& args) {
     reorganizer->Start();
   }
 
+  // Tiered storage (opt-in via CINDERELLA_SPILL_BUDGET_BYTES): attach a
+  // cold tier backed by <snapshot>.pages and run the spill policy at
+  // every committed ingest window — the window commit is the spill
+  // boundary, so the MVCC publication closing the window already
+  // reflects the demotions. With --tune, probe traffic ranks partitions
+  // by activity and the reorganizer's evict-idle plans nominate
+  // partitions; the demotion itself always runs at the next boundary,
+  // under the same serialization as every other catalog mutation.
+  std::unique_ptr<TieredStore> tier;
+  std::unique_ptr<TierController> tier_controller;
+  std::mutex spill_request_mu;
+  std::vector<PartitionId> spill_requests;
+  {
+    TieredStoreOptions tier_options;
+    tier_options.path = snapshot + ".pages";
+    tier_options = TieredStoreOptions::FromEnv(std::move(tier_options));
+    if (tier_options.budget_bytes > 0) {
+      auto opened = TieredStore::Open(tier_options);
+      if (!opened.ok()) return Fail(opened.status());
+      tier = std::move(opened).value();
+      cinderella->set_cold_tier(tier.get());
+      tier_controller = std::make_unique<TierController>(
+          cinderella, TierControllerOptions{tier_options.budget_bytes,
+                                            tier_options.min_idle});
+      if (tune) {
+        tier_controller->set_activity_probe(
+            [&tracker](PartitionId id) { return tracker.ActivityOf(id); });
+      }
+      engine->set_spill_hook([&] {
+        std::vector<PartitionId> forced;
+        {
+          std::lock_guard<std::mutex> lock(spill_request_mu);
+          forced.swap(spill_requests);
+        }
+        if (!forced.empty()) (void)tier_controller->SpillPartitions(forced);
+        (void)tier_controller->EvaluateAndSpill();
+      });
+      if (reorganizer != nullptr) {
+        reorganizer->set_spill_hook(
+            [&](const std::vector<PartitionId>& ids) {
+              std::lock_guard<std::mutex> lock(spill_request_mu);
+              spill_requests.insert(spill_requests.end(), ids.begin(),
+                                    ids.end());
+              return ids.size();
+            });
+      }
+    }
+  }
+
   CsvOptions csv;
   csv.batch_rows = static_cast<size_t>(args.GetInt("batch", 1024));
   if (csv.batch_rows == 0) csv.batch_rows = 1;
@@ -260,6 +316,7 @@ int Load(const Args& args) {
     probe_thread.join();
   }
   if (reorganizer != nullptr) reorganizer->Stop();
+  if (tier != nullptr) engine->set_spill_hook(nullptr);
   if (!status.ok()) return Fail(status);
   const BatchInserter::Stats ingest = engine->stats();
   std::printf(
@@ -313,6 +370,34 @@ int Load(const Args& args) {
         tuner.last_efficiency,
         static_cast<unsigned long long>(tuner.last_generation),
         tuner.tracked_partitions, tuner.tracked_queries);
+    if (tuner.spills_applied > 0) {
+      std::printf("tuner: %llu partitions nominated for demotion\n",
+                  static_cast<unsigned long long>(tuner.spills_applied));
+    }
+  }
+  if (tier != nullptr) {
+    const TieredStoreStats ts = tier->stats();
+    const CinderellaStats& cs = cinderella->stats();
+    const uint64_t probes = ts.pool.hits + ts.pool.misses;
+    std::printf(
+        "tier: %llu cold chains (%llu entities, %.2f MiB, %llu pages) "
+        "after %llu spills / %llu faults; hot %.2f MiB vs budget %.2f MiB\n"
+        "tier: buffer pool %llu hits / %llu misses (%.1f%% hit rate), "
+        "%llu evictions\n",
+        static_cast<unsigned long long>(ts.chains),
+        static_cast<unsigned long long>(ts.cold_entities),
+        static_cast<double>(ts.cold_bytes) / (1024.0 * 1024.0),
+        static_cast<unsigned long long>(ts.cold_pages),
+        static_cast<unsigned long long>(cs.spills),
+        static_cast<unsigned long long>(cs.faults),
+        static_cast<double>(tier_controller->HotBytes()) / (1024.0 * 1024.0),
+        static_cast<double>(tier->options().budget_bytes) / (1024.0 * 1024.0),
+        static_cast<unsigned long long>(ts.pool.hits),
+        static_cast<unsigned long long>(ts.pool.misses),
+        probes > 0 ? 100.0 * static_cast<double>(ts.pool.hits) /
+                         static_cast<double>(probes)
+                   : 0.0,
+        static_cast<unsigned long long>(ts.pool.evictions));
   }
   status = SaveSnapshotToFile(*cinderella, table.dictionary(), snapshot);
   if (!status.ok()) return Fail(status);
@@ -375,6 +460,57 @@ int Stats(const Args& args) {
   std::printf("%s\n", c.name().c_str());
   std::printf("%s", AnalyzePartitioning(c.catalog()).ToString().c_str());
 
+  // Cold tier (opt-in via CINDERELLA_SPILL_BUDGET_BYTES): demote the
+  // restored table's idle tail to a page tier beside the snapshot, run
+  // one full hybrid scan through it, and report residency plus
+  // buffer-pool behavior. The spilled partitions are faulted back hot
+  // before the tier closes (below), so the remaining sections see the
+  // table exactly as an all-hot restore would.
+  std::unique_ptr<TieredStore> tier;
+  {
+    TieredStoreOptions tier_options;
+    tier_options.path = args.Get("snapshot") + ".pages";
+    tier_options = TieredStoreOptions::FromEnv(std::move(tier_options));
+    if (tier_options.budget_bytes > 0) {
+      auto opened = TieredStore::Open(tier_options);
+      if (!opened.ok()) return Fail(opened.status());
+      tier = std::move(opened).value();
+      c.set_cold_tier(tier.get());
+      TierController controller(
+          &c, TierControllerOptions{tier_options.budget_bytes, 0});
+      const StatusOr<size_t> spilled = controller.EvaluateAndSpill();
+      if (!spilled.ok()) return Fail(spilled.status());
+      // One match-all predicate scan: hot partitions read from their
+      // segments, cold ones fetch their chains through the buffer pool.
+      QueryExecutor executor(c.catalog(), 0);
+      const PredicatePtr match_all = And(std::vector<PredicatePtr>{});
+      const QueryResult scanned = executor.ExecutePredicate(*match_all);
+      const TieredStoreStats ts = tier->stats();
+      const uint64_t probes = ts.pool.hits + ts.pool.misses;
+      std::printf("cold tier (budget %.2f MiB):\n",
+                  static_cast<double>(tier_options.budget_bytes) /
+                      (1024.0 * 1024.0));
+      std::printf("  %zu partitions spilled: %llu chains, %llu entities, "
+                  "%.2f MiB in %llu pages; hot %.2f MiB\n",
+                  *spilled, static_cast<unsigned long long>(ts.chains),
+                  static_cast<unsigned long long>(ts.cold_entities),
+                  static_cast<double>(ts.cold_bytes) / (1024.0 * 1024.0),
+                  static_cast<unsigned long long>(ts.cold_pages),
+                  static_cast<double>(controller.HotBytes()) /
+                      (1024.0 * 1024.0));
+      std::printf("  full hybrid scan: %llu rows; buffer pool %llu hits / "
+                  "%llu misses (%.1f%% hit rate), %llu evictions\n",
+                  static_cast<unsigned long long>(
+                      scanned.metrics.rows_scanned),
+                  static_cast<unsigned long long>(ts.pool.hits),
+                  static_cast<unsigned long long>(ts.pool.misses),
+                  probes > 0 ? 100.0 * static_cast<double>(ts.pool.hits) /
+                                   static_cast<double>(probes)
+                             : 0.0,
+                  static_cast<unsigned long long>(ts.pool.evictions));
+    }
+  }
+
   // Snapshot memory footprint: publish one MVCC view of the restored
   // table and report what the read engine holds for it — how many
   // immutable versions the current generation references, the arena
@@ -389,6 +525,11 @@ int Stats(const Args& args) {
     std::printf("  live versions       %zu (%.2f MiB packed)\n",
                 m.live_versions,
                 static_cast<double>(m.view_bytes) / (1024.0 * 1024.0));
+    std::printf("  tier residency      %zu hot / %zu cold versions "
+                "(%.2f MiB in %llu cold pages)\n",
+                m.hot_versions, m.cold_versions,
+                static_cast<double>(m.cold_bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(m.cold_pages));
     std::printf("  arenas live/pooled  %zu/%zu (%.2f MiB retained idle)\n",
                 m.arenas.live_arenas, m.arenas.pooled_arenas,
                 static_cast<double>(m.arenas.bytes_retained) /
@@ -442,6 +583,22 @@ int Stats(const Args& args) {
     const Status integrity = c.VerifyIntegrity();
     std::printf("integrity: %s\n", integrity.ToString().c_str());
     if (!integrity.ok()) return 1;
+  }
+
+  // Fault everything back hot before the tier closes: the loopback
+  // sharding below copies rows out of live segments.
+  if (tier != nullptr) {
+    std::vector<PartitionId> cold_ids;
+    c.catalog().ForEachPartition([&](const Partition& partition) {
+      if (partition.cold()) cold_ids.push_back(partition.id());
+    });
+    for (const PartitionId id : cold_ids) {
+      Partition* partition = c.catalog().GetPartition(id);
+      if (partition == nullptr) continue;
+      const Status hot = c.EnsureHot(*partition);
+      if (!hot.ok()) return Fail(hot);
+    }
+    c.set_cold_tier(nullptr);
   }
 
   // --nodes N: shard the restored table over N real loopback node

@@ -9,7 +9,10 @@
 # data races the regular build cannot, then an address-sanitized build of
 # the MVCC + arena tests with leak detection on — epoch-based deferred
 # reclamation must free every retired version exactly once, and pooled
-# arenas/shells must balance their create/recycle counts. A final
+# arenas/shells must balance their create/recycle counts. The tiered
+# cold store runs in both side builds: its spill/fault cycles and
+# snapshot readers over a spilling writer under TSan, and chain/page
+# ownership under ASan with leak detection. A final
 # UBSan side build (fatal, no recover) covers the aggregation engine's
 # atomics, hashing, and double->int64 truncation paths.
 #
@@ -46,7 +49,7 @@ tools/bench_all.sh --smoke "$JOBS"
 echo "== tier-1: TSan build of the scan + ingest engine tests =="
 TSAN_TARGETS=(thread_pool_test parallel_scan_test aggregator_test ingest_test mutation_pipeline_test synopsis_tree_test mvcc_test tuner_test net_cluster_test)
 if [[ "$FAST" -eq 0 ]]; then
-  TSAN_TARGETS+=(ingest_concurrency_test mvcc_stress_test tuner_stress_test net_stress_test)
+  TSAN_TARGETS+=(ingest_concurrency_test mvcc_stress_test tuner_stress_test net_stress_test tiered_stress_test)
 fi
 cmake -B build-tsan -S . -DCINDERELLA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
@@ -73,12 +76,16 @@ if [[ "$FAST" -eq 0 ]]; then
   # Concurrent clients vs one NodeServer while a writer republishes MVCC
   # snapshots: the whole server path under TSan.
   CINDERELLA_NET_SERVER_THREADS=3 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/net_stress_test
+  # Snapshot readers fetching cold rows through the tier's buffer pool
+  # while the writer spills and faults partitions: the tiered read path's
+  # whole concurrency contract under TSan.
+  CINDERELLA_SCAN_THREADS=4 timeout "$CTEST_TIMEOUT" ./build-tsan/tests/tiered_stress_test
 fi
 
 echo "== tier-1: ASan+leak build of the MVCC read engine tests =="
-ASAN_TARGETS=(arena_test mvcc_test tuner_test)
+ASAN_TARGETS=(arena_test mvcc_test tuner_test tiered_store_test)
 if [[ "$FAST" -eq 0 ]]; then
-  ASAN_TARGETS+=(mvcc_stress_test tuner_stress_test)
+  ASAN_TARGETS+=(mvcc_stress_test tuner_stress_test tiered_stress_test)
 fi
 cmake -B build-asan -S . -DCINDERELLA_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS" --target "${ASAN_TARGETS[@]}"
@@ -87,10 +94,15 @@ ASAN_OPTIONS=detect_leaks=1 timeout "$CTEST_TIMEOUT" ./build-asan/tests/mvcc_tes
 # Drain+reinsert batches recycle every drained row through the arena
 # pools; leak detection proves the daemon frees what it retires.
 ASAN_OPTIONS=detect_leaks=1 timeout "$CTEST_TIMEOUT" ./build-asan/tests/tuner_test
+# Spill/fault cycles move rows between arenas and page chains; leak
+# detection proves chains release their pages on last reference and the
+# out-of-core crash-recovery path frees every recovered version.
+ASAN_OPTIONS=detect_leaks=1 timeout "$CTEST_TIMEOUT" ./build-asan/tests/tiered_store_test
 if [[ "$FAST" -eq 0 ]]; then
   ASAN_OPTIONS=detect_leaks=1 CINDERELLA_STRESS_READERS=4 \
     timeout "$CTEST_TIMEOUT" ./build-asan/tests/mvcc_stress_test
   ASAN_OPTIONS=detect_leaks=1 timeout "$CTEST_TIMEOUT" ./build-asan/tests/tuner_stress_test
+  ASAN_OPTIONS=detect_leaks=1 timeout "$CTEST_TIMEOUT" ./build-asan/tests/tiered_stress_test
 fi
 
 echo "== tier-1: UBSan build of the aggregation + scan engine tests =="
